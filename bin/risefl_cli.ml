@@ -1,0 +1,171 @@
+(* risefl_cli — command-line front end for the RiseFL reproduction.
+
+   Subcommands:
+     round    run one secure-and-verifiable aggregation round on synthetic
+              updates, optionally with attackers
+     train    run a federated training simulation under attack with a
+              chosen integrity checker
+     params   print the derived security quantities (gamma, B0, F curve)
+              for a parameter set *)
+
+open Cmdliner
+
+module Params = Risefl_core.Params
+module Setup = Risefl_core.Setup
+module Driver = Risefl_core.Driver
+
+(* --- shared args --- *)
+
+let n_arg = Arg.(value & opt int 5 & info [ "n"; "clients" ] ~docv:"N" ~doc:"Number of clients.")
+let m_arg = Arg.(value & opt int 1 & info [ "m"; "malicious" ] ~docv:"M" ~doc:"Max malicious clients (m < n/2).")
+let d_arg = Arg.(value & opt int 32 & info [ "d"; "dimension" ] ~docv:"D" ~doc:"Model dimension.")
+let k_arg = Arg.(value & opt int 8 & info [ "k"; "samples" ] ~docv:"K" ~doc:"Probabilistic-check projections.")
+let bound_arg = Arg.(value & opt float 800.0 & info [ "bound" ] ~docv:"B" ~doc:"L2 bound (encoded units).")
+let seed_arg = Arg.(value & opt string "cli" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+(* --- round --- *)
+
+let round_cmd =
+  let attackers =
+    Arg.(
+      value & opt (list int) []
+      & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
+  in
+  let run n m d k bound seed attackers =
+    let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
+    let setup = Setup.create ~label:("cli/" ^ seed) params in
+    let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
+    let updates =
+      Array.init n (fun _ -> Array.init d (fun _ -> Prng.Drbg.uniform_int drbg 60 - 30))
+    in
+    let behaviours = Driver.honest_all n in
+    List.iter
+      (fun i ->
+        if i >= 1 && i <= n then begin
+          let norm = Encoding.Fixed_point.l2_norm_encoded updates.(i - 1) in
+          let factor = int_of_float (50.0 *. bound /. norm) in
+          updates.(i - 1) <- Array.map (fun x -> factor * x) updates.(i - 1);
+          behaviours.(i - 1) <- Driver.Oversized 50.0
+        end)
+      attackers;
+    let stats = Driver.run_iteration setup ~updates ~behaviours ~seed ~round:1 in
+    Printf.printf "flagged: [%s]\n" (String.concat ";" (List.map string_of_int stats.Driver.flagged));
+    (match stats.Driver.aggregate with
+    | Some agg ->
+        Printf.printf "aggregate (first 8 coords): %s\n"
+          (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
+    | None -> print_endline "aggregation failed");
+    Printf.printf
+      "client: commit %.3fs, share-verify %.3fs, proof %.3fs | server: prep %.3fs, verify %.3fs, agg %.3fs\n"
+      stats.Driver.client_commit_s stats.Driver.client_share_verify_s stats.Driver.client_proof_s
+      stats.Driver.server_prep_s stats.Driver.server_verify_s stats.Driver.server_agg_s;
+    Printf.printf "comm per client: %.1f KB up, %.1f KB down\n"
+      (float_of_int stats.Driver.client_up_bytes /. 1024.0)
+      (float_of_int stats.Driver.client_down_bytes /. 1024.0)
+  in
+  Cmd.v
+    (Cmd.info "round" ~doc:"Run one secure-and-verifiable aggregation round.")
+    Term.(const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers)
+
+(* --- train --- *)
+
+let train_cmd =
+  let dataset_arg =
+    Arg.(
+      value
+      & opt (enum [ ("organ", `Organ); ("covtype", `Covtype); ("blobs", `Blobs) ]) `Blobs
+      & info [ "dataset" ] ~docv:"NAME" ~doc:"Dataset: organ, covtype or blobs.")
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt (enum [ ("signflip", `Sign); ("scaling", `Scale); ("labelflip", `Label); ("noise", `Noise) ]) `Sign
+      & info [ "attack" ] ~docv:"NAME" ~doc:"Attack: signflip, scaling, labelflip or noise.")
+  in
+  let checker_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `Nc); ("strict", `Sc); ("risefl", `Risefl) ]) `Risefl
+      & info [ "checker" ] ~docv:"NAME" ~doc:"Integrity checker: none, strict or risefl.")
+  in
+  let rounds_arg = Arg.(value & opt int 15 & info [ "rounds" ] ~docv:"R" ~doc:"Training rounds.") in
+  let malicious_arg = Arg.(value & opt int 3 & info [ "malicious" ] ~docv:"M" ~doc:"Malicious clients.") in
+  let run dataset attack checker rounds malicious seed =
+    let drbg = Prng.Drbg.create_string (seed ^ "/data") in
+    let data =
+      match dataset with
+      | `Organ -> Flsim.Dataset.organ_like drbg ~n:600
+      | `Covtype -> Flsim.Dataset.covtype_like drbg ~n:800
+      | `Blobs -> Flsim.Dataset.gaussian_blobs drbg ~n:600 ~features:32 ~classes:4 ~spread:0.8
+    in
+    let attack =
+      match attack with
+      | `Sign -> Flsim.Attack.Sign_flip 5.0
+      | `Scale -> Flsim.Attack.Scaling 10.0
+      | `Label -> Flsim.Attack.Label_flip (0, 1)
+      | `Noise -> Flsim.Attack.Additive_noise 0.5
+    in
+    let checker =
+      match checker with
+      | `Nc -> Flsim.Federated.Np_nc
+      | `Sc -> Flsim.Federated.Np_sc Flsim.Federated.D_l2
+      | `Risefl -> Flsim.Federated.Risefl (Flsim.Federated.D_l2, 200)
+    in
+    let result =
+      Flsim.Federated.train
+        {
+          Flsim.Federated.n_clients = 10;
+          n_malicious = malicious;
+          attack;
+          checker;
+          rounds;
+          lr = 0.5;
+          batch = None;
+          arch = Flsim.Model.Softmax;
+          bound_factor = 2.0;
+          non_iid_alpha = None;
+          seed;
+        }
+        ~data
+    in
+    Array.iter
+      (fun (l : Flsim.Federated.round_log) ->
+        Printf.printf "round %2d  accuracy %.3f  rejected [%s]\n" l.Flsim.Federated.round
+          l.Flsim.Federated.accuracy
+          (String.concat ";" (List.map string_of_int l.Flsim.Federated.rejected)))
+      result.Flsim.Federated.logs;
+    Printf.printf "final accuracy: %.3f\n" result.Flsim.Federated.final_accuracy
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Run a federated training simulation under attack.")
+    Term.(const run $ dataset_arg $ attack_arg $ checker_arg $ rounds_arg $ malicious_arg $ seed_arg)
+
+(* --- params --- *)
+
+let params_cmd =
+  let run n m d k bound =
+    let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
+    Printf.printf "n=%d m=%d d=%d k=%d B=%.1f (encoded units)\n" n m d k bound;
+    Printf.printf "gamma_{k,eps}          = %.3f (gamma/k = %.3f)\n" (Params.gamma params)
+      (Params.gamma params /. float_of_int k);
+    Printf.printf "B0                     = %s (%d bits; cap 2^%d)\n"
+      (Bigint.to_string (Params.b0 params))
+      (Bigint.bit_length (Params.b0 params))
+      params.Params.b_max_bits;
+    Printf.printf "Shamir threshold       = %d-of-%d\n" (Params.shamir_t params) n;
+    Printf.printf "aggregation dlog range = +/- %d\n" (Params.agg_max_abs params);
+    let pr = Params.passrate_params params in
+    print_endline "pass-rate F(c) of a c.B-norm malicious update:";
+    List.iter
+      (fun c -> Printf.printf "  F(%.2f) = %.4g\n" c (Stats.Passrate.f pr c))
+      [ 1.1; 1.5; 2.0; 3.0; 5.0 ];
+    let c_star, dmg = Stats.Passrate.max_damage pr in
+    Printf.printf "max expected damage    = %.3f B (at c* = %.3f)\n" dmg c_star
+  in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the derived security quantities for a parameter set.")
+    Term.(const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg)
+
+let () =
+  let doc = "RiseFL: secure and verifiable data collaboration with low-cost ZKPs (VLDB 2024 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "risefl_cli" ~doc) [ round_cmd; train_cmd; params_cmd ]))

@@ -1,0 +1,20 @@
+(** The ACORN baseline (Bell et al., USENIX Security 2023): PRG-SecAgg
+    masking for near-plaintext communication, Pedersen commitments, and
+    bound proofs whose cost is independent of the bit width b thanks to
+    Lagrange four-square decompositions (instead of bit-decomposition
+    range proofs).
+
+    Statements proved per client:
+    - each coordinate's square is committed correctly (Σ-square proofs);
+    - 2^{2(bits−1)} − u_l² ≥ 0 per coordinate (four squares) — the
+      overflow guard;
+    - B² − Σ u_l² ≥ 0 (four squares) — the L2 bound;
+    each "≥ 0" being four committed squares plus a Schnorr opening of the
+    residual blind. No Byzantine-robust recovery (as in the paper). *)
+
+type setup
+
+val create_setup : label:string -> d:int -> bits:int -> setup
+
+val run :
+  setup -> updates:int array array -> bound_b:float -> cheat:bool array -> seed:string -> Types.outcome

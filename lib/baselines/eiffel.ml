@@ -1,0 +1,242 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+module B = Bigint
+
+type setup = {
+  d : int;
+  bits : int;
+  n : int;
+  m : int;
+  g_table : Point.Table.table;
+  h_table : Point.Table.table;
+}
+
+let create_setup ~label ~d ~bits ~n ~m =
+  if 2 * m >= n then invalid_arg "Eiffel.create_setup: need m < n/2";
+  let g = Curve25519.Gens.derive (label ^ "/eiffel/g") in
+  let h = Curve25519.Gens.derive (label ^ "/eiffel/h") in
+  { d; bits; n; m; g_table = Point.Table.make g; h_table = Point.Table.make h }
+
+(* degree-deg polynomial with given constant term; returns evaluations at
+   1..n plus the coefficient vector *)
+let share_poly drbg ~deg ~n c0 =
+  let coeffs = Array.init (deg + 1) (fun j -> if j = 0 then c0 else Scalar.random drbg) in
+  let evals =
+    Array.init n (fun i ->
+        let x = i + 1 in
+        let acc = ref Scalar.zero in
+        for j = deg downto 0 do
+          acc := Scalar.add (Scalar.mul_small !acc x) coeffs.(j)
+        done;
+        !acc)
+  in
+  (evals, coeffs)
+
+type dealer_msg = {
+  dealer : int;
+  (* per verifier (outer, length n), per coordinate (inner, length d) *)
+  coord_shares : Scalar.t array array;
+  blind_shares : Scalar.t array array;
+  (* per verifier, per coordinate*bit *)
+  bit_shares : Scalar.t array array;
+  (* per coordinate: Pedersen-VSSS string, length m+1 *)
+  checks : Point.t array array;
+}
+
+(* deterministic SNIP coefficients shared by verifiers and server *)
+let snip_coeffs ~seed ~dealer ~d ~bits =
+  let drbg = Prng.Drbg.create_string (Printf.sprintf "%s/eiffel-snip/%d" seed dealer) in
+  let betas = Array.init (d * bits) (fun _ -> Scalar.random drbg) in
+  let lambdas = Array.init d (fun _ -> Scalar.random drbg) in
+  (betas, lambdas)
+
+let deal setup drbg ~u =
+  let { d; bits; n; m; _ } = setup in
+  let shift = 1 lsl (bits - 1) in
+  let coord_shares = Array.init n (fun _ -> Array.make d Scalar.zero) in
+  let blind_shares = Array.init n (fun _ -> Array.make d Scalar.zero) in
+  let bit_shares = Array.init n (fun _ -> Array.make (d * bits) Scalar.zero) in
+  let checks = Array.make d [||] in
+  for l = 0 to d - 1 do
+    let v_evals, v_coeffs = share_poly drbg ~deg:m ~n (Scalar.of_int u.(l)) in
+    let b_evals, b_coeffs = share_poly drbg ~deg:m ~n (Scalar.random drbg) in
+    for i = 0 to n - 1 do
+      coord_shares.(i).(l) <- v_evals.(i);
+      blind_shares.(i).(l) <- b_evals.(i)
+    done;
+    checks.(l) <-
+      Array.init (m + 1) (fun j ->
+          Point.add (Point.Table.mul setup.g_table v_coeffs.(j)) (Point.Table.mul setup.h_table b_coeffs.(j)));
+    let shifted = u.(l) + shift in
+    for c = 0 to bits - 1 do
+      let bit = (shifted lsr c) land 1 in
+      let evals, _ = share_poly drbg ~deg:m ~n (Scalar.of_int bit) in
+      for i = 0 to n - 1 do
+        bit_shares.(i).((l * bits) + c) <- evals.(i)
+      done
+    done
+  done;
+  (coord_shares, blind_shares, bit_shares, checks)
+
+(* verifier-side batch verification of one dealer's coordinate shares
+   against the Pedersen check strings, via one random linear combination *)
+let verify_shares setup drbg ~self (msg : dealer_msg) =
+  let { d; m; _ } = setup in
+  let i = self in
+  let alphas = Array.init d (fun _ -> Scalar.random drbg) in
+  let v = ref Scalar.zero and b = ref Scalar.zero in
+  for l = 0 to d - 1 do
+    v := Scalar.add !v (Scalar.mul alphas.(l) msg.coord_shares.(i - 1).(l));
+    b := Scalar.add !b (Scalar.mul alphas.(l) msg.blind_shares.(i - 1).(l))
+  done;
+  let lhs = Point.add (Point.Table.mul setup.g_table !v) (Point.Table.mul setup.h_table !b) in
+  (* rhs: big MSM over all d*(m+1) string elements with exponents alpha_l i^j *)
+  let x = Scalar.of_int i in
+  let pairs = Array.make (d * (m + 1)) (Scalar.zero, Point.identity) in
+  for l = 0 to d - 1 do
+    let pow = ref Scalar.one in
+    for j = 0 to m do
+      pairs.((l * (m + 1)) + j) <- (Scalar.mul alphas.(l) !pow, msg.checks.(l).(j));
+      pow := Scalar.mul !pow x
+    done
+  done;
+  Point.equal lhs (Msm.msm pairs)
+
+(* verifier's share of the randomized SNIP check polynomial (degree 2m)
+   and of the squared-norm polynomial *)
+let check_shares setup ~seed ~self (msg : dealer_msg) =
+  let { d; bits; _ } = setup in
+  let betas, lambdas = snip_coeffs ~seed ~dealer:msg.dealer ~d ~bits in
+  let i = self - 1 in
+  let shift = Scalar.of_int (1 lsl (bits - 1)) in
+  let chi = ref Scalar.zero in
+  let rho = ref Scalar.zero in
+  for l = 0 to d - 1 do
+    let u_share = msg.coord_shares.(i).(l) in
+    (* recomposition term: u + shift - sum 2^c bit_c *)
+    let recomp = ref (Scalar.add u_share shift) in
+    for c = 0 to bits - 1 do
+      let b = msg.bit_shares.(i).((l * bits) + c) in
+      recomp := Scalar.sub !recomp (Scalar.mul_small b (1 lsl c));
+      (* bit-ness term: b (b - 1) *)
+      chi := Scalar.add !chi (Scalar.mul betas.((l * bits) + c) (Scalar.mul b (Scalar.sub b Scalar.one)))
+    done;
+    chi := Scalar.add !chi (Scalar.mul lambdas.(l) !recomp);
+    rho := Scalar.add !rho (Scalar.mul u_share u_share)
+  done;
+  (!chi, !rho)
+
+let interpolate_at_zero points =
+  Vsss.recover (List.map (fun (i, v) -> { Vsss.idx = i; value = v }) points)
+
+let run setup ~updates ~bound_b ~cheat ~seed =
+  ignore cheat;
+  let { d; bits; n; m; _ } = setup in
+  if Array.length updates <> n then invalid_arg "Eiffel.run: need n updates";
+  let root = Prng.Drbg.create_string seed in
+  (* --- dealing (the EIFFeL "commitment": shares + check strings) --- *)
+  let commit_total = ref 0.0 in
+  let msgs =
+    Array.init n (fun i ->
+        let drbg = Prng.Drbg.fork root (Printf.sprintf "dealer%d" i) in
+        let (coord_shares, blind_shares, bit_shares, checks), dt =
+          Types.time (fun () -> deal setup drbg ~u:updates.(i))
+        in
+        commit_total := !commit_total +. dt;
+        { dealer = i + 1; coord_shares; blind_shares; bit_shares; checks })
+  in
+  (* --- verification: every client checks every dealer --- *)
+  let ver_total = ref 0.0 and gen_total = ref 0.0 in
+  (* chi/rho evaluations per dealer, indexed by verifier *)
+  let chi = Array.make_matrix n n Scalar.zero in
+  let rho = Array.make_matrix n n Scalar.zero in
+  let share_ok = Array.make_matrix n n true in
+  for v = 1 to n do
+    let drbg = Prng.Drbg.fork root (Printf.sprintf "verifier%d" v) in
+    let (), dt_ver =
+      Types.time (fun () ->
+          Array.iteri (fun di msg -> share_ok.(di).(v - 1) <- verify_shares setup drbg ~self:v msg) msgs)
+    in
+    let (), dt_gen =
+      Types.time (fun () ->
+          Array.iteri
+            (fun di msg ->
+              let c, r = check_shares setup ~seed ~self:v msg in
+              chi.(di).(v - 1) <- c;
+              rho.(di).(v - 1) <- r)
+            msgs)
+    in
+    ver_total := !ver_total +. dt_ver;
+    gen_total := !gen_total +. dt_gen
+  done;
+  (* --- server decision --- *)
+  let b2 = Risefl_core.Params.bigint_of_float_ceil (bound_b *. bound_b) in
+  let accepted = Array.make n false in
+  let (), server_verify_s =
+    Types.time (fun () ->
+        for di = 0 to n - 1 do
+          let shares_valid = Array.for_all Fun.id share_ok.(di) in
+          if shares_valid then begin
+            (* reconstruct the degree-2m check and norm polynomials at 0
+               from all n verifier evaluations, tolerating up to
+               (n - 2m - 1)/2 lying verifiers (Berlekamp-Welch) *)
+            let tolerable = Stdlib.max 0 ((n - ((2 * m) + 1)) / 2) in
+            let all row = List.init n (fun i -> (i + 1, row.(i))) in
+            let chi0 = Robust_interp.decode_at_zero ~deg:(2 * m) ~errors:tolerable (all chi.(di)) in
+            let rho0 = Robust_interp.decode_at_zero ~deg:(2 * m) ~errors:tolerable (all rho.(di)) in
+            match (chi0, rho0) with
+            | Some chi0, Some rho0 ->
+                let norm_ok =
+                  let v = Scalar.to_bigint rho0 in
+                  (* honest norms are tiny compared to the group order *)
+                  B.bit_length v <= (2 * bits) + 40 && B.compare v b2 <= 0
+                in
+                accepted.(di) <- Scalar.is_zero chi0 && norm_ok
+            | _ -> accepted.(di) <- false
+          end
+        done)
+  in
+  (* --- aggregation: verifiers send summed shares; server interpolates --- *)
+  let acc_ids = List.filter (fun i -> accepted.(i)) (List.init n Fun.id) in
+  let aggregate, agg_s =
+    Types.time (fun () ->
+        match acc_ids with
+        | [] -> None
+        | _ -> (
+            let out = Array.make d 0 in
+            try
+              for l = 0 to d - 1 do
+                let points =
+                  List.init (m + 1) (fun vi ->
+                      let sum =
+                        List.fold_left
+                          (fun acc di -> Scalar.add acc msgs.(di).coord_shares.(vi).(l))
+                          Scalar.zero acc_ids
+                      in
+                      (vi + 1, sum))
+                in
+                let v = interpolate_at_zero points in
+                out.(l) <- Scalar.to_int_signed v
+              done;
+              Some out
+            with Failure _ -> None))
+  in
+  (* comm per client: shares of every coordinate, blind and bit to every
+     peer, plus the d check strings; this is the ~2dnb elements of
+     Table 1 *)
+  let comm = (n * d * (2 + bits) * 32) + (d * (m + 1) * 32) in
+  {
+    Types.timings =
+      {
+        Types.client_commit_s = !commit_total /. float_of_int n;
+        client_proof_gen_s = !gen_total /. float_of_int n;
+        client_proof_ver_s = !ver_total /. float_of_int n;
+        server_prep_s = 0.0;
+        server_verify_s;
+        server_agg_s = agg_s;
+        client_comm_bytes = comm;
+      };
+    accepted;
+    aggregate;
+  }

@@ -1,0 +1,27 @@
+(** The EIFFeL baseline (Roy Chowdhury et al., CCS 2022): secure
+    aggregation with verified inputs via verifiable Shamir sharing and
+    secret-shared proof checking. Closed source; reimplemented (as the
+    RiseFL authors also had to).
+
+    Per iteration, each client (as dealer) Shamir-shares every coordinate
+    of its update {e and every bit of every coordinate} among all n
+    clients (degree m polynomials), with Pedersen-VSSS check strings on
+    the coordinate polynomials. Every client then acts as a verifier: it
+    checks the share openings against the check strings (the
+    O(nmd/log md) g.e. client cost of Table 1) and evaluates its share of
+    a randomized SNIP-style check polynomial — bit-ness of every bit
+    share, bit-recomposition of every coordinate, and the L2 bound — all
+    of degree ≤ 2m, which the server reconstructs (n ≥ 2m+1) and tests.
+
+    Simplifications vs the original, preserving the cost profile:
+    bit-polynomials carry no check strings (their consistency is enforced
+    by the randomized check), and the squared norm Σu² is reconstructed
+    in the clear for the bound comparison (the original hides it behind
+    another shared comparison circuit). *)
+
+type setup
+
+val create_setup : label:string -> d:int -> bits:int -> n:int -> m:int -> setup
+
+val run :
+  setup -> updates:int array array -> bound_b:float -> cheat:bool array -> seed:string -> Types.outcome

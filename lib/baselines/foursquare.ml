@@ -1,0 +1,169 @@
+module B = Bigint
+
+let isqrt n =
+  if B.sign n < 0 then invalid_arg "Foursquare.isqrt: negative";
+  if B.is_zero n then B.zero
+  else begin
+    (* Newton's method with a power-of-two seed above the root *)
+    let x = ref (B.shift_left B.one ((B.bit_length n + 1) / 2)) in
+    let continue = ref true in
+    while !continue do
+      let x' = B.shift_right (B.add !x (B.div n !x)) 1 in
+      if B.compare x' !x >= 0 then continue := false else x := x'
+    done;
+    !x
+  end
+
+let is_probable_prime drbg n =
+  if B.compare n B.two < 0 then false
+  else if B.equal n B.two then true
+  else if not (B.testbit n 0) then false
+  else begin
+    (* small trial division first *)
+    let small = [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
+    let rec trial = function
+      | [] -> None
+      | p :: tl ->
+          let bp = B.of_int p in
+          if B.equal n bp then Some true
+          else if B.is_zero (B.rem n bp) then Some false
+          else trial tl
+    in
+    match trial small with
+    | Some r -> r
+    | None ->
+        (* miller-rabin: n - 1 = 2^s * d *)
+        let nm1 = B.sub n B.one in
+        let s = ref 0 in
+        let d = ref nm1 in
+        while not (B.testbit !d 0) do
+          d := B.shift_right !d 1;
+          incr s
+        done;
+        let witness a =
+          let x = ref (B.mod_pow a !d n) in
+          if B.equal !x B.one || B.equal !x nm1 then false
+          else begin
+            let composite = ref true in
+            (try
+               for _ = 1 to !s - 1 do
+                 x := B.erem (B.mul !x !x) n;
+                 if B.equal !x nm1 then begin
+                   composite := false;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            !composite
+          end
+        in
+        let rounds = 32 in
+        let ok = ref true in
+        (try
+           for _ = 1 to rounds do
+             let a = B.add B.two (B.erem (B.random ~bits:(B.bit_length n + 16) (Prng.Drbg.rand26 drbg)) (B.sub n (B.of_int 3))) in
+             if witness a then begin
+               ok := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !ok
+  end
+
+(* two-square decomposition of a prime p = 1 mod 4 (Hermite–Serret):
+   find s with s^2 = -1 mod p, then Euclid-descend (p, s) below sqrt p. *)
+let two_square drbg p =
+  let pm1_4 = B.shift_right (B.sub p B.one) 2 in
+  let rec find_s tries =
+    if tries = 0 then None
+    else begin
+      let u = B.add B.two (B.erem (B.random ~bits:(B.bit_length p + 16) (Prng.Drbg.rand26 drbg)) (B.sub p (B.of_int 3))) in
+      let s = B.mod_pow u pm1_4 p in
+      if B.equal (B.erem (B.mul s s) p) (B.sub p B.one) then Some s else find_s (tries - 1)
+    end
+  in
+  match find_s 64 with
+  | None -> None
+  | Some s ->
+      let a = ref p and b = ref s in
+      let root = isqrt p in
+      while B.compare !b root > 0 do
+        let r = B.rem !a !b in
+        a := !b;
+        b := r
+      done;
+      if B.is_zero !b then None
+      else begin
+        let r = B.rem !a !b in
+        if B.equal (B.add (B.mul !b !b) (B.mul r r)) p then Some (!b, r) else None
+      end
+
+let brute_force n =
+  (* exact search for small n *)
+  let ni = B.to_int n in
+  let lim = B.to_int (isqrt n) in
+  let result = ref None in
+  (try
+     for a = 0 to lim do
+       let ra = ni - (a * a) in
+       let lb = int_of_float (sqrt (float_of_int ra)) + 1 in
+       for b = 0 to min a lb do
+         let rb = ra - (b * b) in
+         if rb >= 0 then begin
+           let lc = int_of_float (sqrt (float_of_int rb)) + 1 in
+           for c = 0 to min b lc do
+             let rc = rb - (c * c) in
+             if rc >= 0 then begin
+               let d = int_of_float (sqrt (float_of_int rc)) in
+               for dd = max 0 (d - 1) to d + 1 do
+                 if dd * dd = rc then begin
+                   result := Some (B.of_int a, B.of_int b, B.of_int c, B.of_int dd);
+                   raise Exit
+                 end
+               done
+             end
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> failwith "Foursquare.brute_force: unreachable (Lagrange)"
+
+let rec decompose drbg n =
+  if B.sign n < 0 then invalid_arg "Foursquare.decompose: negative";
+  if B.bit_length n <= 12 then brute_force n
+  else if B.is_zero (B.rem n (B.of_int 4)) then begin
+    (* n = 4m: decompose m and double *)
+    let a, b, c, d = decompose drbg (B.shift_right n 2) in
+    (B.shift_left a 1, B.shift_left b 1, B.shift_left c 1, B.shift_left d 1)
+  end
+  else begin
+    let root = isqrt n in
+    let rec attempt tries =
+      if tries = 0 then failwith "Foursquare.decompose: retry budget exhausted"
+      else begin
+        let rand_upto m =
+          if B.is_zero m then B.zero
+          else B.erem (B.random ~bits:(B.bit_length m + 16) (Prng.Drbg.rand26 drbg)) (B.add m B.one)
+        in
+        let x = rand_upto root in
+        let rem1 = B.sub n (B.mul x x) in
+        let y = rand_upto (isqrt rem1) in
+        let t = B.sub rem1 (B.mul y y) in
+        if B.is_zero t then (x, y, B.zero, B.zero)
+        else if B.equal t B.one then (x, y, B.one, B.zero)
+        else if B.equal (B.erem t (B.of_int 4)) B.one && is_probable_prime drbg t then begin
+          match two_square drbg t with
+          | Some (a, b) -> (x, y, a, b)
+          | None -> attempt (tries - 1)
+        end
+        else attempt (tries - 1)
+      end
+    in
+    let a, b, c, d = attempt 20_000 in
+    assert (B.equal n (List.fold_left B.add B.zero (List.map (fun v -> B.mul v v) [ a; b; c; d ])));
+    (a, b, c, d)
+  end

@@ -1,0 +1,16 @@
+(** Lagrange four-square decomposition (Rabin–Shallit randomized
+    algorithm): every non-negative integer is a sum of four squares.
+    ACORN's bound proof uses this to show B² − ‖u‖² ≥ 0 with square
+    proofs whose cost does not depend on the bit width. *)
+
+(** [decompose n] returns (a, b, c, d) with a²+b²+c²+d² = n, n >= 0.
+    Randomized (Rabin–Shallit) with deterministic small-case fallbacks;
+    expected polynomial time.
+    @raise Invalid_argument on negative input. *)
+val decompose : Prng.Drbg.t -> Bigint.t -> Bigint.t * Bigint.t * Bigint.t * Bigint.t
+
+(** [isqrt n] — integer square root (exposed for tests). *)
+val isqrt : Bigint.t -> Bigint.t
+
+(** Miller–Rabin primality test (exposed for tests). *)
+val is_probable_prime : Prng.Drbg.t -> Bigint.t -> bool

@@ -1,0 +1,149 @@
+module Scalar = Curve25519.Scalar
+
+(* Gaussian elimination over the scalar field, one solution with free
+   variables pinned to zero. *)
+let solve_linear m rhs =
+  let rows = Array.length m in
+  if rows = 0 then Some [||]
+  else begin
+    let cols = Array.length m.(0) in
+    let a = Array.map Array.copy m in
+    let b = Array.copy rhs in
+    let pivot_col_of_row = Array.make rows (-1) in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < rows && !col < cols do
+      (* find a pivot *)
+      let p = ref (-1) in
+      for i = !row to rows - 1 do
+        if !p < 0 && not (Scalar.is_zero a.(i).(!col)) then p := i
+      done;
+      if !p < 0 then incr col
+      else begin
+        (* swap and normalize *)
+        let tmp = a.(!row) in
+        a.(!row) <- a.(!p);
+        a.(!p) <- tmp;
+        let tb = b.(!row) in
+        b.(!row) <- b.(!p);
+        b.(!p) <- tb;
+        let inv = Scalar.inv a.(!row).(!col) in
+        for j = !col to cols - 1 do
+          a.(!row).(j) <- Scalar.mul a.(!row).(j) inv
+        done;
+        b.(!row) <- Scalar.mul b.(!row) inv;
+        for i = 0 to rows - 1 do
+          if i <> !row && not (Scalar.is_zero a.(i).(!col)) then begin
+            let f = a.(i).(!col) in
+            for j = !col to cols - 1 do
+              a.(i).(j) <- Scalar.sub a.(i).(j) (Scalar.mul f a.(!row).(j))
+            done;
+            b.(i) <- Scalar.sub b.(i) (Scalar.mul f b.(!row))
+          end
+        done;
+        pivot_col_of_row.(!row) <- !col;
+        incr row;
+        incr col
+      end
+    done;
+    (* consistency: a zero row with nonzero rhs has no solution *)
+    let consistent = ref true in
+    for i = !row to rows - 1 do
+      if not (Scalar.is_zero b.(i)) then consistent := false
+    done;
+    if not !consistent then None
+    else begin
+      let x = Array.make cols Scalar.zero in
+      for i = 0 to !row - 1 do
+        x.(pivot_col_of_row.(i)) <- b.(i)
+      done;
+      Some x
+    end
+  end
+
+let eval_poly coeffs x =
+  let acc = ref Scalar.zero in
+  for j = Array.length coeffs - 1 downto 0 do
+    acc := Scalar.add (Scalar.mul !acc x) coeffs.(j)
+  done;
+  !acc
+
+(* exact division of q by the monic polynomial e; None on remainder *)
+let div_exact q e =
+  let dq = Array.length q - 1 and de = Array.length e - 1 in
+  if dq < de then if Array.for_all Scalar.is_zero q then Some [| Scalar.zero |] else None
+  else begin
+    let r = Array.copy q in
+    let out = Array.make (dq - de + 1) Scalar.zero in
+    for i = dq - de downto 0 do
+      let c = r.(i + de) in
+      out.(i) <- c;
+      if not (Scalar.is_zero c) then
+        for j = 0 to de do
+          r.(i + j) <- Scalar.sub r.(i + j) (Scalar.mul c e.(j))
+        done
+    done;
+    if Array.for_all Scalar.is_zero r then Some out else None
+  end
+
+let decode ~deg ~errors points =
+  let n = List.length points in
+  if errors < 0 || n < deg + (2 * errors) + 1 then invalid_arg "Robust_interp.decode: too few points";
+  let points = Array.of_list points in
+  let try_with e =
+    (* unknowns: q_0..q_{deg+e}, e_0..e_{e-1}; E = x^e + sum e_j x^j *)
+    let nq = deg + e + 1 in
+    let cols = nq + e in
+    let m =
+      Array.map
+        (fun (xi, yi) ->
+          let x = Scalar.of_int xi in
+          let row = Array.make cols Scalar.zero in
+          let pow = ref Scalar.one in
+          for j = 0 to nq - 1 do
+            row.(j) <- !pow;
+            (* the error-locator columns carry -y_i x_i^j for j < e *)
+            if j < e then row.(nq + j) <- Scalar.neg (Scalar.mul yi !pow);
+            pow := Scalar.mul !pow x
+          done;
+          row)
+        points
+    in
+    let rhs =
+      Array.map
+        (fun (xi, yi) ->
+          let x = Scalar.of_int xi in
+          (* y_i * x_i^e *)
+          let p = ref Scalar.one in
+          for _ = 1 to e do
+            p := Scalar.mul !p x
+          done;
+          Scalar.mul yi !p)
+        points
+    in
+    match solve_linear m rhs with
+    | None -> None
+    | Some sol ->
+        let q = Array.sub sol 0 nq in
+        let epoly = Array.append (Array.sub sol nq e) [| Scalar.one |] in
+        (match div_exact q epoly with
+        | None -> None
+        | Some p ->
+            let p =
+              if Array.length p <= deg + 1 then Array.append p (Array.make (deg + 1 - Array.length p) Scalar.zero)
+              else Array.sub p 0 (deg + 1)
+            in
+            (* accept only if it disagrees with at most [errors] points *)
+            let wrong = ref 0 in
+            Array.iter
+              (fun (xi, yi) -> if not (Scalar.equal (eval_poly p (Scalar.of_int xi)) yi) then incr wrong)
+              points;
+            if !wrong <= errors then Some p else None)
+  in
+  (* try the full error budget first; degenerate systems occasionally need
+     a smaller locator degree when there are fewer actual errors *)
+  let rec attempt e = if e < 0 then None else match try_with e with Some p -> Some p | None -> attempt (e - 1) in
+  attempt errors
+
+let decode_at_zero ~deg ~errors points =
+  Option.map (fun p -> p.(0)) (decode ~deg ~errors points)

@@ -1,0 +1,30 @@
+(** Robust polynomial reconstruction over ℤ_ℓ (Berlekamp–Welch).
+
+    EIFFeL's server reconstructs degree-2m check polynomials from the
+    verifiers' evaluations; with up to [e] malicious verifiers lying
+    about their shares, plain Lagrange interpolation is poisoned. Given
+    n ≥ deg + 2e + 1 points of which at most [e] are wrong,
+    Berlekamp–Welch recovers the unique consistent polynomial (this is
+    Reed–Solomon decoding; the paper's footnote 5 points at the same
+    n ≥ 4m+1 regime for EIFFeL's multiplicative sharing). *)
+
+module Scalar = Curve25519.Scalar
+
+(** [solve_linear m rhs] — one solution x of m·x = rhs over ℤ_ℓ by
+    Gaussian elimination (free variables set to 0); [None] if
+    inconsistent. Exposed for tests. *)
+val solve_linear : Scalar.t array array -> Scalar.t array -> Scalar.t array option
+
+(** [eval_poly coeffs x] — Horner evaluation (coefficients low-to-high). *)
+val eval_poly : Scalar.t array -> Scalar.t -> Scalar.t
+
+(** [decode ~deg ~errors points] — points are (x, y) with distinct x;
+    returns the coefficient vector (length deg+1) of the unique
+    polynomial of degree ≤ deg agreeing with all but at most [errors]
+    points, or [None] if no such polynomial exists.
+    Requires [List.length points >= deg + 2*errors + 1]. *)
+val decode : deg:int -> errors:int -> (int * Scalar.t) list -> Scalar.t array option
+
+(** [decode_at_zero ~deg ~errors points] — convenience: the recovered
+    polynomial's value at 0 (the shared secret). *)
+val decode_at_zero : deg:int -> errors:int -> (int * Scalar.t) list -> Scalar.t option

@@ -1,0 +1,276 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Pedersen = Commitments.Pedersen
+module Sigma = Zkp.Sigma
+module Range_proof = Zkp.Range_proof
+module Transcript = Zkp.Transcript
+
+type setup = {
+  d : int;
+  bits : int;
+  slack_bits : int;
+  key : Pedersen.key;
+  bp_gens : Range_proof.gens;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let create_setup ~label ~d ~bits =
+  let g = Curve25519.Gens.derive (label ^ "/rofl/g") in
+  let h = Curve25519.Gens.derive (label ^ "/rofl/h") in
+  let rec lg acc v = if v <= 1 then acc else lg (acc + 1) ((v + 1) / 2) in
+  let slack_bits = Stdlib.min 128 (next_pow2 ((2 * (bits - 1)) + lg 0 d + 2)) in
+  {
+    d;
+    bits;
+    slack_bits;
+    key = Pedersen.make_key ~g ~h;
+    bp_gens =
+      Range_proof.make_gens ~label:(label ^ "/rofl/bp") (Stdlib.max (next_pow2 d * bits) slack_bits);
+  }
+
+(* Batched well-formedness proof for all d ElGamal pairs of one client:
+   knowledge of (u_l, r_l) with c_l = g^{u_l} h^{r_l} and d_l = g^{r_l},
+   one Fiat-Shamir challenge for the whole batch. *)
+type wf_proof = {
+  a1 : Point.t array;
+  a2 : Point.t array;
+  z1 : Scalar.t array;
+  z2 : Scalar.t array;
+}
+
+let wf_prove drbg tr key ~cs ~ds ~us ~rs =
+  let d = Array.length cs in
+  Transcript.append_points tr ~label:"rofl-wf/c" cs;
+  Transcript.append_points tr ~label:"rofl-wf/d" ds;
+  let asc = Array.init d (fun _ -> Scalar.random drbg) in
+  let bsc = Array.init d (fun _ -> Scalar.random drbg) in
+  let a1 = Array.init d (fun l -> Pedersen.commit key ~value:asc.(l) ~blind:bsc.(l)) in
+  let a2 = Array.init d (fun l -> Point.Table.mul key.Pedersen.g_table bsc.(l)) in
+  Transcript.append_points tr ~label:"rofl-wf/A1" a1;
+  Transcript.append_points tr ~label:"rofl-wf/A2" a2;
+  let ch = Transcript.challenge_scalar tr ~label:"rofl-wf/ch" in
+  {
+    a1;
+    a2;
+    z1 = Array.init d (fun l -> Scalar.add asc.(l) (Scalar.mul ch (Scalar.of_int us.(l))));
+    z2 = Array.init d (fun l -> Scalar.add bsc.(l) (Scalar.mul ch rs.(l)));
+  }
+
+let wf_verify tr key ~cs ~ds proof =
+  let d = Array.length cs in
+  if Array.length proof.a1 <> d || Array.length proof.z1 <> d then false
+  else begin
+    Transcript.append_points tr ~label:"rofl-wf/c" cs;
+    Transcript.append_points tr ~label:"rofl-wf/d" ds;
+    Transcript.append_points tr ~label:"rofl-wf/A1" proof.a1;
+    Transcript.append_points tr ~label:"rofl-wf/A2" proof.a2;
+    let ch = Transcript.challenge_scalar tr ~label:"rofl-wf/ch" in
+    let ok = ref true in
+    let l = ref 0 in
+    while !ok && !l < d do
+      let i = !l in
+      ok :=
+        Point.equal
+          (Pedersen.commit key ~value:proof.z1.(i) ~blind:proof.z2.(i))
+          (Point.add proof.a1.(i) (Point.mul ch cs.(i)))
+        && Point.equal
+             (Point.Table.mul key.Pedersen.g_table proof.z2.(i))
+             (Point.add proof.a2.(i) (Point.mul ch ds.(i)));
+      incr l
+    done;
+    !ok
+  end
+
+type client_msg = {
+  cs : Point.t array;  (* g^{u_l} h^{r_l} *)
+  ds : Point.t array;  (* g^{r_l} *)
+  c2s : Point.t array;  (* g^{u_l^2} h^{r2_l} *)
+  wf : wf_proof;
+  squares : Sigma.Square.proof array;
+  coord_range : Range_proof.proof;
+  slack_range : Range_proof.proof;
+}
+
+let bi = Bigint.of_int
+
+let make_transcript ~seed ~client =
+  let tr = Transcript.create "rofl/proof/v1" in
+  Transcript.append_bytes tr ~label:"seed" (Bytes.of_string seed);
+  Transcript.append_int tr ~label:"client" client;
+  tr
+
+let client_round setup drbg ~seed ~id ~u ~bound_b ~cheat =
+  let d = setup.d in
+  let g = setup.key.Pedersen.g and h = setup.key.Pedersen.h in
+  let (cs, ds, c2s, rs, r2s), commit_s =
+    Types.time (fun () ->
+        let rs = Array.init d (fun _ -> Scalar.random drbg) in
+        let r2s = Array.init d (fun _ -> Scalar.random drbg) in
+        let cs = Array.init d (fun l -> Pedersen.commit_small setup.key ~value:u.(l) ~blind:rs.(l)) in
+        let ds = Array.init d (fun l -> Point.Table.mul setup.key.Pedersen.g_table rs.(l)) in
+        let c2s =
+          Array.init d (fun l ->
+              let v2 = Scalar.of_bigint (Bigint.mul (bi u.(l)) (bi u.(l))) in
+              Pedersen.commit setup.key ~value:v2 ~blind:r2s.(l))
+        in
+        (cs, ds, c2s, rs, r2s))
+  in
+  let msg, proof_s =
+    Types.time (fun () ->
+        let tr = make_transcript ~seed ~client:id in
+        let wf = wf_prove drbg tr setup.key ~cs ~ds ~us:u ~rs in
+        let squares =
+          Array.init d (fun l ->
+              Sigma.Square.prove drbg tr ~g ~q:h ~y1:cs.(l) ~y2:c2s.(l) ~x:(Scalar.of_int u.(l))
+                ~s:rs.(l) ~s':r2s.(l))
+        in
+        let shift = Bigint.shift_left Bigint.one (setup.bits - 1) in
+        (* out-of-range coordinates (a cheating client) are clamped into the
+           witness domain; the verifier's commitment recomputation then
+           disagrees and the proof is rejected *)
+        let top = Bigint.sub (Bigint.shift_left Bigint.one setup.bits) Bigint.one in
+        let coord_values =
+          Array.map
+            (fun v ->
+              let x = Bigint.add (bi v) shift in
+              if Bigint.sign x < 0 then Bigint.zero else if Bigint.compare x top > 0 then top else x)
+            u
+        in
+        let coord_range =
+          Range_proof.prove drbg tr ~gens:setup.bp_gens ~g ~h ~bits:setup.bits ~values:coord_values
+            ~blinds:rs
+        in
+        let b2 = Risefl_core.Params.bigint_of_float_ceil (bound_b *. bound_b) in
+        let sum_sq = Array.fold_left (fun acc v -> Bigint.add acc (Bigint.mul (bi v) (bi v))) Bigint.zero u in
+        let slack = Bigint.sub b2 sum_sq in
+        (* a cheating (out-of-bound) client has negative slack; the best it
+           can do is prove a clamped value, which the verifier's own
+           commitment recomputation then rejects *)
+        let slack = if Bigint.sign slack < 0 then Bigint.zero else slack in
+        let slack_blind = Scalar.neg (Array.fold_left Scalar.add Scalar.zero r2s) in
+        let slack_range =
+          Range_proof.prove drbg tr ~gens:setup.bp_gens ~g ~h ~bits:setup.slack_bits ~values:[| slack |]
+            ~blinds:[| slack_blind |]
+        in
+        { cs; ds; c2s; wf; squares; coord_range; slack_range })
+  in
+  ignore cheat;
+  (msg, commit_s, proof_s, rs)
+
+let verify_client setup tr ~bound_b (m : client_msg) =
+  let d = setup.d in
+  let g = setup.key.Pedersen.g and h = setup.key.Pedersen.h in
+  Array.length m.cs = d
+  && Array.length m.ds = d
+  && Array.length m.c2s = d
+  && wf_verify tr setup.key ~cs:m.cs ~ds:m.ds m.wf
+  && (let ok = ref true in
+      Array.iteri
+        (fun l sq -> if !ok then ok := Sigma.Square.verify tr ~g ~q:h ~y1:m.cs.(l) ~y2:m.c2s.(l) sq)
+        m.squares;
+      !ok)
+  && (let shift_pt =
+        Point.Table.mul setup.key.Pedersen.g_table
+          (Scalar.of_bigint (Bigint.shift_left Bigint.one (setup.bits - 1)))
+      in
+      let coord_commitments = Array.map (fun c -> Point.add c shift_pt) m.cs in
+      Range_proof.verify tr ~gens:setup.bp_gens ~g ~h ~bits:setup.bits ~commitments:coord_commitments
+        m.coord_range)
+  &&
+  let b2 = Risefl_core.Params.bigint_of_float_ceil (bound_b *. bound_b) in
+  let p_commit =
+    Point.sub
+      (Point.Table.mul setup.key.Pedersen.g_table (Scalar.of_bigint b2))
+      (Array.fold_left Point.add Point.identity m.c2s)
+  in
+  Range_proof.verify tr ~gens:setup.bp_gens ~g ~h ~bits:setup.slack_bits ~commitments:[| p_commit |]
+    m.slack_range
+
+let msg_size (m : client_msg) =
+  let pts = Array.length m.cs + Array.length m.ds + Array.length m.c2s in
+  let wf_pts = Array.length m.wf.a1 + Array.length m.wf.a2 in
+  let wf_sc = Array.length m.wf.z1 + Array.length m.wf.z2 in
+  (32 * (pts + wf_pts + wf_sc))
+  + Array.fold_left (fun acc s -> acc + Sigma.Square.size_bytes s) 0 m.squares
+  + Range_proof.size_bytes m.coord_range
+  + Range_proof.size_bytes m.slack_range
+
+let run setup ~updates ~bound_b ~cheat ~seed =
+  let n = Array.length updates in
+  let root = Prng.Drbg.create_string seed in
+  (* per-pair symmetric keys for blind masking *)
+  let pair_key i j =
+    let lo = Stdlib.min i j and hi = Stdlib.max i j in
+    Hashfn.Sha256.digest_string (Printf.sprintf "%s/rofl-pair/%d-%d" seed lo hi)
+  in
+  let commit_total = ref 0.0 and proof_total = ref 0.0 in
+  let msgs =
+    Array.init n (fun i ->
+        let drbg = Prng.Drbg.fork root (Printf.sprintf "client%d" i) in
+        let msg, cs, ps, rs =
+          client_round setup drbg ~seed ~id:(i + 1) ~u:updates.(i) ~bound_b ~cheat:cheat.(i)
+        in
+        commit_total := !commit_total +. cs;
+        proof_total := !proof_total +. ps;
+        (msg, rs))
+  in
+  let accepted = Array.make n false in
+  let (), verify_s =
+    Types.time (fun () ->
+        Array.iteri
+          (fun i (msg, _) ->
+            let tr = make_transcript ~seed ~client:(i + 1) in
+            accepted.(i) <- verify_client setup tr ~bound_b msg)
+          msgs)
+  in
+  (* aggregation over the accepted set: blind vectors masked pairwise *)
+  let acc_ids = List.filter (fun i -> accepted.(i)) (List.init n Fun.id) in
+  let aggregate, agg_s =
+    Types.time (fun () ->
+        match acc_ids with
+        | [] -> None
+        | _ ->
+            (* each accepted client uploads its blind vector under pairwise
+               masks (restricted to the accepted set); the server's sum
+               cancels every mask and reveals only sum_i r_il *)
+            let active = Array.map (fun a -> a) accepted in
+            let masked =
+              List.map
+                (fun i ->
+                  let keys = Array.init n (fun j -> pair_key i j) in
+                  Secagg_mask.mask_scalars ~keys ~self:(i + 1) ~active ~label:seed (snd msgs.(i)))
+                acc_ids
+            in
+            let r_sums = Secagg_mask.unmask_sum (Array.of_list masked) in
+            let max_abs = n * (1 lsl (setup.bits - 1)) in
+            let solver = Curve25519.Dlog.create ~base:setup.key.Pedersen.g ~max_abs in
+            let targets =
+              Array.init setup.d (fun l ->
+                  let prod =
+                    List.fold_left (fun acc i -> Point.add acc (fst msgs.(i)).cs.(l)) Point.identity acc_ids
+                  in
+                  Point.add prod (Point.mul (Scalar.neg r_sums.(l)) setup.key.Pedersen.h))
+            in
+            let solved = Curve25519.Dlog.solve_many solver targets in
+            if Array.for_all (fun v -> v <> None) solved then
+              Some (Array.map (fun v -> Option.get v) solved)
+            else None)
+  in
+  let comm = if n = 0 then 0 else msg_size (fst msgs.(0)) + (32 * setup.d) in
+  {
+    Types.timings =
+      {
+        Types.client_commit_s = !commit_total /. float_of_int (Stdlib.max 1 n);
+        client_proof_gen_s = !proof_total /. float_of_int (Stdlib.max 1 n);
+        client_proof_ver_s = 0.0;
+        server_prep_s = 0.0;
+        server_verify_s = verify_s;
+        server_agg_s = agg_s;
+        client_comm_bytes = comm;
+      };
+    accepted;
+    aggregate;
+  }

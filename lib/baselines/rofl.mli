@@ -1,0 +1,24 @@
+(** The RoFL baseline (Lycklama et al., S&P 2023), strict-checking
+    variant with the L2-norm predicate.
+
+    Per coordinate the client publishes an ElGamal-style commitment pair
+    (g^{u_l}·h^{r_l}, g^{r_l}) with an {e independent} blind r_l, proves
+    well-formedness of every pair, proves each coordinate's range and the
+    squares relation, and proves B² − Σ u_l² ≥ 0 — all {e exactly}
+    (strict check), which is where the O(d·b) cost the paper reports
+    comes from. No Byzantine-robust share recovery: aggregation uses
+    pairwise-mask blind cancellation over the accepted set (simplified
+    from RoFL's mask-based secure aggregation; same asymptotics). *)
+
+type setup
+
+(** [create_setup ~label ~d ~bits] — [bits] is the per-coordinate
+    fixed-point width (power of two). *)
+val create_setup : label:string -> d:int -> bits:int -> setup
+
+(** [run setup ~updates ~bound_b ~cheat ~seed] — one full iteration.
+    [cheat.(i)] makes client i submit an update violating the bound
+    without adjusting its proofs (it will be rejected). [bound_b] is the
+    L2 bound in encoded units. *)
+val run :
+  setup -> updates:int array array -> bound_b:float -> cheat:bool array -> seed:string -> Types.outcome

@@ -1,0 +1,62 @@
+module Scalar = Curve25519.Scalar
+
+let ring = 1 lsl 32
+let ring_mask = ring - 1
+
+let pair_drbg ~key ~label =
+  let h = Hashfn.Sha256.init () in
+  Hashfn.Sha256.update h key;
+  Hashfn.Sha256.update_string h "/secagg/";
+  Hashfn.Sha256.update_string h label;
+  Prng.Drbg.create (Hashfn.Sha256.finalize h)
+
+let mask_scalars ~keys ~self ?active ~label v =
+  let out = Array.copy v in
+  let included j = match active with None -> true | Some a -> a.(j - 1) in
+  Array.iteri
+    (fun idx key ->
+      let j = idx + 1 in
+      if j <> self && included j then begin
+        let drbg = pair_drbg ~key ~label in
+        for l = 0 to Array.length v - 1 do
+          let m = Scalar.random drbg in
+          out.(l) <- (if self < j then Scalar.add out.(l) m else Scalar.sub out.(l) m)
+        done
+      end)
+    keys;
+  out
+
+let unmask_sum vs =
+  match Array.length vs with
+  | 0 -> [||]
+  | _ ->
+      let d = Array.length vs.(0) in
+      let acc = Array.make d Scalar.zero in
+      Array.iter (fun v -> Array.iteri (fun l x -> acc.(l) <- Scalar.add acc.(l) x) v) vs;
+      acc
+
+let mask_ints ~keys ~self ?active ~label v =
+  let out = Array.map (fun x -> x land ring_mask) v in
+  let included j = match active with None -> true | Some a -> a.(j - 1) in
+  Array.iteri
+    (fun idx key ->
+      let j = idx + 1 in
+      if j <> self && included j then begin
+        let drbg = pair_drbg ~key ~label in
+        for l = 0 to Array.length v - 1 do
+          let m = Prng.Drbg.bits drbg 32 in
+          out.(l) <- (if self < j then out.(l) + m else out.(l) - m) land ring_mask
+        done
+      end)
+    keys;
+  out
+
+let unmask_sum_ints vs =
+  match Array.length vs with
+  | 0 -> [||]
+  | _ ->
+      let d = Array.length vs.(0) in
+      let acc = Array.make d 0 in
+      Array.iter (fun v -> Array.iteri (fun l x -> acc.(l) <- (acc.(l) + x) land ring_mask) v) vs;
+      (* back to signed *)
+      Array.map (fun x -> if x >= ring / 2 then x - ring else x) acc

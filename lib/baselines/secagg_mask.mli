@@ -1,0 +1,31 @@
+(** Pairwise-mask secure aggregation (Bonawitz et al. / Bell et al.,
+    "PRG-SecAgg"): every ordered pair (i, j) shares a PRG key; client i
+    adds PRG(key) to its vector if i < j and subtracts it if i > j, so
+    the masks cancel in the server's sum. Used by the ACORN baseline for
+    the updates themselves and by the RoFL baseline for blind vectors.
+
+    This implementation omits the dropout-recovery machinery of the full
+    protocol (no dropouts occur in the benchmarked path). *)
+
+module Scalar = Curve25519.Scalar
+
+(** [mask_scalars ~keys ~self ?active ~label v] — [keys.(j-1)] is the
+    symmetric key shared with client j ([self]'s own entry is ignored);
+    when [active] is given, pairs with inactive clients are skipped (all
+    active parties must agree on [active] for the masks to cancel). Adds
+    the signed pairwise masks to each coordinate of [v]. *)
+val mask_scalars :
+  keys:Bytes.t array -> self:int -> ?active:bool array -> label:string -> Scalar.t array -> Scalar.t array
+
+(** [unmask_sum vs] — sums masked vectors from {e all} clients; pairwise
+    masks cancel, leaving Σᵢ vᵢ. *)
+val unmask_sum : Scalar.t array array -> Scalar.t array
+
+(** Same construction over the ring ℤ_{2^32} for integer vectors (the
+    ACORN update path). Values are reduced mod 2^32; the true sum is
+    recovered if it fits in (−2^31, 2^31). *)
+val mask_ints :
+  keys:Bytes.t array -> self:int -> ?active:bool array -> label:string -> int array -> int array
+
+(** Sum of all masked integer vectors, mapped back to signed ints. *)
+val unmask_sum_ints : int array array -> int array

@@ -1,0 +1,34 @@
+(** Common result shape for the three baseline systems, mirroring the
+    stage breakdown reported in Table 2 of the paper. *)
+
+type timings = {
+  client_commit_s : float;  (** per-client commitment generation *)
+  client_proof_gen_s : float;  (** per-client proof generation *)
+  client_proof_ver_s : float;  (** per-client verification work (EIFFeL) *)
+  server_prep_s : float;
+  server_verify_s : float;  (** total proof verification on the server *)
+  server_agg_s : float;
+  client_comm_bytes : int;  (** upload + download per client *)
+}
+
+type outcome = {
+  timings : timings;
+  accepted : bool array;  (** per client *)
+  aggregate : int array option;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let zero_timings =
+  {
+    client_commit_s = 0.0;
+    client_proof_gen_s = 0.0;
+    client_proof_ver_s = 0.0;
+    server_prep_s = 0.0;
+    server_verify_s = 0.0;
+    server_agg_s = 0.0;
+    client_comm_bytes = 0;
+  }

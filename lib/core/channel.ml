@@ -1,0 +1,40 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type keypair = { sk : Scalar.t; pk : Point.t }
+
+let gen_keypair drbg =
+  let sk = Scalar.random drbg in
+  { sk; pk = Point.mul_base sk }
+
+let shared_key ~my ~their_pk =
+  let dh = Point.mul my.sk their_pk in
+  let h = Hashfn.Sha256.init () in
+  Hashfn.Sha256.update_string h "risefl/channel/v1";
+  Hashfn.Sha256.update h (Point.compress dh);
+  Hashfn.Sha256.finalize h
+
+type sealed = { nonce : Bytes.t; body : Bytes.t; tag : Bytes.t }
+
+let derive_nonce nonce_seed =
+  Bytes.sub (Hashfn.Sha256.digest_string ("risefl/nonce/" ^ nonce_seed)) 0 12
+
+let keystream ~key ~nonce len = Prng.Chacha20.keystream ~key ~nonce ~off:0 len
+
+let xor a b = Bytes.init (Bytes.length a) (fun i -> Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+let mac ~key ~nonce body =
+  let m = Bytes.concat Bytes.empty [ Bytes.of_string "risefl/mac/"; nonce; body ] in
+  Hashfn.Hmac.sha256 ~key m
+
+let seal ~key ~nonce_seed plaintext =
+  let nonce = derive_nonce nonce_seed in
+  let body = xor plaintext (keystream ~key ~nonce (Bytes.length plaintext)) in
+  { nonce; body; tag = mac ~key ~nonce body }
+
+let open_ ~key sealed =
+  let expected = mac ~key ~nonce:sealed.nonce sealed.body in
+  if not (Bytes.equal expected sealed.tag) then None
+  else Some (xor sealed.body (keystream ~key ~nonce:sealed.nonce (Bytes.length sealed.body)))
+
+let sealed_size s = Bytes.length s.nonce + Bytes.length s.body + Bytes.length s.tag

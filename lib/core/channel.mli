@@ -1,0 +1,31 @@
+(** Pairwise secure channels between clients, tunneled through the server
+    (§4.2): clients publish Diffie–Hellman public keys on a bulletin; each
+    pair derives a shared symmetric key and exchanges encrypted Shamir
+    shares via the (untrusted) server.
+
+    Encryption is ChaCha20 with an HMAC-SHA256 tag (encrypt-then-MAC);
+    tampering by the forwarding server is detected at decryption. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type keypair = { sk : Scalar.t; pk : Point.t }
+
+(** [gen_keypair drbg] — x25519-style: pk = sk·B. *)
+val gen_keypair : Prng.Drbg.t -> keypair
+
+(** [shared_key ~my ~their_pk] — both directions derive the same key
+    (hash of the DH point). *)
+val shared_key : my:keypair -> their_pk:Point.t -> Bytes.t
+
+type sealed = { nonce : Bytes.t; body : Bytes.t; tag : Bytes.t }
+
+(** [seal ~key ~nonce_seed plaintext]. The nonce must be unique per key;
+    callers pass a structured seed (round / sender / receiver ids). *)
+val seal : key:Bytes.t -> nonce_seed:string -> Bytes.t -> sealed
+
+(** [open_ ~key sealed] — [None] on authentication failure. *)
+val open_ : key:Bytes.t -> sealed -> Bytes.t option
+
+(** Serialized size of a sealed message in bytes. *)
+val sealed_size : sealed -> int

@@ -1,0 +1,274 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Pedersen = Commitments.Pedersen
+module Sigma = Zkp.Sigma
+module Range_proof = Zkp.Range_proof
+module Transcript = Zkp.Transcript
+
+exception Server_misbehaving of string
+
+type t = {
+  setup : Setup.t;
+  id : int;
+  drbg : Prng.Drbg.t;
+  keys : Channel.keypair;
+  mutable directory : Point.t array;
+  (* round state *)
+  mutable r : Scalar.t;  (* this round's Pedersen blind *)
+  mutable u : int array;  (* this round's encoded update *)
+  mutable out_shares : Vsss.share array;  (* the shares we dealt, index j-1 *)
+  mutable my_check : Vsss.check;
+  mutable in_shares : Scalar.t option array;  (* share of r_j received from client j, index j-1 *)
+}
+
+let create setup ~id drbg =
+  if id < 1 || id > setup.Setup.params.Params.n_clients then invalid_arg "Client.create: bad id";
+  {
+    setup;
+    id;
+    drbg;
+    keys = Channel.gen_keypair drbg;
+    directory = [||];
+    r = Scalar.zero;
+    u = [||];
+    out_shares = [||];
+    my_check = [||];
+    in_shares = [||];
+  }
+
+let id t = t.id
+let public_key t = t.keys.Channel.pk
+
+let install_directory t pks =
+  if Array.length pks <> t.setup.Setup.params.Params.n_clients then
+    invalid_arg "Client.install_directory: wrong size";
+  t.directory <- pks
+
+let key_for t j = Channel.shared_key ~my:t.keys ~their_pk:t.directory.(j - 1)
+
+let share_nonce ~round ~sender ~receiver = Printf.sprintf "share/r%d/%d->%d" round sender receiver
+
+let commit_round_unchecked t ~round ~update =
+  let p = t.setup.Setup.params in
+  if Array.length update <> p.Params.d then invalid_arg "Client.commit_round: dimension mismatch";
+  t.u <- Array.copy update;
+  t.r <- Scalar.random t.drbg;
+  let y =
+    Pedersen.commit_vec ~g_table:t.setup.Setup.g_table ~bases:t.setup.Setup.w ~values:update
+      ~blind:t.r
+  in
+  let shares, check =
+    Vsss.share t.drbg ~secret:t.r ~n:p.Params.n_clients ~t:(Params.shamir_t p) ~g:t.setup.Setup.g
+  in
+  t.out_shares <- shares;
+  t.my_check <- check;
+  t.in_shares <- Array.make p.Params.n_clients None;
+  let enc_shares =
+    Array.map
+      (fun (s : Vsss.share) ->
+        let j = s.Vsss.idx in
+        Channel.seal ~key:(key_for t j)
+          ~nonce_seed:(share_nonce ~round ~sender:t.id ~receiver:j)
+          (Scalar.to_bytes s.Vsss.value))
+      shares
+  in
+  { Wire.sender = t.id; y; check; enc_shares }
+
+let commit_round t ~round ~update =
+  if not (Params.check_update_norm t.setup.Setup.params update) then
+    invalid_arg "Client.commit_round: update exceeds the L2 bound";
+  commit_round_unchecked t ~round ~update
+
+let receive_shares t ~round ~msgs =
+  let g = t.setup.Setup.g in
+  let suspects = ref [] in
+  Array.iter
+    (fun (m : Wire.commit_msg) ->
+      let j = m.Wire.sender in
+      let sealed = m.Wire.enc_shares.(t.id - 1) in
+      let valid =
+        match Channel.open_ ~key:(key_for t j) sealed with
+        | None -> false
+        | Some plain -> (
+            match Scalar.of_bytes plain with
+            | exception Invalid_argument _ -> false
+            | value ->
+                let share = { Vsss.idx = t.id; value } in
+                if Vsss.verify ~g ~check:m.Wire.check share then begin
+                  t.in_shares.(j - 1) <- Some value;
+                  true
+                end
+                else false)
+      in
+      if not valid then suspects := j :: !suspects)
+    msgs;
+  ignore round;
+  { Wire.sender = t.id; suspects = List.rev !suspects }
+
+let reveal_shares t ~requests =
+  let m = t.setup.Setup.params.Params.max_malicious in
+  if List.length requests > m then
+    raise (Server_misbehaving "server requested more than m clear shares");
+  List.map
+    (fun j ->
+      if j < 1 || j > Array.length t.out_shares then invalid_arg "Client.reveal_shares: bad index";
+      (j, t.out_shares.(j - 1).Vsss.value))
+    requests
+
+let accept_cleared_share t ~from ~value = t.in_shares.(from - 1) <- Some value
+
+(* The client-side transcript for the proof bundle.  The server replays
+   the identical sequence, so every absorbed value is part of the
+   statement. *)
+let make_transcript ~round ~client_id ~s =
+  let tr = Transcript.create "risefl/proof/v1" in
+  Transcript.append_int tr ~label:"round" round;
+  Transcript.append_int tr ~label:"client" client_id;
+  Transcript.append_bytes tr ~label:"s" s;
+  tr
+
+let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
+  Predicate.validate t.setup.Setup.params predicate;
+  let p = t.setup.Setup.params in
+  let setup = t.setup
+  and d = t.setup.Setup.params.Params.d in
+  let seed = Sampling.seed ~s ~pks:t.directory in
+  let matrix = Sampling.sample_matrix ~seed ~d ~k:p.Params.k ~m_factor:p.Params.m_factor in
+  (* Algorithm 3: never trust h from the server *)
+  if not (Sampling.ver_crt t.drbg ~bases:setup.Setup.w ~targets:hs ~matrix) then
+    raise (Server_misbehaving "h vector fails VerCrt");
+  (* exact projections *)
+  let v0, vs = Sampling.project matrix t.u in
+  let k = p.Params.k in
+  let shift = Bigint.shift_left Bigint.one (p.Params.b_ip_bits - 1) in
+  let in_sigma_range =
+    Array.for_all (fun v -> Bigint.compare (Bigint.abs (Bigint.of_int v)) shift < 0) vs
+  in
+  let sum_sq =
+    Array.fold_left (fun acc v -> Bigint.add acc (Bigint.mul (Bigint.of_int v) (Bigint.of_int v))) Bigint.zero vs
+  in
+  (* predicate-specific budget: L2 compares against B0; cosine against
+     w^2 * c_factor with w = <u, v> *)
+  let budget =
+    match predicate with
+    | Predicate.L2 -> Some (setup.Setup.b0, None)
+    | Predicate.Cosine { v; alpha } ->
+        let w = Sampling.dot_exact v t.u in
+        if w < 0 then None
+        else begin
+          let factor = Predicate.cosine_factor p ~v ~alpha in
+          let cap = Bigint.mul (Bigint.mul (Bigint.of_int w) (Bigint.of_int w)) factor in
+          if Bigint.bit_length cap >= p.Params.b_max_bits then None else Some (cap, Some (w, factor))
+        end
+  in
+  match budget with
+  | None -> None
+  | Some (cap, cosine_data) ->
+  if not (in_sigma_range && Bigint.compare sum_sq cap <= 0) then None
+  else Some (
+  (* commitments e_t = g^{v_t} h_t^{r}; o_t = g^{v_t} q^{s_t}; o'_t = g^{v_t^2} q^{s'_t} *)
+  let es =
+    Array.init (k + 1) (fun i ->
+        let gv =
+          if i = 0 then Point.Table.mul setup.Setup.g_table v0
+          else Point.Table.mul_small setup.Setup.g_table vs.(i - 1)
+        in
+        Point.add gv (Point.mul t.r hs.(i)))
+  in
+  let ss = Array.init k (fun _ -> Scalar.random t.drbg) in
+  let ss' = Array.init k (fun _ -> Scalar.random t.drbg) in
+  let os =
+    Array.init k (fun i ->
+        Point.add (Point.Table.mul_small setup.Setup.g_table vs.(i)) (Point.Table.mul setup.Setup.q_table ss.(i)))
+  in
+  let os' =
+    Array.init k (fun i ->
+        let v2 = Scalar.of_bigint (Bigint.mul (Bigint.of_int vs.(i)) (Bigint.of_int vs.(i))) in
+        Point.add (Point.Table.mul setup.Setup.g_table v2) (Point.Table.mul setup.Setup.q_table ss'.(i)))
+  in
+  let tr = make_transcript ~round ~client_id:t.id ~s in
+  (* rho: well-formedness linking z = g^r, e*, o *)
+  let z = Vsss.commitment_of_check t.my_check in
+  let vs_scalars = Array.init (k + 1) (fun i -> if i = 0 then v0 else Scalar.of_int vs.(i - 1)) in
+  let wf =
+    Sigma.Wf.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~hs ~z ~es ~os ~r:t.r ~vs:vs_scalars ~ss
+  in
+  (* tau: o'_t commits the square of o_t's secret *)
+  let squares =
+    Array.init k (fun i ->
+        Sigma.Square.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:os.(i) ~y2:os'.(i)
+          ~x:(Scalar.of_int vs.(i)) ~s:ss.(i) ~s':ss'.(i))
+  in
+  (* cosine extension: commit w = <u, v>, link it to the homomorphic
+     derivation from y_i, prove its square and w >= 0 *)
+  let cosine, mu_value, mu_blind_head =
+    match cosine_data with
+    | None ->
+        (* L2: mu proves B0 - sum v_t^2 >= 0 *)
+        (None, Bigint.sub setup.Setup.b0 sum_sq, Scalar.zero)
+    | Some (w, factor) ->
+        let s_w = Scalar.random t.drbg and s'_w = Scalar.random t.drbg in
+        let o_w =
+          Point.add (Point.Table.mul_small setup.Setup.g_table w) (Point.Table.mul setup.Setup.q_table s_w)
+        in
+        let w2 = Bigint.mul (Bigint.of_int w) (Bigint.of_int w) in
+        let o_w2 =
+          Point.add
+            (Point.Table.mul setup.Setup.g_table (Scalar.of_bigint w2))
+            (Point.Table.mul setup.Setup.q_table s'_w)
+        in
+        let v_ref = match predicate with Predicate.Cosine { v; _ } -> v | Predicate.L2 -> assert false in
+        (* W_v = prod w_l^{v_l}; C_w = g^w W_v^r is what the server derives
+           from y_i *)
+        let w_base = Curve25519.Msm.msm_small (Array.mapi (fun l vl -> (vl, setup.Setup.w.(l))) v_ref) in
+        let c_w = Point.add (Point.Table.mul_small setup.Setup.g_table w) (Point.mul t.r w_base) in
+        let z = Vsss.commitment_of_check t.my_check in
+        let link =
+          Sigma.Link.prove t.drbg tr ~g:setup.Setup.g ~h:w_base ~q:setup.Setup.q ~z ~e:c_w ~o:o_w
+            ~x:(Scalar.of_int w) ~r:t.r ~s:s_w
+        in
+        let w_square =
+          Sigma.Square.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:o_w ~y2:o_w2
+            ~x:(Scalar.of_int w) ~s:s_w ~s':s'_w
+        in
+        let w_range =
+          Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+            ~bits:p.Params.b_ip_bits ~values:[| Bigint.of_int w |] ~blinds:[| s_w |]
+        in
+        (* mu proves w^2 * factor - sum v_t^2 >= 0, with blind
+           s'_w * factor - sum s'_t *)
+        ( Some { Wire.o_w; o_w2; link; w_square; w_range },
+          Bigint.sub (Bigint.mul w2 factor) sum_sq,
+          Scalar.mul s'_w (Scalar.of_bigint factor) )
+  in
+  (* sigma: each v_t + 2^(b_ip-1) in [0, 2^b_ip) *)
+  let sigma_values = Array.map (fun v -> Bigint.add (Bigint.of_int v) shift) vs in
+  let sigma_range =
+    Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+      ~bits:p.Params.b_ip_bits ~values:sigma_values ~blinds:ss
+  in
+  let mu_blind = Scalar.sub mu_blind_head (Array.fold_left Scalar.add Scalar.zero ss') in
+  let mu_range =
+    Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+      ~bits:p.Params.b_max_bits ~values:[| mu_value |] ~blinds:[| mu_blind |]
+  in
+  { Wire.sender = t.id; es; os; os'; wf; squares; cosine; sigma_range; mu_range })
+
+let proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
+  match try_proof_round ~predicate t ~round ~s ~hs with
+  | Some msg -> msg
+  | None ->
+      failwith
+        "Client.proof_round: update cannot pass the probabilistic check (out-of-bound update, an \
+         eps-probability event, or too-tight parameters)"
+
+let agg_round t ~honest =
+  let r_sum =
+    List.fold_left
+      (fun acc j ->
+        match t.in_shares.(j - 1) with
+        | Some v -> Scalar.add acc v
+        | None -> invalid_arg (Printf.sprintf "Client.agg_round: missing share from honest client %d" j))
+      Scalar.zero honest
+  in
+  { Wire.sender = t.id; r_sum }

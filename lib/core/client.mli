@@ -1,0 +1,75 @@
+(** The RiseFL client state machine (one object per client C_i).
+
+    Per iteration the client: commits its update with the hybrid scheme
+    (§4.3), verifies every peer's share and flags failures (§4.4.1),
+    verifies the server's h vector and produces the proof bundle π
+    (§4.4.2), and finally contributes its aggregated share (§4.5). *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type t
+
+exception Server_misbehaving of string
+(** Raised when the client catches the server deviating (bad h vector,
+    more than m clear-share requests): the client quits the protocol. *)
+
+(** [create setup ~id drbg] — [id] is 1-based. *)
+val create : Setup.t -> id:int -> Prng.Drbg.t -> t
+
+val id : t -> int
+val public_key : t -> Point.t
+
+(** [install_directory t pks] — the public-key bulletin (index j−1 holds
+    client j's key). Must be called before any round. *)
+val install_directory : t -> Point.t array -> unit
+
+(** [commit_round t ~round ~update] — the encoded update must satisfy the
+    L2 bound; returns the round-1 message.
+    @raise Invalid_argument if ‖update‖₂ > B or dimension mismatch. *)
+val commit_round : t -> round:int -> update:int array -> Wire.commit_msg
+
+(** [commit_round_unchecked] skips the local norm check — what a
+    malicious client does when mounting a scaling attack. Only the
+    probabilistic check stands between such an update and the aggregate. *)
+val commit_round_unchecked : t -> round:int -> update:int array -> Wire.commit_msg
+
+(** [receive_shares t ~round ~msgs] — decrypt and verify the share
+    addressed to this client inside each peer's commit message; returns
+    the flag list (step 1 of §4.4.1). Stores valid shares for
+    aggregation. *)
+val receive_shares : t -> round:int -> msgs:Wire.commit_msg array -> Wire.flag_msg
+
+(** [reveal_shares t ~requests] — rule-2 cooperation: return the clear
+    shares this client generated for the given recipients.
+    @raise Server_misbehaving if more than m shares are requested. *)
+val reveal_shares : t -> requests:int list -> (int * Scalar.t) list
+
+(** [accept_cleared_share t ~from ~value] — install a share that the
+    server obtained in clear during rule 2 on this client's behalf. *)
+val accept_cleared_share : t -> from:int -> value:Scalar.t -> unit
+
+(** [proof_round ?predicate t ~round ~s ~hs] — verify [hs] with VerCrt and
+    build the proof bundle for the round's integrity predicate (default
+    the plain L2 check).
+    @raise Server_misbehaving if the h vector fails verification.
+    @raise Failure if this client's update cannot pass the probabilistic
+    check (never happens for an in-bound update, up to the ε event). *)
+val proof_round :
+  ?predicate:Predicate.t -> t -> round:int -> s:Bytes.t -> hs:Point.t array -> Wire.proof_msg
+
+(** [try_proof_round] — like {!proof_round} but returns [None] when the
+    update cannot pass the check: the best a rational malicious client
+    with an oversized update can do is attempt the proof and stay silent
+    when the sampled projections betray it. *)
+val try_proof_round :
+  ?predicate:Predicate.t -> t -> round:int -> s:Bytes.t -> hs:Point.t array -> Wire.proof_msg option
+
+(** The Fiat–Shamir transcript shape shared by prover and verifier for the
+    proof bundle (exposed so the server can replay it). *)
+val make_transcript : round:int -> client_id:int -> s:Bytes.t -> Zkp.Transcript.t
+
+(** [agg_round t ~honest] — Σ of the stored shares from the honest set.
+    @raise Invalid_argument if a share from an honest peer is missing
+    (cannot happen when the server follows the protocol). *)
+val agg_round : t -> honest:int list -> Wire.agg_msg

@@ -1,0 +1,34 @@
+(** The asymptotic cost model of Table 1, instantiated: predicted counts
+    of group exponentiations (g.e.), field operations (f.a.) and
+    communicated group elements per stage, for RiseFL and the three
+    baselines. Used by the [table1] bench target to print the table the
+    paper reports, and cross-checked against measured op ratios. *)
+
+type config = {
+  n : int;  (** clients *)
+  m : int;  (** max malicious *)
+  d : int;  (** model parameters *)
+  k : int;  (** probabilistic-check samples *)
+  b : int;  (** fixed-point bit width *)
+  log_m_factor : int;  (** log2 M *)
+  log_p : int;  (** bits of the group order (253) *)
+}
+
+type cost = {
+  client_commit_ge : float;
+  client_proof_gen_ge : float;
+  client_proof_ver_ge : float;
+  client_fa : float;
+  server_prep_ge : float;
+  server_proof_ver_ge : float;
+  server_agg_ge : float;
+  comm_elements_per_client : float;
+}
+
+val risefl : config -> cost
+val eiffel : config -> cost
+val rofl : config -> cost
+val acorn : config -> cost
+
+(** Render the four rows as an aligned text table. *)
+val to_table : config -> string

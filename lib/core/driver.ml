@@ -1,0 +1,206 @@
+module Scalar = Curve25519.Scalar
+
+type behaviour =
+  | Honest
+  | Oversized of float
+  | Bad_share_to of int list
+  | False_flags of int list
+  | Bad_agg_share
+  | Drop_out
+
+type stats = {
+  aggregate : int array option;
+  flagged : int list;
+  client_commit_s : float;
+  client_share_verify_s : float;
+  client_proof_s : float;
+  server_prep_s : float;
+  server_verify_s : float;
+  server_agg_s : float;
+  client_up_bytes : int;
+  client_down_bytes : int;
+}
+
+let honest_all n = Array.make n Honest
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let corrupt_sealed (s : Channel.sealed) =
+  let body = Bytes.copy s.Channel.body in
+  if Bytes.length body > 0 then
+    Bytes.set body 0 (Char.chr (Char.code (Bytes.get body 0) lxor 0xff));
+  { s with Channel.body = body }
+
+type session = { setup : Setup.t; clients : Client.t array; server : Server.t }
+
+let create_session setup ~seed =
+  let n = setup.Setup.params.Params.n_clients in
+  let root = Prng.Drbg.create_string seed in
+  let clients =
+    Array.init n (fun i -> Client.create setup ~id:(i + 1) (Prng.Drbg.fork root (Printf.sprintf "c%d" i)))
+  in
+  let server = Server.create setup (Prng.Drbg.fork root "server") in
+  let pks = Array.map Client.public_key clients in
+  Array.iter (fun c -> Client.install_directory c pks) clients;
+  Server.install_directory server pks;
+  { setup; clients; server }
+
+let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates ~behaviours ~round =
+  (* when [serialize] is set, every message crosses the binary wire format
+     (encode + validate + decode), as it would over a real network *)
+  let via enc dec msg = if serialize then dec (enc msg) else msg in
+  let via_commit = via Serial.encode_commit_msg Serial.decode_commit_msg in
+  let via_flag = via Serial.encode_flag_msg Serial.decode_flag_msg in
+  let via_proof = via Serial.encode_proof_msg Serial.decode_proof_msg in
+  let via_agg = via Serial.encode_agg_msg Serial.decode_agg_msg in
+  let setup = session.setup in
+  let clients = session.clients and server = session.server in
+  let p = setup.Setup.params in
+  let n = p.Params.n_clients in
+  if Array.length updates <> n || Array.length behaviours <> n then
+    invalid_arg "Driver.run_round: need one update and one behaviour per client";
+  let is_active i = behaviours.(i) <> Drop_out in
+  let honest_ids = ref [] in
+  Array.iteri (fun i b -> if b = Honest then honest_ids := i :: !honest_ids) behaviours;
+  let n_honest = List.length !honest_ids in
+  let avg_over_honest total = if n_honest = 0 then 0.0 else total /. float_of_int n_honest in
+  (* --- round 1: commitments --- *)
+  let commit_time = ref 0.0 in
+  let commits =
+    Array.init n (fun i ->
+        if not (is_active i) then None
+        else begin
+          let msg, dt =
+            time (fun () ->
+                match behaviours.(i) with
+                | Oversized _ ->
+                    (* updates.(i) is already the scaled malicious vector *)
+                    Client.commit_round_unchecked clients.(i) ~round ~update:updates.(i)
+                | _ -> Client.commit_round clients.(i) ~round ~update:updates.(i))
+          in
+          if behaviours.(i) = Honest then commit_time := !commit_time +. dt;
+          match behaviours.(i) with
+          | Bad_share_to targets ->
+              let enc_shares =
+                Array.mapi
+                  (fun j s -> if List.mem (j + 1) targets then corrupt_sealed s else s)
+                  msg.Wire.enc_shares
+              in
+              Some (via_commit { msg with Wire.enc_shares })
+          | _ -> Some (via_commit msg)
+        end)
+  in
+  Server.begin_round server ~round ~commits;
+  (* --- round 2 step 1: share verification and flags --- *)
+  let present_commits = Array.of_list (List.filter_map Fun.id (Array.to_list commits)) in
+  let share_verify_time = ref 0.0 in
+  let flags =
+    Array.init n (fun i ->
+        if not (is_active i) then None
+        else begin
+          let base, dt =
+            time (fun () -> Client.receive_shares clients.(i) ~round ~msgs:present_commits)
+          in
+          if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
+          match behaviours.(i) with
+          | False_flags extra ->
+              Some (via_flag { base with Wire.suspects = List.sort_uniq compare (extra @ base.Wire.suspects) })
+          | _ -> Some (via_flag base)
+        end)
+  in
+  let reveal dealer requests =
+    if not (is_active (dealer - 1)) then None
+    else
+      match Client.reveal_shares clients.(dealer - 1) ~requests with
+      | shares -> Some shares
+      | exception Client.Server_misbehaving _ -> None
+  in
+  let cleared = Server.process_flags server ~flags ~reveal in
+  List.iter
+    (fun (flagger, dealer, value) ->
+      if is_active (flagger - 1) then
+        Client.accept_cleared_share clients.(flagger - 1) ~from:dealer ~value)
+    cleared;
+  (* --- round 2 step 2: probabilistic integrity check --- *)
+  let (s_value, hs), prep_time = time (fun () -> Server.prepare_check server) in
+  let proof_time = ref 0.0 in
+  let proofs =
+    Array.init n (fun i ->
+        if not (is_active i) then None
+        else begin
+          let result, dt =
+            time (fun () -> Client.try_proof_round ~predicate clients.(i) ~round ~s:s_value ~hs)
+          in
+          if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
+          Option.map via_proof result
+        end)
+  in
+  let (), verify_time = time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs) in
+  (* --- round 3: secure aggregation --- *)
+  let honest = Server.honest server in
+  let agg_msgs =
+    Array.init n (fun i ->
+        if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
+        else
+          match Client.agg_round clients.(i) ~honest with
+          | msg ->
+              let msg =
+                match behaviours.(i) with
+                | Bad_agg_share ->
+                    (* a garbage aggregated share: SS.Verify against the
+                       combined check string must reject it *)
+                    { msg with Wire.r_sum = Scalar.add msg.Wire.r_sum Scalar.one }
+                | _ -> msg
+              in
+              Some (via_agg msg)
+          | exception Invalid_argument _ -> None)
+  in
+  let aggregate, agg_time =
+    time (fun () -> match Server.aggregate server ~agg_msgs with v -> Some v | exception Failure _ -> None)
+  in
+  (* --- communication accounting (per honest client) --- *)
+  let up, down =
+    match List.rev !honest_ids with
+    | [] -> (0, 0)
+    | i :: _ ->
+        let commit = match commits.(i) with Some c -> Wire.commit_msg_size c | None -> 0 in
+        let flag = match flags.(i) with Some f -> Wire.flag_msg_size f | None -> 0 in
+        let proof = match proofs.(i) with Some pr -> Wire.proof_msg_size pr | None -> 0 in
+        let agg = match agg_msgs.(i) with Some a -> Wire.agg_msg_size a | None -> 0 in
+        let up = commit + flag + proof + agg in
+        (* downloads: forwarded shares + check strings from every peer,
+           the (s, h) broadcast, and the C* list *)
+        let shares_down =
+          Array.fold_left
+            (fun acc c ->
+              match c with
+              | None -> acc
+              | Some (cm : Wire.commit_msg) ->
+                  if cm.Wire.sender = i + 1 then acc
+                  else
+                    acc
+                    + Channel.sealed_size cm.Wire.enc_shares.(i)
+                    + (Wire.point_size * Array.length cm.Wire.check))
+            0 commits
+        in
+        let down = shares_down + Wire.broadcast_size ~k:p.Params.k + (4 * n) in
+        (up, down)
+  in
+  {
+    aggregate;
+    flagged = Server.malicious server;
+    client_commit_s = avg_over_honest !commit_time;
+    client_share_verify_s = avg_over_honest !share_verify_time;
+    client_proof_s = avg_over_honest !proof_time;
+    server_prep_s = prep_time;
+    server_verify_s = verify_time;
+    server_agg_s = agg_time;
+    client_up_bytes = up;
+    client_down_bytes = down;
+  }
+
+let run_iteration ?predicate ?serialize setup ~updates ~behaviours ~seed ~round =
+  run_round ?predicate ?serialize (create_session setup ~seed) ~updates ~behaviours ~round

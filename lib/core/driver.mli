@@ -1,0 +1,72 @@
+(** In-memory orchestration of one full RiseFL iteration.
+
+    Wires n {!Client}s and one {!Server} together, injects configurable
+    malicious behaviours, and reports the per-stage timings and
+    per-client communication volumes that Tables 1–2 and Figures 6–7 of
+    the paper measure. *)
+
+(** What a client does this iteration. *)
+type behaviour =
+  | Honest
+  | Oversized of float
+      (** submit c·u (c > 1), bypassing the local norm check; the client
+          still tries to pass the probabilistic check, succeeding with
+          probability F(c) — the attack model of §5.1 *)
+  | Bad_share_to of int list  (** corrupt the encrypted shares to these recipients *)
+  | False_flags of int list  (** flag these (honest) clients in round 2 *)
+  | Bad_agg_share  (** send a corrupted aggregated share in round 3 *)
+  | Drop_out  (** send no messages at all *)
+
+type stats = {
+  aggregate : int array option;  (** Σ_{i∈H} u_i, or None if aggregation failed *)
+  flagged : int list;  (** the final C* *)
+  (* per-stage wall-clock seconds, averaged over honest clients *)
+  client_commit_s : float;
+  client_share_verify_s : float;
+  client_proof_s : float;
+  server_prep_s : float;
+  server_verify_s : float;
+  server_agg_s : float;
+  (* communication, bytes *)
+  client_up_bytes : int;  (** per honest client: everything it sends *)
+  client_down_bytes : int;  (** per honest client: everything it receives *)
+}
+
+(** A persistent deployment: clients keep their DH key pairs (and the
+    public-key bulletin) across training rounds. *)
+type session
+
+(** [create_session setup ~seed] — generate all key pairs and exchange
+    the public-key directory. Deterministic in [seed]. *)
+val create_session : Setup.t -> seed:string -> session
+
+(** [run_round ?predicate ?serialize session ~updates ~behaviours ~round]
+    — one full protocol iteration (commit → flags → probabilistic check →
+    aggregation) over the session's long-lived clients. With [serialize]
+    every message round-trips through the binary wire codecs, exactly as
+    over a network. *)
+val run_round :
+  ?predicate:Predicate.t ->
+  ?serialize:bool ->
+  session ->
+  updates:int array array ->
+  behaviours:behaviour array ->
+  round:int ->
+  stats
+
+(** [run_iteration setup ~updates ~behaviours ~seed ~round] — one-shot
+    convenience: a fresh session running a single round. [updates] are
+    encoded (fixed-point) vectors, one per client; [behaviours] selects
+    the adversary model per client. Deterministic in [seed]. *)
+val run_iteration :
+  ?predicate:Predicate.t ->
+  ?serialize:bool ->
+  Setup.t ->
+  updates:int array array ->
+  behaviours:behaviour array ->
+  seed:string ->
+  round:int ->
+  stats
+
+(** [honest_all n] — convenience: n honest behaviours. *)
+val honest_all : int -> behaviour array

@@ -1,0 +1,13 @@
+let sphere_shift ~center u =
+  if Array.length center <> Array.length u then invalid_arg "Extensions.sphere_shift: dimensions";
+  Array.map2 (fun ul vl -> ul - vl) u center
+
+let sphere_unshift ~center ~n_honest agg =
+  if Array.length center <> Array.length agg then invalid_arg "Extensions.sphere_unshift: dimensions";
+  Array.map2 (fun al vl -> al + (n_honest * vl)) agg center
+
+let zeno_center_radius ~v ~gamma ~rho ~eps =
+  let center = Array.map (fun x -> gamma /. (2.0 *. rho) *. x) v in
+  let norm2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v in
+  let rad2 = (gamma *. gamma /. (4.0 *. rho *. rho) *. norm2) -. (gamma *. eps /. rho) in
+  (center, if rad2 <= 0.0 then 0.0 else sqrt rad2)

@@ -1,0 +1,24 @@
+(** §4.6 extensions: running RiseFL with defense predicates beyond the
+    plain L2 bound, by re-centering what the client commits.
+
+    - Sphere defense (Steinhardt et al.): check ‖u − v‖₂ ≤ B for a public
+      vector v. The client commits u − v; the server recovers
+      Σ(uᵢ − v) and adds back v·|H|.
+    - Zeno++ (Xie et al.): γ⟨v,u⟩ − ρ‖u‖² ≥ γε reduces to a sphere test
+      around (γ/2ρ)·v (the algebra of §4.6).
+    - Cosine similarity adds a direction predicate on a committed inner
+      product; its norm component is the same L2/sphere machinery (the
+      plaintext-side evaluation lives in [flsim]). *)
+
+(** [sphere_shift ~center u] — the vector the client commits (u − v),
+    encoded. @raise Invalid_argument on dimension mismatch. *)
+val sphere_shift : center:int array -> int array -> int array
+
+(** [sphere_unshift ~center ~n_honest agg] — recover Σᵢ uᵢ from
+    Σᵢ (uᵢ − v): adds v·n_honest. *)
+val sphere_unshift : center:int array -> n_honest:int -> int array -> int array
+
+(** [zeno_center_radius ~v ~gamma ~rho ~eps] — the equivalent sphere
+    center (γ/2ρ)·v and radius √(γ²/4ρ²·‖v‖² − γε/ρ), in float space.
+    The radius is clamped at 0 if the predicate is unsatisfiable. *)
+val zeno_center_radius : v:float array -> gamma:float -> rho:float -> eps:float -> float array * float

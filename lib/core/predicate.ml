@@ -1,0 +1,29 @@
+type t = L2 | Cosine of { v : int array; alpha : float }
+
+let norm2 v = Array.fold_left (fun acc x -> acc +. (float_of_int x *. float_of_int x)) 0.0 v
+
+let cosine_factor (p : Params.t) ~v ~alpha =
+  let n2 = norm2 v in
+  if n2 <= 0.0 then invalid_arg "Predicate.cosine_factor: zero reference vector";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Predicate.cosine_factor: alpha must be in (0,1]";
+  let pr = Params.passrate_params p in
+  let g = Stats.Passrate.gamma pr in
+  let m = p.Params.m_factor in
+  let s = sqrt g +. (sqrt (float_of_int p.Params.k *. float_of_int p.Params.d) /. (2.0 *. m)) in
+  Params.bigint_of_float_ceil (m *. m *. s *. s /. (alpha *. alpha *. n2))
+
+let validate (p : Params.t) = function
+  | L2 -> ()
+  | Cosine { v; alpha } ->
+      if Array.length v <> p.Params.d then invalid_arg "Predicate.validate: reference dimension";
+      let factor = cosine_factor p ~v ~alpha in
+      (* the w range proof has width b_ip_bits; honest w <= B * ||v|| *)
+      let w_max = p.Params.bound_b *. sqrt (norm2 v) in
+      if w_max >= Float.ldexp 1.0 p.Params.b_ip_bits then
+        invalid_arg "Predicate.validate: <u,v> can overflow the w range proof";
+      (* the slack w^2 * factor must fit the mu proof width *)
+      let slack_bits =
+        (2.0 *. (log w_max /. log 2.0)) +. (float_of_int (Bigint.bit_length factor) +. 1.0)
+      in
+      if slack_bits >= float_of_int p.Params.b_max_bits then
+        invalid_arg "Predicate.validate: cosine slack exceeds b_max"

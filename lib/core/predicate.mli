@@ -1,0 +1,24 @@
+(** Integrity predicates the cryptographic pipeline can enforce (§4.6).
+
+    - {!L2}: ‖u‖₂ ≤ B — the paper's main check; Σₜ⟨aₜ,u⟩² ≤ B₀.
+    - {!Cosine}: ‖u‖₂ ≤ B and ⟨u,v⟩ ≥ α‖u‖₂‖v‖₂ for a public reference
+      vector v, rewritten (as in the paper) to
+      ‖u‖₂ ≤ ⟨u,v⟩ / (α‖v‖₂), and enforced as
+      Σₜ⟨aₜ,u⟩² ≤ w²·c_factor with w = ⟨u,v⟩ committed homomorphically
+      and c_factor = ⌈M²(√γ + √(kd)/2M)² / (α²‖v‖²)⌉.
+
+    The sphere defense needs no predicate change: the client commits
+    u − v and the server un-shifts the aggregate ({!Extensions}). *)
+
+type t =
+  | L2
+  | Cosine of { v : int array  (** encoded reference vector *); alpha : float }
+
+(** [cosine_factor params ~v ~alpha] — the integer factor c_factor above.
+    @raise Invalid_argument if v is zero or alpha not in (0, 1]. *)
+val cosine_factor : Params.t -> v:int array -> alpha:float -> Bigint.t
+
+(** [validate params pred] — dimension and range checks; the derived
+    w-range and slack bounds must fit the proof widths.
+    @raise Invalid_argument otherwise. *)
+val validate : Params.t -> t -> unit

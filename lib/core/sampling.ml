@@ -1,0 +1,79 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+
+type matrix = { a0 : Scalar.t array; rows : int array array }
+
+let seed ~s ~pks =
+  let h = Hashfn.Sha256.init () in
+  Hashfn.Sha256.update_string h "risefl/seed/v1";
+  Hashfn.Sha256.update h s;
+  Array.iter (fun pk -> Hashfn.Sha256.update h (Point.compress pk)) pks;
+  Hashfn.Sha256.finalize h
+
+let sample_matrix ~seed ~d ~k ~m_factor =
+  let root = Prng.Drbg.create seed in
+  let d0 = Prng.Drbg.fork root "a0" in
+  let a0 = Array.init d (fun _ -> Scalar.random d0) in
+  let rows =
+    Array.init k (fun t ->
+        let dt = Prng.Drbg.fork root (Printf.sprintf "a%d" (t + 1)) in
+        Array.init d (fun _ -> Prng.Drbg.gaussian_discrete dt ~m:m_factor))
+  in
+  { a0; rows }
+
+let compute_h (setup : Setup.t) m =
+  let w = setup.Setup.w in
+  let h0 = Msm.msm (Array.mapi (fun l a -> (a, w.(l))) m.a0) in
+  let hts = Array.map (fun row -> Msm.msm_small (Array.mapi (fun l a -> (a, w.(l))) row)) m.rows in
+  Array.append [| h0 |] hts
+
+let ver_crt drbg ~bases ~targets ~matrix =
+  let d = Array.length bases in
+  let k = Array.length matrix.rows in
+  if Array.length targets <> k + 1 || Array.length matrix.a0 <> d then false
+  else begin
+    let b = Array.init (k + 1) (fun _ -> Scalar.random drbg) in
+    (* c = b . A : c_l = b_0 a0_l + sum_t b_t A_tl *)
+    let c =
+      Array.init d (fun l ->
+          let acc = ref (Scalar.mul b.(0) matrix.a0.(l)) in
+          for t = 0 to k - 1 do
+            let a = matrix.rows.(t).(l) in
+            if a <> 0 then acc := Scalar.add !acc (Scalar.mul_small b.(t + 1) a)
+          done;
+          !acc)
+    in
+    let lhs = Msm.msm (Array.mapi (fun t bt -> (bt, targets.(t))) b) in
+    let rhs = Msm.msm (Array.mapi (fun l cl -> (cl, bases.(l))) c) in
+    Point.equal lhs rhs
+  end
+
+let dot_exact a u =
+  if Array.length a <> Array.length u then invalid_arg "Sampling.dot_exact: dimension mismatch";
+  let acc = ref 0 in
+  let big = ref Bigint.zero in
+  let headroom = 1 lsl 60 in
+  for l = 0 to Array.length a - 1 do
+    if !acc > headroom || !acc < -headroom then begin
+      big := Bigint.add !big (Bigint.of_int !acc);
+      acc := 0
+    end;
+    acc := !acc + (a.(l) * u.(l))
+  done;
+  Bigint.to_int (Bigint.add !big (Bigint.of_int !acc))
+
+let project m u =
+  let d = Array.length u in
+  if Array.length m.a0 <> d then invalid_arg "Sampling.project: dimension mismatch";
+  let v0 =
+    let acc = ref Scalar.zero in
+    for l = 0 to d - 1 do
+      acc := Scalar.add !acc (Scalar.mul_small m.a0.(l) u.(l))
+    done;
+    !acc
+  in
+  (* |a| < 2^31 and |u| < 2^24 in any valid configuration, so the chunked
+     native accumulation in dot_exact is exact *)
+  let vs = Array.map (fun row -> dot_exact row u) m.rows in
+  (v0, vs)

@@ -1,0 +1,46 @@
+(** Shared-randomness sampling for the probabilistic check (§4.4.2).
+
+    From the broadcast value s and the public-key directory, both server
+    and clients derive the same seed H(s ‖ pk₁ ‖ … ‖ pkₙ) and expand it
+    into the matrix A = (a₀, a₁, …, a_k): a₀ uniform in ℤ_ℓ^d (the
+    possession row) and a₁…a_k rounded Gaussians N(0, M²) (Algorithm 2).
+
+    This module also hosts the two batch-verification primitives that
+    carry the paper's O(d/log d) headline: VerCrt (Algorithm 3) on the
+    client and the analogous e*-consistency check on the server. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type matrix = {
+  a0 : Scalar.t array;  (** length d, uniform in ℤ_ℓ *)
+  rows : int array array;  (** k rows of length d, discretized Gaussians *)
+}
+
+(** [seed ~s ~pks] = H(s ‖ pk₁ ‖ … ‖ pkₙ). *)
+val seed : s:Bytes.t -> pks:Point.t array -> Bytes.t
+
+(** [sample_matrix ~seed ~d ~k ~m_factor] — deterministic in the seed. *)
+val sample_matrix : seed:Bytes.t -> d:int -> k:int -> m_factor:float -> matrix
+
+(** [compute_h setup matrix] — the server's preparation step:
+    h_t = Π_l w_l^{a_tl} for t ∈ [0, k] (Eqn 4 context). *)
+val compute_h : Setup.t -> matrix -> Point.t array
+
+(** [ver_crt drbg ~bases ~targets ~matrix] — Algorithm 3: checks
+    targets.(t) = Π_l bases.(l)^{A_tl} for all t at the cost of one
+    length-(k+1) and one length-d multi-exponentiation plus O(kd) field
+    ops. Used by the client on (w, h) and by the server on (y_i, e*_i).
+    Completeness is exact; soundness error is 1/ℓ per invocation. *)
+val ver_crt : Prng.Drbg.t -> bases:Point.t array -> targets:Point.t array -> matrix:matrix -> bool
+
+(** [dot_exact a u] — exact signed integer inner product with chunked
+    overflow-safe accumulation (requires |aᵢ·uᵢ| ≤ 2^60).
+    @raise Invalid_argument on dimension mismatch. *)
+val dot_exact : int array -> int array -> int
+
+(** [project matrix u] — exact integer projections
+    (⟨a₀,u⟩ mod ℓ, [⟨a₁,u⟩; …; ⟨a_k,u⟩]). The Gaussian-row products are
+    computed exactly in native ints (chunked against overflow).
+    @raise Invalid_argument on dimension mismatch. *)
+val project : matrix -> int array -> Scalar.t * int array

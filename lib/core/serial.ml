@@ -1,0 +1,318 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+exception Malformed of string
+
+let fail msg = raise (Malformed msg)
+
+(* --- writer --- *)
+
+module W = struct
+
+  let create () = Buffer.create 4096
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Serial: u32 out of range";
+    for i = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let bytes b x =
+    u32 b (Bytes.length x);
+    Buffer.add_bytes b x
+
+  let raw b x = Buffer.add_bytes b x
+  let point b p = raw b (Point.compress p)
+  let scalar b s = raw b (Scalar.to_bytes s)
+
+  let array b f xs =
+    u32 b (Array.length xs);
+    Array.iter (f b) xs
+
+  let points b ps = array b point ps
+  let scalars b ss = array b scalar ss
+end
+
+(* --- reader --- *)
+
+module R = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+
+  let need r n = if r.pos + n > Bytes.length r.buf then fail "truncated message"
+
+  let u8 r =
+    need r 1;
+    let v = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    need r 4;
+    let v = ref 0 in
+    for i = 3 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get r.buf (r.pos + i))
+    done;
+    r.pos <- r.pos + 4;
+    !v
+
+  let raw r n =
+    need r n;
+    let out = Bytes.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    out
+
+  let bytes r =
+    let n = u32 r in
+    if n > Bytes.length r.buf then fail "length field exceeds message";
+    raw r n
+
+  let point r =
+    match Point.decompress_unchecked (raw r 32) with
+    | Some p -> p
+    | None -> fail "invalid point encoding"
+
+  let scalar r =
+    match Scalar.of_bytes (raw r 32) with
+    | s -> s
+    | exception Invalid_argument _ -> fail "non-canonical scalar"
+
+  let array r f =
+    let n = u32 r in
+    (* cap: no legitimate message in this protocol has > 2^22 elements *)
+    if n > 1 lsl 22 then fail "count too large";
+    Array.init n (fun _ -> f r)
+
+  let points r = array r point
+  let scalars r = array r scalar
+
+  let finish r = if r.pos <> Bytes.length r.buf then fail "trailing bytes"
+end
+
+(* --- sub-structures --- *)
+
+let w_sealed b (s : Channel.sealed) =
+  W.bytes b s.Channel.nonce;
+  W.bytes b s.Channel.body;
+  W.bytes b s.Channel.tag
+
+let r_sealed r =
+  let nonce = R.bytes r in
+  let body = R.bytes r in
+  let tag = R.bytes r in
+  { Channel.nonce; body; tag }
+
+let w_wf b (p : Zkp.Sigma.Wf.proof) =
+  W.point b p.Zkp.Sigma.Wf.az;
+  W.points b p.Zkp.Sigma.Wf.ae;
+  W.points b p.Zkp.Sigma.Wf.ao;
+  W.scalar b p.Zkp.Sigma.Wf.zr;
+  W.scalars b p.Zkp.Sigma.Wf.zv;
+  W.scalars b p.Zkp.Sigma.Wf.zs
+
+let r_wf r =
+  let az = R.point r in
+  let ae = R.points r in
+  let ao = R.points r in
+  let zr = R.scalar r in
+  let zv = R.scalars r in
+  let zs = R.scalars r in
+  { Zkp.Sigma.Wf.az; ae; ao; zr; zv; zs }
+
+let w_square b (p : Zkp.Sigma.Square.proof) =
+  W.point b p.Zkp.Sigma.Square.a1;
+  W.point b p.Zkp.Sigma.Square.a2;
+  W.scalar b p.Zkp.Sigma.Square.zx;
+  W.scalar b p.Zkp.Sigma.Square.zs;
+  W.scalar b p.Zkp.Sigma.Square.zs'
+
+let r_square r =
+  let a1 = R.point r in
+  let a2 = R.point r in
+  let zx = R.scalar r in
+  let zs = R.scalar r in
+  let zs' = R.scalar r in
+  { Zkp.Sigma.Square.a1; a2; zx; zs; zs' }
+
+let w_ipa b (p : Zkp.Ipa.proof) =
+  W.points b p.Zkp.Ipa.ls;
+  W.points b p.Zkp.Ipa.rs;
+  W.scalar b p.Zkp.Ipa.a;
+  W.scalar b p.Zkp.Ipa.b
+
+let r_ipa r =
+  let ls = R.points r in
+  let rs = R.points r in
+  let a = R.scalar r in
+  let b = R.scalar r in
+  { Zkp.Ipa.ls; rs; a; b }
+
+let w_range b (p : Zkp.Range_proof.proof) =
+  W.point b p.Zkp.Range_proof.a;
+  W.point b p.Zkp.Range_proof.s;
+  W.point b p.Zkp.Range_proof.t1;
+  W.point b p.Zkp.Range_proof.t2;
+  W.scalar b p.Zkp.Range_proof.t_hat;
+  W.scalar b p.Zkp.Range_proof.tau_x;
+  W.scalar b p.Zkp.Range_proof.mu;
+  w_ipa b p.Zkp.Range_proof.ipa
+
+let r_range r =
+  let a = R.point r in
+  let s = R.point r in
+  let t1 = R.point r in
+  let t2 = R.point r in
+  let t_hat = R.scalar r in
+  let tau_x = R.scalar r in
+  let mu = R.scalar r in
+  let ipa = r_ipa r in
+  { Zkp.Range_proof.a; s; t1; t2; t_hat; tau_x; mu; ipa }
+
+(* --- top-level messages --- *)
+
+let magic_commit = 0xC1
+let magic_flag = 0xC2
+let magic_proof = 0xC3
+let magic_agg = 0xC4
+let magic_broadcast = 0xC5
+
+let expect_magic r m = if R.u8 r <> m then fail "wrong message type"
+
+let encode_commit_msg (m : Wire.commit_msg) =
+  let b = W.create () in
+  W.u8 b magic_commit;
+  W.u32 b m.Wire.sender;
+  W.points b m.Wire.y;
+  W.points b m.Wire.check;
+  W.array b w_sealed m.Wire.enc_shares;
+  Buffer.to_bytes b
+
+let decode_commit_msg buf =
+  let r = R.create buf in
+  expect_magic r magic_commit;
+  let sender = R.u32 r in
+  let y = R.points r in
+  let check = R.points r in
+  let enc_shares = R.array r r_sealed in
+  R.finish r;
+  { Wire.sender; y; check; enc_shares }
+
+let encode_flag_msg (m : Wire.flag_msg) =
+  let b = W.create () in
+  W.u8 b magic_flag;
+  W.u32 b m.Wire.sender;
+  W.u32 b (List.length m.Wire.suspects);
+  List.iter (W.u32 b) m.Wire.suspects;
+  Buffer.to_bytes b
+
+let decode_flag_msg buf =
+  let r = R.create buf in
+  expect_magic r magic_flag;
+  let sender = R.u32 r in
+  let n = R.u32 r in
+  if n > 1 lsl 20 then fail "count too large";
+  let suspects = List.init n (fun _ -> R.u32 r) in
+  R.finish r;
+  { Wire.sender; suspects }
+
+let w_link b (p : Zkp.Sigma.Link.proof) =
+  W.point b p.Zkp.Sigma.Link.az;
+  W.point b p.Zkp.Sigma.Link.ae;
+  W.point b p.Zkp.Sigma.Link.ao;
+  W.scalar b p.Zkp.Sigma.Link.zx;
+  W.scalar b p.Zkp.Sigma.Link.zr;
+  W.scalar b p.Zkp.Sigma.Link.zs
+
+let r_link r =
+  let az = R.point r in
+  let ae = R.point r in
+  let ao = R.point r in
+  let zx = R.scalar r in
+  let zr = R.scalar r in
+  let zs = R.scalar r in
+  { Zkp.Sigma.Link.az; ae; ao; zx; zr; zs }
+
+let w_cosine b (c : Wire.cosine_part) =
+  W.point b c.Wire.o_w;
+  W.point b c.Wire.o_w2;
+  w_link b c.Wire.link;
+  w_square b c.Wire.w_square;
+  w_range b c.Wire.w_range
+
+let r_cosine r =
+  let o_w = R.point r in
+  let o_w2 = R.point r in
+  let link = r_link r in
+  let w_square = r_square r in
+  let w_range = r_range r in
+  { Wire.o_w; o_w2; link; w_square; w_range }
+
+let encode_proof_msg (m : Wire.proof_msg) =
+  let b = W.create () in
+  W.u8 b magic_proof;
+  W.u32 b m.Wire.sender;
+  W.points b m.Wire.es;
+  W.points b m.Wire.os;
+  W.points b m.Wire.os';
+  w_wf b m.Wire.wf;
+  W.array b w_square m.Wire.squares;
+  (match m.Wire.cosine with
+  | None -> W.u8 b 0
+  | Some c ->
+      W.u8 b 1;
+      w_cosine b c);
+  w_range b m.Wire.sigma_range;
+  w_range b m.Wire.mu_range;
+  Buffer.to_bytes b
+
+let decode_proof_msg buf =
+  let r = R.create buf in
+  expect_magic r magic_proof;
+  let sender = R.u32 r in
+  let es = R.points r in
+  let os = R.points r in
+  let os' = R.points r in
+  let wf = r_wf r in
+  let squares = R.array r r_square in
+  let cosine =
+    match R.u8 r with
+    | 0 -> None
+    | 1 -> Some (r_cosine r)
+    | _ -> fail "bad cosine flag"
+  in
+  let sigma_range = r_range r in
+  let mu_range = r_range r in
+  R.finish r;
+  { Wire.sender; es; os; os'; wf; squares; cosine; sigma_range; mu_range }
+
+let encode_agg_msg (m : Wire.agg_msg) =
+  let b = W.create () in
+  W.u8 b magic_agg;
+  W.u32 b m.Wire.sender;
+  W.scalar b m.Wire.r_sum;
+  Buffer.to_bytes b
+
+let decode_agg_msg buf =
+  let r = R.create buf in
+  expect_magic r magic_agg;
+  let sender = R.u32 r in
+  let r_sum = R.scalar r in
+  R.finish r;
+  { Wire.sender; r_sum }
+
+let encode_broadcast ~s ~hs =
+  let b = W.create () in
+  W.u8 b magic_broadcast;
+  W.bytes b s;
+  W.points b hs;
+  Buffer.to_bytes b
+
+let decode_broadcast buf =
+  let r = R.create buf in
+  expect_magic r magic_broadcast;
+  let s = R.bytes r in
+  let hs = R.points r in
+  R.finish r;
+  (s, hs)

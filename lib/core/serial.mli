@@ -1,0 +1,30 @@
+(** Binary serialization of every protocol message.
+
+    A production deployment ships these messages over a network; encoding
+    them for real (rather than estimating sizes) keeps the communication
+    accounting honest and forces the server/clients to handle malformed
+    bytes. Format: little-endian u32 lengths/counts, 32-byte compressed
+    points, 32-byte canonical scalars; every decoder validates counts,
+    point encodings (on-curve + canonical) and scalar canonicity, and
+    fails with [Malformed] rather than crashing.
+
+    Decoded points are {e not} subjected to the (expensive) prime-order
+    subgroup check; all higher-level checks in this protocol are
+    cofactor-robust for honest aggregation, and a deployment would use a
+    cofactor-free encoding (Ristretto) as the paper does. *)
+
+exception Malformed of string
+
+val encode_commit_msg : Wire.commit_msg -> Bytes.t
+val decode_commit_msg : Bytes.t -> Wire.commit_msg
+val encode_flag_msg : Wire.flag_msg -> Bytes.t
+val decode_flag_msg : Bytes.t -> Wire.flag_msg
+val encode_proof_msg : Wire.proof_msg -> Bytes.t
+val decode_proof_msg : Bytes.t -> Wire.proof_msg
+val encode_agg_msg : Wire.agg_msg -> Bytes.t
+val decode_agg_msg : Bytes.t -> Wire.agg_msg
+
+(** The server → clients proof-round broadcast: (s, h₀ … h_k). *)
+val encode_broadcast : s:Bytes.t -> hs:Curve25519.Point.t array -> Bytes.t
+
+val decode_broadcast : Bytes.t -> Bytes.t * Curve25519.Point.t array

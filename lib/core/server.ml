@@ -1,0 +1,289 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Sigma = Zkp.Sigma
+module Range_proof = Zkp.Range_proof
+
+type t = {
+  setup : Setup.t;
+  drbg : Prng.Drbg.t;
+  dlog : Curve25519.Dlog.t Lazy.t;
+  mutable directory : Point.t array;
+  mutable commits : Wire.commit_msg option array;
+  mutable bad : bool array; (* C*, index i-1 *)
+  mutable matrix : Sampling.matrix option;
+  mutable s_value : Bytes.t;
+  mutable hs : Point.t array;
+}
+
+let create setup drbg =
+  let p = setup.Setup.params in
+  {
+    setup;
+    drbg;
+    dlog =
+      lazy
+        (Curve25519.Dlog.create ~base:setup.Setup.g
+           ~max_abs:(Params.agg_max_abs p));
+    directory = [||];
+    commits = Array.make p.Params.n_clients None;
+    bad = Array.make p.Params.n_clients false;
+    matrix = None;
+    s_value = Bytes.empty;
+    hs = [||];
+  }
+
+let install_directory t pks = t.directory <- pks
+
+let n_of t = t.setup.Setup.params.Params.n_clients
+let m_of t = t.setup.Setup.params.Params.max_malicious
+
+let malicious t =
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := (i + 1) :: !out) t.bad;
+  List.rev !out
+
+let honest t =
+  let out = ref [] in
+  Array.iteri (fun i b -> if not b then out := (i + 1) :: !out) t.bad;
+  List.rev !out
+
+let mark t i reason =
+  ignore reason;
+  t.bad.(i - 1) <- true
+
+let begin_round t ~round ~commits =
+  ignore round;
+  if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
+
+  t.bad <- Array.make (n_of t) false;
+  t.commits <- Array.copy commits;
+  Array.iteri (fun i c -> if c = None then mark t (i + 1) "no commit") commits;
+  (* structural validation of each commit message *)
+  let p = t.setup.Setup.params in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some (m : Wire.commit_msg) ->
+          if
+            m.Wire.sender <> i + 1
+            || Array.length m.Wire.y <> p.Params.d
+            || Array.length m.Wire.check <> Params.shamir_t p
+            || Array.length m.Wire.enc_shares <> p.Params.n_clients
+          then begin
+            mark t (i + 1) "malformed commit";
+            t.commits.(i) <- None
+          end)
+    commits
+
+let process_flags t ~flags ~reveal =
+  let n = n_of t and m = m_of t in
+  (* flagged_by.(i-1) = list of clients flagging i *)
+  let flagged_by = Array.make n [] in
+  Array.iteri
+    (fun j f ->
+      let j = j + 1 in
+      match f with
+      | None -> mark t j "no flag message"
+      | Some (fm : Wire.flag_msg) ->
+          let suspects = List.sort_uniq compare fm.Wire.suspects in
+          (* rule 1a: flagging more than m clients is self-incriminating *)
+          if List.length suspects > m then mark t j "flagged more than m clients"
+          else
+            List.iter
+              (fun i -> if i >= 1 && i <= n then flagged_by.(i - 1) <- j :: flagged_by.(i - 1))
+              suspects)
+    flags;
+  (* rule 1b: flagged by more than m clients *)
+  Array.iteri
+    (fun i fl -> if List.length fl > m then mark t (i + 1) "flagged by more than m clients")
+    flagged_by;
+  (* rule 2: flagged by 1..m clients -> request clear shares from dealer *)
+  let cleared = ref [] in
+  Array.iteri
+    (fun i fl ->
+      let dealer = i + 1 in
+      if (not t.bad.(i)) && fl <> [] && List.length fl <= m then begin
+        match reveal dealer fl with
+        | None -> mark t dealer "refused rule-2 request"
+        | Some pairs ->
+            let ok =
+              List.for_all
+                (fun (j, value) ->
+                  match t.commits.(i) with
+                  | None -> false
+                  | Some c ->
+                      Vsss.verify ~g:t.setup.Setup.g ~check:c.Wire.check { Vsss.idx = j; value })
+                pairs
+              && List.length pairs = List.length fl
+            in
+            if ok then
+              List.iter (fun (j, value) -> cleared := (j, dealer, value) :: !cleared) pairs
+            else mark t dealer "rule-2 share failed verification"
+      end)
+    flagged_by;
+  List.rev !cleared
+
+let prepare_check t =
+  let p = t.setup.Setup.params in
+  let s = Prng.Drbg.bytes t.drbg 32 in
+  let seed = Sampling.seed ~s ~pks:t.directory in
+  let matrix = Sampling.sample_matrix ~seed ~d:p.Params.d ~k:p.Params.k ~m_factor:p.Params.m_factor in
+  t.matrix <- Some matrix;
+  t.s_value <- s;
+  t.hs <- Sampling.compute_h t.setup matrix;
+  (s, t.hs)
+
+let shift_point t =
+  (* g^{2^(b_ip-1)} for re-basing the sigma range commitments *)
+  let p = t.setup.Setup.params in
+  let e = Scalar.of_bigint (Bigint.shift_left Bigint.one (p.Params.b_ip_bits - 1)) in
+  Point.Table.mul t.setup.Setup.g_table e
+
+(* predicate-dependent context precomputed once per round *)
+type predicate_ctx =
+  | Ctx_l2
+  | Ctx_cosine of { v : int array; w_base : Point.t; factor : Bigint.t }
+
+let make_predicate_ctx t = function
+  | Predicate.L2 -> Ctx_l2
+  | Predicate.Cosine { v; alpha } ->
+      let w_base =
+        Curve25519.Msm.msm_small (Array.mapi (fun l vl -> (vl, t.setup.Setup.w.(l))) v)
+      in
+      Ctx_cosine { v; w_base; factor = Predicate.cosine_factor t.setup.Setup.params ~v ~alpha }
+
+let verify_one t ~round ~ctx shift_pt (msg : Wire.proof_msg) =
+  let p = t.setup.Setup.params in
+  let setup = t.setup in
+  let k = p.Params.k in
+  let i = msg.Wire.sender in
+  let matrix = match t.matrix with Some m -> m | None -> failwith "Server: prepare_check first" in
+  match t.commits.(i - 1) with
+  | None -> false
+  | Some commit ->
+      Array.length msg.Wire.es = k + 1
+      && Array.length msg.Wire.os = k
+      && Array.length msg.Wire.os' = k
+      && Array.length msg.Wire.squares = k
+      (* e* consistency: e_t = prod_l y_il^{a_tl}, batch-verified *)
+      && Sampling.ver_crt t.drbg ~bases:commit.Wire.y ~targets:msg.Wire.es ~matrix
+      &&
+      let tr = Client.make_transcript ~round ~client_id:i ~s:t.s_value in
+      let z = Vsss.commitment_of_check commit.Wire.check in
+      Sigma.Wf.verify tr ~g:setup.Setup.g ~q:setup.Setup.q ~hs:t.hs ~z ~es:msg.Wire.es ~os:msg.Wire.os
+        msg.Wire.wf
+      && (let ok = ref true in
+          Array.iteri
+            (fun ti sq ->
+              if !ok then
+                ok :=
+                  Sigma.Square.verify tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:msg.Wire.os.(ti)
+                    ~y2:msg.Wire.os'.(ti) sq)
+            msg.Wire.squares;
+          !ok)
+      && (match (ctx, msg.Wire.cosine) with
+         | Ctx_l2, None -> true
+         | Ctx_l2, Some _ | Ctx_cosine _, None -> false (* predicate mismatch *)
+         | Ctx_cosine { v; w_base; _ }, Some cos ->
+             (* C_w = prod_l y_il^{v_l} is the homomorphic commitment of
+                w = <u, v> under base w_base for the blind *)
+             let c_w =
+               Curve25519.Msm.msm_small (Array.mapi (fun l vl -> (vl, commit.Wire.y.(l))) v)
+             in
+             Sigma.Link.verify tr ~g:setup.Setup.g ~h:w_base ~q:setup.Setup.q ~z ~e:c_w
+               ~o:cos.Wire.o_w cos.Wire.link
+             && Sigma.Square.verify tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:cos.Wire.o_w
+                  ~y2:cos.Wire.o_w2 cos.Wire.w_square
+             && Range_proof.verify tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+                  ~bits:p.Params.b_ip_bits ~commitments:[| cos.Wire.o_w |] cos.Wire.w_range)
+      && (let sigma_commitments = Array.map (fun o -> Point.add o shift_pt) msg.Wire.os in
+          Range_proof.verify tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+            ~bits:p.Params.b_ip_bits ~commitments:sigma_commitments msg.Wire.sigma_range)
+      &&
+      (* the mu budget: g^{B0} for L2, o_w2^{c_factor} for cosine *)
+      let budget_commit =
+        match (ctx, msg.Wire.cosine) with
+        | Ctx_l2, _ -> Point.Table.mul setup.Setup.g_table (Scalar.of_bigint setup.Setup.b0)
+        | Ctx_cosine { factor; _ }, Some cos -> Point.mul (Scalar.of_bigint factor) cos.Wire.o_w2
+        | Ctx_cosine _, None -> assert false (* rejected above *)
+      in
+      let p_commit =
+        Point.sub budget_commit (Array.fold_left Point.add Point.identity msg.Wire.os')
+      in
+      Range_proof.verify tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+        ~bits:p.Params.b_max_bits ~commitments:[| p_commit |] msg.Wire.mu_range
+
+let verify_proofs ?(predicate = Predicate.L2) t ~round ~proofs =
+  if Array.length proofs <> n_of t then invalid_arg "Server.verify_proofs: wrong size";
+  Predicate.validate t.setup.Setup.params predicate;
+  let ctx = make_predicate_ctx t predicate in
+  let shift_pt = shift_point t in
+  Array.iteri
+    (fun idx pr ->
+      let i = idx + 1 in
+      if not t.bad.(idx) then
+        match pr with
+        | None -> mark t i "no proof"
+        | Some (msg : Wire.proof_msg) ->
+            if msg.Wire.sender <> i then mark t i "proof sender mismatch"
+            else if not (verify_one t ~round ~ctx shift_pt msg) then mark t i "proof failed")
+    proofs
+
+let aggregate t ~agg_msgs =
+  let hs = honest t in
+  if hs = [] then failwith "Server.aggregate: no honest clients";
+  (* combined check string over the honest dealers *)
+  let combined_check =
+    List.fold_left
+      (fun acc i ->
+        match t.commits.(i - 1) with
+        | None -> acc
+        | Some c -> ( match acc with None -> Some c.Wire.check | Some a -> Some (Vsss.add_checks a c.Wire.check)))
+      None hs
+  in
+  let combined_check = match combined_check with Some c -> c | None -> failwith "no checks" in
+  (* collect valid aggregated shares *)
+  let valid_shares = ref [] in
+  Array.iteri
+    (fun idx msg ->
+      let i = idx + 1 in
+      if not t.bad.(idx) then
+        match msg with
+        | None -> ()
+        | Some (am : Wire.agg_msg) ->
+            let share = { Vsss.idx = i; value = am.Wire.r_sum } in
+            if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then
+              valid_shares := share :: !valid_shares)
+    agg_msgs;
+  let threshold = Params.shamir_t t.setup.Setup.params in
+  let shares = !valid_shares in
+  if List.length shares < threshold then
+    failwith
+      (Printf.sprintf "Server.aggregate: only %d valid aggregated shares (< t = %d)"
+         (List.length shares) threshold);
+  (* take exactly threshold shares for interpolation *)
+  let rec take n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl in
+  let r = Vsss.recover (take threshold shares) in
+  (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
+  let p = t.setup.Setup.params in
+  let neg_r = Scalar.neg r in
+  let solver = Lazy.force t.dlog in
+  let targets =
+    Array.init p.Params.d (fun l ->
+        let prod =
+          List.fold_left
+            (fun acc i ->
+              match t.commits.(i - 1) with
+              | None -> acc
+              | Some c -> Point.add acc c.Wire.y.(l))
+            Point.identity hs
+        in
+        Point.add prod (Point.mul neg_r t.setup.Setup.w.(l)))
+  in
+  Array.mapi
+    (fun l v ->
+      match v with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "Server.aggregate: coordinate %d out of decoding range" l))
+    (Curve25519.Dlog.solve_many solver targets)

@@ -1,0 +1,56 @@
+(** The RiseFL server (aggregator) state machine.
+
+    The server never sees a plaintext update: it stores commitments,
+    relays encrypted shares, co-runs the probabilistic integrity check of
+    §4.4, maintains the malicious set C*, and finally aggregates the
+    honest updates homomorphically (§4.5), recovering the coordinate sums
+    with baby-step giant-step. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type t
+
+val create : Setup.t -> Prng.Drbg.t -> t
+
+(** Install the public-key bulletin. *)
+val install_directory : t -> Point.t array -> unit
+
+(** Clients flagged malicious so far this iteration (1-based ids). *)
+val malicious : t -> int list
+
+(** [begin_round t ~round ~commits] — store the round's commit messages.
+    Clients that sent nothing (None) are marked malicious immediately. *)
+val begin_round : t -> round:int -> commits:Wire.commit_msg option array -> unit
+
+(** [process_flags t ~flags ~reveal] — §4.4.1: apply flag rules 1 and 2.
+    [reveal i js] asks client i for its clear shares to recipients [js]
+    (rule 2); return [None] if the client refuses. Returns cleared shares
+    to forward: (flagger, dealer, value) triples. *)
+val process_flags :
+  t ->
+  flags:Wire.flag_msg option array ->
+  reveal:(int -> int list -> (int * Scalar.t) list option) ->
+  (int * int * Scalar.t) list
+
+(** [prepare_check t] — pick the random s, derive the shared matrix A and
+    precompute h (the O(kd·log M / log d·log p) preparation of Table 1).
+    Returns (s, h) for broadcast. *)
+val prepare_check : t -> Bytes.t * Point.t array
+
+(** [verify_proofs ?predicate t ~round ~proofs] — full §4.4.2 verification
+    for every client: e*-consistency against y_i (batch check), ρ, τ, σ, μ
+    (plus the w-linkage material under the cosine predicate). Clients
+    whose proof fails (or is absent) are added to C*. *)
+val verify_proofs :
+  ?predicate:Predicate.t -> t -> round:int -> proofs:Wire.proof_msg option array -> unit
+
+(** The honest list H = C \ C* (1-based ids). *)
+val honest : t -> int list
+
+(** [aggregate t ~agg_msgs] — verify each aggregated share against the
+    summed check strings, recover r = Σ r_i, and solve each coordinate
+    with BSGS. Returns the aggregated encoded update Σ_{i∈H} u_i.
+    @raise Failure if fewer than m+1 valid shares arrive or a coordinate
+    is out of decoding range. *)
+val aggregate : t -> agg_msgs:Wire.agg_msg option array -> int array

@@ -1,0 +1,38 @@
+module Point = Curve25519.Point
+module Gens = Curve25519.Gens
+
+type t = {
+  params : Params.t;
+  g : Point.t;
+  q : Point.t;
+  w : Point.t array;
+  g_table : Point.Table.table;
+  q_table : Point.Table.table;
+  gq_key : Commitments.Pedersen.key;
+  bp_gens : Zkp.Range_proof.gens;
+  b0 : Bigint.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let bp_gen_count (p : Params.t) =
+  Stdlib.max (next_pow2 p.Params.k * p.Params.b_ip_bits) p.Params.b_max_bits
+
+let create ~label (params : Params.t) =
+  let g = Gens.derive (label ^ "/g") in
+  let q = Gens.derive (label ^ "/q") in
+  let w = Gens.derive_many (label ^ "/w") params.Params.d in
+  let gq_key = Commitments.Pedersen.make_key ~g ~h:q in
+  {
+    params;
+    g;
+    q;
+    w;
+    g_table = gq_key.Commitments.Pedersen.g_table;
+    q_table = gq_key.Commitments.Pedersen.h_table;
+    gq_key;
+    bp_gens = Zkp.Range_proof.make_gens ~label:(label ^ "/bp") (bp_gen_count params);
+    b0 = Params.b0 params;
+  }

@@ -1,0 +1,63 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type commit_msg = {
+  sender : int;
+  y : Point.t array;
+  check : Vsss.check;
+  enc_shares : Channel.sealed array;
+}
+
+type flag_msg = { sender : int; suspects : int list }
+
+type cosine_part = {
+  o_w : Point.t;
+  o_w2 : Point.t;
+  link : Zkp.Sigma.Link.proof;
+  w_square : Zkp.Sigma.Square.proof;
+  w_range : Zkp.Range_proof.proof;
+}
+
+type proof_msg = {
+  sender : int;
+  es : Point.t array;
+  os : Point.t array;
+  os' : Point.t array;
+  wf : Zkp.Sigma.Wf.proof;
+  squares : Zkp.Sigma.Square.proof array;
+  cosine : cosine_part option;
+  sigma_range : Zkp.Range_proof.proof;
+  mu_range : Zkp.Range_proof.proof;
+}
+
+type agg_msg = { sender : int; r_sum : Scalar.t }
+
+let point_size = 32
+let scalar_size = 32
+let int_size = 4
+
+let commit_msg_size m =
+  int_size
+  + (point_size * Array.length m.y)
+  + (point_size * Array.length m.check)
+  + Array.fold_left (fun acc s -> acc + Channel.sealed_size s) 0 m.enc_shares
+
+let flag_msg_size m = int_size + (int_size * List.length m.suspects)
+
+let cosine_part_size c =
+  (2 * point_size)
+  + Zkp.Sigma.Link.size_bytes c.link
+  + Zkp.Sigma.Square.size_bytes c.w_square
+  + Zkp.Range_proof.size_bytes c.w_range
+
+let proof_msg_size m =
+  int_size
+  + (point_size * (Array.length m.es + Array.length m.os + Array.length m.os'))
+  + Zkp.Sigma.Wf.size_bytes m.wf
+  + Array.fold_left (fun acc p -> acc + Zkp.Sigma.Square.size_bytes p) 0 m.squares
+  + (match m.cosine with None -> 1 | Some c -> 1 + cosine_part_size c)
+  + Zkp.Range_proof.size_bytes m.sigma_range
+  + Zkp.Range_proof.size_bytes m.mu_range
+
+let agg_msg_size _ = int_size + scalar_size
+let broadcast_size ~k = 32 + (point_size * (k + 1))

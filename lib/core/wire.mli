@@ -1,0 +1,58 @@
+(** Message types exchanged during one RiseFL iteration, with exact
+    serialized-size accounting (the paper's "communication cost per
+    client" metric counts group elements at 32 bytes each). *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+(** Round 1 (Figure 2b): commitment y_i, VSSS check string Ψ_i, and the
+    encrypted shares Enc(r_ij) — one per recipient. *)
+type commit_msg = {
+  sender : int;  (** 1-based client index *)
+  y : Point.t array;  (** d coordinate commitments *)
+  check : Vsss.check;  (** m+1 points; element 0 is z_i = g^{r_i} *)
+  enc_shares : Channel.sealed array;  (** n sealed shares, index j−1 → client j *)
+}
+
+(** Round 2 step 1: the candidate-malicious list from share verification. *)
+type flag_msg = { sender : int; suspects : int list }
+
+(** The extra material of the cosine-defense extension (§4.6): a fresh
+    commitment of w = ⟨u, v⟩ linked to the homomorphically derived one,
+    its square, and the w ≥ 0 range proof. *)
+type cosine_part = {
+  o_w : Point.t;  (** g^w·q^{s_w} *)
+  o_w2 : Point.t;  (** g^{w²}·q^{s'_w} *)
+  link : Zkp.Sigma.Link.proof;
+  w_square : Zkp.Sigma.Square.proof;
+  w_range : Zkp.Range_proof.proof;
+}
+
+(** Round 2 step 2: the client's proof bundle π = (e*, o, o′, ρ, τ, σ, μ).
+    (p is recomputed by the server from o′ and B₀ — or from o′, o_w2 and
+    c_factor under the cosine predicate.) *)
+type proof_msg = {
+  sender : int;
+  es : Point.t array;  (** e₀ … e_k *)
+  os : Point.t array;  (** o₁ … o_k *)
+  os' : Point.t array;  (** o′₁ … o′_k *)
+  wf : Zkp.Sigma.Wf.proof;  (** ρ *)
+  squares : Zkp.Sigma.Square.proof array;  (** τ, one per t *)
+  cosine : cosine_part option;  (** present iff the round's predicate is cosine *)
+  sigma_range : Zkp.Range_proof.proof;  (** σ *)
+  mu_range : Zkp.Range_proof.proof;  (** μ *)
+}
+
+(** Round 3 (Figure 2d): aggregated share over the honest set. *)
+type agg_msg = { sender : int; r_sum : Scalar.t }
+
+val point_size : int
+val scalar_size : int
+val commit_msg_size : commit_msg -> int
+val flag_msg_size : flag_msg -> int
+val proof_msg_size : proof_msg -> int
+val agg_msg_size : agg_msg -> int
+
+(** Size of the server → client broadcast in the proof round:
+    s plus the k+1 precomputed h_t. *)
+val broadcast_size : k:int -> int

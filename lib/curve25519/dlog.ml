@@ -1,0 +1,80 @@
+(* BSGS over the range [-max_abs, max_abs].
+
+   We shift: y = p + max_abs*base has exponent x' = x + max_abs in
+   [0, 2*max_abs].  Write x' = i*m + j with m = ceil(sqrt(range));
+   baby table maps compress(j*base) -> j; giant steps subtract m*base.
+
+   Point compression needs a field inversion, which dominates a naive
+   loop; both table construction and multi-target solving therefore use
+   Montgomery-batched compression. *)
+
+type t = {
+  max_abs : int;
+  m : int;
+  baby : (string, int) Hashtbl.t;
+  giant_neg : Point.t; (* -m * base *)
+  shift : Point.t; (* max_abs * base *)
+}
+
+let create ~base ~max_abs =
+  if max_abs < 0 then invalid_arg "Dlog.create";
+  let range = (2 * max_abs) + 1 in
+  let m = int_of_float (ceil (sqrt (float_of_int range))) in
+  let m = Stdlib.max m 1 in
+  let baby = Hashtbl.create (2 * m) in
+  let points = Array.make m Point.identity in
+  let acc = ref Point.identity in
+  for j = 0 to m - 1 do
+    points.(j) <- !acc;
+    acc := Point.add !acc base
+  done;
+  let keys = Point.compress_batch points in
+  Array.iteri
+    (fun j key ->
+      let key = Bytes.to_string key in
+      (* first writer wins so j=0 (identity) stays 0 *)
+      if not (Hashtbl.mem baby key) then Hashtbl.add baby key j)
+    keys;
+  {
+    max_abs;
+    m;
+    baby;
+    giant_neg = Point.neg !acc (* !acc = m*base *);
+    shift = Point.mul_small max_abs base;
+  }
+
+let solve_many t targets =
+  let n = Array.length targets in
+  let range = (2 * t.max_abs) + 1 in
+  let steps = ((range - 1) / t.m) + 1 in
+  let current = Array.map (fun p -> Point.add p t.shift) targets in
+  let result = Array.make n None in
+  let unsolved = ref (Array.to_list (Array.init n Fun.id)) in
+  let step = ref 0 in
+  while !unsolved <> [] && !step <= steps do
+    let idxs = Array.of_list !unsolved in
+    let keys = Point.compress_batch (Array.map (fun i -> current.(i)) idxs) in
+    let remaining = ref [] in
+    Array.iteri
+      (fun pos i ->
+        match Hashtbl.find_opt t.baby (Bytes.to_string keys.(pos)) with
+        | Some j ->
+            (* the exponent is determined exactly by the hit; out-of-range
+               means no in-range solution exists for this target *)
+            let x' = (!step * t.m) + j in
+            if x' <= 2 * t.max_abs then result.(i) <- Some (x' - t.max_abs)
+        | None ->
+            current.(i) <- Point.add current.(i) t.giant_neg;
+            remaining := i :: !remaining)
+      idxs;
+    unsolved := List.rev !remaining;
+    incr step
+  done;
+  result
+
+let solve t p = (solve_many t [| p |]).(0)
+
+let solve_exn t p =
+  match solve t p with
+  | Some x -> x
+  | None -> raise Not_found

@@ -1,0 +1,23 @@
+(** Baby-step giant-step discrete logarithm for short exponents.
+
+    The secure-aggregation step (Eqn 7 of the paper) leaves the server
+    with g^{u_l} where u_l is a sum of n fixed-point updates, so
+    |u_l| < 2^(b + log2 n + 1) — around 24 bits in the paper's setting.
+    BSGS recovers it in O(2^(bits/2)) with a precomputed baby table. *)
+
+type t
+
+(** [create ~base ~max_abs] builds a solver for exponents in
+    [-max_abs, max_abs]. Table size ≈ sqrt(2·max_abs + 1) group elements. *)
+val create : base:Point.t -> max_abs:int -> t
+
+(** [solve t p] finds x with x·base = p, |x| <= max_abs, or [None]. *)
+val solve : t -> Point.t -> int option
+
+(** [solve_many t ps] solves all targets together, sharing one
+    Montgomery-batched compression per giant step — the aggregation
+    decoder's d coordinates cost ~30x less this way. *)
+val solve_many : t -> Point.t array -> int option array
+
+(** [solve_exn t p] — @raise Not_found when out of range. *)
+val solve_exn : t -> Point.t -> int

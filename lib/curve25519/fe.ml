@@ -1,0 +1,248 @@
+(* GF(2^255 - 19) in the ref10 radix-25.5 representation.
+
+   A value is h0 + h1*2^26 + h2*2^51 + h3*2^77 + h4*2^102 + h5*2^128
+   + h6*2^153 + h7*2^179 + h8*2^204 + h9*2^230 with even limbs spanning
+   26 bits and odd limbs 25 bits (signed).  The multiplication and carry
+   chains below are direct ports of the public-domain ref10 code; the
+   63-bit native int replaces C's int64, with identical bounds headroom
+   (largest intermediate < 2^62). *)
+
+type t = int array (* length 10 *)
+
+let p = Bigint.(sub (shift_left one 255) (of_int 19))
+
+let zero = Array.make 10 0
+
+let one =
+  let a = Array.make 10 0 in
+  a.(0) <- 1;
+  a
+
+let add f g = Array.init 10 (fun i -> f.(i) + g.(i))
+let sub f g = Array.init 10 (fun i -> f.(i) - g.(i))
+let neg f = Array.init 10 (fun i -> -f.(i))
+
+(* ref10 carry chain: brings limbs back to canonical 26/25-bit magnitude.
+   Mutates [h] in place; shifts are arithmetic so the chain works on
+   signed limbs. *)
+let carry h =
+  let c = ref 0 in
+  c := (h.(0) + (1 lsl 25)) asr 26;
+  h.(1) <- h.(1) + !c;
+  h.(0) <- h.(0) - (!c lsl 26);
+  c := (h.(4) + (1 lsl 25)) asr 26;
+  h.(5) <- h.(5) + !c;
+  h.(4) <- h.(4) - (!c lsl 26);
+  c := (h.(1) + (1 lsl 24)) asr 25;
+  h.(2) <- h.(2) + !c;
+  h.(1) <- h.(1) - (!c lsl 25);
+  c := (h.(5) + (1 lsl 24)) asr 25;
+  h.(6) <- h.(6) + !c;
+  h.(5) <- h.(5) - (!c lsl 25);
+  c := (h.(2) + (1 lsl 25)) asr 26;
+  h.(3) <- h.(3) + !c;
+  h.(2) <- h.(2) - (!c lsl 26);
+  c := (h.(6) + (1 lsl 25)) asr 26;
+  h.(7) <- h.(7) + !c;
+  h.(6) <- h.(6) - (!c lsl 26);
+  c := (h.(3) + (1 lsl 24)) asr 25;
+  h.(4) <- h.(4) + !c;
+  h.(3) <- h.(3) - (!c lsl 25);
+  c := (h.(7) + (1 lsl 24)) asr 25;
+  h.(8) <- h.(8) + !c;
+  h.(7) <- h.(7) - (!c lsl 25);
+  c := (h.(4) + (1 lsl 25)) asr 26;
+  h.(5) <- h.(5) + !c;
+  h.(4) <- h.(4) - (!c lsl 26);
+  c := (h.(8) + (1 lsl 25)) asr 26;
+  h.(9) <- h.(9) + !c;
+  h.(8) <- h.(8) - (!c lsl 26);
+  c := (h.(9) + (1 lsl 24)) asr 25;
+  h.(0) <- h.(0) + (!c * 19);
+  h.(9) <- h.(9) - (!c lsl 25);
+  c := (h.(0) + (1 lsl 25)) asr 26;
+  h.(1) <- h.(1) + !c;
+  h.(0) <- h.(0) - (!c lsl 26);
+  h
+
+let mul f g =
+  let f0 = f.(0) and f1 = f.(1) and f2 = f.(2) and f3 = f.(3) and f4 = f.(4) in
+  let f5 = f.(5) and f6 = f.(6) and f7 = f.(7) and f8 = f.(8) and f9 = f.(9) in
+  let g0 = g.(0) and g1 = g.(1) and g2 = g.(2) and g3 = g.(3) and g4 = g.(4) in
+  let g5 = g.(5) and g6 = g.(6) and g7 = g.(7) and g8 = g.(8) and g9 = g.(9) in
+  let g1_19 = 19 * g1 and g2_19 = 19 * g2 and g3_19 = 19 * g3 and g4_19 = 19 * g4 in
+  let g5_19 = 19 * g5 and g6_19 = 19 * g6 and g7_19 = 19 * g7 and g8_19 = 19 * g8 in
+  let g9_19 = 19 * g9 in
+  let f1_2 = 2 * f1 and f3_2 = 2 * f3 and f5_2 = 2 * f5 and f7_2 = 2 * f7 and f9_2 = 2 * f9 in
+  let h = Array.make 10 0 in
+  h.(0) <-
+    (f0 * g0) + (f1_2 * g9_19) + (f2 * g8_19) + (f3_2 * g7_19) + (f4 * g6_19) + (f5_2 * g5_19)
+    + (f6 * g4_19) + (f7_2 * g3_19) + (f8 * g2_19) + (f9_2 * g1_19);
+  h.(1) <-
+    (f0 * g1) + (f1 * g0) + (f2 * g9_19) + (f3 * g8_19) + (f4 * g7_19) + (f5 * g6_19)
+    + (f6 * g5_19) + (f7 * g4_19) + (f8 * g3_19) + (f9 * g2_19);
+  h.(2) <-
+    (f0 * g2) + (f1_2 * g1) + (f2 * g0) + (f3_2 * g9_19) + (f4 * g8_19) + (f5_2 * g7_19)
+    + (f6 * g6_19) + (f7_2 * g5_19) + (f8 * g4_19) + (f9_2 * g3_19);
+  h.(3) <-
+    (f0 * g3) + (f1 * g2) + (f2 * g1) + (f3 * g0) + (f4 * g9_19) + (f5 * g8_19) + (f6 * g7_19)
+    + (f7 * g6_19) + (f8 * g5_19) + (f9 * g4_19);
+  h.(4) <-
+    (f0 * g4) + (f1_2 * g3) + (f2 * g2) + (f3_2 * g1) + (f4 * g0) + (f5_2 * g9_19)
+    + (f6 * g8_19) + (f7_2 * g7_19) + (f8 * g6_19) + (f9_2 * g5_19);
+  h.(5) <-
+    (f0 * g5) + (f1 * g4) + (f2 * g3) + (f3 * g2) + (f4 * g1) + (f5 * g0) + (f6 * g9_19)
+    + (f7 * g8_19) + (f8 * g7_19) + (f9 * g6_19);
+  h.(6) <-
+    (f0 * g6) + (f1_2 * g5) + (f2 * g4) + (f3_2 * g3) + (f4 * g2) + (f5_2 * g1) + (f6 * g0)
+    + (f7_2 * g9_19) + (f8 * g8_19) + (f9_2 * g7_19);
+  h.(7) <-
+    (f0 * g7) + (f1 * g6) + (f2 * g5) + (f3 * g4) + (f4 * g3) + (f5 * g2) + (f6 * g1) + (f7 * g0)
+    + (f8 * g9_19) + (f9 * g8_19);
+  h.(8) <-
+    (f0 * g8) + (f1_2 * g7) + (f2 * g6) + (f3_2 * g5) + (f4 * g4) + (f5_2 * g3) + (f6 * g2)
+    + (f7_2 * g1) + (f8 * g0) + (f9_2 * g9_19);
+  h.(9) <-
+    (f0 * g9) + (f1 * g8) + (f2 * g7) + (f3 * g6) + (f4 * g5) + (f5 * g4) + (f6 * g3) + (f7 * g2)
+    + (f8 * g1) + (f9 * g0);
+  carry h
+
+(* Dedicated squaring (ref10 fe_sq): ~30% cheaper than mul, and point
+   doubling — the bulk of every scalar multiplication — is four squares. *)
+let square f =
+  let f0 = f.(0) and f1 = f.(1) and f2 = f.(2) and f3 = f.(3) and f4 = f.(4) in
+  let f5 = f.(5) and f6 = f.(6) and f7 = f.(7) and f8 = f.(8) and f9 = f.(9) in
+  let f0_2 = 2 * f0 and f1_2 = 2 * f1 and f2_2 = 2 * f2 and f3_2 = 2 * f3 in
+  let f4_2 = 2 * f4 and f5_2 = 2 * f5 and f6_2 = 2 * f6 and f7_2 = 2 * f7 in
+  let f5_38 = 38 * f5 and f6_19 = 19 * f6 and f7_38 = 38 * f7 in
+  let f8_19 = 19 * f8 and f9_38 = 38 * f9 in
+  let h = Array.make 10 0 in
+  h.(0) <- (f0 * f0) + (f1_2 * f9_38) + (f2_2 * f8_19) + (f3_2 * f7_38) + (f4_2 * f6_19) + (f5 * f5_38);
+  h.(1) <- (f0_2 * f1) + (f2 * f9_38) + (f3_2 * f8_19) + (f4 * f7_38) + (f5_2 * f6_19);
+  h.(2) <- (f0_2 * f2) + (f1_2 * f1) + (f3_2 * f9_38) + (f4_2 * f8_19) + (f5_2 * f7_38) + (f6 * f6_19);
+  h.(3) <- (f0_2 * f3) + (f1_2 * f2) + (f4 * f9_38) + (f5_2 * f8_19) + (f6 * f7_38);
+  h.(4) <- (f0_2 * f4) + (f1_2 * f3_2) + (f2 * f2) + (f5_2 * f9_38) + (f6_2 * f8_19) + (f7 * f7_38);
+  h.(5) <- (f0_2 * f5) + (f1_2 * f4) + (f2_2 * f3) + (f6 * f9_38) + (f7_2 * f8_19);
+  h.(6) <- (f0_2 * f6) + (f1_2 * f5_2) + (f2_2 * f4) + (f3_2 * f3) + (f7_2 * f9_38) + (f8 * f8_19);
+  h.(7) <- (f0_2 * f7) + (f1_2 * f6) + (f2_2 * f5) + (f3_2 * f4) + (f8 * f9_38);
+  h.(8) <- (f0_2 * f8) + (f1_2 * f7_2) + (f2_2 * f6) + (f3_2 * f5_2) + (f4 * f4) + (f9 * f9_38);
+  h.(9) <- (f0_2 * f9) + (f1_2 * f8) + (f2_2 * f7) + (f3_2 * f6) + (f4_2 * f5);
+  carry h
+
+let mul_small f c =
+  let h = Array.map (fun x -> x * c) f in
+  carry h
+
+(* Canonical reduction and little-endian packing (ref10 fe_tobytes). *)
+let to_bytes f =
+  let h = Array.copy f in
+  ignore (carry h);
+  let q = ref (((19 * h.(9)) + (1 lsl 24)) asr 25) in
+  for i = 0 to 9 do
+    let sz = if i land 1 = 0 then 26 else 25 in
+    q := (h.(i) + !q) asr sz
+  done;
+  (* !q = 1 iff h >= p; fold 19q in and do a plain carry pass *)
+  h.(0) <- h.(0) + (19 * !q);
+  for i = 0 to 9 do
+    let sz = if i land 1 = 0 then 26 else 25 in
+    let c = h.(i) asr sz in
+    if i < 9 then h.(i + 1) <- h.(i + 1) + c;
+    h.(i) <- h.(i) - (c lsl sz)
+  done;
+  (* pack 255 bits, little-endian *)
+  let out = Bytes.make 32 '\000' in
+  let acc = ref 0 and accbits = ref 0 and pos = ref 0 in
+  for i = 0 to 9 do
+    let sz = if i land 1 = 0 then 26 else 25 in
+    acc := !acc lor (h.(i) lsl !accbits);
+    accbits := !accbits + sz;
+    while !accbits >= 8 do
+      Bytes.set out !pos (Char.chr (!acc land 0xff));
+      acc := !acc lsr 8;
+      accbits := !accbits - 8;
+      incr pos
+    done
+  done;
+  if !accbits > 0 then Bytes.set out !pos (Char.chr (!acc land 0xff));
+  out
+
+let of_bytes s =
+  if Bytes.length s <> 32 then invalid_arg "Fe.of_bytes: need 32 bytes";
+  let h = Array.make 10 0 in
+  let acc = ref 0 and accbits = ref 0 and pos = ref 0 in
+  for i = 0 to 9 do
+    let sz = if i land 1 = 0 then 26 else 25 in
+    while !accbits < sz do
+      if !pos < 32 then acc := !acc lor (Char.code (Bytes.get s !pos) lsl !accbits);
+      incr pos;
+      accbits := !accbits + 8
+    done;
+    h.(i) <- !acc land ((1 lsl sz) - 1);
+    acc := !acc lsr sz;
+    accbits := !accbits - sz
+  done;
+  h
+
+let equal f g = Bytes.equal (to_bytes f) (to_bytes g)
+let is_zero f = equal f zero
+let is_negative f = Char.code (Bytes.get (to_bytes f) 0) land 1 = 1
+
+let to_bigint f = Bigint.of_bytes_le (to_bytes f)
+
+let of_bigint x =
+  let x = Bigint.erem x p in
+  of_bytes (Bigint.to_bytes_le ~len:32 x)
+
+let of_int n = of_bigint (Bigint.of_int n)
+
+(* Exponentiation by a fixed bigint exponent (square-and-multiply,
+   MSB-first).  Only used off the hot path: inversion and square roots. *)
+let pow_bigint f e =
+  let nbits = Bigint.bit_length e in
+  if nbits = 0 then one
+  else begin
+    let acc = ref f in
+    for i = nbits - 2 downto 0 do
+      acc := square !acc;
+      if Bigint.testbit e i then acc := mul !acc f
+    done;
+    !acc
+  end
+
+let invert f = pow_bigint f Bigint.(sub p two)
+
+let invert_batch xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* replace zeros by one during accumulation, restore at the end *)
+    let zero_mask = Array.map is_zero xs in
+    let safe = Array.mapi (fun i x -> if zero_mask.(i) then one else x) xs in
+    let prefix = Array.make n one in
+    let acc = ref one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      acc := mul !acc safe.(i)
+    done;
+    let inv_all = ref (invert !acc) in
+    let out = Array.make n zero in
+    for i = n - 1 downto 0 do
+      if not zero_mask.(i) then out.(i) <- mul !inv_all prefix.(i);
+      inv_all := mul !inv_all safe.(i)
+    done;
+    out
+  end
+let pow_p58 f = pow_bigint f Bigint.(shift_right (sub p (of_int 5)) 3)
+
+let sqrt_m1 =
+  (* 2^((p-1)/4) is a square root of -1 mod p *)
+  pow_bigint (of_int 2) Bigint.(shift_right (sub p one) 2)
+
+let edwards_d =
+  let inv121666 = Bigint.mod_inv (Bigint.of_int 121666) p in
+  of_bigint (Bigint.erem (Bigint.mul (Bigint.of_int (-121665)) inv121666) p)
+
+let edwards_d2 = add edwards_d edwards_d
+
+let pp fmt f = Format.pp_print_string fmt (Bigint.to_hex (to_bigint f))

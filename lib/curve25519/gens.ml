@@ -1,0 +1,20 @@
+(* 8 * P lands in the prime-order subgroup for any curve point P. *)
+let clear_cofactor p = Point.mul_small 8 p
+
+let derive label =
+  let rec try_counter ctr =
+    let h = Hashfn.Sha256.init () in
+    Hashfn.Sha256.update_string h "risefl/generator/v1/";
+    Hashfn.Sha256.update_string h label;
+    Hashfn.Sha256.update_string h "/";
+    Hashfn.Sha256.update_string h (string_of_int ctr);
+    let cand = Hashfn.Sha256.finalize h in
+    match Point.decompress_unchecked cand with
+    | Some p ->
+        let p = clear_cofactor p in
+        if Point.is_identity p then try_counter (ctr + 1) else p
+    | None -> try_counter (ctr + 1)
+  in
+  try_counter 0
+
+let derive_many label n = Array.init n (fun i -> derive (label ^ "/" ^ string_of_int i))

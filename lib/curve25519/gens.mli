@@ -1,0 +1,14 @@
+(** Nothing-up-my-sleeve generator derivation.
+
+    The protocol needs many independent group elements — g, q, and one
+    w_l per model coordinate (§4.2) — whose mutual discrete logarithms
+    nobody knows. We derive them by hashing a domain-separated label to a
+    candidate y-coordinate, decompressing, and clearing the cofactor;
+    failures (≈ half the candidates) bump a retry counter. *)
+
+(** [derive label] — a generator determined entirely by [label]. *)
+val derive : string -> Point.t
+
+(** [derive_many label n] — [n] independent generators
+    ([label]/0 … [label]/n−1). *)
+val derive_many : string -> int -> Point.t array

@@ -1,0 +1,77 @@
+(* Pippenger bucket multi-scalar multiplication. *)
+
+let window_bits n =
+  if n <= 1 then 1
+  else begin
+    (* c ~ log2 n - 2, clamped; standard heuristic minimizing
+       (b/c) * (n + 2^c) additions *)
+    let rec lg acc v = if v <= 1 then acc else lg (acc + 1) (v lsr 1) in
+    Stdlib.max 1 (Stdlib.min 16 (lg 0 n - 1))
+  end
+
+(* Generic driver: [digit i w] must return the w-th little-endian c-bit
+   digit of exponent i; [nwindows] the number of windows; [points] the
+   bases (already sign-adjusted). *)
+let run ~c ~nwindows ~npoints ~digit ~point =
+  let nbuckets = (1 lsl c) - 1 in
+  let buckets = Array.make (nbuckets + 1) Point.identity in
+  let acc = ref Point.identity in
+  for w = nwindows - 1 downto 0 do
+    if w < nwindows - 1 then for _ = 1 to c do acc := Point.double !acc done;
+    Array.fill buckets 0 (nbuckets + 1) Point.identity;
+    let used = ref false in
+    for i = 0 to npoints - 1 do
+      let d = digit i w in
+      if d <> 0 then begin
+        buckets.(d) <- Point.add buckets.(d) (point i);
+        used := true
+      end
+    done;
+    if !used then begin
+      (* sum_{d} d * bucket_d via suffix sums *)
+      let running = ref Point.identity in
+      let total = ref Point.identity in
+      for d = nbuckets downto 1 do
+        running := Point.add !running buckets.(d);
+        total := Point.add !total !running
+      done;
+      acc := Point.add !acc !total
+    end
+  done;
+  !acc
+
+let msm pairs =
+  let n = Array.length pairs in
+  if n = 0 then Point.identity
+  else begin
+    let c = window_bits n in
+    let nwindows = (256 + c - 1) / c in
+    let exps = Array.map (fun (s, _) -> Scalar.to_bigint s) pairs in
+    let digit i w =
+      let e = exps.(i) in
+      let lo = w * c in
+      let v = ref 0 in
+      for b = c - 1 downto 0 do
+        v := (!v lsl 1) lor if Bigint.testbit e (lo + b) then 1 else 0
+      done;
+      !v
+    in
+    run ~c ~nwindows ~npoints:n ~digit ~point:(fun i -> snd pairs.(i))
+  end
+
+let msm_small pairs =
+  let n = Array.length pairs in
+  if n = 0 then Point.identity
+  else begin
+    let c = window_bits n in
+    (* sign-fold: negative exponents negate the base *)
+    let exps = Array.map (fun (e, _) -> abs e) pairs in
+    let pts = Array.map (fun (e, p) -> if e < 0 then Point.neg p else p) pairs in
+    let maxe = Array.fold_left Stdlib.max 0 exps in
+    let rec lg acc v = if v = 0 then acc else lg (acc + 1) (v lsr 1) in
+    let bits = Stdlib.max 1 (lg 0 maxe) in
+    let nwindows = (bits + c - 1) / c in
+    let mask = (1 lsl c) - 1 in
+    let digit i w = (exps.(i) lsr (w * c)) land mask in
+    run ~c ~nwindows ~npoints:n ~digit ~point:(fun i -> pts.(i))
+  end

@@ -1,0 +1,20 @@
+(** Multi-scalar multiplication (Pippenger's bucket method).
+
+    Computes Σᵢ eᵢ·Pᵢ in O(n·b / log n) point additions instead of the
+    naive O(n·b). This is the "mult-exponentiation" the paper leans on for
+    its O(d / log d) client cost: the server's h_t = Π w_l^{a_tl}
+    precomputation, the client's VerCrt batch verification (Algorithm 3)
+    and the server's e_t recomputation are all instances. *)
+
+(** [msm pairs] for full-size scalar exponents. Empty input gives the
+    identity. *)
+val msm : (Scalar.t * Point.t) array -> Point.t
+
+(** [msm_small pairs] for native-int exponents of either sign (e.g. the
+    discretized Gaussian coefficients a_tl, |a| < 2^30); faster than
+    {!msm} because the exponent bit-length is short. *)
+val msm_small : (int * Point.t) array -> Point.t
+
+(** [window_bits n] — the window size heuristic used internally (exposed
+    for the cost model and tests). *)
+val window_bits : int -> int

@@ -1,0 +1,79 @@
+(** The prime-order group 𝔾: the order-ℓ subgroup of the twisted Edwards
+    curve −x² + y² = 1 + d·x²y² over GF(2^255 − 19) (Ed25519).
+
+    This plays the role of libsodium's Ristretto group in the paper: a
+    group of prime order ℓ ≈ 2^252 where the discrete-logarithm problem is
+    hard (≈126-bit security). Points are kept in extended homogeneous
+    coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z.
+
+    All points constructed through this interface lie in the prime-order
+    subgroup; [decompress] validates untrusted encodings (on-curve,
+    canonical, and subgroup membership). *)
+
+type t
+
+(** The neutral element. *)
+val identity : t
+
+(** The standard Ed25519 base point B (order ℓ). *)
+val base : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val double : t -> t
+val neg : t -> t
+
+(** [equal p q] — projective-coordinate–independent equality. *)
+val equal : t -> t -> bool
+
+val is_identity : t -> bool
+
+(** [mul s p] is the scalar multiple [s]·[p] (4-bit windowed). *)
+val mul : Scalar.t -> t -> t
+
+(** [mul_small n p] is [n]·[p] for a native-int scalar of either sign —
+    much faster than {!mul} for short exponents (e.g. 16-bit gradient
+    coordinates). *)
+val mul_small : int -> t -> t
+
+(** [mul_base s] is [s]·B using a precomputed fixed-base table. *)
+val mul_base : Scalar.t -> t
+
+(** [double_mul s p t q] is [s·p + t·q] (used all over commitment
+    generation: g^x · h^r). *)
+val double_mul : Scalar.t -> t -> Scalar.t -> t -> t
+
+(** A precomputed fixed-base table for an arbitrary base point. *)
+module Table : sig
+  type table
+
+  (** [make p] builds a table making repeated [mul] on [p] ~4x faster. *)
+  val make : t -> table
+
+  val mul : table -> Scalar.t -> t
+
+  (** [mul_small tbl n] for native-int exponents of either sign. *)
+  val mul_small : table -> int -> t
+end
+
+(** 32-byte compressed encoding (canonical y with sign-of-x bit). *)
+val compress : t -> Bytes.t
+
+(** [compress_batch ps] compresses many points with one shared field
+    inversion (Montgomery batching) — much faster than mapping
+    {!compress} when [ps] is large (BSGS decoding, table hashing). *)
+val compress_batch : t array -> Bytes.t array
+
+(** Decode and fully validate an untrusted encoding: canonical field
+    element, on-curve, and in the prime-order subgroup. Returns [None] on
+    any failure. *)
+val decompress : Bytes.t -> t option
+
+(** Decode without the (expensive) subgroup check — for trusted inputs
+    such as locally generated tables. Still checks on-curve + canonical. *)
+val decompress_unchecked : Bytes.t -> t option
+
+(** Affine coordinates (x, y) — mostly for tests. *)
+val to_affine : t -> Fe.t * Fe.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = Sign_flip of float | Scaling of float | Label_flip of int * int | Additive_noise of float
+
+let poison_data t data =
+  match t with
+  | Label_flip (a, b) -> Dataset.relabel data ~from_class:a ~to_class:b
+  | Sign_flip _ | Scaling _ | Additive_noise _ -> data
+
+let poison_update t drbg u =
+  match t with
+  | Sign_flip c -> Array.map (fun v -> -.c *. v) u
+  | Scaling c -> Array.map (fun v -> c *. v) u
+  | Label_flip _ -> u
+  | Additive_noise sigma -> Array.map (fun v -> v +. (sigma *. Prng.Drbg.gaussian drbg)) u
+
+let name = function
+  | Sign_flip c -> Printf.sprintf "sign-flip(c=%g)" c
+  | Scaling c -> Printf.sprintf "scaling(c=%g)" c
+  | Label_flip (a, b) -> Printf.sprintf "label-flip(%d->%d)" a b
+  | Additive_noise s -> Printf.sprintf "additive-noise(sigma=%g)" s

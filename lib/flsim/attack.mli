@@ -1,0 +1,17 @@
+(** The four Byzantine attacks evaluated in §6.3 of the paper. The first
+    two and the last transform the malicious client's gradient; the label
+    flip poisons its training data instead. *)
+
+type t =
+  | Sign_flip of float  (** submit −c·u, c > 1 (Damaskinos et al.) *)
+  | Scaling of float  (** submit c·u, c > 1 (Bhagoji et al.) *)
+  | Label_flip of int * int  (** relabel class a as class b (Sun et al.) *)
+  | Additive_noise of float  (** add N(0, σ²) noise per coordinate (Li et al.) *)
+
+(** [poison_data t data] — data-level component (label flip only). *)
+val poison_data : t -> Dataset.t -> Dataset.t
+
+(** [poison_update t drbg u] — gradient-level component. *)
+val poison_update : t -> Prng.Drbg.t -> float array -> float array
+
+val name : t -> string

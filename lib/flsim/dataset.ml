@@ -1,0 +1,170 @@
+type t = { x : float array array; y : int array; n_features : int; n_classes : int }
+
+let gaussian_blobs drbg ~n ~features ~classes ~spread =
+  let centers =
+    Array.init classes (fun _ -> Array.init features (fun _ -> 2.0 *. Prng.Drbg.gaussian drbg))
+  in
+  let y = Array.init n (fun _ -> Prng.Drbg.uniform_int drbg classes) in
+  let x =
+    Array.map
+      (fun c -> Array.init features (fun f -> centers.(c).(f) +. (spread *. Prng.Drbg.gaussian drbg)))
+      y
+  in
+  { x; y; n_features = features; n_classes = classes }
+
+let organ_like drbg ~n =
+  let side = 28 in
+  let classes = 11 in
+  (* class prototype: an anisotropic blob at a class-specific location *)
+  let protos =
+    Array.init classes (fun _ ->
+        let cx = 6.0 +. (16.0 *. Prng.Drbg.float drbg) in
+        let cy = 6.0 +. (16.0 *. Prng.Drbg.float drbg) in
+        let sx = 2.0 +. (4.0 *. Prng.Drbg.float drbg) in
+        let sy = 2.0 +. (4.0 *. Prng.Drbg.float drbg) in
+        let amp = 0.6 +. (0.4 *. Prng.Drbg.float drbg) in
+        (cx, cy, sx, sy, amp))
+  in
+  let y = Array.init n (fun _ -> Prng.Drbg.uniform_int drbg classes) in
+  let x =
+    Array.map
+      (fun c ->
+        let cx, cy, sx, sy, amp = protos.(c) in
+        (* jitter the organ's position per sample, as anatomy varies *)
+        let jx = Prng.Drbg.gaussian drbg and jy = Prng.Drbg.gaussian drbg in
+        Array.init (side * side) (fun i ->
+            let px = float_of_int (i mod side) and py = float_of_int (i / side) in
+            let dx = (px -. cx -. jx) /. sx and dy = (py -. cy -. jy) /. sy in
+            let v = amp *. exp (-0.5 *. ((dx *. dx) +. (dy *. dy))) in
+            Float.max 0.0 (Float.min 1.0 (v +. (0.05 *. Prng.Drbg.gaussian drbg)))))
+      y
+  in
+  { x; y; n_features = side * side; n_classes = classes }
+
+let covtype_like drbg ~n =
+  let numeric = 10 and categorical = 44 in
+  let classes = 7 in
+  (* class-conditional means for numeric features; class-conditional
+     categorical propensities for the one-hot block *)
+  let means =
+    Array.init classes (fun _ -> Array.init numeric (fun _ -> 1.5 *. Prng.Drbg.gaussian drbg))
+  in
+  let cat_probs =
+    Array.init classes (fun _ -> Array.init categorical (fun _ -> Prng.Drbg.float drbg *. 0.5))
+  in
+  let y = Array.init n (fun _ -> Prng.Drbg.uniform_int drbg classes) in
+  let x =
+    Array.map
+      (fun c ->
+        let num = Array.init numeric (fun f -> means.(c).(f) +. Prng.Drbg.gaussian drbg) in
+        let cat =
+          Array.init categorical (fun f -> if Prng.Drbg.float drbg < cat_probs.(c).(f) then 1.0 else 0.0)
+        in
+        Array.append num cat)
+      y
+  in
+  { x; y; n_features = numeric + categorical; n_classes = classes }
+
+let split drbg t ~test_fraction =
+  let n = Array.length t.y in
+  let idx = Array.init n Fun.id in
+  (* fisher-yates *)
+  for i = n - 1 downto 1 do
+    let j = Prng.Drbg.uniform_int drbg (i + 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  let n_test = int_of_float (float_of_int n *. test_fraction) in
+  let pick lo hi =
+    {
+      t with
+      x = Array.init (hi - lo) (fun i -> t.x.(idx.(lo + i)));
+      y = Array.init (hi - lo) (fun i -> t.y.(idx.(lo + i)));
+    }
+  in
+  (pick n_test n, pick 0 n_test)
+
+let partition t ~parts =
+  if parts < 1 then invalid_arg "Dataset.partition";
+  Array.init parts (fun p ->
+      let sel = ref [] in
+      Array.iteri (fun i _ -> if i mod parts = p then sel := i :: !sel) t.y;
+      let sel = Array.of_list (List.rev !sel) in
+      { t with x = Array.map (fun i -> t.x.(i)) sel; y = Array.map (fun i -> t.y.(i)) sel })
+
+(* Marsaglia-Tsang gamma sampling; the alpha < 1 case boosts through
+   Gamma(alpha + 1) * U^(1/alpha). *)
+let rec gamma_sample drbg alpha =
+  if alpha < 1.0 then begin
+    let u = Float.max 1e-300 (Prng.Drbg.float drbg) in
+    gamma_sample drbg (alpha +. 1.0) *. (u ** (1.0 /. alpha))
+  end
+  else begin
+    let d = alpha -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Prng.Drbg.gaussian drbg in
+      let v = (1.0 +. (c *. x)) ** 3.0 in
+      if v <= 0.0 then draw ()
+      else begin
+        let u = Float.max 1e-300 (Prng.Drbg.float drbg) in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v else draw ()
+      end
+    in
+    draw ()
+  end
+
+let partition_dirichlet drbg t ~parts ~alpha =
+  if parts < 1 then invalid_arg "Dataset.partition_dirichlet";
+  if alpha <= 0.0 then invalid_arg "Dataset.partition_dirichlet: alpha must be positive";
+  let assignment = Array.make (Array.length t.y) 0 in
+  for c = 0 to t.n_classes - 1 do
+    (* Dir(alpha) proportions over clients for this class *)
+    let g = Array.init parts (fun _ -> gamma_sample drbg alpha) in
+    let total = Array.fold_left ( +. ) 0.0 g in
+    let cum = Array.make parts 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun p gi ->
+        acc := !acc +. (gi /. total);
+        cum.(p) <- !acc)
+      g;
+    Array.iteri
+      (fun i yi ->
+        if yi = c then begin
+          let u = Prng.Drbg.float drbg in
+          let rec find p = if p >= parts - 1 || u <= cum.(p) then p else find (p + 1) in
+          assignment.(i) <- find 0
+        end)
+      t.y
+  done;
+  (* guarantee non-empty parts: steal one sample round-robin if needed *)
+  let counts = Array.make parts 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) assignment;
+  Array.iteri
+    (fun p c ->
+      if c = 0 then begin
+        (* take a sample from the largest part *)
+        let donor = ref 0 in
+        Array.iteri (fun q cq -> if cq > counts.(!donor) then donor := q) counts;
+        let found = ref false in
+        Array.iteri
+          (fun i a ->
+            if (not !found) && a = !donor then begin
+              assignment.(i) <- p;
+              found := true
+            end)
+          assignment;
+        counts.(p) <- 1;
+        counts.(!donor) <- counts.(!donor) - 1
+      end)
+    counts;
+  Array.init parts (fun p ->
+      let sel = ref [] in
+      Array.iteri (fun i a -> if a = p then sel := i :: !sel) assignment;
+      let sel = Array.of_list (List.rev !sel) in
+      { t with x = Array.map (fun i -> t.x.(i)) sel; y = Array.map (fun i -> t.y.(i)) sel })
+
+let relabel t ~from_class ~to_class =
+  { t with y = Array.map (fun c -> if c = from_class then to_class else c) t.y }

@@ -1,0 +1,45 @@
+(** Synthetic classification datasets standing in for the paper's three
+    evaluation datasets (OrganAMNIST, OrganSMNIST, Forest Cover Type),
+    which are not redistributable in this offline environment. Each
+    generator matches the original's dimensionality, class count and
+    feature type — the properties that determine the federated gradient
+    dimension and the attack/defense dynamics Figure 8 measures. *)
+
+type t = {
+  x : float array array;  (** row-major feature matrix *)
+  y : int array;  (** labels in [0, n_classes) *)
+  n_features : int;
+  n_classes : int;
+}
+
+(** [gaussian_blobs drbg ~n ~features ~classes ~spread] — isotropic
+    Gaussian clusters with random centers; [spread] controls overlap. *)
+val gaussian_blobs : Prng.Drbg.t -> n:int -> features:int -> classes:int -> spread:float -> t
+
+(** [organ_like drbg ~n] — 28×28 "medical image"-like inputs (784
+    features, 11 classes, mirroring OrganA/SMNIST): each class is a
+    smooth 2-D intensity blob with class-specific center/size plus pixel
+    noise. *)
+val organ_like : Prng.Drbg.t -> n:int -> t
+
+(** [covtype_like drbg ~n] — tabular data mirroring Forest Cover Type: 10
+    numeric features + 44 one-hot categorical columns, 7 classes. *)
+val covtype_like : Prng.Drbg.t -> n:int -> t
+
+(** [split drbg t ~test_fraction] — shuffled train/test split. *)
+val split : Prng.Drbg.t -> t -> test_fraction:float -> t * t
+
+(** [partition t ~parts] — IID round-robin partition into [parts]
+    client-local datasets. *)
+val partition : t -> parts:int -> t array
+
+(** [partition_dirichlet drbg t ~parts ~alpha] — non-IID partition: for
+    each class, the per-client proportions are drawn from Dir(α·1).
+    Small α (e.g. 0.1) gives highly skewed client distributions — the
+    standard federated-learning heterogeneity benchmark. Every client is
+    guaranteed at least one sample. *)
+val partition_dirichlet : Prng.Drbg.t -> t -> parts:int -> alpha:float -> t array
+
+(** [relabel t ~from_class ~to_class] — the label-flip attack's data-level
+    poisoning: every [from_class] sample becomes [to_class]. *)
+val relabel : t -> from_class:int -> to_class:int -> t

@@ -1,0 +1,75 @@
+type predicate =
+  | L2 of float
+  | Sphere of float array * float
+  | Cosine of float array * float * float
+  | Zeno of float array * float * float * float
+
+let norm u = sqrt (Array.fold_left (fun a v -> a +. (v *. v)) 0.0 u)
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc
+
+let sub a b = Array.mapi (fun i v -> v -. b.(i)) a
+
+(* Zeno++: gamma <v,u> - rho |u|^2 >= gamma eps  <=>
+   |u - (gamma/2rho) v| <= sqrt(gamma^2/4rho^2 |v|^2 - gamma eps / rho) (§4.6) *)
+let zeno_to_sphere v gamma rho eps =
+  let center = Array.map (fun x -> gamma /. (2.0 *. rho) *. x) v in
+  let rad2 =
+    (gamma *. gamma /. (4.0 *. rho *. rho) *. dot v v) -. (gamma *. eps /. rho)
+  in
+  (center, if rad2 <= 0.0 then 0.0 else sqrt rad2)
+
+let strict pred u =
+  match pred with
+  | L2 b -> norm u <= b
+  | Sphere (v, b) -> norm (sub u v) <= b
+  | Cosine (v, b, alpha) -> norm u <= b && dot u v >= alpha *. norm u *. norm v
+  | Zeno (v, gamma, rho, eps) ->
+      let center, b = zeno_to_sphere v gamma rho eps in
+      norm (sub u center) <= b
+
+(* Algorithm 2 on floats: pass iff sum of k squared Gaussian projections
+   <= B^2 gamma_{k,eps}.  In the protocol, one projection matrix A (from
+   the shared seed) is used for every client of a round; [projections]
+   lets callers sample A once and reuse it. *)
+type projections = { rows : float array array; gamma : float }
+
+let sample_projections ~k ~eps drbg ~d =
+  {
+    rows = Array.init k (fun _ -> Array.init d (fun _ -> Prng.Drbg.gaussian drbg));
+    gamma = Stats.Chisq.quantile_upper ~k ~eps;
+  }
+
+let chi2_check_with prj x b =
+  let sum = ref 0.0 in
+  Array.iter
+    (fun row ->
+      let proj = ref 0.0 in
+      Array.iteri (fun i a -> proj := !proj +. (a *. x.(i))) row;
+      sum := !sum +. (!proj *. !proj))
+    prj.rows;
+  !sum <= b *. b *. prj.gamma
+
+let probabilistic_with prj pred u =
+  match pred with
+  | L2 b -> chi2_check_with prj u b
+  | Sphere (v, b) -> chi2_check_with prj (sub u v) b
+  | Cosine (v, b, alpha) ->
+      (* the direction constraint uses the (committed) inner product, which
+         the server checks exactly; the norm side is probabilistic *)
+      chi2_check_with prj u b && dot u v >= alpha *. norm u *. norm v
+  | Zeno (v, gamma, rho, eps') ->
+      let center, b = zeno_to_sphere v gamma rho eps' in
+      chi2_check_with prj (sub u center) b
+
+let probabilistic ~k ~eps drbg pred u =
+  probabilistic_with (sample_projections ~k ~eps drbg ~d:(Array.length u)) pred u
+
+let name = function
+  | L2 _ -> "L2"
+  | Sphere _ -> "sphere"
+  | Cosine _ -> "cosine"
+  | Zeno _ -> "zeno++"

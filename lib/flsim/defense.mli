@@ -1,0 +1,43 @@
+(** Integrity-check predicates (§4.6) and their checkers.
+
+    Three checker variants mirror the paper's Figure 8 setup:
+    - [Strict] (NP-SC): the server sees plaintext updates and applies the
+      predicate exactly;
+    - [Probabilistic] (RiseFL): the predicate is evaluated through the
+      k-projection χ² test of Algorithm 2 — the float-level equivalent of
+      what the cryptographic pipeline enforces (the crypto layer's
+      faithfulness is established by the core test-suite);
+    - no checking (NP-NC) is expressed by not calling a checker at all. *)
+
+type predicate =
+  | L2 of float  (** ‖u‖₂ ≤ B *)
+  | Sphere of float array * float  (** ‖u − v‖₂ ≤ B *)
+  | Cosine of float array * float * float
+      (** ‖u‖₂ ≤ B and ⟨u,v⟩ ≥ α‖u‖‖v‖ (Bagdasaryan/Cao) *)
+  | Zeno of float array * float * float * float
+      (** γ⟨v,u⟩ − ρ‖u‖² ≥ γε, converted to a sphere test (§4.6) *)
+
+(** Euclidean norm (exposed for bound calibration). *)
+val norm : float array -> float
+
+(** [strict pred u] — exact plaintext evaluation (NP-SC). *)
+val strict : predicate -> float array -> bool
+
+(** [probabilistic ~k ~eps drbg pred u] — Algorithm 2: sample k Gaussian
+    directions, compare Σ⟨aₜ,x⟩² against B²·γ_{k,ε} for the predicate's
+    underlying norm test x (u, or u − v for sphere/Zeno). The cosine
+    direction constraint is evaluated on its committed inner product. *)
+val probabilistic : k:int -> eps:float -> Prng.Drbg.t -> predicate -> float array -> bool
+
+(** A sampled projection matrix (the round's shared A in the protocol),
+    reusable across all clients of a round. *)
+type projections
+
+val sample_projections : k:int -> eps:float -> Prng.Drbg.t -> d:int -> projections
+
+(** [probabilistic_with prj pred u] — like {!probabilistic} with a
+    pre-sampled matrix; this is how the protocol actually works (one A
+    per round for everyone) and is k·d draws cheaper per client. *)
+val probabilistic_with : projections -> predicate -> float array -> bool
+
+val name : predicate -> string

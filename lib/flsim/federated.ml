@@ -1,0 +1,127 @@
+type defense_kind = D_l2 | D_sphere | D_cosine of float
+
+type checker = Np_nc | Np_sc of defense_kind | Risefl of defense_kind * int
+
+type config = {
+  n_clients : int;
+  n_malicious : int;
+  attack : Attack.t;
+  checker : checker;
+  rounds : int;
+  lr : float;
+  batch : int option;
+  arch : Model.arch;
+  bound_factor : float;
+  non_iid_alpha : float option;
+  seed : string;
+}
+
+type round_log = { round : int; accuracy : float; rejected : int list }
+type result = { logs : round_log array; final_accuracy : float }
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n = 0 then 0.0 else if n land 1 = 1 then s.(n / 2) else 0.5 *. (s.((n / 2) - 1) +. s.(n / 2))
+
+let build_predicate kind ~bound ~reference =
+  match kind with
+  | D_l2 -> Defense.L2 bound
+  | D_sphere -> Defense.Sphere (reference, bound)
+  | D_cosine alpha -> Defense.Cosine (reference, bound, alpha)
+
+let train config ~data =
+  if config.n_malicious > config.n_clients then invalid_arg "Federated.train";
+  let root = Prng.Drbg.create_string config.seed in
+  let data_rng = Prng.Drbg.fork root "data" in
+  let train_set, test_set = Dataset.split data_rng data ~test_fraction:0.2 in
+  let parts =
+    match config.non_iid_alpha with
+    | None -> Dataset.partition train_set ~parts:config.n_clients
+    | Some alpha -> Dataset.partition_dirichlet data_rng train_set ~parts:config.n_clients ~alpha
+  in
+  (* the malicious clients poison their local data where the attack is
+     data-level (label flip) *)
+  let parts =
+    Array.mapi
+      (fun i part -> if i < config.n_malicious then Attack.poison_data config.attack part else part)
+      parts
+  in
+  let model =
+    Model.create (Prng.Drbg.fork root "init") config.arch ~n_features:data.Dataset.n_features
+      ~n_classes:data.Dataset.n_classes
+  in
+  let d = Model.n_params model in
+  let eps = 2.0 ** -128.0 in
+  (* bound auto-calibration state; fixed after round 1 *)
+  let bound = ref 0.0 in
+  let reference = ref (Array.make d 0.0) in
+  let logs =
+    Array.init config.rounds (fun r ->
+        let round_rng = Prng.Drbg.fork root (Printf.sprintf "round%d" r) in
+        let updates =
+          Array.mapi
+            (fun i part ->
+              let g =
+                Model.gradient model part ~batch:config.batch
+                  (Prng.Drbg.fork round_rng (Printf.sprintf "grad%d" i))
+              in
+              if i < config.n_malicious then
+                Attack.poison_update config.attack
+                  (Prng.Drbg.fork round_rng (Printf.sprintf "atk%d" i))
+                  g
+              else g)
+            parts
+        in
+        (* calibrate B on the first round's honest-update norms (the
+           deployment would fix B offline the same way) *)
+        if r = 0 then begin
+          let honest_norms =
+            Array.init (config.n_clients - config.n_malicious) (fun i ->
+                Defense.norm updates.(config.n_malicious + i))
+          in
+          bound := config.bound_factor *. median honest_norms
+        end;
+        let predicate () = build_predicate (match config.checker with
+          | Np_sc k | Risefl (k, _) -> k
+          | Np_nc -> D_l2) ~bound:!bound ~reference:!reference
+        in
+        let rejected = ref [] in
+        (* the protocol samples ONE projection matrix per round (from the
+           shared seed) used against every client *)
+        let projections =
+          match config.checker with
+          | Risefl (_, k) ->
+              Some (Defense.sample_projections ~k ~eps (Prng.Drbg.fork round_rng "check") ~d)
+          | Np_nc | Np_sc _ -> None
+        in
+        let accepted =
+          Array.to_list
+            (Array.mapi
+               (fun i u ->
+                 let ok =
+                   match (config.checker, projections) with
+                   | Np_nc, _ -> true
+                   | Np_sc _, _ -> Defense.strict (predicate ()) u
+                   | Risefl _, Some prj -> Defense.probabilistic_with prj (predicate ()) u
+                   | Risefl _, None -> assert false
+                 in
+                 if not ok then rejected := (i + 1) :: !rejected;
+                 (ok, u))
+               updates)
+          |> List.filter fst |> List.map snd
+        in
+        let n_acc = List.length accepted in
+        let agg = Array.make d 0.0 in
+        List.iter (fun u -> Array.iteri (fun l v -> agg.(l) <- agg.(l) +. v) u) accepted;
+        if n_acc > 0 then begin
+          let scale = 1.0 /. float_of_int n_acc in
+          Array.iteri (fun l v -> agg.(l) <- v *. scale) agg;
+          Model.step model agg ~lr:config.lr;
+          (* sphere/cosine reference direction: the previous global update *)
+          reference := Array.copy agg
+        end;
+        { round = r + 1; accuracy = Model.accuracy model test_set; rejected = List.rev !rejected })
+  in
+  { logs; final_accuracy = (if config.rounds = 0 then 0.0 else logs.(config.rounds - 1).accuracy) }

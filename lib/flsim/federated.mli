@@ -1,0 +1,40 @@
+(** The federated training loop of §6.3 / Figure 8: n clients (the first
+    [n_malicious] of them Byzantine), a server applying one of three
+    integrity-checking regimes, test accuracy recorded every round. *)
+
+(** Which defense predicate to build each round (as a function of the
+    current reference direction and auto-calibrated bound). *)
+type defense_kind =
+  | D_l2
+  | D_sphere
+  | D_cosine of float  (** α *)
+
+type checker =
+  | Np_nc  (** no checking: every update is aggregated *)
+  | Np_sc of defense_kind  (** strict plaintext checking *)
+  | Risefl of defense_kind * int  (** probabilistic checking with k samples *)
+
+type config = {
+  n_clients : int;
+  n_malicious : int;
+  attack : Attack.t;
+  checker : checker;
+  rounds : int;
+  lr : float;
+  batch : int option;
+  arch : Model.arch;
+  bound_factor : float;
+      (** B = bound_factor × median honest norm of round 1 (auto-calibration) *)
+  non_iid_alpha : float option;
+      (** [Some α]: Dirichlet(α) non-IID client partition; [None]: IID *)
+  seed : string;
+}
+
+type round_log = { round : int; accuracy : float; rejected : int list }
+
+type result = { logs : round_log array; final_accuracy : float }
+
+(** [train config ~data] — [data] is the full dataset; it is split 80/20
+    into train/test and the training part partitioned IID across clients.
+    Deterministic in [config.seed]. *)
+val train : config -> data:Dataset.t -> result

@@ -1,0 +1,164 @@
+type arch = Softmax | Mlp of int
+
+(* Parameters live in one flat array; layer views are computed offsets.
+   Softmax: W (classes x features) then b (classes).
+   MLP:     W1 (hidden x features), b1 (hidden), W2 (classes x hidden),
+            b2 (classes). *)
+type t = {
+  arch : arch;
+  n_features : int;
+  n_classes : int;
+  theta : float array;
+}
+
+let n_params_of arch ~n_features ~n_classes =
+  match arch with
+  | Softmax -> (n_classes * n_features) + n_classes
+  | Mlp h -> (h * n_features) + h + (n_classes * h) + n_classes
+
+let create drbg arch ~n_features ~n_classes =
+  let n = n_params_of arch ~n_features ~n_classes in
+  let scale = 1.0 /. sqrt (float_of_int n_features) in
+  { arch; n_features; n_classes; theta = Array.init n (fun _ -> scale *. Prng.Drbg.gaussian drbg) }
+
+let n_params t = Array.length t.theta
+let params t = Array.copy t.theta
+
+let set_params t p =
+  if Array.length p <> Array.length t.theta then invalid_arg "Model.set_params";
+  Array.blit p 0 t.theta 0 (Array.length p)
+
+let step t update ~lr =
+  if Array.length update <> Array.length t.theta then invalid_arg "Model.step";
+  Array.iteri (fun i g -> t.theta.(i) <- t.theta.(i) -. (lr *. g)) update
+
+let softmax logits =
+  let m = Array.fold_left Float.max neg_infinity logits in
+  let e = Array.map (fun v -> exp (v -. m)) logits in
+  let s = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun v -> v /. s) e
+
+(* forward pass producing class probabilities; for the MLP also returns
+   the hidden activations needed by backprop *)
+let forward t x =
+  match t.arch with
+  | Softmax ->
+      let f = t.n_features and c = t.n_classes in
+      let logits =
+        Array.init c (fun k ->
+            let off = k * f in
+            let acc = ref t.theta.((c * f) + k) in
+            for j = 0 to f - 1 do
+              acc := !acc +. (t.theta.(off + j) *. x.(j))
+            done;
+            !acc)
+      in
+      (softmax logits, [||])
+  | Mlp h ->
+      let f = t.n_features and c = t.n_classes in
+      let w1 = 0 and b1 = h * f in
+      let w2 = b1 + h and b2 = b1 + h + (c * h) in
+      let hidden =
+        Array.init h (fun u ->
+            let off = w1 + (u * f) in
+            let acc = ref t.theta.(b1 + u) in
+            for j = 0 to f - 1 do
+              acc := !acc +. (t.theta.(off + j) *. x.(j))
+            done;
+            tanh !acc)
+      in
+      let logits =
+        Array.init c (fun k ->
+            let off = w2 + (k * h) in
+            let acc = ref t.theta.(b2 + k) in
+            for u = 0 to h - 1 do
+              acc := !acc +. (t.theta.(off + u) *. hidden.(u))
+            done;
+            !acc)
+      in
+      (softmax logits, hidden)
+
+let accumulate_gradient t grad x y =
+  let probs, hidden = forward t x in
+  let c = t.n_classes and f = t.n_features in
+  (* dL/dlogit_k = p_k - [k = y] *)
+  let dlogit = Array.mapi (fun k p -> p -. if k = y then 1.0 else 0.0) probs in
+  match t.arch with
+  | Softmax ->
+      for k = 0 to c - 1 do
+        let off = k * f in
+        let dk = dlogit.(k) in
+        if dk <> 0.0 then
+          for j = 0 to f - 1 do
+            grad.(off + j) <- grad.(off + j) +. (dk *. x.(j))
+          done;
+        grad.((c * f) + k) <- grad.((c * f) + k) +. dk
+      done
+  | Mlp h ->
+      let w1 = 0 and b1 = h * f in
+      let w2 = b1 + h and b2 = b1 + h + (c * h) in
+      (* output layer *)
+      for k = 0 to c - 1 do
+        let off = w2 + (k * h) in
+        let dk = dlogit.(k) in
+        for u = 0 to h - 1 do
+          grad.(off + u) <- grad.(off + u) +. (dk *. hidden.(u))
+        done;
+        grad.(b2 + k) <- grad.(b2 + k) +. dk
+      done;
+      (* hidden layer: dL/dh_u = sum_k dlogit_k W2[k][u]; tanh' = 1 - h^2 *)
+      for u = 0 to h - 1 do
+        let dh = ref 0.0 in
+        for k = 0 to c - 1 do
+          dh := !dh +. (dlogit.(k) *. t.theta.(w2 + (k * h) + u))
+        done;
+        let da = !dh *. (1.0 -. (hidden.(u) *. hidden.(u))) in
+        if da <> 0.0 then begin
+          let off = w1 + (u * f) in
+          for j = 0 to f - 1 do
+            grad.(off + j) <- grad.(off + j) +. (da *. x.(j))
+          done;
+          grad.(b1 + u) <- grad.(b1 + u) +. da
+        end
+      done
+
+let gradient t (data : Dataset.t) ~batch drbg =
+  let n = Array.length data.Dataset.y in
+  if n = 0 then invalid_arg "Model.gradient: empty dataset";
+  let grad = Array.make (Array.length t.theta) 0.0 in
+  let indices =
+    match batch with
+    | None -> Array.init n Fun.id
+    | Some b -> Array.init (Stdlib.min b n) (fun _ -> Prng.Drbg.uniform_int drbg n)
+  in
+  Array.iter (fun i -> accumulate_gradient t grad data.Dataset.x.(i) data.Dataset.y.(i)) indices;
+  let scale = 1.0 /. float_of_int (Array.length indices) in
+  Array.map (fun g -> g *. scale) grad
+
+let accuracy t (data : Dataset.t) =
+  let n = Array.length data.Dataset.y in
+  if n = 0 then 0.0
+  else begin
+    let correct = ref 0 in
+    Array.iteri
+      (fun i x ->
+        let probs, _ = forward t x in
+        let best = ref 0 in
+        Array.iteri (fun k p -> if p > probs.(!best) then best := k) probs;
+        if !best = data.Dataset.y.(i) then incr correct)
+      data.Dataset.x;
+    float_of_int !correct /. float_of_int n
+  end
+
+let loss t (data : Dataset.t) =
+  let n = Array.length data.Dataset.y in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let probs, _ = forward t x in
+        acc := !acc -. log (Float.max 1e-12 probs.(data.Dataset.y.(i))))
+      data.Dataset.x;
+    !acc /. float_of_int n
+  end

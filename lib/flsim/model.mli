@@ -1,0 +1,39 @@
+(** Differentiable classifiers with a flat parameter-vector interface —
+    the shape federated learning needs: the server only ever sees (sums
+    of) flattened gradient vectors of dimension d = [n_params].
+
+    Two architectures: multinomial logistic (softmax) regression, and a
+    one-hidden-layer MLP with tanh activations (hand-written backprop).
+    These stand in for the paper's CNN / ResNet-18 / TabNet — any
+    gradient-based model exposes the identical update-vector interface,
+    which is all the integrity-check machinery interacts with. *)
+
+type arch =
+  | Softmax
+  | Mlp of int  (** hidden width *)
+
+type t
+
+(** [create drbg arch ~n_features ~n_classes] — small random init. *)
+val create : Prng.Drbg.t -> arch -> n_features:int -> n_classes:int -> t
+
+val n_params : t -> int
+
+(** Current parameters, flattened. *)
+val params : t -> float array
+
+(** Overwrite parameters from a flat vector. *)
+val set_params : t -> float array -> unit
+
+(** [gradient t data ~batch drbg] — average cross-entropy gradient over a
+    sampled batch (the whole dataset when [batch] is [None]), flattened. *)
+val gradient : t -> Dataset.t -> batch:int option -> Prng.Drbg.t -> float array
+
+(** [step t update ~lr] — params ← params − lr·update. *)
+val step : t -> float array -> lr:float -> unit
+
+(** Classification accuracy on a dataset. *)
+val accuracy : t -> Dataset.t -> float
+
+(** Mean cross-entropy loss (for monitoring). *)
+val loss : t -> Dataset.t -> float

@@ -1,0 +1,29 @@
+let block_size = 64
+
+let sha256 ~key data =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let k = Bytes.make block_size '\000' in
+  Bytes.blit key 0 k 0 (Bytes.length key);
+  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) k in
+  let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) k in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update inner data;
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer (Sha256.finalize inner);
+  Sha256.finalize outer
+
+let expand ~key ~info len =
+  if len > 255 * 32 then invalid_arg "Hmac.expand: too long";
+  let out = Buffer.create len in
+  let prev = ref Bytes.empty in
+  let counter = ref 1 in
+  while Buffer.length out < len do
+    let msg = Bytes.concat Bytes.empty [ !prev; Bytes.of_string info; Bytes.make 1 (Char.chr !counter) ] in
+    let t = sha256 ~key msg in
+    prev := t;
+    incr counter;
+    Buffer.add_bytes out t
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len

@@ -1,0 +1,13 @@
+(** HMAC (RFC 2104) over SHA-256, plus a small HKDF-style expander.
+
+    Used to derive the symmetric keys for pairwise client channels from
+    Diffie–Hellman shared points, and to key the PRG-SecAgg masks in the
+    ACORN baseline. *)
+
+(** [sha256 ~key data] is HMAC-SHA256 (32 bytes). *)
+val sha256 : key:Bytes.t -> Bytes.t -> Bytes.t
+
+(** [expand ~key ~info len] derives [len] bytes from [key] and the context
+    string [info] by counter-mode HMAC (HKDF-Expand shape).
+    @raise Invalid_argument if [len > 255 * 32]. *)
+val expand : key:Bytes.t -> info:string -> int -> Bytes.t

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for Fiat–Shamir transcripts, shared-seed derivation
+    [H(s, pk_1 .. pk_n)] and generator derivation. Implemented on native
+    ints with explicit 32-bit masking; verified against the FIPS test
+    vectors in the test suite. *)
+
+type ctx
+
+(** Fresh hashing context. *)
+val init : unit -> ctx
+
+(** [update ctx b] absorbs all of [b]. *)
+val update : ctx -> Bytes.t -> unit
+
+(** [update_string ctx s] absorbs all of [s]. *)
+val update_string : ctx -> string -> unit
+
+(** [finalize ctx] returns the 32-byte digest. The context must not be
+    reused afterwards. *)
+val finalize : ctx -> Bytes.t
+
+(** One-shot digest of a byte buffer. *)
+val digest : Bytes.t -> Bytes.t
+
+(** One-shot digest of a string. *)
+val digest_string : string -> Bytes.t
+
+(** Digest rendered as lowercase hex (convenience for tests/logging). *)
+val hex_digest_string : string -> string

@@ -1,0 +1,18 @@
+(** SHA-512 (FIPS 180-4).
+
+    Used where a 64-byte digest is convenient (wide reduction of hashes to
+    scalars modulo the group order without bias). Verified against FIPS
+    vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> Bytes.t -> unit
+val update_string : ctx -> string -> unit
+
+(** 64-byte digest; context must not be reused. *)
+val finalize : ctx -> Bytes.t
+
+val digest : Bytes.t -> Bytes.t
+val digest_string : string -> Bytes.t
+val hex_digest_string : string -> string

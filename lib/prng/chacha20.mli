@@ -1,0 +1,15 @@
+(** ChaCha20 block function (RFC 8439).
+
+    This is the deterministic PRG at the heart of every sampled object in
+    the protocol: the shared random vectors a_0..a_k, batch-verification
+    coefficients, Shamir polynomial coefficients, and the PRG-SecAgg masks
+    of the ACORN baseline. Verified against the RFC 8439 test vectors. *)
+
+(** [block ~key ~counter ~nonce] is the 64-byte keystream block for the
+    32-byte [key], 12-byte [nonce] and 32-bit block [counter].
+    @raise Invalid_argument on wrong key/nonce sizes. *)
+val block : key:Bytes.t -> counter:int -> nonce:Bytes.t -> Bytes.t
+
+(** [keystream ~key ~nonce ~off len] produces [len] keystream bytes
+    starting at byte offset [off] (any alignment) of the stream. *)
+val keystream : key:Bytes.t -> nonce:Bytes.t -> off:int -> int -> Bytes.t

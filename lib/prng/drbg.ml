@@ -1,0 +1,94 @@
+type t = {
+  key : Bytes.t;
+  nonce : Bytes.t;
+  mutable block : Bytes.t; (* current keystream block *)
+  mutable counter : int; (* next block index *)
+  mutable pos : int; (* consumed bytes within [block] *)
+  mutable cached_gauss : float option;
+}
+
+let refill t =
+  t.block <- Chacha20.block ~key:t.key ~counter:t.counter ~nonce:t.nonce;
+  t.counter <- t.counter + 1;
+  t.pos <- 0
+
+let create seed =
+  let key = Hashfn.Sha256.digest seed in
+  let t =
+    { key; nonce = Bytes.make 12 '\000'; block = Bytes.empty; counter = 0; pos = 64; cached_gauss = None }
+  in
+  t
+
+let create_string s = create (Bytes.of_string s)
+
+let fork t label =
+  let h = Hashfn.Sha256.init () in
+  Hashfn.Sha256.update h t.key;
+  Hashfn.Sha256.update_string h "/fork/";
+  Hashfn.Sha256.update_string h label;
+  {
+    key = Hashfn.Sha256.finalize h;
+    nonce = Bytes.make 12 '\000';
+    block = Bytes.empty;
+    counter = 0;
+    pos = 64;
+    cached_gauss = None;
+  }
+
+let byte t =
+  if t.pos >= 64 then refill t;
+  let v = Char.code (Bytes.get t.block t.pos) in
+  t.pos <- t.pos + 1;
+  v
+
+let bytes t n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (byte t))
+  done;
+  out
+
+let bits t n =
+  if n < 0 || n > 62 then invalid_arg "Drbg.bits";
+  let nbytes = (n + 7) / 8 in
+  let v = ref 0 in
+  for _ = 1 to nbytes do
+    v := (!v lsl 8) lor byte t
+  done;
+  !v land ((1 lsl n) - 1)
+
+let uniform_int t bound =
+  if bound < 1 then invalid_arg "Drbg.uniform_int";
+  if bound = 1 then 0
+  else begin
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    let nbits = width 0 (bound - 1) in
+    let rec draw () =
+      let v = bits t nbits in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let float t =
+  Stdlib.float_of_int (bits t 53) *. 0x1p-53
+
+let gaussian t =
+  match t.cached_gauss with
+  | Some v ->
+      t.cached_gauss <- None;
+      v
+  | None ->
+      (* Box–Muller; u1 in (0,1] to avoid log 0 *)
+      let u1 = 1.0 -. float t in
+      let u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.cached_gauss <- Some (r *. sin theta);
+      r *. cos theta
+
+let gaussian_discrete t ~m =
+  let v = gaussian t *. m in
+  int_of_float (Float.round v)
+
+let rand26 t () = bits t 26

@@ -1,0 +1,47 @@
+(** Deterministic random bit generator on ChaCha20.
+
+    A [t] is a seekable, forkable random stream: the same seed always
+    yields the same values, which is how the server and every client agree
+    on the random vectors a_0, …, a_k without transmitting them (§4.4.2 of
+    the paper — the seed is [H(s, pk_1 ‖ … ‖ pk_n)]). *)
+
+type t
+
+(** [create seed] builds a generator from a seed of any length (the seed is
+    hashed to a 32-byte ChaCha20 key). *)
+val create : Bytes.t -> t
+
+(** [create_string seed] — convenience wrapper over {!create}. *)
+val create_string : string -> t
+
+(** [fork t label] derives an independent stream; distinct labels give
+    computationally independent streams. The parent is unaffected. *)
+val fork : t -> string -> t
+
+(** [byte t] draws one uniform byte. *)
+val byte : t -> int
+
+(** [bytes t n] draws [n] uniform bytes. *)
+val bytes : t -> int -> Bytes.t
+
+(** [bits t n] draws a uniform integer in [0, 2^n), [0 <= n <= 62]. *)
+val bits : t -> int -> int
+
+(** [uniform_int t bound] draws uniformly from [0, bound) by rejection
+    sampling; [bound >= 1]. *)
+val uniform_int : t -> int -> int
+
+(** [float t] draws a uniform float in [0, 1) with 53 bits of precision. *)
+val float : t -> float
+
+(** [gaussian t] draws a standard normal via Box–Muller (caches the paired
+    variate). *)
+val gaussian : t -> float
+
+(** [gaussian_discrete t ~m] draws [round(N(0, m^2))] — the discretized
+    normal samples of Algorithm 2 with discretization factor M. *)
+val gaussian_discrete : t -> m:float -> int
+
+(** [rand26 t] is a supplier of uniform 26-bit values (for
+    {!Bigint.random}). *)
+val rand26 : t -> unit -> int

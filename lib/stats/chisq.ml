@@ -1,0 +1,24 @@
+let cdf ~k x =
+  if k <= 0 then invalid_arg "Chisq.cdf";
+  if x <= 0.0 then 0.0 else Special.gamma_p (float_of_int k /. 2.0) (x /. 2.0)
+
+let sf ~k x =
+  if k <= 0 then invalid_arg "Chisq.sf";
+  if x <= 0.0 then 1.0 else Special.gamma_q (float_of_int k /. 2.0) (x /. 2.0)
+
+let quantile_upper ~k ~eps =
+  if eps <= 0.0 || eps >= 1.0 then invalid_arg "Chisq.quantile_upper";
+  (* sf is strictly decreasing; bracket the root then bisect.  The tail at
+     eps ~ 2^-128 sits around k + O(sqrt(k) * 128 + 128): growing the upper
+     bracket geometrically is cheap and safe. *)
+  let lo = ref 0.0 in
+  let hi = ref (float_of_int (Stdlib.max k 1)) in
+  while sf ~k !hi > eps do
+    lo := !hi;
+    hi := !hi *. 2.0
+  done;
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if sf ~k mid > eps then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)

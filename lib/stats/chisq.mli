@@ -1,0 +1,13 @@
+(** The χ²_k distribution and the extreme-tail quantile γ_{k,ε} of
+    Algorithm 2: the bound such that Pr[t < γ_{k,ε}] = 1 − ε for
+    t ~ χ²_k, with ε as small as 2^−128. *)
+
+(** [cdf ~k x] = Pr[t <= x], t ~ χ²_k. *)
+val cdf : k:int -> float -> float
+
+(** [sf ~k x] = Pr[t > x] (survival function). *)
+val sf : k:int -> float -> float
+
+(** [quantile_upper ~k ~eps] is γ with sf ~k γ = eps (so
+    Pr[t < γ] = 1 − eps). Accurate for eps down to ~1e-300. *)
+val quantile_upper : k:int -> eps:float -> float

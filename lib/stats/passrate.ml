@@ -1,0 +1,58 @@
+type params = { k : int; eps : float; d : int; m_factor : float }
+
+let gamma p = Chisq.quantile_upper ~k:p.k ~eps:p.eps
+
+let rounding_term p = sqrt (float_of_int p.k *. float_of_int p.d) /. (2.0 *. p.m_factor)
+
+let b0 p ~b =
+  let g = gamma p in
+  let s = sqrt g +. rounding_term p in
+  Float.round (ceil (b *. b *. p.m_factor *. p.m_factor *. s *. s))
+
+let f p c =
+  if c <= 0.0 then invalid_arg "Passrate.f";
+  let g = gamma p in
+  let s = sqrt g +. (3.0 *. rounding_term p) in
+  Chisq.cdf ~k:p.k (s *. s /. (c *. c))
+
+let expected_damage p c = c *. f p c
+
+(* c * F(c) is unimodal on (1, inf) (increasing then decreasing, §5.1),
+   but essentially zero outside a narrow band just above 1, which starves
+   bracketing searches.  A fine grid scan locates the peak's neighborhood;
+   golden-section then refines inside it. *)
+let max_damage p =
+  let grid_n = 2000 in
+  let grid c_i = 1.0 +. (15.0 *. float_of_int c_i /. float_of_int grid_n) in
+  let best = ref 0 and best_v = ref (expected_damage p (grid 0)) in
+  for i = 1 to grid_n do
+    let v = expected_damage p (grid i) in
+    if v > !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  let lo = grid (Stdlib.max 0 (!best - 1)) and hi = grid (Stdlib.min grid_n (!best + 1)) in
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (expected_damage p !x1) and f2 = ref (expected_damage p !x2) in
+  for _ = 1 to 200 do
+    if !f1 > !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := expected_damage p !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := expected_damage p !x2
+    end
+  done;
+  let c = 0.5 *. (!a +. !b) in
+  (c, expected_damage p c)

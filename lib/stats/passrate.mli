@@ -1,0 +1,28 @@
+(** Theorem 1 quantities: the malicious-pass-rate function F_{k,ε,d,M}
+    and the expected-damage analysis behind Figure 5 of the paper. *)
+
+type params = {
+  k : int;  (** number of Gaussian projections *)
+  eps : float;  (** per-check failure budget for honest clients, e.g. 2^−128 *)
+  d : int;  (** model dimension *)
+  m_factor : float;  (** discretization factor M, e.g. 2^24 *)
+}
+
+(** γ_{k,ε} for these parameters. *)
+val gamma : params -> float
+
+(** The integer bound B0 = B²·M²·(√γ_{k,ε} + √(kd)/(2M))² of Theorem 1,
+    given the L2 bound [b] (in encoded units). Rounded up. *)
+val b0 : params -> b:float -> float
+
+(** [f params c] = F_{k,ε,d,M}(c): an upper bound on the probability that
+    a malicious update with ‖u‖₂ = c·B passes the check (Eqn 8). *)
+val f : params -> float -> float
+
+(** [expected_damage params c] = c · F(c): expected damage magnitude (in
+    units of B) from submitting at ‖u‖₂ = c·B. *)
+val expected_damage : params -> float -> float
+
+(** [max_damage params] maximizes {!expected_damage} over c ∈ (1, ∞)
+    (Eqn 12); returns [(c_star, damage)]. *)
+val max_damage : params -> float * float

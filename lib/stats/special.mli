@@ -1,0 +1,14 @@
+(** Special functions needed by the probabilistic integrity check:
+    log-gamma and the regularized incomplete gamma functions, accurate far
+    into the tail (ε down to 2^−128 ≈ 2.9·10^−39, well inside double
+    range). *)
+
+(** [ln_gamma x] for x > 0 (Lanczos approximation, ~15 digits). *)
+val ln_gamma : float -> float
+
+(** Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), for
+    a > 0, x >= 0. *)
+val gamma_p : float -> float -> float
+
+(** Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x). *)
+val gamma_q : float -> float -> float

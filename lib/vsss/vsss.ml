@@ -1,0 +1,74 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+
+type share = { idx : int; value : Scalar.t }
+type check = Point.t array
+
+(* Horner evaluation of the share polynomial at a small point x. *)
+let eval_poly coeffs x =
+  let acc = ref Scalar.zero in
+  for j = Array.length coeffs - 1 downto 0 do
+    acc := Scalar.add (Scalar.mul_small !acc x) coeffs.(j)
+  done;
+  !acc
+
+let share drbg ~secret ~n ~t ~g =
+  if t <= 0 || t > n then invalid_arg "Vsss.share: need 0 < t <= n";
+  let coeffs = Array.init t (fun j -> if j = 0 then secret else Scalar.random drbg) in
+  let shares = Array.init n (fun i -> { idx = i + 1; value = eval_poly coeffs (i + 1) }) in
+  let check = Array.map (fun c -> Point.mul c g) coeffs in
+  (shares, check)
+
+let verify ~g ~check s =
+  if s.idx <= 0 || Array.length check = 0 then false
+  else begin
+    (* g^{f(i)} = prod_j Psi_j^{i^j}; exponents i^j grow to full scalar
+       width for large j, so use the generic MSM *)
+    let x = Scalar.of_int s.idx in
+    let pow = ref Scalar.one in
+    let pairs =
+      Array.map
+        (fun psi ->
+          let e = !pow in
+          pow := Scalar.mul !pow x;
+          (e, psi))
+        check
+    in
+    Point.equal (Point.mul s.value g) (Msm.msm pairs)
+  end
+
+let commitment_of_check c =
+  if Array.length c = 0 then invalid_arg "Vsss.commitment_of_check";
+  c.(0)
+
+let add_shares a b =
+  if a.idx <> b.idx then invalid_arg "Vsss.add_shares: index mismatch";
+  { a with value = Scalar.add a.value b.value }
+
+let add_checks a b =
+  if Array.length a <> Array.length b then invalid_arg "Vsss.add_checks: length mismatch";
+  Array.map2 Point.add a b
+
+let recover shares =
+  match shares with
+  | [] -> invalid_arg "Vsss.recover: no shares"
+  | _ ->
+      let idxs = List.map (fun s -> s.idx) shares in
+      let distinct = List.sort_uniq compare idxs in
+      if List.length distinct <> List.length idxs then invalid_arg "Vsss.recover: duplicate shares";
+      (* secret = sum_i lambda_i * y_i, lambda_i = prod_{j<>i} x_j / (x_j - x_i) *)
+      List.fold_left
+        (fun acc s ->
+          let num, den =
+            List.fold_left
+              (fun (num, den) s' ->
+                if s'.idx = s.idx then (num, den)
+                else
+                  ( Scalar.mul_small num s'.idx,
+                    Scalar.mul den (Scalar.of_int (s'.idx - s.idx)) ))
+              (Scalar.one, Scalar.one) shares
+          in
+          let lambda = Scalar.mul num (Scalar.inv den) in
+          Scalar.add acc (Scalar.mul lambda s.value))
+        Scalar.zero shares

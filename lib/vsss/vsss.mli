@@ -1,0 +1,44 @@
+(** Verifiable Shamir secret sharing (t-out-of-n) over ℤ_ℓ with
+    Feldman-style check strings, exactly the SS.Share / SS.Verify /
+    SS.Recover triple of §2 of the paper.
+
+    The check string Ψ = (g^r, g^{f_1}, …, g^{f_{t−1}}) exposes g^r; this
+    is safe here because the only secrets shared through this module are
+    the {e uniformly random} Pedersen blinds r_i — never the (short,
+    guessable) model updates. That division of labour is the paper's
+    hybrid commitment scheme (§4.3 and footnote 3).
+
+    Both shares and check strings are additively homomorphic, which is
+    what makes the secure-aggregation round (§4.5) work. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type share = { idx : int  (** evaluation point, in [1, n] *); value : Scalar.t }
+
+(** The check string; element 0 commits the secret: Ψ(0) = g^secret. *)
+type check = Point.t array
+
+(** [share drbg ~secret ~n ~t ~g] draws a random degree-(t−1) polynomial f
+    with f(0) = secret and returns ([f(1) … f(n)], Ψ).
+    @raise Invalid_argument unless 0 < t <= n. *)
+val share : Prng.Drbg.t -> secret:Scalar.t -> n:int -> t:int -> g:Point.t -> share array * check
+
+(** [verify ~g ~check s] — SS.Verify: g^{s.value} = Π_j Ψ_j^{idx^j}. *)
+val verify : g:Point.t -> check:check -> share -> bool
+
+(** [recover shares] — Lagrange interpolation at 0. Requires at least
+    [t] shares with pairwise distinct indices (not validated against the
+    original [t]; fewer shares silently reconstruct garbage, as in any
+    Shamir scheme).
+    @raise Invalid_argument on duplicate or empty input. *)
+val recover : share list -> Scalar.t
+
+(** [commitment_of_check c] = Ψ(0) = g^secret (the [z_i] of §4.3). *)
+val commitment_of_check : check -> Point.t
+
+(** Homomorphic combination: [add_shares a b] requires equal indices. *)
+val add_shares : share -> share -> share
+
+(** [add_checks a b] multiplies check strings element-wise. *)
+val add_checks : check -> check -> check

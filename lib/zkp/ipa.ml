@@ -1,0 +1,99 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+
+type proof = { ls : Point.t array; rs : Point.t array; a : Scalar.t; b : Scalar.t }
+
+let dot a b =
+  let acc = ref Scalar.zero in
+  Array.iteri (fun i ai -> acc := Scalar.add !acc (Scalar.mul ai b.(i))) a;
+  !acc
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let prove tr ~g ~h ~u ~a ~b =
+  let n = Array.length g in
+  if not (is_pow2 n) then invalid_arg "Ipa.prove: length must be a power of two";
+  if Array.length h <> n || Array.length a <> n || Array.length b <> n then
+    invalid_arg "Ipa.prove: length mismatch";
+  let g = ref (Array.copy g) and h = ref (Array.copy h) in
+  let a = ref (Array.copy a) and b = ref (Array.copy b) in
+  let ls = ref [] and rs = ref [] in
+  while Array.length !a > 1 do
+    let n = Array.length !a in
+    let half = n / 2 in
+    let a_lo = Array.sub !a 0 half and a_hi = Array.sub !a half half in
+    let b_lo = Array.sub !b 0 half and b_hi = Array.sub !b half half in
+    let g_lo = Array.sub !g 0 half and g_hi = Array.sub !g half half in
+    let h_lo = Array.sub !h 0 half and h_hi = Array.sub !h half half in
+    (* L = g_hi^{a_lo} h_lo^{b_hi} u^{<a_lo, b_hi>} *)
+    let l =
+      Msm.msm
+        (Array.append
+           (Array.append (Array.map2 (fun s p -> (s, p)) a_lo g_hi) (Array.map2 (fun s p -> (s, p)) b_hi h_lo))
+           [| (dot a_lo b_hi, u) |])
+    in
+    let r =
+      Msm.msm
+        (Array.append
+           (Array.append (Array.map2 (fun s p -> (s, p)) a_hi g_lo) (Array.map2 (fun s p -> (s, p)) b_lo h_hi))
+           [| (dot a_hi b_lo, u) |])
+    in
+    Transcript.append_point tr ~label:"ipa/L" l;
+    Transcript.append_point tr ~label:"ipa/R" r;
+    ls := l :: !ls;
+    rs := r :: !rs;
+    let x = Transcript.challenge_nonzero tr ~label:"ipa/x" in
+    let xinv = Scalar.inv x in
+    a := Array.init half (fun i -> Scalar.add (Scalar.mul a_lo.(i) x) (Scalar.mul a_hi.(i) xinv));
+    b := Array.init half (fun i -> Scalar.add (Scalar.mul b_lo.(i) xinv) (Scalar.mul b_hi.(i) x));
+    g := Array.init half (fun i -> Point.double_mul xinv g_lo.(i) x g_hi.(i));
+    h := Array.init half (fun i -> Point.double_mul x h_lo.(i) xinv h_hi.(i))
+  done;
+  { ls = Array.of_list (List.rev !ls); rs = Array.of_list (List.rev !rs); a = !a.(0); b = !b.(0) }
+
+let verify tr ~g ~h ~u ~p proof =
+  let n = Array.length g in
+  if not (is_pow2 n) || Array.length h <> n then false
+  else begin
+    let rounds = Array.length proof.ls in
+    if Array.length proof.rs <> rounds || 1 lsl rounds <> n then false
+    else begin
+      (* replay the challenges *)
+      let xs = Array.make rounds Scalar.zero in
+      for j = 0 to rounds - 1 do
+        Transcript.append_point tr ~label:"ipa/L" proof.ls.(j);
+        Transcript.append_point tr ~label:"ipa/R" proof.rs.(j);
+        xs.(j) <- Transcript.challenge_nonzero tr ~label:"ipa/x"
+      done;
+      let xinvs = Array.map Scalar.inv xs in
+      (* s_i = prod_j x_j^{eps(i,j)}: eps = +1 when bit (rounds-1-j) of i is
+         set (round j splits on that bit), else -1 *)
+      let s = Array.make n Scalar.one in
+      for i = 0 to n - 1 do
+        let acc = ref Scalar.one in
+        for j = 0 to rounds - 1 do
+          let bit = (i lsr (rounds - 1 - j)) land 1 in
+          acc := Scalar.mul !acc (if bit = 1 then xs.(j) else xinvs.(j))
+        done;
+        s.(i) <- !acc
+      done;
+      (* check: P * prod L_j^{x_j^2} R_j^{x_j^-2} = g^{a s} h^{b / s} u^{ab}
+         rearranged into a single MSM equal to the identity. *)
+      let pairs = ref [] in
+      for i = 0 to n - 1 do
+        pairs := (Scalar.mul proof.a s.(i), g.(i)) :: !pairs;
+        (* s_{n-1-i} has every challenge exponent flipped, so it IS 1/s_i *)
+        pairs := (Scalar.mul proof.b s.(n - 1 - i), h.(i)) :: !pairs
+      done;
+      pairs := (Scalar.mul proof.a proof.b, u) :: !pairs;
+      for j = 0 to rounds - 1 do
+        pairs := (Scalar.neg (Scalar.square xs.(j)), proof.ls.(j)) :: !pairs;
+        pairs := (Scalar.neg (Scalar.square xinvs.(j)), proof.rs.(j)) :: !pairs
+      done;
+      let rhs = Msm.msm (Array.of_list !pairs) in
+      Point.equal rhs p
+    end
+  end
+
+let size_bytes p = (32 * (Array.length p.ls + Array.length p.rs)) + 64

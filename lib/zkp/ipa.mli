@@ -1,0 +1,29 @@
+(** The Bulletproofs inner-product argument (Bünz et al., S&P 2018, §3).
+
+    Proves knowledge of vectors a, b with
+    P = Π gᵢ^{aᵢ} · Π hᵢ^{bᵢ} · u^{⟨a,b⟩}
+    using 2·log₂ n group elements. Vector length must be a power of two
+    (the range-proof layer arranges this). *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+type proof = {
+  ls : Point.t array;  (** left cross terms, one per halving round *)
+  rs : Point.t array;  (** right cross terms *)
+  a : Scalar.t;  (** final folded a *)
+  b : Scalar.t;  (** final folded b *)
+}
+
+(** [prove tr ~g ~h ~u ~a ~b]. Lengths of [g], [h], [a], [b] must be an
+    equal power of two. The caller must already have absorbed P into the
+    transcript. *)
+val prove :
+  Transcript.t -> g:Point.t array -> h:Point.t array -> u:Point.t -> a:Scalar.t array -> b:Scalar.t array -> proof
+
+(** [verify tr ~g ~h ~u ~p proof] checks the argument for commitment [p]
+    with a single multi-scalar multiplication. *)
+val verify :
+  Transcript.t -> g:Point.t array -> h:Point.t array -> u:Point.t -> p:Point.t -> proof -> bool
+
+val size_bytes : proof -> int

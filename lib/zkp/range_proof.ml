@@ -1,0 +1,220 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+module Gens = Curve25519.Gens
+
+type gens = { gv : Point.t array; hv : Point.t array; u : Point.t }
+
+let make_gens ~label n =
+  {
+    gv = Gens.derive_many (label ^ "/bp-g") n;
+    hv = Gens.derive_many (label ^ "/bp-h") n;
+    u = Gens.derive (label ^ "/bp-u");
+  }
+
+type proof = {
+  a : Point.t;
+  s : Point.t;
+  t1 : Point.t;
+  t2 : Point.t;
+  t_hat : Scalar.t;
+  tau_x : Scalar.t;
+  mu : Scalar.t;
+  ipa : Ipa.proof;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+let next_pow2 n = if is_pow2 n then n else 1 lsl (let rec f a v = if v = 0 then a else f (a+1) (v lsr 1) in f 0 n)
+
+let check_bits bits =
+  if not (is_pow2 bits) || bits < 2 || bits > 128 then
+    invalid_arg "Range_proof: bits must be a power of two in [2, 128]"
+
+(* powers [x^0; x^1; ...; x^{n-1}] *)
+let powers x n =
+  let a = Array.make n Scalar.one in
+  for i = 1 to n - 1 do
+    a.(i) <- Scalar.mul a.(i - 1) x
+  done;
+  a
+
+let dot a b =
+  let acc = ref Scalar.zero in
+  Array.iteri (fun i ai -> acc := Scalar.add !acc (Scalar.mul ai b.(i))) a;
+  !acc
+
+let two_n_minus_1 bits = Bigint.sub (Bigint.shift_left Bigint.one bits) Bigint.one
+
+(* z_vec_i = z^{2+j} * 2^{i mod n} for i in block j *)
+let z_vec ~z ~bits ~m =
+  let n_total = bits * m in
+  let out = Array.make n_total Scalar.zero in
+  let zj = ref (Scalar.square z) in
+  for j = 0 to m - 1 do
+    let pow2 = ref Scalar.one in
+    let two = Scalar.of_int 2 in
+    for b = 0 to bits - 1 do
+      out.((j * bits) + b) <- Scalar.mul !zj !pow2;
+      pow2 := Scalar.mul !pow2 two
+    done;
+    zj := Scalar.mul !zj z
+  done;
+  out
+
+let absorb_statement tr ~g ~h ~bits ~commitments =
+  Transcript.append_int tr ~label:"rp/bits" bits;
+  Transcript.append_point tr ~label:"rp/g" g;
+  Transcript.append_point tr ~label:"rp/h" h;
+  Transcript.append_points tr ~label:"rp/V" commitments
+
+let prove drbg tr ~gens ~g ~h ~bits ~values ~blinds =
+  check_bits bits;
+  let m_orig = Array.length values in
+  if m_orig = 0 || Array.length blinds <> m_orig then invalid_arg "Range_proof.prove: shapes";
+  Array.iter
+    (fun v ->
+      if Bigint.sign v < 0 || Bigint.bit_length v > bits then
+        invalid_arg "Range_proof.prove: value out of range")
+    values;
+  (* pad the value count to a power of two with (0, 0) openings *)
+  let m = next_pow2 m_orig in
+  let values = Array.append values (Array.make (m - m_orig) Bigint.zero) in
+  let blinds = Array.append blinds (Array.make (m - m_orig) Scalar.zero) in
+  let nt = bits * m in
+  if Array.length gens.gv < nt || Array.length gens.hv < nt then
+    invalid_arg "Range_proof.prove: generator set too small";
+  let gv = Array.sub gens.gv 0 nt and hv = Array.sub gens.hv 0 nt in
+  let commitments =
+    Array.init m_orig (fun j -> Point.double_mul (Scalar.of_bigint values.(j)) g blinds.(j) h)
+  in
+  absorb_statement tr ~g ~h ~bits ~commitments;
+  (* bit decomposition: a_L, a_R = a_L - 1 *)
+  let al =
+    Array.init nt (fun i -> if Bigint.testbit values.(i / bits) (i mod bits) then Scalar.one else Scalar.zero)
+  in
+  let ar = Array.map (fun b -> Scalar.sub b Scalar.one) al in
+  let alpha = Scalar.random drbg in
+  let a_pt =
+    Msm.msm
+      (Array.append
+         [| (alpha, h) |]
+         (Array.append (Array.mapi (fun i b -> (b, gv.(i))) al) (Array.mapi (fun i b -> (b, hv.(i))) ar)))
+  in
+  let sl = Array.init nt (fun _ -> Scalar.random drbg) in
+  let sr = Array.init nt (fun _ -> Scalar.random drbg) in
+  let rho = Scalar.random drbg in
+  let s_pt =
+    Msm.msm
+      (Array.append
+         [| (rho, h) |]
+         (Array.append (Array.mapi (fun i b -> (b, gv.(i))) sl) (Array.mapi (fun i b -> (b, hv.(i))) sr)))
+  in
+  Transcript.append_point tr ~label:"rp/A" a_pt;
+  Transcript.append_point tr ~label:"rp/S" s_pt;
+  let y = Transcript.challenge_nonzero tr ~label:"rp/y" in
+  let z = Transcript.challenge_nonzero tr ~label:"rp/z" in
+  let ys = powers y nt in
+  let zv = z_vec ~z ~bits ~m in
+  (* l(X) = (aL - z 1) + sL X ; r(X) = ys o (aR + z 1 + sR X) + zv *)
+  let l0 = Array.map (fun b -> Scalar.sub b z) al in
+  let l1 = sl in
+  let r0 = Array.mapi (fun i b -> Scalar.add (Scalar.mul ys.(i) (Scalar.add b z)) zv.(i)) ar in
+  let r1 = Array.mapi (fun i sri -> Scalar.mul ys.(i) sri) sr in
+  let t0 = dot l0 r0 in
+  let t2 = dot l1 r1 in
+  let t1 = Scalar.sub (Scalar.sub (dot (Array.map2 Scalar.add l0 l1) (Array.map2 Scalar.add r0 r1)) t0) t2 in
+  let tau1 = Scalar.random drbg and tau2 = Scalar.random drbg in
+  let t1_pt = Point.double_mul t1 g tau1 h in
+  let t2_pt = Point.double_mul t2 g tau2 h in
+  Transcript.append_point tr ~label:"rp/T1" t1_pt;
+  Transcript.append_point tr ~label:"rp/T2" t2_pt;
+  let x = Transcript.challenge_nonzero tr ~label:"rp/x" in
+  let l = Array.init nt (fun i -> Scalar.add l0.(i) (Scalar.mul l1.(i) x)) in
+  let r = Array.init nt (fun i -> Scalar.add r0.(i) (Scalar.mul r1.(i) x)) in
+  let t_hat = dot l r in
+  let x2 = Scalar.square x in
+  let tau_x =
+    let zjs = powers z (m + 2) in
+    let blind_term = ref Scalar.zero in
+    Array.iteri (fun j gamma -> blind_term := Scalar.add !blind_term (Scalar.mul zjs.(j + 2) gamma)) blinds;
+    Scalar.add (Scalar.add (Scalar.mul tau1 x) (Scalar.mul tau2 x2)) !blind_term
+  in
+  let mu = Scalar.add alpha (Scalar.mul rho x) in
+  Transcript.append_scalar tr ~label:"rp/t_hat" t_hat;
+  Transcript.append_scalar tr ~label:"rp/tau_x" tau_x;
+  Transcript.append_scalar tr ~label:"rp/mu" mu;
+  let w = Transcript.challenge_nonzero tr ~label:"rp/w" in
+  let u_x = Point.mul w gens.u in
+  (* h'_i = h_i^{y^-i}; the IPA runs over (gv, h') *)
+  let yinv = Scalar.inv y in
+  let yinv_pows = powers yinv nt in
+  let hv' = Array.init nt (fun i -> Point.mul yinv_pows.(i) hv.(i)) in
+  let ipa = Ipa.prove tr ~g:gv ~h:hv' ~u:u_x ~a:l ~b:r in
+  { a = a_pt; s = s_pt; t1 = t1_pt; t2 = t2_pt; t_hat; tau_x; mu; ipa }
+
+let verify tr ~gens ~g ~h ~bits ~commitments proof =
+  check_bits bits;
+  let m_orig = Array.length commitments in
+  if m_orig = 0 then false
+  else begin
+    let m = next_pow2 m_orig in
+    let nt = bits * m in
+    if Array.length gens.gv < nt || Array.length gens.hv < nt then false
+    else begin
+      let gv = Array.sub gens.gv 0 nt and hv = Array.sub gens.hv 0 nt in
+      let vs = Array.append commitments (Array.make (m - m_orig) Point.identity) in
+      absorb_statement tr ~g ~h ~bits ~commitments;
+      Transcript.append_point tr ~label:"rp/A" proof.a;
+      Transcript.append_point tr ~label:"rp/S" proof.s;
+      let y = Transcript.challenge_nonzero tr ~label:"rp/y" in
+      let z = Transcript.challenge_nonzero tr ~label:"rp/z" in
+      Transcript.append_point tr ~label:"rp/T1" proof.t1;
+      Transcript.append_point tr ~label:"rp/T2" proof.t2;
+      let x = Transcript.challenge_nonzero tr ~label:"rp/x" in
+      Transcript.append_scalar tr ~label:"rp/t_hat" proof.t_hat;
+      Transcript.append_scalar tr ~label:"rp/tau_x" proof.tau_x;
+      Transcript.append_scalar tr ~label:"rp/mu" proof.mu;
+      let w = Transcript.challenge_nonzero tr ~label:"rp/w" in
+      let u_x = Point.mul w gens.u in
+      let ys = powers y nt in
+      let zjs = powers z (m + 3) in
+      let x2 = Scalar.square x in
+      (* check 1: g^{t_hat} h^{tau_x} = g^{delta} V^{z^{2+j}} T1^x T2^{x^2} *)
+      let sum_y = Array.fold_left Scalar.add Scalar.zero ys in
+      let two_n = Scalar.of_bigint (two_n_minus_1 bits) in
+      let sum_z3 = ref Scalar.zero in
+      for j = 0 to m - 1 do
+        sum_z3 := Scalar.add !sum_z3 zjs.(j + 3)
+      done;
+      let delta = Scalar.sub (Scalar.mul (Scalar.sub z (Scalar.square z)) sum_y) (Scalar.mul !sum_z3 two_n) in
+      let lhs1 = Point.double_mul proof.t_hat g proof.tau_x h in
+      let rhs1 =
+        Msm.msm
+          (Array.append
+             [| (delta, g); (x, proof.t1); (x2, proof.t2) |]
+             (Array.mapi (fun j v -> (zjs.(j + 2), v)) vs))
+      in
+      if not (Point.equal lhs1 rhs1) then false
+      else begin
+        (* check 2: IPA on P = A S^x g^{-z} h'^{(z ys + zv) adj} h^{-mu} u_x^{t_hat} *)
+        let zv = z_vec ~z ~bits ~m in
+        let yinv = Scalar.inv y in
+        let yinv_pows = powers yinv nt in
+        let hv' = Array.init nt (fun i -> Point.mul yinv_pows.(i) hv.(i)) in
+        (* exponent over h'_i is z*y^i + zv_i *)
+        let h_exp = Array.init nt (fun i -> Scalar.add (Scalar.mul z ys.(i)) zv.(i)) in
+        let p =
+          Msm.msm
+            (Array.concat
+               [
+                 [| (Scalar.one, proof.a); (x, proof.s); (Scalar.neg proof.mu, h); (proof.t_hat, u_x) |];
+                 Array.map (fun gi -> (Scalar.neg z, gi)) gv;
+                 Array.mapi (fun i hi -> (h_exp.(i), hi)) hv';
+               ])
+        in
+        Ipa.verify tr ~g:gv ~h:hv' ~u:u_x ~p proof.ipa
+      end
+    end
+  end
+
+let size_bytes p = (4 * 32) + (3 * 32) + Ipa.size_bytes p.ipa

@@ -1,0 +1,63 @@
+(** Bulletproofs aggregated range proofs (Bünz et al. 2018, §4.2–4.3) —
+    the paper's GenPrfBd/VerPrfBd.
+
+    Proves that each of m committed values lies in [0, 2^bits), with a
+    proof of size O(log(m·bits)) thanks to the inner-product argument.
+    RiseFL uses this twice per client per round: the σ proof that each
+    projection ⟨a_t, u_i⟩ avoids squaring overflow, and the μ proof that
+    B₀ − Σ_t ⟨a_t,u_i⟩² is non-negative (§4.4.2).
+
+    [bits] must be a power of two in [2, 128]; the number of values is
+    padded internally to a power of two with zero-valued commitments, so
+    any m works. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+(** Generator set. [gv]/[hv] must be at least as long as the largest
+    bits·m_padded a proof will use; [u] binds the inner product. Derive
+    once per deployment via {!make_gens}. *)
+type gens = { gv : Point.t array; hv : Point.t array; u : Point.t }
+
+(** [make_gens ~label n] derives 2n+1 independent generators. *)
+val make_gens : label:string -> int -> gens
+
+type proof = {
+  a : Point.t;
+  s : Point.t;
+  t1 : Point.t;
+  t2 : Point.t;
+  t_hat : Scalar.t;
+  tau_x : Scalar.t;
+  mu : Scalar.t;
+  ipa : Ipa.proof;
+}
+
+(** [prove drbg tr ~gens ~g ~h ~bits ~values ~blinds] — [values.(j)] must
+    be a non-negative bigint < 2^bits committed as g^{v_j}·h^{γ_j} with
+    [blinds.(j)] = γ_j. The commitments themselves are recomputed and
+    absorbed, so prover and verifier bind the same statement.
+    @raise Invalid_argument on bad shapes, bits, or out-of-range values. *)
+val prove :
+  Prng.Drbg.t ->
+  Transcript.t ->
+  gens:gens ->
+  g:Point.t ->
+  h:Point.t ->
+  bits:int ->
+  values:Bigint.t array ->
+  blinds:Scalar.t array ->
+  proof
+
+(** [verify tr ~gens ~g ~h ~bits ~commitments proof]. *)
+val verify :
+  Transcript.t ->
+  gens:gens ->
+  g:Point.t ->
+  h:Point.t ->
+  bits:int ->
+  commitments:Point.t array ->
+  proof ->
+  bool
+
+val size_bytes : proof -> int

@@ -1,0 +1,230 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+let point_size = 32
+let scalar_size = 32
+
+module Schnorr = struct
+  type proof = { a : Point.t; z : Scalar.t }
+
+  let prove drbg tr ~g ~c ~x =
+    Transcript.append_point tr ~label:"sch/g" g;
+    Transcript.append_point tr ~label:"sch/c" c;
+    let w = Scalar.random drbg in
+    let a = Point.mul w g in
+    Transcript.append_point tr ~label:"sch/A" a;
+    let ch = Transcript.challenge_scalar tr ~label:"sch/c" in
+    { a; z = Scalar.add w (Scalar.mul ch x) }
+
+  let verify tr ~g ~c proof =
+    Transcript.append_point tr ~label:"sch/g" g;
+    Transcript.append_point tr ~label:"sch/c" c;
+    Transcript.append_point tr ~label:"sch/A" proof.a;
+    let ch = Transcript.challenge_scalar tr ~label:"sch/c" in
+    Point.equal (Point.mul proof.z g) (Point.add proof.a (Point.mul ch c))
+
+  let size_bytes _ = point_size + scalar_size
+end
+
+module Repr = struct
+  type proof = { a : Point.t; z1 : Scalar.t; z2 : Scalar.t }
+
+  let absorb_statement tr ~g ~h ~c =
+    Transcript.append_point tr ~label:"repr/g" g;
+    Transcript.append_point tr ~label:"repr/h" h;
+    Transcript.append_point tr ~label:"repr/c" c
+
+  let prove drbg tr ~g ~h ~c ~x ~r =
+    absorb_statement tr ~g ~h ~c;
+    let a1 = Scalar.random drbg and a2 = Scalar.random drbg in
+    let a = Point.double_mul a1 g a2 h in
+    Transcript.append_point tr ~label:"repr/A" a;
+    let ch = Transcript.challenge_scalar tr ~label:"repr/c" in
+    { a; z1 = Scalar.add a1 (Scalar.mul ch x); z2 = Scalar.add a2 (Scalar.mul ch r) }
+
+  let verify tr ~g ~h ~c proof =
+    absorb_statement tr ~g ~h ~c;
+    Transcript.append_point tr ~label:"repr/A" proof.a;
+    let ch = Transcript.challenge_scalar tr ~label:"repr/c" in
+    Point.equal (Point.double_mul proof.z1 g proof.z2 h) (Point.add proof.a (Point.mul ch c))
+
+  let size_bytes _ = point_size + (2 * scalar_size)
+end
+
+module Square = struct
+  type proof = { a1 : Point.t; a2 : Point.t; zx : Scalar.t; zs : Scalar.t; zs' : Scalar.t }
+
+  (* y1 = g^x q^s, y2 = g^{x^2} q^{s'}.  Since y2 = y1^x q^{s' - s x},
+     knowledge of a representation of y1 over (g, q) and of y2 over
+     (y1, q) with the same exponent x proves the square relation. *)
+
+  let absorb_statement tr ~g ~q ~y1 ~y2 =
+    Transcript.append_point tr ~label:"sq/g" g;
+    Transcript.append_point tr ~label:"sq/q" q;
+    Transcript.append_point tr ~label:"sq/y1" y1;
+    Transcript.append_point tr ~label:"sq/y2" y2
+
+  let prove drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s' =
+    absorb_statement tr ~g ~q ~y1 ~y2;
+    let a = Scalar.random drbg and b1 = Scalar.random drbg and b2 = Scalar.random drbg in
+    let a1 = Point.double_mul a g b1 q in
+    let a2 = Point.double_mul a y1 b2 q in
+    Transcript.append_point tr ~label:"sq/A1" a1;
+    Transcript.append_point tr ~label:"sq/A2" a2;
+    let ch = Transcript.challenge_scalar tr ~label:"sq/c" in
+    let s2 = Scalar.sub s' (Scalar.mul s x) in
+    {
+      a1;
+      a2;
+      zx = Scalar.add a (Scalar.mul ch x);
+      zs = Scalar.add b1 (Scalar.mul ch s);
+      zs' = Scalar.add b2 (Scalar.mul ch s2);
+    }
+
+  let verify tr ~g ~q ~y1 ~y2 proof =
+    absorb_statement tr ~g ~q ~y1 ~y2;
+    Transcript.append_point tr ~label:"sq/A1" proof.a1;
+    Transcript.append_point tr ~label:"sq/A2" proof.a2;
+    let ch = Transcript.challenge_scalar tr ~label:"sq/c" in
+    Point.equal (Point.double_mul proof.zx g proof.zs q) (Point.add proof.a1 (Point.mul ch y1))
+    && Point.equal (Point.double_mul proof.zx y1 proof.zs' q) (Point.add proof.a2 (Point.mul ch y2))
+
+  let size_bytes _ = (2 * point_size) + (3 * scalar_size)
+end
+
+module Link = struct
+  type proof = {
+    az : Point.t;
+    ae : Point.t;
+    ao : Point.t;
+    zx : Scalar.t;
+    zr : Scalar.t;
+    zs : Scalar.t;
+  }
+
+  (* z = g^r, e = g^x h^r, o = g^x q^s: same x in e and o, and the blind
+     of e is the secret of z — the single-value version of Wf, used to tie
+     a homomorphically derived commitment (e.g. of an inner product) to a
+     fresh one the client can range-prove against. *)
+
+  let absorb_statement tr ~g ~h ~q ~z ~e ~o =
+    Transcript.append_point tr ~label:"lk/g" g;
+    Transcript.append_point tr ~label:"lk/h" h;
+    Transcript.append_point tr ~label:"lk/q" q;
+    Transcript.append_point tr ~label:"lk/z" z;
+    Transcript.append_point tr ~label:"lk/e" e;
+    Transcript.append_point tr ~label:"lk/o" o
+
+  let prove drbg tr ~g ~h ~q ~z ~e ~o ~x ~r ~s =
+    absorb_statement tr ~g ~h ~q ~z ~e ~o;
+    let alpha = Scalar.random drbg and beta = Scalar.random drbg and delta = Scalar.random drbg in
+    let az = Point.mul beta g in
+    let ae = Point.double_mul alpha g beta h in
+    let ao = Point.double_mul alpha g delta q in
+    Transcript.append_point tr ~label:"lk/Az" az;
+    Transcript.append_point tr ~label:"lk/Ae" ae;
+    Transcript.append_point tr ~label:"lk/Ao" ao;
+    let ch = Transcript.challenge_scalar tr ~label:"lk/c" in
+    {
+      az;
+      ae;
+      ao;
+      zx = Scalar.add alpha (Scalar.mul ch x);
+      zr = Scalar.add beta (Scalar.mul ch r);
+      zs = Scalar.add delta (Scalar.mul ch s);
+    }
+
+  let verify tr ~g ~h ~q ~z ~e ~o proof =
+    absorb_statement tr ~g ~h ~q ~z ~e ~o;
+    Transcript.append_point tr ~label:"lk/Az" proof.az;
+    Transcript.append_point tr ~label:"lk/Ae" proof.ae;
+    Transcript.append_point tr ~label:"lk/Ao" proof.ao;
+    let ch = Transcript.challenge_scalar tr ~label:"lk/c" in
+    Point.equal (Point.mul proof.zr g) (Point.add proof.az (Point.mul ch z))
+    && Point.equal (Point.double_mul proof.zx g proof.zr h) (Point.add proof.ae (Point.mul ch e))
+    && Point.equal (Point.double_mul proof.zx g proof.zs q) (Point.add proof.ao (Point.mul ch o))
+
+  let size_bytes _ = (3 * point_size) + (3 * scalar_size)
+end
+
+module Wf = struct
+  type proof = {
+    az : Point.t;
+    ae : Point.t array;
+    ao : Point.t array;
+    zr : Scalar.t;
+    zv : Scalar.t array;
+    zs : Scalar.t array;
+  }
+
+  let absorb_statement tr ~g ~q ~hs ~z ~es ~os =
+    Transcript.append_point tr ~label:"wf/g" g;
+    Transcript.append_point tr ~label:"wf/q" q;
+    Transcript.append_points tr ~label:"wf/hs" hs;
+    Transcript.append_point tr ~label:"wf/z" z;
+    Transcript.append_points tr ~label:"wf/es" es;
+    Transcript.append_points tr ~label:"wf/os" os
+
+  let check_shapes ~hs ~es ~os =
+    let kp1 = Array.length hs in
+    if Array.length es <> kp1 then invalid_arg "Sigma.Wf: |es| must equal |hs|";
+    if Array.length os <> kp1 - 1 then invalid_arg "Sigma.Wf: |os| must be |hs| - 1"
+
+  let prove drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss =
+    check_shapes ~hs ~es ~os;
+    if Array.length vs <> Array.length es || Array.length ss <> Array.length os then
+      invalid_arg "Sigma.Wf: secret shapes";
+    absorb_statement tr ~g ~q ~hs ~z ~es ~os;
+    let kp1 = Array.length hs in
+    let beta = Scalar.random drbg in
+    let alphas = Array.init kp1 (fun _ -> Scalar.random drbg) in
+    let deltas = Array.init (kp1 - 1) (fun _ -> Scalar.random drbg) in
+    let az = Point.mul beta g in
+    let ae = Array.init kp1 (fun t -> Point.double_mul alphas.(t) g beta hs.(t)) in
+    let ao = Array.init (kp1 - 1) (fun t -> Point.double_mul alphas.(t + 1) g deltas.(t) q) in
+    Transcript.append_point tr ~label:"wf/Az" az;
+    Transcript.append_points tr ~label:"wf/Ae" ae;
+    Transcript.append_points tr ~label:"wf/Ao" ao;
+    let ch = Transcript.challenge_scalar tr ~label:"wf/c" in
+    {
+      az;
+      ae;
+      ao;
+      zr = Scalar.add beta (Scalar.mul ch r);
+      zv = Array.init kp1 (fun t -> Scalar.add alphas.(t) (Scalar.mul ch vs.(t)));
+      zs = Array.init (kp1 - 1) (fun t -> Scalar.add deltas.(t) (Scalar.mul ch ss.(t)));
+    }
+
+  let verify tr ~g ~q ~hs ~z ~es ~os proof =
+    check_shapes ~hs ~es ~os;
+    let kp1 = Array.length hs in
+    if Array.length proof.ae <> kp1 || Array.length proof.ao <> kp1 - 1 then false
+    else if Array.length proof.zv <> kp1 || Array.length proof.zs <> kp1 - 1 then false
+    else begin
+      absorb_statement tr ~g ~q ~hs ~z ~es ~os;
+      Transcript.append_point tr ~label:"wf/Az" proof.az;
+      Transcript.append_points tr ~label:"wf/Ae" proof.ae;
+      Transcript.append_points tr ~label:"wf/Ao" proof.ao;
+      let ch = Transcript.challenge_scalar tr ~label:"wf/c" in
+      let ok = ref (Point.equal (Point.mul proof.zr g) (Point.add proof.az (Point.mul ch z))) in
+      for t = 0 to kp1 - 1 do
+        if !ok then
+          ok :=
+            Point.equal
+              (Point.double_mul proof.zv.(t) g proof.zr hs.(t))
+              (Point.add proof.ae.(t) (Point.mul ch es.(t)))
+      done;
+      for t = 0 to kp1 - 2 do
+        if !ok then
+          ok :=
+            Point.equal
+              (Point.double_mul proof.zv.(t + 1) g proof.zs.(t) q)
+              (Point.add proof.ao.(t) (Point.mul ch os.(t)))
+      done;
+      !ok
+    end
+
+  let size_bytes p =
+    (point_size * (1 + Array.length p.ae + Array.length p.ao))
+    + (scalar_size * (1 + Array.length p.zv + Array.length p.zs))
+end

@@ -1,0 +1,140 @@
+(** Σ-protocols over Pedersen commitments (Camenisch–Stadler style), made
+    non-interactive with {!Transcript}. These are the paper's §2 building
+    blocks:
+
+    - {!Repr}: proof of knowledge of an opening (x, r) of C = g^x·h^r
+      (Okamoto). Instantiated with (γ, r_i) on e_0 = g^γ·h_0^{r_i}, it is
+      the "client possesses u_i" proof of §4.4.2.
+    - {!Square}: GenPrfSq/VerPrfSq — the secret of y₂ is the square of the
+      secret of y₁ (proof τ).
+    - {!Wf}: GenPrfWf/VerPrfWf in batched vector form — the proof ρ that
+      (z, e*, o) is well-formed: one blind r links z = g^r to every
+      e_t = g^{v_t}·h_t^r, and each o_t = g^{v_t}·q^{s_t} commits the same
+      v_t.
+
+    All proofs are bound to the ambient transcript: verification replays
+    the prover's absorption order. *)
+
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+(** Plain Schnorr proof of knowledge of a discrete log: c = g^x. Used by
+    the ACORN baseline to open the blind of its sum-identity commitment. *)
+module Schnorr : sig
+  type proof = { a : Point.t; z : Scalar.t }
+
+  val prove : Prng.Drbg.t -> Transcript.t -> g:Point.t -> c:Point.t -> x:Scalar.t -> proof
+  val verify : Transcript.t -> g:Point.t -> c:Point.t -> proof -> bool
+  val size_bytes : proof -> int
+end
+
+module Repr : sig
+  type proof = { a : Point.t; z1 : Scalar.t; z2 : Scalar.t }
+
+  (** [prove drbg tr ~g ~h ~c ~x ~r] for c = g^x·h^r. *)
+  val prove :
+    Prng.Drbg.t -> Transcript.t -> g:Point.t -> h:Point.t -> c:Point.t -> x:Scalar.t -> r:Scalar.t -> proof
+
+  val verify : Transcript.t -> g:Point.t -> h:Point.t -> c:Point.t -> proof -> bool
+
+  (** Serialized size in bytes (for communication accounting). *)
+  val size_bytes : proof -> int
+end
+
+module Square : sig
+  type proof = { a1 : Point.t; a2 : Point.t; zx : Scalar.t; zs : Scalar.t; zs' : Scalar.t }
+
+  (** [prove drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s'] for y1 = g^x·q^s and
+      y2 = g^{x²}·q^{s'}. *)
+  val prove :
+    Prng.Drbg.t ->
+    Transcript.t ->
+    g:Point.t ->
+    q:Point.t ->
+    y1:Point.t ->
+    y2:Point.t ->
+    x:Scalar.t ->
+    s:Scalar.t ->
+    s':Scalar.t ->
+    proof
+
+  val verify : Transcript.t -> g:Point.t -> q:Point.t -> y1:Point.t -> y2:Point.t -> proof -> bool
+  val size_bytes : proof -> int
+end
+
+(** Single-value commitment linkage: z = g^r, e = g^x·h^r, o = g^x·q^s —
+    the secrets of e and o are equal and e's blind is z's secret. Used by
+    the cosine-defense extension to tie the homomorphically derived
+    commitment of ⟨u, v⟩ to a client-fresh commitment. *)
+module Link : sig
+  type proof = {
+    az : Point.t;
+    ae : Point.t;
+    ao : Point.t;
+    zx : Scalar.t;
+    zr : Scalar.t;
+    zs : Scalar.t;
+  }
+
+  val prove :
+    Prng.Drbg.t ->
+    Transcript.t ->
+    g:Point.t ->
+    h:Point.t ->
+    q:Point.t ->
+    z:Point.t ->
+    e:Point.t ->
+    o:Point.t ->
+    x:Scalar.t ->
+    r:Scalar.t ->
+    s:Scalar.t ->
+    proof
+
+  val verify :
+    Transcript.t -> g:Point.t -> h:Point.t -> q:Point.t -> z:Point.t -> e:Point.t -> o:Point.t -> proof -> bool
+
+  val size_bytes : proof -> int
+end
+
+module Wf : sig
+  type proof = {
+    az : Point.t;
+    ae : Point.t array;  (** one commitment per e_t, t ∈ [0, k] *)
+    ao : Point.t array;  (** one commitment per o_t, t ∈ [1, k] *)
+    zr : Scalar.t;
+    zv : Scalar.t array;  (** responses for v_0 … v_k *)
+    zs : Scalar.t array;  (** responses for s_1 … s_k *)
+  }
+
+  (** [prove drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss]:
+      [hs] has length k+1 (bases h_0 … h_k), [es] length k+1, [os] and
+      [ss] length k, [vs] length k+1. Statement:
+      z = g^r; e_t = g^{v_t}·hs_t^r (t ∈ [0,k]); o_t = g^{v_t}·q^{s_t}
+      (t ∈ [1,k], with v index shifted by one). *)
+  val prove :
+    Prng.Drbg.t ->
+    Transcript.t ->
+    g:Point.t ->
+    q:Point.t ->
+    hs:Point.t array ->
+    z:Point.t ->
+    es:Point.t array ->
+    os:Point.t array ->
+    r:Scalar.t ->
+    vs:Scalar.t array ->
+    ss:Scalar.t array ->
+    proof
+
+  val verify :
+    Transcript.t ->
+    g:Point.t ->
+    q:Point.t ->
+    hs:Point.t array ->
+    z:Point.t ->
+    es:Point.t array ->
+    os:Point.t array ->
+    proof ->
+    bool
+
+  val size_bytes : proof -> int
+end

@@ -1,0 +1,49 @@
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+
+(* State is a running SHA-256 chain value: absorbing rehashes
+   (state ‖ framed item); challenges extend the chain so they are
+   position-dependent. *)
+type t = { mutable state : Bytes.t }
+
+let frame label payload =
+  let b = Buffer.create (String.length label + Bytes.length payload + 16) in
+  Buffer.add_string b (string_of_int (String.length label));
+  Buffer.add_char b ':';
+  Buffer.add_string b label;
+  Buffer.add_string b (string_of_int (Bytes.length payload));
+  Buffer.add_char b ':';
+  Buffer.add_bytes b payload;
+  Buffer.to_bytes b
+
+let absorb t framed =
+  let h = Hashfn.Sha256.init () in
+  Hashfn.Sha256.update h t.state;
+  Hashfn.Sha256.update h framed;
+  t.state <- Hashfn.Sha256.finalize h
+
+let create domain =
+  let t = { state = Bytes.make 32 '\000' } in
+  absorb t (frame "domain" (Bytes.of_string domain));
+  t
+
+let append_bytes t ~label b = absorb t (frame label b)
+let append_point t ~label p = absorb t (frame label (Point.compress p))
+let append_scalar t ~label s = absorb t (frame label (Scalar.to_bytes s))
+
+let append_points t ~label ps =
+  append_bytes t ~label:(label ^ "/count") (Bytes.of_string (string_of_int (Array.length ps)));
+  Array.iter (fun p -> append_point t ~label p) ps
+
+let append_int t ~label i = append_bytes t ~label (Bytes.of_string (string_of_int i))
+
+let challenge_scalar t ~label =
+  absorb t (frame "challenge" (Bytes.of_string label));
+  (* widen to 64 bytes for unbiased reduction mod l *)
+  let h = Hashfn.Sha512.init () in
+  Hashfn.Sha512.update h t.state;
+  Scalar.of_bytes_wide (Hashfn.Sha512.finalize h)
+
+let rec challenge_nonzero t ~label =
+  let c = challenge_scalar t ~label in
+  if Scalar.is_zero c then challenge_nonzero t ~label else c

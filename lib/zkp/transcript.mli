@@ -1,0 +1,26 @@
+(** Fiat–Shamir transcript with domain separation.
+
+    All interactive Σ-protocols and Bulletproofs in this repository are
+    made non-interactive by deriving verifier challenges from a running
+    hash of (domain label, every message exchanged so far). Both prover
+    and verifier drive an identical transcript; any divergence in any
+    absorbed byte changes every subsequent challenge. *)
+
+type t
+
+(** [create domain] — fresh transcript bound to a protocol label. *)
+val create : string -> t
+
+val append_bytes : t -> label:string -> Bytes.t -> unit
+val append_point : t -> label:string -> Curve25519.Point.t -> unit
+val append_scalar : t -> label:string -> Curve25519.Scalar.t -> unit
+val append_points : t -> label:string -> Curve25519.Point.t array -> unit
+val append_int : t -> label:string -> int -> unit
+
+(** [challenge_scalar t ~label] derives a scalar challenge (and absorbs it,
+    so successive challenges differ). *)
+val challenge_scalar : t -> label:string -> Curve25519.Scalar.t
+
+(** [challenge_nonzero t ~label] — same, but never zero (re-derives on the
+    negligible zero event, which keeps inverses well-defined). *)
+val challenge_nonzero : t -> label:string -> Curve25519.Scalar.t

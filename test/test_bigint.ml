@@ -1,0 +1,203 @@
+(* Tests for the arbitrary-precision integer substrate.
+
+   Strategy: unit tests pin down edge cases and known values; qcheck
+   properties check the ring axioms and the division identity against an
+   independent witness (native [int] arithmetic on small values, and
+   algebraic identities on large ones). *)
+
+module B = Bigint
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg (B.to_string expected) (B.to_string actual)
+
+let bi = B.of_int
+
+(* --- generators --- *)
+
+let gen_small = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+let gen_big =
+  (* random signed integer up to ~400 bits *)
+  let open QCheck2.Gen in
+  let* n = int_range 1 16 in
+  let* limbs = list_repeat n (int_bound ((1 lsl 26) - 1)) in
+  let* negp = bool in
+  return (B.of_limbs ~neg:negp (Array.of_list limbs))
+
+let gen_big_pos = QCheck2.Gen.map B.abs gen_big
+
+(* --- unit tests --- *)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (B.to_int (bi n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 40 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-987654321098765432109876543210" ]
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_hex (B.of_hex s)))
+    [ "0"; "1"; "ff"; "deadbeefcafebabe123456789abcdef0"; "-abc123" ]
+
+let test_hex_vs_dec () =
+  check_b "0x100" (bi 256) (B.of_hex "100");
+  check_b "2^255-19" (B.sub (B.shift_left B.one 255) (bi 19))
+    (B.of_hex "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+
+let test_add_carry () =
+  let x = B.sub (B.shift_left B.one 260) B.one in
+  check_b "(2^260-1)+1" (B.shift_left B.one 260) (B.add x B.one)
+
+let test_sub_borrow () =
+  let x = B.shift_left B.one 260 in
+  check_b "2^260-1" (B.sub x B.one) (B.of_hex (String.make 65 'f'));
+  check_b "a-a" B.zero (B.sub x x)
+
+let test_mul_known () =
+  check_b "small" (bi 56088) (B.mul (bi 123) (bi 456));
+  let a = B.of_string "123456789123456789123456789" in
+  check_b "big square" (B.of_string "15241578780673678546105778281054720515622620750190521")
+    (B.mul a a)
+
+let test_divmod_known () =
+  let a = B.of_string "10000000000000000000000000000000000" in
+  let b = B.of_string "333333333333333" in
+  let q, r = B.divmod a b in
+  check_b "reassemble" a (B.add (B.mul q b) r);
+  Alcotest.(check bool) "remainder bound" true (B.compare (B.abs r) (B.abs b) < 0)
+
+let test_divmod_signs () =
+  (* truncated division semantics, like OCaml's / and mod *)
+  let cases = [ (7, 3); (-7, 3); (7, -3); (-7, -3) ] in
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (bi a) (bi b) in
+      Alcotest.(check int) (Printf.sprintf "q %d/%d" a b) (a / b) (B.to_int q);
+      Alcotest.(check int) (Printf.sprintf "r %d/%d" a b) (a mod b) (B.to_int r))
+    cases
+
+let test_div_by_zero () =
+  Alcotest.check_raises "raise" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero))
+
+let test_erem () =
+  Alcotest.(check int) "erem -7 3" 2 (B.to_int (B.erem (bi (-7)) (bi 3)));
+  Alcotest.(check int) "erem -7 -3" 2 (B.to_int (B.erem (bi (-7)) (bi (-3))))
+
+let test_shifts () =
+  check_b "shl" (bi 4096) (B.shift_left B.one 12);
+  check_b "shr" (bi 1) (B.shift_right (bi 4096) 12);
+  check_b "shr round to zero magnitude" (bi (-2)) (B.shift_right (bi (-5)) 1);
+  let x = B.of_string "987654321987654321987654321" in
+  check_b "shl/shr inverse" x (B.shift_right (B.shift_left x 113) 113)
+
+let test_bit_length () =
+  Alcotest.(check int) "bl 0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "bl 1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "bl 255" 8 (B.bit_length (bi 255));
+  Alcotest.(check int) "bl 256" 9 (B.bit_length (bi 256));
+  Alcotest.(check int) "bl 2^100" 101 (B.bit_length (B.shift_left B.one 100))
+
+let test_mod_pow () =
+  (* fermat: 2^(p-1) = 1 mod p for prime p *)
+  let p = B.of_string "1000000007" in
+  check_b "fermat" B.one (B.mod_pow (bi 2) (B.sub p B.one) p);
+  check_b "zero exp" B.one (B.mod_pow (bi 5) B.zero p);
+  (* 2^255-19 is prime *)
+  let p25519 = B.sub (B.shift_left B.one 255) (bi 19) in
+  check_b "fermat 25519" B.one (B.mod_pow (bi 3) (B.sub p25519 B.one) p25519)
+
+let test_mod_inv () =
+  let p = B.of_string "1000000007" in
+  let a = B.of_string "123456789" in
+  let inv = B.mod_inv a p in
+  check_b "a * a^-1 = 1" B.one (B.erem (B.mul a inv) p);
+  Alcotest.check_raises "no inverse" Not_found (fun () -> ignore (B.mod_inv (bi 6) (bi 9)))
+
+let test_bytes_roundtrip () =
+  let x = B.of_hex "0123456789abcdef0123456789abcdef01" in
+  let b = B.to_bytes_le ~len:32 x in
+  Alcotest.(check int) "len" 32 (Bytes.length b);
+  check_b "roundtrip" x (B.of_bytes_le b)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd" 6 (B.to_int (B.gcd (bi 48) (bi (-18))));
+  Alcotest.(check int) "gcd 0" 5 (B.to_int (B.gcd (bi 0) (bi 5)))
+
+let test_pow () =
+  check_b "2^100" (B.shift_left B.one 100) (B.pow (bi 2) 100);
+  check_b "x^0" B.one (B.pow (bi 12345) 0)
+
+(* --- properties --- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let props =
+  [
+    prop "add matches int" QCheck2.Gen.(pair gen_small gen_small) (fun (a, b) ->
+        B.to_int (B.add (bi a) (bi b)) = a + b);
+    prop "mul matches int" QCheck2.Gen.(pair gen_small gen_small) (fun (a, b) ->
+        B.equal (B.mul (bi a) (bi b)) (B.mul (bi b) (bi a))
+        && B.to_int_opt (B.mul (bi a) (bi b)) = Some (a * b));
+    prop "add comm" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    prop "add assoc" QCheck2.Gen.(triple gen_big gen_big gen_big) (fun (a, b, c) ->
+        B.equal (B.add (B.add a b) c) (B.add a (B.add b c)));
+    prop "mul assoc" QCheck2.Gen.(triple gen_big gen_big gen_big) (fun (a, b, c) ->
+        B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)));
+    prop "distrib" QCheck2.Gen.(triple gen_big gen_big gen_big) (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) -> B.equal a (B.add (B.sub a b) b));
+    prop "divmod identity" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        QCheck2.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0);
+    prop "string roundtrip" gen_big (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "hex roundtrip" gen_big (fun a -> B.equal a (B.of_hex (B.to_hex a)));
+    prop "bytes roundtrip" gen_big_pos (fun a ->
+        let len = (B.bit_length a + 7) / 8 + 1 in
+        B.equal a (B.of_bytes_le (B.to_bytes_le ~len a)));
+    prop "shift_left is mul by 2^n" QCheck2.Gen.(pair gen_big (int_bound 200)) (fun (a, n) ->
+        B.equal (B.shift_left a n) (B.mul a (B.pow B.two n)));
+    prop "mod_pow matches naive" QCheck2.Gen.(triple gen_big_pos (int_bound 40) gen_big_pos) (fun (b, e, m) ->
+        QCheck2.assume (B.sign m > 0);
+        let naive = B.erem (B.pow b e) m in
+        B.equal naive (B.mod_pow b (bi e) m));
+    prop "mod_inv correct" gen_big_pos (fun a ->
+        let p = B.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
+        QCheck2.assume (not (B.is_zero (B.erem a p)));
+        B.equal B.one (B.erem (B.mul a (B.mod_inv a p)) p));
+    prop "bit_length consistent" gen_big_pos (fun a ->
+        QCheck2.assume (not (B.is_zero a));
+        let n = B.bit_length a in
+        B.testbit a (n - 1) && not (B.testbit a n));
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "hex vs dec" `Quick test_hex_vs_dec;
+          Alcotest.test_case "add carry" `Quick test_add_carry;
+          Alcotest.test_case "sub borrow" `Quick test_sub_borrow;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_divmod_known;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "erem" `Quick test_erem;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "bit length" `Quick test_bit_length;
+          Alcotest.test_case "mod_pow" `Quick test_mod_pow;
+          Alcotest.test_case "mod_inv" `Quick test_mod_inv;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "pow" `Quick test_pow;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,279 @@
+(* FL simulator tests: dataset generators, model gradients (checked
+   against finite differences), attacks, defenses, and the Figure 8
+   dynamic — RiseFL's probabilistic check tracks strict checking and
+   beats no-checking under attack. *)
+
+module Dataset = Flsim.Dataset
+module Model = Flsim.Model
+module Attack = Flsim.Attack
+module Defense = Flsim.Defense
+module Federated = Flsim.Federated
+
+let drbg = Prng.Drbg.create_string "test-flsim"
+
+(* --- datasets --- *)
+
+let test_dataset_shapes () =
+  let blobs = Dataset.gaussian_blobs drbg ~n:100 ~features:5 ~classes:3 ~spread:0.5 in
+  Alcotest.(check int) "rows" 100 (Array.length blobs.Dataset.x);
+  Alcotest.(check int) "features" 5 (Array.length blobs.Dataset.x.(0));
+  Array.iter (fun c -> Alcotest.(check bool) "label range" true (c >= 0 && c < 3)) blobs.Dataset.y;
+  let organ = Dataset.organ_like drbg ~n:20 in
+  Alcotest.(check int) "organ features" 784 organ.Dataset.n_features;
+  Alcotest.(check int) "organ classes" 11 organ.Dataset.n_classes;
+  Array.iter
+    (fun row -> Array.iter (fun v -> Alcotest.(check bool) "pixel range" true (v >= 0.0 && v <= 1.0)) row)
+    organ.Dataset.x;
+  let cov = Dataset.covtype_like drbg ~n:20 in
+  Alcotest.(check int) "covtype features" 54 cov.Dataset.n_features;
+  Alcotest.(check int) "covtype classes" 7 cov.Dataset.n_classes;
+  (* one-hot block is 0/1 *)
+  Array.iter
+    (fun row ->
+      for j = 10 to 53 do
+        Alcotest.(check bool) "one-hot" true (row.(j) = 0.0 || row.(j) = 1.0)
+      done)
+    cov.Dataset.x
+
+let test_split_partition () =
+  let data = Dataset.gaussian_blobs drbg ~n:100 ~features:4 ~classes:2 ~spread:0.5 in
+  let train, test = Dataset.split drbg data ~test_fraction:0.2 in
+  Alcotest.(check int) "train size" 80 (Array.length train.Dataset.y);
+  Alcotest.(check int) "test size" 20 (Array.length test.Dataset.y);
+  let parts = Dataset.partition train ~parts:5 in
+  Alcotest.(check int) "parts" 5 (Array.length parts);
+  Alcotest.(check int) "union size" 80
+    (Array.fold_left (fun acc p -> acc + Array.length p.Dataset.y) 0 parts)
+
+let test_relabel () =
+  let data = Dataset.gaussian_blobs drbg ~n:50 ~features:2 ~classes:3 ~spread:0.5 in
+  let flipped = Dataset.relabel data ~from_class:0 ~to_class:1 in
+  Array.iter (fun c -> Alcotest.(check bool) "no class 0" true (c <> 0)) flipped.Dataset.y
+
+let test_dirichlet_partition () =
+  let data = Dataset.gaussian_blobs drbg ~n:400 ~features:3 ~classes:4 ~spread:0.5 in
+  let parts = Dataset.partition_dirichlet (Prng.Drbg.fork drbg "dir") data ~parts:8 ~alpha:0.2 in
+  Alcotest.(check int) "parts" 8 (Array.length parts);
+  Alcotest.(check int) "union size" 400
+    (Array.fold_left (fun acc p -> acc + Array.length p.Dataset.y) 0 parts);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "non-empty" true (Array.length p.Dataset.y > 0))
+    parts;
+  (* heterogeneity: with alpha = 0.2, at least one part must be strongly
+     skewed (majority class > 60%), unlike the IID partition *)
+  let skewed =
+    Array.exists
+      (fun p ->
+        let counts = Array.make 4 0 in
+        Array.iter (fun c -> counts.(c) <- counts.(c) + 1) p.Dataset.y;
+        let m = Array.fold_left max 0 counts in
+        float_of_int m > 0.6 *. float_of_int (Array.length p.Dataset.y))
+      parts
+  in
+  Alcotest.(check bool) "skewed" true skewed
+
+(* --- model: finite-difference gradient check --- *)
+
+let finite_diff_check arch =
+  let data = Dataset.gaussian_blobs drbg ~n:12 ~features:3 ~classes:3 ~spread:0.8 in
+  let model = Model.create drbg arch ~n_features:3 ~n_classes:3 in
+  let grad = Model.gradient model data ~batch:None drbg in
+  let theta = Model.params model in
+  let eps = 1e-5 in
+  (* check a handful of coordinates *)
+  List.iter
+    (fun idx ->
+      let idx = idx mod Array.length theta in
+      let bump delta =
+        let t = Array.copy theta in
+        t.(idx) <- t.(idx) +. delta;
+        Model.set_params model t;
+        Model.loss model data
+      in
+      let numeric = (bump eps -. bump (-.eps)) /. (2.0 *. eps) in
+      Model.set_params model theta;
+      Alcotest.(check bool)
+        (Printf.sprintf "coord %d: analytic %.6f vs numeric %.6f" idx grad.(idx) numeric)
+        true
+        (abs_float (grad.(idx) -. numeric) < 1e-4))
+    [ 0; 3; 7; 11; 13 ]
+
+let test_softmax_gradient () = finite_diff_check Model.Softmax
+let test_mlp_gradient () = finite_diff_check (Model.Mlp 6)
+
+let test_model_learns () =
+  (* well-separated blobs: accuracy should approach 1 quickly *)
+  let data = Dataset.gaussian_blobs drbg ~n:300 ~features:4 ~classes:3 ~spread:0.2 in
+  let train, test = Dataset.split drbg data ~test_fraction:0.3 in
+  let model = Model.create drbg Model.Softmax ~n_features:4 ~n_classes:3 in
+  for _ = 1 to 60 do
+    let g = Model.gradient model train ~batch:None drbg in
+    Model.step model g ~lr:0.5
+  done;
+  let acc = Model.accuracy model test in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.9)
+
+(* --- attacks --- *)
+
+let test_attacks_transform () =
+  let u = [| 1.0; -2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "sign flip" [| -5.0; 10.0; -15.0 |]
+    (Attack.poison_update (Attack.Sign_flip 5.0) drbg u);
+  Alcotest.(check (array (float 1e-9))) "scaling" [| 10.0; -20.0; 30.0 |]
+    (Attack.poison_update (Attack.Scaling 10.0) drbg u);
+  Alcotest.(check (array (float 1e-9))) "label flip leaves gradient" u
+    (Attack.poison_update (Attack.Label_flip (0, 1)) drbg u);
+  let noisy = Attack.poison_update (Attack.Additive_noise 1.0) drbg u in
+  Alcotest.(check bool) "noise changes" true (noisy <> u)
+
+(* --- defenses --- *)
+
+let test_strict_predicates () =
+  let u = [| 3.0; 4.0 |] in
+  Alcotest.(check bool) "l2 pass" true (Defense.strict (Defense.L2 5.5) u);
+  Alcotest.(check bool) "l2 fail" false (Defense.strict (Defense.L2 4.5) u);
+  let v = [| 3.0; 4.0 |] in
+  Alcotest.(check bool) "sphere pass" true (Defense.strict (Defense.Sphere (v, 0.1)) u);
+  Alcotest.(check bool) "sphere fail" false (Defense.strict (Defense.Sphere ([| 0.0; 0.0 |], 1.0)) u);
+  Alcotest.(check bool) "cosine aligned" true (Defense.strict (Defense.Cosine (v, 6.0, 0.9)) u);
+  Alcotest.(check bool) "cosine opposed" false
+    (Defense.strict (Defense.Cosine ([| -3.0; -4.0 |], 6.0, 0.9)) u)
+
+let test_zeno_conversion () =
+  (* zeno predicate gamma<v,u> - rho|u|^2 >= gamma*eps checked directly vs
+     via the sphere conversion *)
+  let v = [| 1.0; 0.5 |] in
+  let gamma = 1.0 and rho = 0.5 and eps = 0.01 in
+  let direct u =
+    let dot = (v.(0) *. u.(0)) +. (v.(1) *. u.(1)) in
+    let n2 = (u.(0) *. u.(0)) +. (u.(1) *. u.(1)) in
+    (gamma *. dot) -. (rho *. n2) >= gamma *. eps
+  in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool)
+        (Printf.sprintf "u=(%g,%g)" u.(0) u.(1))
+        (direct u)
+        (Defense.strict (Defense.Zeno (v, gamma, rho, eps)) u))
+    [ [| 1.0; 0.5 |]; [| 0.1; 0.1 |]; [| -1.0; -1.0 |]; [| 2.0; 1.0 |]; [| 5.0; 5.0 |] ]
+
+let test_probabilistic_tracks_strict () =
+  (* in-bound vectors pass; 10x-over-bound vectors fail (k = 50 keeps the
+     grey zone narrow enough for a deterministic-seed test) *)
+  let k = 50 and eps = 2.0 ** -40.0 in
+  let inb = Array.make 20 0.1 in
+  let out = Array.make 20 10.0 in
+  let b = 1.0 in
+  Alcotest.(check bool) "in-bound passes" true
+    (Defense.probabilistic ~k ~eps (Prng.Drbg.fork drbg "p1") (Defense.L2 b) inb);
+  Alcotest.(check bool) "far out-of-bound fails" false
+    (Defense.probabilistic ~k ~eps (Prng.Drbg.fork drbg "p2") (Defense.L2 b) out)
+
+(* --- federated dynamics (a miniature Figure 8) --- *)
+
+let fig8_config checker attack =
+  {
+    Federated.n_clients = 10;
+    n_malicious = 3;
+    attack;
+    checker;
+    rounds = 25;
+    lr = 0.5;
+    batch = None;
+    arch = Model.Softmax;
+    bound_factor = 2.0;
+    non_iid_alpha = None;
+    seed = "fig8-test";
+  }
+
+let test_federated_attack_dynamics () =
+  let data = Dataset.gaussian_blobs (Prng.Drbg.fork drbg "fed") ~n:600 ~features:6 ~classes:3 ~spread:0.3 in
+  let attack = Attack.Sign_flip 8.0 in
+  let run checker = (Federated.train (fig8_config checker attack) ~data).Federated.final_accuracy in
+  let acc_nc = run Federated.Np_nc in
+  let acc_sc = run (Federated.Np_sc Federated.D_l2) in
+  let acc_rf = run (Federated.Risefl (Federated.D_l2, 100)) in
+  (* the paper's two observations: RiseFL ~ NP-SC, both >> NP-NC *)
+  Alcotest.(check bool)
+    (Printf.sprintf "risefl (%.3f) close to strict (%.3f)" acc_rf acc_sc)
+    true
+    (abs_float (acc_rf -. acc_sc) < 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "risefl (%.3f) beats no-check (%.3f)" acc_rf acc_nc)
+    true
+    (acc_rf > acc_nc +. 0.15)
+
+let test_federated_rejects_attackers () =
+  let data = Dataset.gaussian_blobs (Prng.Drbg.fork drbg "fed2") ~n:400 ~features:5 ~classes:2 ~spread:0.3 in
+  let cfg = fig8_config (Federated.Risefl (Federated.D_l2, 100)) (Attack.Scaling 50.0) in
+  let result = Federated.train cfg ~data in
+  (* only malicious clients are ever rejected, and while gradients are
+     non-trivial (round 1, before convergence) all three are caught;
+     post-convergence a 50x-scaled near-zero gradient legitimately fits
+     under the bound *)
+  Array.iter
+    (fun (log : Federated.round_log) ->
+      List.iter
+        (fun r -> Alcotest.(check bool) "rejected are malicious" true (r <= 3))
+        log.Federated.rejected)
+    result.Federated.logs;
+  Alcotest.(check int) "round 1 rejects all 3" 3 (List.length result.Federated.logs.(0).Federated.rejected)
+
+let test_federated_non_iid_runs () =
+  let data = Dataset.gaussian_blobs (Prng.Drbg.fork drbg "noniid") ~n:400 ~features:5 ~classes:3 ~spread:0.4 in
+  let cfg =
+    { (fig8_config (Federated.Risefl (Federated.D_l2, 100)) (Attack.Scaling 50.0)) with
+      Federated.non_iid_alpha = Some 0.3;
+      rounds = 10;
+    }
+  in
+  let result = Federated.train cfg ~data in
+  Alcotest.(check bool)
+    (Printf.sprintf "learns despite heterogeneity: %.3f" result.Federated.final_accuracy)
+    true
+    (result.Federated.final_accuracy > 0.7)
+
+let test_federated_no_false_rejections () =
+  let data = Dataset.gaussian_blobs (Prng.Drbg.fork drbg "fed3") ~n:400 ~features:5 ~classes:2 ~spread:0.3 in
+  let cfg =
+    { (fig8_config (Federated.Risefl (Federated.D_l2, 100)) (Attack.Scaling 50.0)) with Federated.n_malicious = 0 }
+  in
+  let result = Federated.train cfg ~data in
+  Array.iter
+    (fun (log : Federated.round_log) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "round %d" log.Federated.round)
+        [] log.Federated.rejected)
+    result.Federated.logs
+
+let () =
+  Alcotest.run "flsim"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "shapes" `Quick test_dataset_shapes;
+          Alcotest.test_case "split/partition" `Quick test_split_partition;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "dirichlet partition" `Quick test_dirichlet_partition;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "softmax gradient (finite diff)" `Quick test_softmax_gradient;
+          Alcotest.test_case "mlp gradient (finite diff)" `Quick test_mlp_gradient;
+          Alcotest.test_case "learns separable data" `Quick test_model_learns;
+        ] );
+      ("attack", [ Alcotest.test_case "transformations" `Quick test_attacks_transform ]);
+      ( "defense",
+        [
+          Alcotest.test_case "strict predicates" `Quick test_strict_predicates;
+          Alcotest.test_case "zeno conversion" `Quick test_zeno_conversion;
+          Alcotest.test_case "probabilistic tracks strict" `Quick test_probabilistic_tracks_strict;
+        ] );
+      ( "federated",
+        [
+          Alcotest.test_case "attack dynamics (mini Figure 8)" `Quick test_federated_attack_dynamics;
+          Alcotest.test_case "rejects attackers" `Quick test_federated_rejects_attackers;
+          Alcotest.test_case "no false rejections" `Quick test_federated_no_false_rejections;
+          Alcotest.test_case "non-IID training" `Quick test_federated_non_iid_runs;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* FIPS 180-4 and RFC 8439 known-answer tests plus statistical sanity
+   checks for the DRBG samplers. *)
+
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* --- SHA-256 --- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1000000 'a',
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+    ]
+  in
+  List.iter
+    (fun (msg, want) -> Alcotest.(check string) "digest" want (Hashfn.Sha256.hex_digest_string msg))
+    cases
+
+let test_sha256_incremental () =
+  (* chunked update must agree with one-shot, across block boundaries *)
+  let msg = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+  let oneshot = Hashfn.Sha256.digest_string msg in
+  List.iter
+    (fun chunk ->
+      let ctx = Hashfn.Sha256.init () in
+      let pos = ref 0 in
+      while !pos < String.length msg do
+        let take = min chunk (String.length msg - !pos) in
+        Hashfn.Sha256.update_string ctx (String.sub msg !pos take);
+        pos := !pos + take
+      done;
+      Alcotest.(check string) (Printf.sprintf "chunk %d" chunk) (hex_of_bytes oneshot)
+        (hex_of_bytes (Hashfn.Sha256.finalize ctx)))
+    [ 1; 3; 63; 64; 65; 128; 299 ]
+
+(* --- SHA-512 --- *)
+
+let test_sha512_vectors () =
+  let cases =
+    [
+      ( "",
+        "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+      );
+      ( "abc",
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+      );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+      );
+    ]
+  in
+  List.iter
+    (fun (msg, want) -> Alcotest.(check string) "digest" want (Hashfn.Sha512.hex_digest_string msg))
+    cases
+
+(* --- HMAC-SHA256 (RFC 4231) --- *)
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 1 *)
+  let key = bytes_of_hex "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b" in
+  let data = Bytes.of_string "Hi There" in
+  Alcotest.(check string) "tc1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex_of_bytes (Hashfn.Hmac.sha256 ~key data));
+  (* RFC 4231 test case 2 *)
+  let key = Bytes.of_string "Jefe" in
+  let data = Bytes.of_string "what do ya want for nothing?" in
+  Alcotest.(check string) "tc2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex_of_bytes (Hashfn.Hmac.sha256 ~key data));
+  (* RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data *)
+  let key = Bytes.make 20 '\xaa' in
+  let data = Bytes.make 50 '\xdd' in
+  Alcotest.(check string) "tc3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex_of_bytes (Hashfn.Hmac.sha256 ~key data))
+
+let test_hmac_expand () =
+  let key = Bytes.of_string "secret" in
+  let a = Hashfn.Hmac.expand ~key ~info:"ctx-a" 100 in
+  let a' = Hashfn.Hmac.expand ~key ~info:"ctx-a" 100 in
+  let b = Hashfn.Hmac.expand ~key ~info:"ctx-b" 100 in
+  Alcotest.(check int) "length" 100 (Bytes.length a);
+  Alcotest.(check bool) "deterministic" true (Bytes.equal a a');
+  Alcotest.(check bool) "info separates" false (Bytes.equal a b);
+  (* prefix property: shorter output is a prefix of longer *)
+  let short = Hashfn.Hmac.expand ~key ~info:"ctx-a" 40 in
+  Alcotest.(check bool) "prefix" true (Bytes.equal short (Bytes.sub a 0 40))
+
+(* --- ChaCha20 (RFC 8439 §2.3.2) --- *)
+
+let test_chacha20_block () =
+  let key = bytes_of_hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = bytes_of_hex "000000090000004a00000000" in
+  let out = Prng.Chacha20.block ~key ~counter:1 ~nonce in
+  Alcotest.(check string) "keystream"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (hex_of_bytes out)
+
+let test_chacha20_keystream_offsets () =
+  let key = Bytes.make 32 '\x42' in
+  let nonce = Bytes.make 12 '\x07' in
+  let full = Prng.Chacha20.keystream ~key ~nonce ~off:0 200 in
+  (* arbitrary unaligned window must match the corresponding slice *)
+  let window = Prng.Chacha20.keystream ~key ~nonce ~off:77 93 in
+  Alcotest.(check string) "window" (hex_of_bytes (Bytes.sub full 77 93)) (hex_of_bytes window)
+
+(* --- DRBG --- *)
+
+let test_drbg_determinism () =
+  let a = Prng.Drbg.create_string "seed" in
+  let b = Prng.Drbg.create_string "seed" in
+  let c = Prng.Drbg.create_string "other" in
+  let va = List.init 100 (fun _ -> Prng.Drbg.byte a) in
+  let vb = List.init 100 (fun _ -> Prng.Drbg.byte b) in
+  let vc = List.init 100 (fun _ -> Prng.Drbg.byte c) in
+  Alcotest.(check bool) "same seed same stream" true (va = vb);
+  Alcotest.(check bool) "different seed different stream" false (va = vc)
+
+let test_drbg_fork () =
+  let root = Prng.Drbg.create_string "seed" in
+  let f1 = Prng.Drbg.fork root "a" in
+  let f2 = Prng.Drbg.fork root "b" in
+  let f1' = Prng.Drbg.fork root "a" in
+  let v1 = List.init 50 (fun _ -> Prng.Drbg.byte f1) in
+  let v2 = List.init 50 (fun _ -> Prng.Drbg.byte f2) in
+  let v1' = List.init 50 (fun _ -> Prng.Drbg.byte f1') in
+  Alcotest.(check bool) "same label same stream" true (v1 = v1');
+  Alcotest.(check bool) "labels separate" false (v1 = v2)
+
+let test_uniform_int_range () =
+  let t = Prng.Drbg.create_string "u" in
+  for _ = 1 to 2000 do
+    let v = Prng.Drbg.uniform_int t 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_uniform_int_distribution () =
+  let t = Prng.Drbg.create_string "dist" in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.Drbg.uniform_int t 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - expected) < expected / 5))
+    counts
+
+let test_gaussian_moments () =
+  let t = Prng.Drbg.create_string "gauss" in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.Drbg.gaussian t in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) (Printf.sprintf "mean %.4f" mean) true (abs_float mean < 0.02);
+  Alcotest.(check bool) (Printf.sprintf "var %.4f" var) true (abs_float (var -. 1.0) < 0.03)
+
+let test_gaussian_discrete_scale () =
+  let t = Prng.Drbg.create_string "gd" in
+  let m = 1024.0 in
+  let n = 20_000 in
+  let sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = float_of_int (Prng.Drbg.gaussian_discrete t ~m) in
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let std = sqrt (!sumsq /. float_of_int n) in
+  Alcotest.(check bool) (Printf.sprintf "std %.1f" std) true (abs_float (std -. m) < m *. 0.03)
+
+let test_bits_bounds () =
+  let t = Prng.Drbg.create_string "bits" in
+  for _ = 1 to 1000 do
+    let v = Prng.Drbg.bits t 13 in
+    Alcotest.(check bool) "13 bits" true (v >= 0 && v < 8192)
+  done;
+  Alcotest.(check int) "0 bits" 0 (Prng.Drbg.bits t 0)
+
+let () =
+  Alcotest.run "hash-prng"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+        ] );
+      ("sha512", [ Alcotest.test_case "FIPS vectors" `Quick test_sha512_vectors ]);
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors;
+          Alcotest.test_case "expand" `Quick test_hmac_expand;
+        ] );
+      ( "chacha20",
+        [
+          Alcotest.test_case "RFC 8439 block" `Quick test_chacha20_block;
+          Alcotest.test_case "keystream offsets" `Quick test_chacha20_keystream_offsets;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "determinism" `Quick test_drbg_determinism;
+          Alcotest.test_case "fork" `Quick test_drbg_fork;
+          Alcotest.test_case "uniform range" `Quick test_uniform_int_range;
+          Alcotest.test_case "uniform distribution" `Quick test_uniform_int_distribution;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gaussian discrete scale" `Quick test_gaussian_discrete_scale;
+          Alcotest.test_case "bits bounds" `Quick test_bits_bounds;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Cross-library property-based tests (qcheck): algebraic laws and
+   roundtrip invariants on the core data structures, complementing the
+   per-library unit suites. *)
+
+module Fe = Curve25519.Fe
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module B = Bigint
+module Fp = Encoding.Fixed_point
+
+let drbg = Prng.Drbg.create_string "test-properties"
+
+let prop ?(count = 100) name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* --- generators --- *)
+
+let gen_bigint bits =
+  let open QCheck2.Gen in
+  let* limbs = list_repeat ((bits / 26) + 1) (int_bound ((1 lsl 26) - 1)) in
+  let* negp = bool in
+  return (B.of_limbs ~neg:negp (Array.of_list limbs))
+
+let gen_fe = QCheck2.Gen.map (fun b -> Fe.of_bigint (B.abs b)) (gen_bigint 300)
+let gen_scalar = QCheck2.Gen.map (fun b -> Scalar.of_bigint (B.abs b)) (gen_bigint 300)
+
+let gen_point = QCheck2.Gen.map Point.mul_base gen_scalar
+
+(* --- field laws --- *)
+
+let fe_props =
+  [
+    prop "fe add comm" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) -> Fe.equal (Fe.add a b) (Fe.add b a));
+    prop "fe mul comm" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) -> Fe.equal (Fe.mul a b) (Fe.mul b a));
+    prop "fe mul assoc" QCheck2.Gen.(triple gen_fe gen_fe gen_fe) (fun (a, b, c) ->
+        Fe.equal (Fe.mul (Fe.mul a b) c) (Fe.mul a (Fe.mul b c)));
+    prop "fe distrib" QCheck2.Gen.(triple gen_fe gen_fe gen_fe) (fun (a, b, c) ->
+        Fe.equal (Fe.mul a (Fe.add b c)) (Fe.add (Fe.mul a b) (Fe.mul a c)));
+    prop "fe sub/add inverse" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) ->
+        Fe.equal a (Fe.add (Fe.sub a b) b));
+    prop "fe square = mul self" gen_fe (fun a -> Fe.equal (Fe.square a) (Fe.mul a a));
+    prop "fe bytes roundtrip" gen_fe (fun a -> Fe.equal a (Fe.of_bytes (Fe.to_bytes a)));
+    prop "fe invert" gen_fe (fun a ->
+        QCheck2.assume (not (Fe.is_zero a));
+        Fe.equal Fe.one (Fe.mul a (Fe.invert a)));
+  ]
+
+(* --- scalar laws --- *)
+
+let scalar_props =
+  [
+    prop "scalar ring laws" QCheck2.Gen.(triple gen_scalar gen_scalar gen_scalar) (fun (a, b, c) ->
+        Scalar.equal (Scalar.mul a (Scalar.add b c)) (Scalar.add (Scalar.mul a b) (Scalar.mul a c))
+        && Scalar.equal (Scalar.add a (Scalar.neg a)) Scalar.zero);
+    prop "scalar bytes roundtrip" gen_scalar (fun a -> Scalar.equal a (Scalar.of_bytes (Scalar.to_bytes a)));
+    prop "scalar signed roundtrip" (QCheck2.Gen.int_range (-1_000_000) 1_000_000) (fun n ->
+        Scalar.to_int_signed (Scalar.of_int n) = n);
+    prop "scalar inv" gen_scalar (fun a ->
+        QCheck2.assume (not (Scalar.is_zero a));
+        Scalar.equal Scalar.one (Scalar.mul a (Scalar.inv a)));
+    prop "wide reduction consistent" (gen_bigint 450) (fun b ->
+        let b = B.erem (B.abs b) (B.shift_left B.one 512) in
+        let via_wide = Scalar.of_bytes_wide (B.to_bytes_le ~len:64 b) in
+        Scalar.equal via_wide (Scalar.of_bigint b));
+  ]
+
+(* --- group laws --- *)
+
+let point_props =
+  [
+    prop ~count:20 "point scalar distributes" QCheck2.Gen.(pair gen_scalar gen_scalar) (fun (s, t) ->
+        Point.equal
+          (Point.mul_base (Scalar.add s t))
+          (Point.add (Point.mul_base s) (Point.mul_base t)));
+    prop ~count:20 "point compress roundtrip" gen_point (fun p ->
+        match Point.decompress (Point.compress p) with Some q -> Point.equal p q | None -> false);
+    prop ~count:20 "compress_batch = compress" gen_point (fun p ->
+        let batch = Point.compress_batch [| p; Point.double p |] in
+        Bytes.equal batch.(0) (Point.compress p) && Bytes.equal batch.(1) (Point.compress (Point.double p)));
+  ]
+
+(* --- vsss --- *)
+
+let vsss_props =
+  let g = Curve25519.Gens.derive "props/g" in
+  [
+    prop ~count:30 "share/recover roundtrip"
+      QCheck2.Gen.(pair gen_scalar (int_range 1 6))
+      (fun (secret, t) ->
+        let n = t + 3 in
+        let shares, check = Vsss.share drbg ~secret ~n ~t ~g in
+        let all_verify = Array.for_all (fun s -> Vsss.verify ~g ~check s) shares in
+        let subset = Array.to_list (Array.sub shares 1 t) in
+        all_verify && Scalar.equal secret (Vsss.recover subset));
+    prop ~count:30 "homomorphic sum recovers"
+      QCheck2.Gen.(pair gen_scalar gen_scalar)
+      (fun (s1, s2) ->
+        let sh1, _ = Vsss.share drbg ~secret:s1 ~n:5 ~t:2 ~g in
+        let sh2, _ = Vsss.share drbg ~secret:s2 ~n:5 ~t:2 ~g in
+        let sum = Array.map2 Vsss.add_shares sh1 sh2 in
+        Scalar.equal (Scalar.add s1 s2) (Vsss.recover [ sum.(0); sum.(3) ]));
+  ]
+
+(* --- fixed point --- *)
+
+let fp_props =
+  [
+    prop "encode within half-lsb"
+      QCheck2.Gen.(float_bound_inclusive 100.0)
+      (fun x ->
+        let cfg = Fp.default in
+        abs_float (Fp.decode cfg (Fp.encode cfg x) -. x) <= (0.5 /. 256.0) +. 1e-9);
+    prop "decode/encode identity on representables" (QCheck2.Gen.int_range (-32768) 32767) (fun v ->
+        let cfg = Fp.default in
+        Fp.encode cfg (Fp.decode cfg v) = v);
+    prop "norm scale-invariance" (QCheck2.Gen.list_size (QCheck2.Gen.return 8) (QCheck2.Gen.int_range (-100) 100))
+      (fun l ->
+        let v = Array.of_list l in
+        let n1 = Fp.l2_norm_encoded v in
+        let n2 = Fp.l2_norm_encoded (Array.map (fun x -> -x) v) in
+        abs_float (n1 -. n2) < 1e-9);
+  ]
+
+(* --- stats --- *)
+
+let stats_props =
+  [
+    prop ~count:50 "chisq cdf monotone in x"
+      QCheck2.Gen.(triple (int_range 1 200) (float_bound_inclusive 300.0) (float_bound_inclusive 100.0))
+      (fun (k, x, dx) -> Stats.Chisq.cdf ~k x <= Stats.Chisq.cdf ~k (x +. dx) +. 1e-12);
+    prop ~count:50 "chisq cdf + sf = 1"
+      QCheck2.Gen.(pair (int_range 1 200) (float_bound_inclusive 400.0))
+      (fun (k, x) -> abs_float (Stats.Chisq.cdf ~k x +. Stats.Chisq.sf ~k x -. 1.0) < 1e-9);
+    prop ~count:20 "quantile inverts"
+      QCheck2.Gen.(pair (int_range 1 500) (int_range 4 120))
+      (fun (k, neg_log_eps) ->
+        let eps = 2.0 ** float_of_int (-neg_log_eps) in
+        let gamma = Stats.Chisq.quantile_upper ~k ~eps in
+        let back = Stats.Chisq.sf ~k gamma in
+        abs_float (log back -. log eps) < 1e-4);
+  ]
+
+(* --- channel / secagg-style dualities --- *)
+
+let channel_props =
+  [
+    prop ~count:30 "seal/open roundtrip"
+      QCheck2.Gen.(pair (string_size (int_range 0 200)) (string_size (int_range 1 20)))
+      (fun (msg, seed) ->
+        let a = Risefl_core.Channel.gen_keypair drbg in
+        let b = Risefl_core.Channel.gen_keypair drbg in
+        let k1 = Risefl_core.Channel.shared_key ~my:a ~their_pk:b.Risefl_core.Channel.pk in
+        let k2 = Risefl_core.Channel.shared_key ~my:b ~their_pk:a.Risefl_core.Channel.pk in
+        let sealed = Risefl_core.Channel.seal ~key:k1 ~nonce_seed:seed (Bytes.of_string msg) in
+        match Risefl_core.Channel.open_ ~key:k2 sealed with
+        | Some plain -> String.equal (Bytes.to_string plain) msg
+        | None -> false);
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("fe", fe_props);
+      ("scalar", scalar_props);
+      ("point", point_props);
+      ("vsss", vsss_props);
+      ("fixed-point", fp_props);
+      ("stats", stats_props);
+      ("channel", channel_props);
+    ]

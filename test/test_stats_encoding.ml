@@ -1,0 +1,177 @@
+(* Tests for the statistics layer (special functions, chi-square,
+   Theorem 1 quantities) and the fixed-point encoding. *)
+
+module Special = Stats.Special
+module Chisq = Stats.Chisq
+module Passrate = Stats.Passrate
+module Fp = Encoding.Fixed_point
+
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (abs_float (expected -. actual) <= tol *. (1.0 +. abs_float expected))
+
+(* --- special functions --- *)
+
+let test_ln_gamma_known () =
+  close "lgamma 1" 0.0 (Special.ln_gamma 1.0);
+  close "lgamma 2" 0.0 (Special.ln_gamma 2.0);
+  close "lgamma 5 = ln 24" (log 24.0) (Special.ln_gamma 5.0);
+  close "lgamma 0.5 = ln sqrt pi" (0.5 *. log Float.pi) (Special.ln_gamma 0.5);
+  (* recurrence Gamma(x+1) = x Gamma(x) *)
+  List.iter
+    (fun x -> close "recurrence" (Special.ln_gamma x +. log x) (Special.ln_gamma (x +. 1.0)))
+    [ 0.3; 1.7; 10.2; 123.456 ]
+
+let test_gamma_pq_complement () =
+  List.iter
+    (fun (a, x) ->
+      close ~tol:1e-12 (Printf.sprintf "P+Q=1 a=%g x=%g" a x) 1.0
+        (Special.gamma_p a x +. Special.gamma_q a x))
+    [ (0.5, 0.3); (1.0, 1.0); (5.0, 2.0); (5.0, 20.0); (500.0, 480.0); (500.0, 700.0) ]
+
+let test_gamma_p_exponential () =
+  (* a=1: P(1,x) = 1 - e^-x exactly *)
+  List.iter
+    (fun x -> close "P(1,x)" (1.0 -. exp (-.x)) (Special.gamma_p 1.0 x))
+    [ 0.1; 1.0; 3.0; 10.0 ]
+
+(* --- chi-square --- *)
+
+let test_chisq_known_values () =
+  (* chi2 cdf with k=2 is 1 - exp(-x/2) *)
+  List.iter
+    (fun x -> close "k=2 cdf" (1.0 -. exp (-.x /. 2.0)) (Chisq.cdf ~k:2 x))
+    [ 0.5; 2.0; 10.0 ];
+  (* median of chi2_k approx k(1-2/(9k))^3 *)
+  let k = 100 in
+  let median_approx = float_of_int k *. ((1.0 -. (2.0 /. (9.0 *. float_of_int k))) ** 3.0) in
+  close ~tol:1e-3 "median" 0.5 (Chisq.cdf ~k median_approx)
+
+let test_chisq_quantile_inverts_sf () =
+  List.iter
+    (fun (k, eps) ->
+      let g = Chisq.quantile_upper ~k ~eps in
+      let back = Chisq.sf ~k g in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d eps=%g: sf(g)=%g" k eps back)
+        true
+        (abs_float (log back -. log eps) < 1e-6))
+    [ (1, 0.05); (10, 1e-6); (100, 1e-20); (1000, 2.9387e-39); (9000, 2.9387e-39) ]
+
+let test_chisq_quantile_monotone () =
+  (* gamma grows with k and with smaller eps *)
+  let eps = 2.0 ** -128.0 in
+  let g1 = Chisq.quantile_upper ~k:1000 ~eps in
+  let g2 = Chisq.quantile_upper ~k:3000 ~eps in
+  let g3 = Chisq.quantile_upper ~k:1000 ~eps:(2.0 ** -64.0) in
+  Alcotest.(check bool) "k monotone" true (g2 > g1);
+  Alcotest.(check bool) "eps monotone" true (g3 < g1);
+  (* and the paper's regime: gamma/k approaches 1 as k grows *)
+  let g9 = Chisq.quantile_upper ~k:9000 ~eps in
+  Alcotest.(check bool) "ratio shrinks" true (g9 /. 9000.0 < g1 /. 1000.0)
+
+(* --- pass rate / Figure 5 shape --- *)
+
+let params_fig5 k = { Passrate.k; eps = 2.0 ** -128.0; d = 1_000_000; m_factor = 2.0 ** 24.0 }
+
+let test_passrate_shape () =
+  let p = params_fig5 1000 in
+  (* F close to 1 just above c = 1, negligible by c = 2 (paper: at k=1000,
+     1.2B passes w.h.p., 1.4B fails w.h.p.) *)
+  Alcotest.(check bool) "F(1.05) ~ 1" true (Passrate.f p 1.05 > 0.999);
+  Alcotest.(check bool) "F(1.2) large" true (Passrate.f p 1.2 > 0.5);
+  Alcotest.(check bool) "F(1.4) small" true (Passrate.f p 1.4 < 0.01);
+  Alcotest.(check bool) "F decreasing" true (Passrate.f p 1.1 >= Passrate.f p 1.3)
+
+let test_max_damage_matches_paper () =
+  (* §5.1: k = 1K, 3K, 9K give damage ratios about 1.24, 1.13, 1.08 *)
+  List.iter
+    (fun (k, expected) ->
+      let _, dmg = Passrate.max_damage (params_fig5 k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d damage %.3f vs paper %.2f" k dmg expected)
+        true
+        (abs_float (dmg -. expected) < 0.03))
+    [ (1000, 1.24); (3000, 1.13); (9000, 1.08) ]
+
+let test_b0_dominates_gamma () =
+  let p = params_fig5 1000 in
+  let b = 1000.0 in
+  let b0 = Passrate.b0 p ~b in
+  (* B0 >= B^2 M^2 gamma *)
+  Alcotest.(check bool) "B0 lower bound" true
+    (b0 >= b *. b *. p.m_factor *. p.m_factor *. Passrate.gamma p)
+
+(* --- fixed point --- *)
+
+let test_fp_roundtrip_exact () =
+  let cfg = Fp.default in
+  List.iter
+    (fun x ->
+      let v = Fp.encode cfg x in
+      close ~tol:0.0 (Printf.sprintf "exact %g" x) x (Fp.decode cfg v))
+    [ 0.0; 1.0; -1.0; 0.5; -0.25; 127.99609375; -128.0 ]
+
+let test_fp_rounding () =
+  let cfg = Fp.default in
+  (* error bounded by half an lsb *)
+  let lsb = 1.0 /. 256.0 in
+  List.iter
+    (fun x ->
+      let err = abs_float (Fp.decode cfg (Fp.encode cfg x) -. x) in
+      Alcotest.(check bool) (Printf.sprintf "err %g" x) true (err <= lsb /. 2.0 +. 1e-12))
+    [ 0.1; -0.7; 3.14159; 99.999; -42.424242 ]
+
+let test_fp_clamps () =
+  let cfg = Fp.default in
+  Alcotest.(check int) "clamp hi" 32767 (Fp.encode cfg 1e9);
+  Alcotest.(check int) "clamp lo" (-32768) (Fp.encode cfg (-1e9));
+  Alcotest.(check int) "nan to 0" 0 (Fp.encode cfg Float.nan)
+
+let test_fp_vec_and_norm () =
+  let cfg = Fp.default in
+  let v = [| 3.0; 4.0 |] in
+  let enc = Fp.encode_vec cfg v in
+  Alcotest.(check (array int)) "encode vec" [| 768; 1024 |] enc;
+  close "l2 encoded" 1280.0 (Fp.l2_norm_encoded enc);
+  let dec = Fp.decode_vec cfg enc in
+  Alcotest.(check bool) "decode vec" true (dec = v)
+
+let test_fp_bad_cfg () =
+  Alcotest.check_raises "bits too small" (Invalid_argument "Fixed_point.make") (fun () ->
+      ignore (Fp.make ~bits:1 ~frac:0));
+  Alcotest.check_raises "frac >= bits" (Invalid_argument "Fixed_point.make") (fun () ->
+      ignore (Fp.make ~bits:8 ~frac:8))
+
+let () =
+  Alcotest.run "stats-encoding"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "ln_gamma known" `Quick test_ln_gamma_known;
+          Alcotest.test_case "P+Q=1" `Quick test_gamma_pq_complement;
+          Alcotest.test_case "P(1,x) exponential" `Quick test_gamma_p_exponential;
+        ] );
+      ( "chisq",
+        [
+          Alcotest.test_case "known values" `Quick test_chisq_known_values;
+          Alcotest.test_case "quantile inverts sf" `Quick test_chisq_quantile_inverts_sf;
+          Alcotest.test_case "quantile monotone" `Quick test_chisq_quantile_monotone;
+        ] );
+      ( "passrate",
+        [
+          Alcotest.test_case "Figure 5a shape" `Quick test_passrate_shape;
+          Alcotest.test_case "Figure 5b max damage" `Quick test_max_damage_matches_paper;
+          Alcotest.test_case "B0 bound" `Quick test_b0_dominates_gamma;
+        ] );
+      ( "fixed-point",
+        [
+          Alcotest.test_case "roundtrip exact" `Quick test_fp_roundtrip_exact;
+          Alcotest.test_case "rounding error" `Quick test_fp_rounding;
+          Alcotest.test_case "clamps" `Quick test_fp_clamps;
+          Alcotest.test_case "vectors and norm" `Quick test_fp_vec_and_norm;
+          Alcotest.test_case "bad config" `Quick test_fp_bad_cfg;
+        ] );
+    ]
