@@ -1,0 +1,29 @@
+# Convenience entry points; everything is ordinary dune underneath.
+
+.PHONY: all check test bench bench-smoke clean
+
+all: check
+
+# Tier-1 gate: full build + every test suite.
+check:
+	dune build
+	dune runtest
+
+test: check
+
+# Full benchmark sweep (slow); mirrors EXPERIMENTS.md.
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Tiny-size smoke run of the parallel micro-benchmarks; asserts that the
+# machine-readable results file is actually emitted and non-trivial.
+bench-smoke:
+	rm -f BENCH_RISEFL.json
+	dune exec bench/main.exe -- micro --smoke --jobs 2
+	@test -s BENCH_RISEFL.json || { echo "bench-smoke: BENCH_RISEFL.json missing or empty" >&2; exit 1; }
+	@grep -q '"results"' BENCH_RISEFL.json || { echo "bench-smoke: no results array in BENCH_RISEFL.json" >&2; exit 1; }
+	@grep -q '"name": "msm-full"' BENCH_RISEFL.json || { echo "bench-smoke: expected msm-full records" >&2; exit 1; }
+	@echo "bench-smoke: BENCH_RISEFL.json OK ($$(grep -c '"target"' BENCH_RISEFL.json) records)"
+
+clean:
+	dune clean

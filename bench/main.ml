@@ -36,10 +36,56 @@ type config = {
   mutable n : int;
   mutable rounds : int;  (* fig8 training rounds *)
   mutable full : bool;  (* larger sizes *)
+  mutable smoke : bool;  (* tiny sizes for CI smoke runs *)
+  mutable json : string;  (* machine-readable output path *)
   mutable targets : string list;
 }
 
-let config = { ds = [ 64; 256 ]; k = 32; n = 4; rounds = 12; full = false; targets = [] }
+let config =
+  {
+    ds = [ 64; 256 ];
+    k = 32;
+    n = 4;
+    rounds = 12;
+    full = false;
+    smoke = false;
+    json = "BENCH_RISEFL.json";
+    targets = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_RISEFL.json)                        *)
+
+type bench_record = { r_target : string; r_name : string; r_jobs : int; r_d : int; r_k : int; r_n : int; r_seconds : float }
+
+let records : bench_record list ref = ref []
+
+let record ~target ~name ?(jobs = Parallel.default_jobs ()) ?(d = 0) ?(k = 0) ?(n = 0) seconds =
+  records :=
+    { r_target = target; r_name = name; r_jobs = jobs; r_d = d; r_k = k; r_n = n; r_seconds = seconds }
+    :: !records
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"version\": 1,\n";
+  Buffer.add_string buf "  \"generated_by\": \"bench/main.ml\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"default_jobs\": %d,\n" (Parallel.default_jobs ()));
+  Buffer.add_string buf "  \"results\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"target\": %S, \"name\": %S, \"jobs\": %d, \"d\": %d, \"k\": %d, \"n\": %d, \"seconds\": %.6f}"
+           r.r_target r.r_name r.r_jobs r.r_d r.r_k r.r_n r.r_seconds))
+    (List.rev !records);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "wrote %d records to %s\n" (List.length !records) path
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic workload helpers                                          *)
@@ -319,7 +365,7 @@ let run_fig8 () =
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 
-let run_micro () =
+let rec run_micro () =
   pf "================ Micro-benchmarks (Bechamel, §6.2 support) ================\n";
   let open Bechamel in
   let drbg = Prng.Drbg.create_string "micro" in
@@ -364,7 +410,102 @@ let run_micro () =
     (List.sort compare rows);
   pf "\n(the group-exp / field-arithmetic gap above is the paper's core premise:\n";
   pf " reducing group exponentiations from O(d) to O(d/log d) at the price of\n";
-  pf " O(kd) extra field ops is a large net win)\n"
+  pf " O(kd) extra field ops is a large net win)\n";
+  run_parallel_scaling ()
+
+(* ------------------------------------------------------------------ *)
+(* Domain-scaling micro-benchmarks: 1/2/4/8 domains over the three hot
+   paths the multicore layer threads through (MSM, server verification,
+   client commitment generation). Results are checked identical across
+   job counts — the parallel paths must be drop-in. *)
+
+and run_parallel_scaling () =
+  pf "---- domain scaling (worker pool; recommended_domain_count=%d) ----\n"
+    (Domain.recommended_domain_count ());
+  let saved_jobs = Parallel.default_jobs () in
+  let ladder = if config.smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let time_min f =
+    (* min of 2 runs: the first run also warms the pool's domains *)
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    ignore (f ());
+    let t2 = Unix.gettimeofday () in
+    (r, Float.min (t1 -. t0) (t2 -. t1))
+  in
+  let speedup base s = if s > 0.0 then base /. s else 0.0 in
+  (* (1) Pippenger MSM, full-width scalars *)
+  let npts = if config.smoke then 256 else 1024 in
+  let drbg = Prng.Drbg.create_string "parmicro" in
+  let pairs =
+    Array.init npts (fun i -> (Scalar.random drbg, Point.mul_base (Scalar.of_int (i + 1))))
+  in
+  pf "%-26s %6s %12s %9s\n" "kernel" "jobs" "wall(s)" "speedup";
+  let base_msm = ref 0.0 in
+  let ref_msm = ref None in
+  List.iter
+    (fun jobs ->
+      Parallel.set_default_jobs jobs;
+      let r, s = time_min (fun () -> Msm.msm pairs) in
+      (match !ref_msm with
+      | None ->
+          ref_msm := Some r;
+          base_msm := s
+      | Some r0 -> if not (Point.equal r r0) then failwith "parallel MSM result mismatch");
+      record ~target:"micro" ~name:"msm-full" ~jobs ~n:npts s;
+      pf "%-26s %6d %12.4f %8.2fx\n" (Printf.sprintf "msm-%d (full scalars)" npts) jobs s
+        (speedup !base_msm s))
+    ladder;
+  (* (2) one full RiseFL iteration per job count: the driver's stage
+     timers expose server verify / client commit under the pool, and the
+     aggregate must be bit-identical whatever the job count *)
+  let n = if config.smoke then 4 else 8 in
+  let d = if config.smoke then 32 else 128 in
+  let k = if config.smoke then 4 else 16 in
+  let ref_agg = ref None in
+  List.iter
+    (fun jobs ->
+      Parallel.set_default_jobs jobs;
+      let stats = risefl_point ~n ~m:1 ~d ~k ~seed:"parmicro-iter" in
+      (match (!ref_agg, stats.Driver.aggregate) with
+      | None, agg -> ref_agg := Some agg
+      | Some a0, agg -> if a0 <> agg then failwith "parallel iteration aggregate mismatch");
+      record ~target:"micro" ~name:"server-verify" ~jobs ~d ~k ~n stats.Driver.server_verify_s;
+      record ~target:"micro" ~name:"client-commit" ~jobs ~d ~k ~n stats.Driver.client_commit_s;
+      record ~target:"micro" ~name:"server-agg" ~jobs ~d ~k ~n stats.Driver.server_agg_s;
+      pf "%-26s %6d %12.4f\n"
+        (Printf.sprintf "verify-proofs (n=%d)" n)
+        jobs stats.Driver.server_verify_s;
+      pf "%-26s %6d %12.4f\n" (Printf.sprintf "client-commit (d=%d)" d) jobs
+        stats.Driver.client_commit_s)
+    ladder;
+  (* (3) commitment vector generation in isolation *)
+  let dc = if config.smoke then 128 else 1024 in
+  let params = risefl_params ~n:4 ~m:1 ~d:dc ~k:4 ~bound:4000.0 in
+  let setup = Setup.create ~label:"parmicro/commit" params in
+  let u = Array.init dc (fun i -> (i mod 80) - 40) in
+  let blind = Scalar.random drbg in
+  let base_cv = ref 0.0 in
+  let ref_cv = ref None in
+  List.iter
+    (fun jobs ->
+      Parallel.set_default_jobs jobs;
+      let r, s =
+        time_min (fun () ->
+            Commitments.Pedersen.commit_vec ~g_table:setup.Setup.g_table ~bases:setup.Setup.w
+              ~values:u ~blind)
+      in
+      (match !ref_cv with
+      | None ->
+          ref_cv := Some r;
+          base_cv := s
+      | Some r0 ->
+          if not (Array.for_all2 Point.equal r r0) then failwith "parallel commit_vec mismatch");
+      record ~target:"micro" ~name:"commit-vec" ~jobs ~d:dc s;
+      pf "%-26s %6d %12.4f %8.2fx\n" (Printf.sprintf "commit-vec (d=%d)" dc) jobs s
+        (speedup !base_cv s))
+    ladder;
+  Parallel.set_default_jobs saved_jobs
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -448,6 +589,13 @@ let () =
         "comma-separated model dimensions for table2 (default 64,256)" );
       ("--rounds", Arg.Int (fun v -> config.rounds <- v), "fig8 training rounds (default 12)");
       ("--full", Arg.Unit (fun () -> config.full <- true), "larger (slower) sizes");
+      ("--smoke", Arg.Unit (fun () -> config.smoke <- true), "tiny sizes (CI smoke run)");
+      ( "--jobs",
+        Arg.Int (fun v -> Parallel.set_default_jobs v),
+        "worker domains for parallel paths (default RISEFL_JOBS or the core count)" );
+      ( "--json",
+        Arg.String (fun v -> config.json <- v),
+        "machine-readable results path (default BENCH_RISEFL.json)" );
     ]
   in
   Arg.parse spec (fun t -> config.targets <- config.targets @ [ t ]) "bench targets: table1 table2 fig5 fig6 fig7 fig8 micro ablate all";
@@ -455,7 +603,10 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun t ->
-      run_target t;
-      print_newline ())
+      let (), wall = (fun f -> let s = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. s))
+        (fun () -> run_target t; print_newline ())
+      in
+      record ~target:t ~name:"target-wall" ~k:config.k ~n:config.n wall)
     targets;
-  pf "total bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  pf "total bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  write_json config.json

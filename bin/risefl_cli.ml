@@ -23,6 +23,12 @@ let k_arg = Arg.(value & opt int 8 & info [ "k"; "samples" ] ~docv:"K" ~doc:"Pro
 let bound_arg = Arg.(value & opt float 800.0 & info [ "bound" ] ~docv:"B" ~doc:"L2 bound (encoded units).")
 let seed_arg = Arg.(value & opt string "cli" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:"Worker domains for the parallel hot paths (0 = RISEFL_JOBS or the core count).")
+
 (* --- round --- *)
 
 let round_cmd =
@@ -31,7 +37,8 @@ let round_cmd =
       value & opt (list int) []
       & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
   in
-  let run n m d k bound seed attackers =
+  let run n m d k bound seed attackers jobs =
+    if jobs > 0 then Parallel.set_default_jobs jobs;
     let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
     let setup = Setup.create ~label:("cli/" ^ seed) params in
     let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
@@ -65,7 +72,7 @@ let round_cmd =
   in
   Cmd.v
     (Cmd.info "round" ~doc:"Run one secure-and-verifiable aggregation round.")
-    Term.(const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers)
+    Term.(const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers $ jobs_arg)
 
 (* --- train --- *)
 

@@ -189,6 +189,28 @@ let testbit x i =
   let limb = i / limb_bits and off = i mod limb_bits in
   limb < Array.length x.mag && (x.mag.(limb) lsr off) land 1 = 1
 
+let to_digits ~bits ~count x =
+  if bits < 1 || bits > 30 then invalid_arg "Bigint.to_digits: bits must be in [1, 30]";
+  if count < 0 then invalid_arg "Bigint.to_digits: negative count";
+  let out = Array.make count 0 in
+  let mag = x.mag in
+  let nl = Array.length mag in
+  let dmask = (1 lsl bits) - 1 in
+  (* little-endian bit buffer: limbs are drained 26 bits at a time, so
+     [acc] never exceeds (bits - 1) + 26 <= 55 significant bits *)
+  let acc = ref 0 and acc_bits = ref 0 and li = ref 0 in
+  for i = 0 to count - 1 do
+    while !acc_bits < bits && !li < nl do
+      acc := !acc lor (mag.(!li) lsl !acc_bits);
+      acc_bits := !acc_bits + limb_bits;
+      incr li
+    done;
+    out.(i) <- !acc land dmask;
+    acc := !acc lsr bits;
+    acc_bits := if !acc_bits > bits then !acc_bits - bits else 0
+  done;
+  out
+
 let shift_left x n =
   if is_zero x || n = 0 then x
   else begin

@@ -99,6 +99,13 @@ val bit_length : t -> int
 (** [testbit x i] is bit [i] of the magnitude of [x]. *)
 val testbit : t -> int -> bool
 
+(** [to_digits ~bits ~count x] extracts the first [count] little-endian
+    [bits]-wide digits of the magnitude of [x] in one pass over the limbs
+    (missing high digits are 0). This is the shared digit decomposition
+    of every windowed scalar multiplication: one call replaces
+    [bits * count] {!testbit} probes. [1 <= bits <= 30]. *)
+val to_digits : bits:int -> count:int -> t -> int array
+
 (** {1 Modular arithmetic} *)
 
 (** [mod_pow base exp m] is [base^exp mod m] for [exp >= 0], [m > 0];

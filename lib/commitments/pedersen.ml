@@ -15,9 +15,10 @@ let verify_open key c ~value ~blind = Point.equal c (commit key ~value ~blind)
 
 let commit_vec ~g_table ~bases ~values ~blind =
   if Array.length bases <> Array.length values then invalid_arg "Pedersen.commit_vec: length mismatch";
-  Array.map2
-    (fun w u -> Point.add (Point.Table.mul_small g_table u) (Point.mul blind w))
-    bases values
+  (* d independent g^{u_l} w_l^{r} commitments — the client's dominant
+     per-round cost — computed over coordinate chunks on the pool *)
+  Parallel.parallel_init (Array.length values) (fun l ->
+      Point.add (Point.Table.mul_small g_table values.(l)) (Point.mul blind bases.(l)))
 
 let add c1 c2 =
   if Array.length c1 <> Array.length c2 then invalid_arg "Pedersen.add: length mismatch";

@@ -81,27 +81,30 @@ let commit_round t ~round ~update =
 
 let receive_shares t ~round ~msgs =
   let g = t.setup.Setup.g in
-  let suspects = ref [] in
-  Array.iter
-    (fun (m : Wire.commit_msg) ->
-      let j = m.Wire.sender in
-      let sealed = m.Wire.enc_shares.(t.id - 1) in
-      let valid =
+  (* decrypt + VSSS-verify each dealer's share independently (one MSM
+     per dealer), in parallel; mutate round state sequentially after *)
+  let opened =
+    Parallel.parallel_map
+      (fun (m : Wire.commit_msg) ->
+        let j = m.Wire.sender in
+        let sealed = m.Wire.enc_shares.(t.id - 1) in
         match Channel.open_ ~key:(key_for t j) sealed with
-        | None -> false
+        | None -> (j, None)
         | Some plain -> (
             match Scalar.of_bytes plain with
-            | exception Invalid_argument _ -> false
+            | exception Invalid_argument _ -> (j, None)
             | value ->
                 let share = { Vsss.idx = t.id; value } in
-                if Vsss.verify ~g ~check:m.Wire.check share then begin
-                  t.in_shares.(j - 1) <- Some value;
-                  true
-                end
-                else false)
-      in
-      if not valid then suspects := j :: !suspects)
-    msgs;
+                if Vsss.verify ~g ~check:m.Wire.check share then (j, Some value) else (j, None)))
+      msgs
+  in
+  let suspects = ref [] in
+  Array.iter
+    (fun (j, v) ->
+      match v with
+      | Some value -> t.in_shares.(j - 1) <- Some value
+      | None -> suspects := j :: !suspects)
+    opened;
   ignore round;
   { Wire.sender = t.id; suspects = List.rev !suspects }
 

@@ -8,7 +8,7 @@ let seed ~s ~pks =
   let h = Hashfn.Sha256.init () in
   Hashfn.Sha256.update_string h "risefl/seed/v1";
   Hashfn.Sha256.update h s;
-  Array.iter (fun pk -> Hashfn.Sha256.update h (Point.compress pk)) pks;
+  Array.iter (Hashfn.Sha256.update h) (Point.compress_batch pks);
   Hashfn.Sha256.finalize h
 
 let sample_matrix ~seed ~d ~k ~m_factor =
@@ -24,8 +24,12 @@ let sample_matrix ~seed ~d ~k ~m_factor =
 
 let compute_h (setup : Setup.t) m =
   let w = setup.Setup.w in
+  (* one d-point MSM per projection row: parallelize across the k rows
+     (each inner MSM then runs sequentially — nested regions inline) *)
   let h0 = Msm.msm (Array.mapi (fun l a -> (a, w.(l))) m.a0) in
-  let hts = Array.map (fun row -> Msm.msm_small (Array.mapi (fun l a -> (a, w.(l))) row)) m.rows in
+  let hts =
+    Parallel.parallel_map (fun row -> Msm.msm_small (Array.mapi (fun l a -> (a, w.(l))) row)) m.rows
+  in
   Array.append [| h0 |] hts
 
 let ver_crt drbg ~bases ~targets ~matrix =
@@ -34,9 +38,10 @@ let ver_crt drbg ~bases ~targets ~matrix =
   if Array.length targets <> k + 1 || Array.length matrix.a0 <> d then false
   else begin
     let b = Array.init (k + 1) (fun _ -> Scalar.random drbg) in
-    (* c = b . A : c_l = b_0 a0_l + sum_t b_t A_tl *)
+    (* c = b . A : c_l = b_0 a0_l + sum_t b_t A_tl — O(kd) field ops,
+       independent per coordinate *)
     let c =
-      Array.init d (fun l ->
+      Parallel.parallel_init d (fun l ->
           let acc = ref (Scalar.mul b.(0) matrix.a0.(l)) in
           for t = 0 to k - 1 do
             let a = matrix.rows.(t).(l) in

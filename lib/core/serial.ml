@@ -30,7 +30,12 @@ module W = struct
     u32 b (Array.length xs);
     Array.iter (f b) xs
 
-  let points b ps = array b point ps
+  (* one Montgomery-batched field inversion for the whole vector instead
+     of one inversion per point *)
+  let points b ps =
+    u32 b (Array.length ps);
+    Array.iter (raw b) (Point.compress_batch ps)
+
   let scalars b ss = array b scalar ss
 end
 

@@ -153,7 +153,7 @@ let make_predicate_ctx t = function
       in
       Ctx_cosine { v; w_base; factor = Predicate.cosine_factor t.setup.Setup.params ~v ~alpha }
 
-let verify_one t ~round ~ctx shift_pt (msg : Wire.proof_msg) =
+let verify_one t ~round ~ctx ~drbg shift_pt (msg : Wire.proof_msg) =
   let p = t.setup.Setup.params in
   let setup = t.setup in
   let k = p.Params.k in
@@ -167,7 +167,7 @@ let verify_one t ~round ~ctx shift_pt (msg : Wire.proof_msg) =
       && Array.length msg.Wire.os' = k
       && Array.length msg.Wire.squares = k
       (* e* consistency: e_t = prod_l y_il^{a_tl}, batch-verified *)
-      && Sampling.ver_crt t.drbg ~bases:commit.Wire.y ~targets:msg.Wire.es ~matrix
+      && Sampling.ver_crt drbg ~bases:commit.Wire.y ~targets:msg.Wire.es ~matrix
       &&
       let tr = Client.make_transcript ~round ~client_id:i ~s:t.s_value in
       let z = Vsss.commitment_of_check commit.Wire.check in
@@ -214,21 +214,33 @@ let verify_one t ~round ~ctx shift_pt (msg : Wire.proof_msg) =
       Range_proof.verify tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
         ~bits:p.Params.b_max_bits ~commitments:[| p_commit |] msg.Wire.mu_range
 
-let verify_proofs ?(predicate = Predicate.L2) t ~round ~proofs =
+let verify_proofs ?(predicate = Predicate.L2) ?jobs t ~round ~proofs =
   if Array.length proofs <> n_of t then invalid_arg "Server.verify_proofs: wrong size";
   Predicate.validate t.setup.Setup.params predicate;
   let ctx = make_predicate_ctx t predicate in
   let shift_pt = shift_point t in
-  Array.iteri
-    (fun idx pr ->
-      let i = idx + 1 in
-      if not t.bad.(idx) then
-        match pr with
-        | None -> mark t i "no proof"
-        | Some (msg : Wire.proof_msg) ->
-            if msg.Wire.sender <> i then mark t i "proof sender mismatch"
-            else if not (verify_one t ~round ~ctx shift_pt msg) then mark t i "proof failed")
-    proofs
+  (* Per-client verification is embarrassingly parallel. Each client gets
+     a DRBG forked from the server key by (round, id) alone, so the
+     VerCrt challenge randomness — and with it the accept/reject outcome
+     — is identical whatever the job count or execution order. Verdicts
+     are collected first and C* is updated sequentially afterwards. *)
+  let verdicts =
+    Parallel.parallel_mapi ?jobs
+      (fun idx pr ->
+        let i = idx + 1 in
+        if t.bad.(idx) then None
+        else
+          match pr with
+          | None -> Some "no proof"
+          | Some (msg : Wire.proof_msg) ->
+              if msg.Wire.sender <> i then Some "proof sender mismatch"
+              else begin
+                let drbg = Prng.Drbg.fork t.drbg (Printf.sprintf "vercrt/r%d/c%d" round i) in
+                if verify_one t ~round ~ctx ~drbg shift_pt msg then None else Some "proof failed"
+              end)
+      proofs
+  in
+  Array.iteri (fun idx v -> match v with Some reason -> mark t (idx + 1) reason | None -> ()) verdicts
 
 let aggregate t ~agg_msgs =
   let hs = honest t in
@@ -243,19 +255,24 @@ let aggregate t ~agg_msgs =
       None hs
   in
   let combined_check = match combined_check with Some c -> c | None -> failwith "no checks" in
-  (* collect valid aggregated shares *)
+  (* collect valid aggregated shares; each VSSS check is an independent
+     MSM against the combined check string, so fan them out *)
+  let checked =
+    Parallel.parallel_mapi
+      (fun idx msg ->
+        let i = idx + 1 in
+        if t.bad.(idx) then None
+        else
+          match msg with
+          | None -> None
+          | Some (am : Wire.agg_msg) ->
+              let share = { Vsss.idx = i; value = am.Wire.r_sum } in
+              if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then Some share
+              else None)
+      agg_msgs
+  in
   let valid_shares = ref [] in
-  Array.iteri
-    (fun idx msg ->
-      let i = idx + 1 in
-      if not t.bad.(idx) then
-        match msg with
-        | None -> ()
-        | Some (am : Wire.agg_msg) ->
-            let share = { Vsss.idx = i; value = am.Wire.r_sum } in
-            if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then
-              valid_shares := share :: !valid_shares)
-    agg_msgs;
+  Array.iter (function Some s -> valid_shares := s :: !valid_shares | None -> ()) checked;
   let threshold = Params.shamir_t t.setup.Setup.params in
   let shares = !valid_shares in
   if List.length shares < threshold then
@@ -269,8 +286,10 @@ let aggregate t ~agg_msgs =
   let p = t.setup.Setup.params in
   let neg_r = Scalar.neg r in
   let solver = Lazy.force t.dlog in
+  (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
+     peeling parallelize over coordinate chunks *)
   let targets =
-    Array.init p.Params.d (fun l ->
+    Parallel.parallel_init p.Params.d (fun l ->
         let prod =
           List.fold_left
             (fun acc i ->

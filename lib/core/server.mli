@@ -38,12 +38,17 @@ val process_flags :
     Returns (s, h) for broadcast. *)
 val prepare_check : t -> Bytes.t * Point.t array
 
-(** [verify_proofs ?predicate t ~round ~proofs] — full §4.4.2 verification
-    for every client: e*-consistency against y_i (batch check), ρ, τ, σ, μ
-    (plus the w-linkage material under the cosine predicate). Clients
-    whose proof fails (or is absent) are added to C*. *)
+(** [verify_proofs ?predicate ?jobs t ~round ~proofs] — full §4.4.2
+    verification for every client: e*-consistency against y_i (batch
+    check), ρ, τ, σ, μ (plus the w-linkage material under the cosine
+    predicate). Clients whose proof fails (or is absent) are added to C*.
+    Clients verify in parallel on [jobs] domains (default
+    [Parallel.default_jobs ()]); the accepted/rejected sets are identical
+    for every job count — each client's VerCrt challenge randomness is
+    forked from the server key by (round, id), not drawn from a shared
+    stream. *)
 val verify_proofs :
-  ?predicate:Predicate.t -> t -> round:int -> proofs:Wire.proof_msg option array -> unit
+  ?predicate:Predicate.t -> ?jobs:int -> t -> round:int -> proofs:Wire.proof_msg option array -> unit
 
 (** The honest list H = C \ C* (1-based ids). *)
 val honest : t -> int list

@@ -17,4 +17,6 @@ let derive label =
   in
   try_counter 0
 
-let derive_many label n = Array.init n (fun i -> derive (label ^ "/" ^ string_of_int i))
+(* each label derives independently, so setup-time generator derivation
+   (d of them for the commitment bases) fans out across domains *)
+let derive_many label n = Parallel.parallel_init n (fun i -> derive (label ^ "/" ^ string_of_int i))

@@ -4,16 +4,21 @@
     naive O(n·b). This is the "mult-exponentiation" the paper leans on for
     its O(d / log d) client cost: the server's h_t = Π w_l^{a_tl}
     precomputation, the client's VerCrt batch verification (Algorithm 3)
-    and the server's e_t recomputation are all instances. *)
+    and the server's e_t recomputation are all instances.
 
-(** [msm pairs] for full-size scalar exponents. Empty input gives the
-    identity. *)
-val msm : (Scalar.t * Point.t) array -> Point.t
+    Both entry points split the point set into per-domain chunks executed
+    on the {!Parallel} pool ([?jobs] defaults to
+    [Parallel.default_jobs ()]); partial chunk sums merge in fixed order,
+    so the result is identical for every job count. *)
 
-(** [msm_small pairs] for native-int exponents of either sign (e.g. the
-    discretized Gaussian coefficients a_tl, |a| < 2^30); faster than
+(** [msm ?jobs pairs] for full-size scalar exponents. Empty input gives
+    the identity. *)
+val msm : ?jobs:int -> (Scalar.t * Point.t) array -> Point.t
+
+(** [msm_small ?jobs pairs] for native-int exponents of either sign (e.g.
+    the discretized Gaussian coefficients a_tl, |a| < 2^30); faster than
     {!msm} because the exponent bit-length is short. *)
-val msm_small : (int * Point.t) array -> Point.t
+val msm_small : ?jobs:int -> (int * Point.t) array -> Point.t
 
 (** [window_bits n] — the window size heuristic used internally (exposed
     for the cost model and tests). *)

@@ -101,14 +101,9 @@ let decompress_unchecked b =
 (* 4-bit signed windows would need constant-time tricks we don't require;
    plain 4-bit unsigned windows are fine for a research prototype. *)
 
-let window_digits_of_bigint e nbits =
-  (* little-endian 4-bit digits *)
-  let n = (nbits + 3) / 4 in
-  Array.init n (fun i ->
-      (if Bigint.testbit e (4 * i) then 1 else 0)
-      lor (if Bigint.testbit e ((4 * i) + 1) then 2 else 0)
-      lor (if Bigint.testbit e ((4 * i) + 2) then 4 else 0)
-      lor if Bigint.testbit e ((4 * i) + 3) then 8 else 0)
+(* little-endian 4-bit digits, one limb pass (shared with Msm via
+   Bigint.to_digits) *)
+let window_digits_of_bigint e nbits = Bigint.to_digits ~bits:4 ~count:((nbits + 3) / 4) e
 
 let mul_digits digits table_p =
   (* digits little-endian; process from the top *)
@@ -211,9 +206,11 @@ let base =
   | Some p -> p
   | None -> assert false
 
-let base_table = lazy (Table.make base)
+(* eager: a concurrent Lazy.force from two domains raises; building the
+   table at module init (~1k additions) keeps mul_base domain-safe *)
+let base_table = Table.make base
 
-let mul_base s = Table.mul (Lazy.force base_table) s
+let mul_base s = Table.mul base_table s
 
 (* Strauss–Shamir interleaving: one shared doubling chain for both
    scalars, ~1.5x faster than two independent multiplications.  This is
@@ -226,12 +223,7 @@ let double_mul s p t q =
     let tp = small_table p and tq = small_table q in
     let nbits = Stdlib.max (Bigint.bit_length es) (Bigint.bit_length et) in
     let nd = (nbits + 3) / 4 in
-    let digit e i =
-      (if Bigint.testbit e (4 * i) then 1 else 0)
-      lor (if Bigint.testbit e ((4 * i) + 1) then 2 else 0)
-      lor (if Bigint.testbit e ((4 * i) + 2) then 4 else 0)
-      lor if Bigint.testbit e ((4 * i) + 3) then 8 else 0
-    in
+    let dss = window_digits_of_bigint es nbits and dts = window_digits_of_bigint et nbits in
     let acc = ref identity in
     for i = nd - 1 downto 0 do
       if i < nd - 1 then begin
@@ -240,7 +232,7 @@ let double_mul s p t q =
         acc := double !acc;
         acc := double !acc
       end;
-      let ds = digit es i and dt = digit et i in
+      let ds = dss.(i) and dt = dts.(i) in
       if ds <> 0 then acc := add !acc tp.(ds);
       if dt <> 0 then acc := add !acc tq.(dt)
     done;

@@ -1,0 +1,212 @@
+(* Domain pool + chunked data-parallel combinators.
+
+   Workers are spawned lazily, once, and never torn down: they block on a
+   condition variable between regions, so an idle pool costs nothing but
+   memory. Work inside a region is distributed by an atomic chunk
+   counter (work stealing at chunk granularity), which keeps load
+   balanced even when chunk costs are skewed, while results are always
+   written / combined by chunk index so the output is independent of the
+   interleaving. *)
+
+let clamp_jobs j = if j < 1 then 1 else j
+
+let initial_jobs =
+  match Sys.getenv_opt "RISEFL_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let current_jobs = Atomic.make initial_jobs
+let default_jobs () = Atomic.get current_jobs
+let set_default_jobs j = Atomic.set current_jobs (clamp_jobs j)
+
+(* --- the pool --- *)
+
+type pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable spawned : int;
+}
+
+let pool = { lock = Mutex.create (); nonempty = Condition.create (); tasks = Queue.create (); spawned = 0 }
+
+(* true inside a worker task (and inside the main domain's own share of a
+   region): a nested region must run inline rather than re-enter the
+   pool, which could otherwise deadlock on the completion latch. *)
+let inside_region = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop () =
+  Domain.DLS.set inside_region true;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.tasks do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    let task = Queue.pop pool.tasks in
+    Mutex.unlock pool.lock;
+    task ();
+    loop ()
+  in
+  loop ()
+
+let ensure_workers n =
+  Mutex.lock pool.lock;
+  let missing = n - pool.spawned in
+  if missing > 0 then pool.spawned <- n;
+  Mutex.unlock pool.lock;
+  for _ = 1 to missing do
+    ignore (Domain.spawn worker_loop)
+  done
+
+let submit task =
+  Mutex.lock pool.lock;
+  Queue.push task pool.tasks;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+(* Run [f 0 .. f (nchunks-1)], distributing chunks over [jobs] domains
+   (the caller counts as one). Exceptions re-raise in the caller; the
+   first one wins, remaining chunks still drain (cheaply: losers just
+   bump the counter). *)
+let run_chunks ~jobs nchunks f =
+  let jobs = clamp_jobs jobs in
+  if jobs = 1 || nchunks <= 1 || Domain.DLS.get inside_region then
+    for i = 0 to nchunks - 1 do
+      f i
+    done
+  else begin
+    let helpers = min (jobs - 1) (nchunks - 1) in
+    ensure_workers helpers;
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    let drain () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < nchunks then begin
+          (if Atomic.get err = None then
+             try f i with e -> ignore (Atomic.compare_and_set err None (Some e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    let pending = Atomic.make helpers in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    for _ = 1 to helpers do
+      submit (fun () ->
+          drain ();
+          Mutex.lock done_lock;
+          (* decrement under the lock so the caller cannot miss the last
+             signal between its check and its wait *)
+          ignore (Atomic.fetch_and_add pending (-1));
+          Condition.signal done_cond;
+          Mutex.unlock done_lock)
+    done;
+    (* the caller participates too, flagged so nested regions inline *)
+    Domain.DLS.set inside_region true;
+    drain ();
+    Domain.DLS.set inside_region false;
+    Mutex.lock done_lock;
+    while Atomic.get pending > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    match Atomic.get err with Some e -> raise e | None -> ()
+  end
+
+(* Chunk layout: at most [4 * jobs] chunks (oversubscription smooths
+   skewed per-element costs), sized as evenly as possible, fixed by
+   [n] and [jobs] alone so partial-result order is reproducible. *)
+let chunks_of ~jobs n =
+  if n <= 0 then [||]
+  else begin
+    let jobs = clamp_jobs jobs in
+    let target = if jobs = 1 then 1 else min n (4 * jobs) in
+    let base = n / target and extra = n mod target in
+    let bounds = Array.make target (0, 0) in
+    let lo = ref 0 in
+    for c = 0 to target - 1 do
+      let len = base + if c < extra then 1 else 0 in
+      bounds.(c) <- (!lo, !lo + len);
+      lo := !lo + len
+    done;
+    bounds
+  end
+
+let resolve_jobs jobs = match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+
+let parallel_for ?jobs ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let jobs = resolve_jobs jobs in
+    let bounds = chunks_of ~jobs n in
+    run_chunks ~jobs (Array.length bounds) (fun c ->
+        let clo, chi = bounds.(c) in
+        f (lo + clo) (lo + chi))
+  end
+
+let map_chunks ?jobs ~n f =
+  if n <= 0 then [||]
+  else begin
+    let jobs = resolve_jobs jobs in
+    let bounds = chunks_of ~jobs n in
+    let out = Array.make (Array.length bounds) None in
+    run_chunks ~jobs (Array.length bounds) (fun c ->
+        let clo, chi = bounds.(c) in
+        out.(c) <- Some (f clo chi));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* Per-chunk sub-arrays concatenated in chunk order: no placeholder
+   element is ever needed, and the result layout is independent of which
+   domain ran which chunk. *)
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.parallel_init";
+  let parts = map_chunks ?jobs ~n (fun lo hi -> Array.init (hi - lo) (fun i -> f (lo + i))) in
+  Array.concat (Array.to_list parts)
+
+let parallel_mapi ?jobs f xs =
+  let n = Array.length xs in
+  let parts =
+    map_chunks ?jobs ~n (fun lo hi -> Array.init (hi - lo) (fun i -> f (lo + i) xs.(lo + i)))
+  in
+  Array.concat (Array.to_list parts)
+
+let parallel_map ?jobs f xs = parallel_mapi ?jobs (fun _ x -> f x) xs
+
+let parallel_reduce ?jobs ~map ~combine ~init xs =
+  let n = Array.length xs in
+  if n = 0 then init
+  else begin
+    let partials =
+      map_chunks ?jobs ~n (fun lo hi ->
+          let acc = ref (map xs.(lo)) in
+          for i = lo + 1 to hi - 1 do
+            acc := combine !acc (map xs.(i))
+          done;
+          !acc)
+    in
+    Array.fold_left combine init partials
+  end
+
+let tree_combine f xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Parallel.tree_combine: empty";
+  let buf = Array.copy xs in
+  let live = ref n in
+  while !live > 1 do
+    let half = !live / 2 in
+    for i = 0 to half - 1 do
+      buf.(i) <- f buf.(2 * i) buf.((2 * i) + 1)
+    done;
+    if !live land 1 = 1 then begin
+      buf.(half) <- buf.(!live - 1);
+      live := half + 1
+    end
+    else live := half
+  done;
+  buf.(0)

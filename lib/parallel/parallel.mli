@@ -1,0 +1,60 @@
+(** A small dependency-free multicore execution layer.
+
+    A global pool of worker {!Domain}s executes chunked data-parallel
+    regions. The pool is sized lazily: no domain is ever spawned until a
+    region actually requests more than one job, so single-threaded runs
+    (and [jobs = 1] test configurations) never pay domain startup.
+
+    Determinism guarantee: every combinator assigns work by index, writes
+    results by index, and combines partial results in ascending chunk
+    order. For pure element functions the output is therefore identical
+    for every job count — only wall-clock changes. Group-valued
+    reductions (e.g. partial MSM sums) combine in a fixed order too, so
+    the reduced value is the same group element regardless of [jobs]
+    (projective representations may differ; compressed encodings do not).
+
+    Nested parallel regions degrade to sequential execution instead of
+    deadlocking: a region started from inside a worker task runs inline. *)
+
+(** [default_jobs ()] — the job count used when [?jobs] is omitted.
+    Initialized from the [RISEFL_JOBS] environment variable when set (and
+    >= 1), otherwise [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [set_default_jobs j] overrides {!default_jobs} (clamped to >= 1).
+    Used by the bench harness's [--jobs] flag and the CLI. *)
+val set_default_jobs : int -> unit
+
+(** [parallel_for ?jobs ~lo ~hi f] — split the index range [\[lo, hi)]
+    into chunks and run [f clo chi] for each sub-range [\[clo, chi)].
+    [f] must only write to disjoint, per-index state. *)
+val parallel_for : ?jobs:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** [map_chunks ?jobs ~n f] — split [\[0, n)] into chunks, compute
+    [f clo chi] per chunk, and return the per-chunk results in ascending
+    chunk order. The chunking depends only on [n] and the effective job
+    count. *)
+val map_chunks : ?jobs:int -> n:int -> (int -> int -> 'a) -> 'a array
+
+(** [parallel_init ?jobs n f] — like [Array.init n f] with the element
+    functions evaluated in parallel. [f] must be pure (or touch only
+    per-index state). *)
+val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_map ?jobs f xs] — like [Array.map], in parallel. *)
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_mapi ?jobs f xs] — like [Array.mapi], in parallel. *)
+val parallel_mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_reduce ?jobs ~map ~combine ~init xs] — map every element
+    and combine [init] with the per-chunk partials in ascending chunk
+    order: [combine] should be associative for the result to be
+    job-count independent. *)
+val parallel_reduce :
+  ?jobs:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+
+(** [tree_combine f xs] — combine [xs] pairwise ([log (length xs)]
+    rounds, fixed order); [Invalid_argument] on an empty array. Used to
+    merge per-domain partial MSM sums. *)
+val tree_combine : ('a -> 'a -> 'a) -> 'a array -> 'a

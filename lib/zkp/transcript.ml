@@ -31,9 +31,11 @@ let append_bytes t ~label b = absorb t (frame label b)
 let append_point t ~label p = absorb t (frame label (Point.compress p))
 let append_scalar t ~label s = absorb t (frame label (Scalar.to_bytes s))
 
+(* batch-compress the vector (one shared inversion), then absorb the
+   same frames append_point would — the transcript bytes are unchanged *)
 let append_points t ~label ps =
   append_bytes t ~label:(label ^ "/count") (Bytes.of_string (string_of_int (Array.length ps)));
-  Array.iter (fun p -> append_point t ~label p) ps
+  Array.iter (fun b -> absorb t (frame label b)) (Point.compress_batch ps)
 
 let append_int t ~label i = append_bytes t ~label (Bytes.of_string (string_of_int i))
 
