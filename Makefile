@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -24,6 +24,12 @@ bench-smoke:
 	@grep -q '"results"' BENCH_RISEFL.json || { echo "bench-smoke: no results array in BENCH_RISEFL.json" >&2; exit 1; }
 	@grep -q '"name": "msm-full"' BENCH_RISEFL.json || { echo "bench-smoke: expected msm-full records" >&2; exit 1; }
 	@echo "bench-smoke: BENCH_RISEFL.json OK ($$(grep -c '"target"' BENCH_RISEFL.json) records)"
+
+# Reduced-iteration run of the wire-decoder fuzz suite: every mutated
+# frame must produce a typed verdict (never an exception) and verdicts
+# must not depend on the worker-domain count.
+fuzz-smoke:
+	FUZZ_ITERS=120 dune exec test/test_fuzz_wire.exe
 
 clean:
 	dune clean

@@ -10,6 +10,7 @@
      fig8    Figure 8 — FL training curves under attacks, three checkers
      micro   §6.2     — Bechamel micro-benchmarks of the primitive costs
      ablate  DESIGN.md ablations — naive vs optimized projection check
+     faults  fault-injected transport degradation ladder (EXPERIMENTS.md)
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -561,9 +562,59 @@ let run_ablate () =
     /. float_of_int ((32 * params.Params.b_ip_bits) + params.Params.b_max_bits))
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection degradation ladder (EXPERIMENTS.md)                 *)
+
+let run_faults () =
+  pf "================ Fault degradation ladder ================\n";
+  let n = 6 and m = 2 in
+  let d = if config.smoke then 16 else 32 and k = if config.smoke then 4 else 8 in
+  let rounds_per_level = if config.smoke then 3 else 8 in
+  let drbg = Prng.Drbg.create_string "bench-faults/updates" in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let setup = Setup.create ~label:"bench/faults" params in
+  let session = Driver.create_session setup ~seed:"bench-faults" in
+  pf "n=%d m=%d d=%d k=%d, %d rounds per fault level, deadline 4 ticks\n\n" n m d k
+    rounds_per_level;
+  pf "%-10s %10s %10s %10s %10s %12s\n" "p(fault)" "completed" "aborted" "flagged" "dropped"
+    "mean s/round";
+  let round_counter = ref 0 in
+  List.iter
+    (fun p ->
+      let net =
+        Netsim.create ~plan:(Netsim.uniform ~max_delay:6 p)
+          ~seed:(Printf.sprintf "bench-faults/%g" p)
+          ()
+      in
+      let completed = ref 0 and aborted = ref 0 and flagged = ref 0 in
+      let elapsed = ref 0.0 in
+      for _ = 1 to rounds_per_level do
+        incr round_counter;
+        let t0 = Unix.gettimeofday () in
+        (match
+           Driver.run_round_outcome session ~transport:net ~updates
+             ~behaviours:(Driver.honest_all n) ~round:!round_counter
+         with
+        | Driver.Completed stats ->
+            incr completed;
+            flagged := !flagged + List.length stats.Driver.flagged
+        | Driver.Aborted_insufficient_quorum _ | Driver.Aborted_decode _ -> incr aborted);
+        elapsed := !elapsed +. (Unix.gettimeofday () -. t0)
+      done;
+      let c = Netsim.counters net in
+      let mean_s = !elapsed /. float_of_int rounds_per_level in
+      pf "%-10g %10d %10d %10d %10d %12.3f\n" p !completed !aborted !flagged
+        (c.Netsim.dropped + c.Netsim.late) mean_s;
+      record ~target:"faults" ~name:(Printf.sprintf "complete-rate@p=%g" p) ~d ~k ~n
+        (float_of_int !completed /. float_of_int rounds_per_level);
+      record ~target:"faults" ~name:(Printf.sprintf "mean-round-s@p=%g" p) ~d ~k ~n mean_s)
+    (if config.smoke then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.35 ])
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
-let all_targets = [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate" ]
+let all_targets = [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "faults" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -574,6 +625,7 @@ let rec run_target = function
   | "fig8" -> run_fig8 ()
   | "micro" -> run_micro ()
   | "ablate" -> run_ablate ()
+  | "faults" -> run_faults ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);

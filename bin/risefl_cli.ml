@@ -37,7 +37,21 @@ let round_cmd =
       value & opt (list int) []
       & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
   in
-  let run n m d k bound seed attackers jobs =
+  let faults_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Run the round over a fault-injected transport. SPEC is a comma-separated plan, e.g. \
+             'drop=0.1,flip=0.05,delay=0.2:4,dup=0.02,trunc=0.05,reorder=0.1,replay=0.02'.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "deadline" ] ~docv:"TICKS"
+          ~doc:"Per-stage delivery deadline in simulated ticks; later frames count as dropouts.")
+  in
+  let run n m d k bound seed attackers jobs faults deadline =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
     let setup = Setup.create ~label:("cli/" ^ seed) params in
@@ -55,24 +69,57 @@ let round_cmd =
           behaviours.(i - 1) <- Driver.Oversized 50.0
         end)
       attackers;
-    let stats = Driver.run_iteration setup ~updates ~behaviours ~seed ~round:1 in
-    Printf.printf "flagged: [%s]\n" (String.concat ";" (List.map string_of_int stats.Driver.flagged));
-    (match stats.Driver.aggregate with
-    | Some agg ->
-        Printf.printf "aggregate (first 8 coords): %s\n"
-          (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
-    | None -> print_endline "aggregation failed");
-    Printf.printf
-      "client: commit %.3fs, share-verify %.3fs, proof %.3fs | server: prep %.3fs, verify %.3fs, agg %.3fs\n"
-      stats.Driver.client_commit_s stats.Driver.client_share_verify_s stats.Driver.client_proof_s
-      stats.Driver.server_prep_s stats.Driver.server_verify_s stats.Driver.server_agg_s;
-    Printf.printf "comm per client: %.1f KB up, %.1f KB down\n"
-      (float_of_int stats.Driver.client_up_bytes /. 1024.0)
-      (float_of_int stats.Driver.client_down_bytes /. 1024.0)
+    let transport =
+      match faults with
+      | None -> None
+      | Some spec -> (
+          match Netsim.plan_of_string spec with
+          | Ok plan -> Some (Netsim.create ~plan ~deadline ~seed:("cli/" ^ seed) ())
+          | Error e ->
+              Printf.eprintf "bad --faults spec: %s\n" e;
+              exit 2)
+    in
+    let session = Driver.create_session setup ~seed in
+    let print_stats (stats : Driver.stats) =
+      Printf.printf "flagged: [%s]\n"
+        (String.concat ";" (List.map string_of_int stats.Driver.flagged));
+      if stats.Driver.decode_failures <> [] then
+        Printf.printf "undecodable frames from: [%s]\n"
+          (String.concat ";" (List.map string_of_int stats.Driver.decode_failures));
+      (match stats.Driver.aggregate with
+      | Some agg ->
+          Printf.printf "aggregate (first 8 coords): %s\n"
+            (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
+      | None -> (
+          match stats.Driver.failure with
+          | Some e ->
+              Printf.printf "aggregation failed: %s\n" (Risefl_core.Server.agg_error_to_string e)
+          | None -> print_endline "aggregation failed"));
+      Printf.printf
+        "client: commit %.3fs, share-verify %.3fs, proof %.3fs | server: prep %.3fs, verify %.3fs, agg %.3fs\n"
+        stats.Driver.client_commit_s stats.Driver.client_share_verify_s stats.Driver.client_proof_s
+        stats.Driver.server_prep_s stats.Driver.server_verify_s stats.Driver.server_agg_s;
+      Printf.printf "comm per client: %.1f KB up, %.1f KB down\n"
+        (float_of_int stats.Driver.client_up_bytes /. 1024.0)
+        (float_of_int stats.Driver.client_down_bytes /. 1024.0)
+    in
+    (match Driver.run_round_outcome ?transport session ~updates ~behaviours ~round:1 with
+    | Driver.Completed stats -> print_stats stats
+    | outcome -> Printf.printf "round aborted: %s\n" (Driver.outcome_to_string outcome));
+    match transport with
+    | None -> ()
+    | Some net ->
+        let c = Netsim.counters net in
+        Printf.printf
+          "transport: %d sent, %d delivered, %d dropped, %d late, %d mutated, %d duplicated, %d reordered, %d replayed\n"
+          c.Netsim.sent c.Netsim.delivered c.Netsim.dropped c.Netsim.late c.Netsim.mutated
+          c.Netsim.duplicated c.Netsim.reordered c.Netsim.replayed
   in
   Cmd.v
     (Cmd.info "round" ~doc:"Run one secure-and-verifiable aggregation round.")
-    Term.(const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers $ jobs_arg)
+    Term.(
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers $ jobs_arg
+      $ faults_arg $ deadline_arg)
 
 (* --- train --- *)
 

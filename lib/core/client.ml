@@ -91,9 +91,9 @@ let receive_shares t ~round ~msgs =
         match Channel.open_ ~key:(key_for t j) sealed with
         | None -> (j, None)
         | Some plain -> (
-            match Scalar.of_bytes plain with
-            | exception Invalid_argument _ -> (j, None)
-            | value ->
+            match Scalar.of_bytes_opt plain with
+            | None -> (j, None)
+            | Some value ->
                 let share = { Vsss.idx = t.id; value } in
                 if Vsss.verify ~g ~check:m.Wire.check share then (j, Some value) else (j, None)))
       msgs

@@ -10,7 +10,9 @@ type behaviour =
 
 type stats = {
   aggregate : int array option;
+  failure : Server.agg_error option;
   flagged : int list;
+  decode_failures : int list;
   client_commit_s : float;
   client_share_verify_s : float;
   client_proof_s : float;
@@ -20,6 +22,19 @@ type stats = {
   client_up_bytes : int;
   client_down_bytes : int;
 }
+
+type round_outcome =
+  | Completed of stats
+  | Aborted_insufficient_quorum of { stage : string; survivors : int; needed : int }
+  | Aborted_decode of int list
+
+let outcome_to_string = function
+  | Completed _ -> "completed"
+  | Aborted_insufficient_quorum { stage; survivors; needed } ->
+      Printf.sprintf "aborted at %s stage: %d survivors < quorum %d" stage survivors needed
+  | Aborted_decode ids ->
+      Printf.sprintf "aborted: quorum lost to undecodable frames from [%s]"
+        (String.concat ";" (List.map string_of_int ids))
 
 let honest_all n = Array.make n Honest
 
@@ -48,20 +63,90 @@ let create_session setup ~seed =
   Server.install_directory server pks;
   { setup; clients; server }
 
-let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates ~behaviours ~round =
-  (* when [serialize] is set, every message crosses the binary wire format
-     (encode + validate + decode), as it would over a real network *)
-  let via enc dec msg = if serialize then dec (enc msg) else msg in
-  let via_commit = via Serial.encode_commit_msg Serial.decode_commit_msg in
-  let via_flag = via Serial.encode_flag_msg Serial.decode_flag_msg in
-  let via_proof = via Serial.encode_proof_msg Serial.decode_proof_msg in
-  let via_agg = via Serial.encode_agg_msg Serial.decode_agg_msg in
+(* internal: the one early exit of the lifecycle; caught before
+   run_round_core returns, never escapes *)
+exception Abort of round_outcome
+
+let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~lifecycle session
+    ~updates ~behaviours ~round =
+  (* a transport implies the wire: bytes are the only thing it can fault *)
+  let serialize = serialize || Option.is_some transport in
   let setup = session.setup in
   let clients = session.clients and server = session.server in
   let p = setup.Setup.params in
   let n = p.Params.n_clients in
   if Array.length updates <> n || Array.length behaviours <> n then
     invalid_arg "Driver.run_round: need one update and one behaviour per client";
+  let needed = Params.shamir_t p in
+  let decode_failures = ref [] in
+  (* One client → server exchange. Without a transport this is the
+     encode/decode round-trip (or the identity); with one, every frame
+     crosses the fault plan and the server keeps whatever decodes by the
+     deadline. First frame per sender wins; an undecodable frame poisons
+     its sender for the stage (a later clean duplicate does not restore
+     it) and lands the sender in C*. *)
+  let exchange : 'a. stage:Netsim.stage -> encode:('a -> Bytes.t) ->
+      decode:(Bytes.t -> ('a, Serial.error) result) -> sender_of:('a -> int) ->
+      'a option array -> 'a option array * int list =
+    fun ~stage ~encode ~decode ~sender_of outgoing ->
+    match transport with
+    | None ->
+        if not serialize then (outgoing, [])
+        else begin
+          let offenders = ref [] in
+          let delivered =
+            Array.mapi
+              (fun i msg ->
+                match msg with
+                | None -> None
+                | Some m -> (
+                    match decode (encode m) with
+                    | Ok m' when sender_of m' = i + 1 -> Some m'
+                    | Ok _ | Error _ ->
+                        offenders := (i + 1) :: !offenders;
+                        None))
+              outgoing
+          in
+          (delivered, List.rev !offenders)
+        end
+    | Some net ->
+        Netsim.begin_stage net ~round ~stage;
+        Array.iteri
+          (fun i msg -> match msg with None -> () | Some m -> Netsim.send net ~sender:(i + 1) (encode m))
+          outgoing;
+        let arrived = Netsim.deliver net in
+        let delivered = Array.make n None in
+        let poisoned = Array.make n false in
+        let offenders = ref [] in
+        List.iter
+          (fun (sender, frame) ->
+            if sender >= 1 && sender <= n && not poisoned.(sender - 1) then begin
+              match decode frame with
+              | Ok m when sender_of m = sender ->
+                  if delivered.(sender - 1) = None then delivered.(sender - 1) <- Some m
+              | Ok _ | Error _ ->
+                  (* wrong inner sender id counts as undecodable too *)
+                  poisoned.(sender - 1) <- true;
+                  delivered.(sender - 1) <- None;
+                  offenders := sender :: !offenders
+            end)
+          arrived;
+        (delivered, List.sort_uniq compare !offenders)
+  in
+  let note_offenders offenders =
+    List.iter (fun i -> Server.mark_decode_failure server i) offenders;
+    decode_failures := !decode_failures @ offenders
+  in
+  let check_quorum stage =
+    if lifecycle then begin
+      let survivors = List.length (Server.honest server) in
+      if survivors < needed then begin
+        let offenders = List.sort_uniq compare !decode_failures in
+        if offenders <> [] then raise (Abort (Aborted_decode offenders))
+        else raise (Abort (Aborted_insufficient_quorum { stage; survivors; needed }))
+      end
+    end
+  in
   let is_active i = behaviours.(i) <> Drop_out in
   let honest_ids = ref [] in
   Array.iteri (fun i b -> if b = Honest then honest_ids := i :: !honest_ids) behaviours;
@@ -69,7 +154,7 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
   let avg_over_honest total = if n_honest = 0 then 0.0 else total /. float_of_int n_honest in
   (* --- round 1: commitments --- *)
   let commit_time = ref 0.0 in
-  let commits =
+  let commits_out =
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -89,15 +174,27 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
                   (fun j s -> if List.mem (j + 1) targets then corrupt_sealed s else s)
                   msg.Wire.enc_shares
               in
-              Some (via_commit { msg with Wire.enc_shares })
-          | _ -> Some (via_commit msg)
+              Some { msg with Wire.enc_shares }
+          | _ -> Some msg
         end)
   in
+  let commits, commit_offenders =
+    exchange ~stage:Netsim.Commit ~encode:Serial.encode_commit_msg ~decode:Serial.decode_commit
+      ~sender_of:(fun (m : Wire.commit_msg) -> m.Wire.sender)
+      commits_out
+  in
   Server.begin_round server ~round ~commits;
+  (* begin_round reset C*, so decode offenders are marked after it *)
+  note_offenders commit_offenders;
+  check_quorum "commit";
   (* --- round 2 step 1: share verification and flags --- *)
-  let present_commits = Array.of_list (List.filter_map Fun.id (Array.to_list commits)) in
+  (* clients receive the server's *validated* view of the commits: a
+     structurally invalid commit never reaches a client *)
+  let present_commits =
+    Array.of_list (List.filter_map Fun.id (Array.to_list (Server.round_commits server)))
+  in
   let share_verify_time = ref 0.0 in
-  let flags =
+  let flags_out =
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -107,10 +204,16 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
           if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
           match behaviours.(i) with
           | False_flags extra ->
-              Some (via_flag { base with Wire.suspects = List.sort_uniq compare (extra @ base.Wire.suspects) })
-          | _ -> Some (via_flag base)
+              Some { base with Wire.suspects = List.sort_uniq compare (extra @ base.Wire.suspects) }
+          | _ -> Some base
         end)
   in
+  let flags, flag_offenders =
+    exchange ~stage:Netsim.Flag ~encode:Serial.encode_flag_msg ~decode:Serial.decode_flag
+      ~sender_of:(fun (m : Wire.flag_msg) -> m.Wire.sender)
+      flags_out
+  in
+  note_offenders flag_offenders;
   let reveal dealer requests =
     if not (is_active (dealer - 1)) then None
     else
@@ -124,10 +227,21 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
       if is_active (flagger - 1) then
         Client.accept_cleared_share clients.(flagger - 1) ~from:dealer ~value)
     cleared;
+  check_quorum "flag";
   (* --- round 2 step 2: probabilistic integrity check --- *)
   let (s_value, hs), prep_time = time (fun () -> Server.prepare_check server) in
+  (* the (s, h) broadcast crosses the wire too when serializing; the
+     server → client links are assumed reliable in this simulation, so a
+     failed round-trip of our own encoding would be a codec bug *)
+  let s_value, hs =
+    if not serialize then (s_value, hs)
+    else
+      match Serial.decode_broadcast_r (Serial.encode_broadcast ~s:s_value ~hs) with
+      | Ok (s, hs) -> (s, hs)
+      | Error e -> failwith ("Driver: broadcast round-trip failed: " ^ Serial.error_to_string e)
+  in
   let proof_time = ref 0.0 in
-  let proofs =
+  let proofs_out =
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -135,13 +249,20 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
             time (fun () -> Client.try_proof_round ~predicate clients.(i) ~round ~s:s_value ~hs)
           in
           if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
-          Option.map via_proof result
+          result
         end)
   in
+  let proofs, proof_offenders =
+    exchange ~stage:Netsim.Proof ~encode:Serial.encode_proof_msg ~decode:Serial.decode_proof
+      ~sender_of:(fun (m : Wire.proof_msg) -> m.Wire.sender)
+      proofs_out
+  in
+  note_offenders proof_offenders;
   let (), verify_time = time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs) in
+  check_quorum "proof";
   (* --- round 3: secure aggregation --- *)
   let honest = Server.honest server in
-  let agg_msgs =
+  let agg_out =
     Array.init n (fun i ->
         if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
         else
@@ -155,11 +276,25 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
                     { msg with Wire.r_sum = Scalar.add msg.Wire.r_sum Scalar.one }
                 | _ -> msg
               in
-              Some (via_agg msg)
+              Some msg
           | exception Invalid_argument _ -> None)
   in
-  let aggregate, agg_time =
-    time (fun () -> match Server.aggregate server ~agg_msgs with v -> Some v | exception Failure _ -> None)
+  let agg_msgs, agg_offenders =
+    exchange ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
+      ~sender_of:(fun (m : Wire.agg_msg) -> m.Wire.sender)
+      agg_out
+  in
+  note_offenders agg_offenders;
+  let agg_result, agg_time = time (fun () -> Server.aggregate server ~agg_msgs) in
+  (if lifecycle then
+     match agg_result with
+     | Error (Server.Insufficient_quorum { valid; needed }) ->
+         let offenders = List.sort_uniq compare !decode_failures in
+         if offenders <> [] then raise (Abort (Aborted_decode offenders))
+         else raise (Abort (Aborted_insufficient_quorum { stage = "aggregate"; survivors = valid; needed }))
+     | Error _ | Ok _ -> ());
+  let aggregate, failure =
+    match agg_result with Ok v -> (Some v, None) | Error e -> (None, Some e)
   in
   (* --- communication accounting (per honest client) --- *)
   let up, down =
@@ -189,18 +324,40 @@ let run_round ?(predicate = Predicate.L2) ?(serialize = false) session ~updates 
         let down = shares_down + Wire.broadcast_size ~k:p.Params.k + (4 * n) in
         (up, down)
   in
-  {
-    aggregate;
-    flagged = Server.malicious server;
-    client_commit_s = avg_over_honest !commit_time;
-    client_share_verify_s = avg_over_honest !share_verify_time;
-    client_proof_s = avg_over_honest !proof_time;
-    server_prep_s = prep_time;
-    server_verify_s = verify_time;
-    server_agg_s = agg_time;
-    client_up_bytes = up;
-    client_down_bytes = down;
-  }
+  Completed
+    {
+      aggregate;
+      failure;
+      flagged = Server.malicious server;
+      decode_failures = List.sort_uniq compare !decode_failures;
+      client_commit_s = avg_over_honest !commit_time;
+      client_share_verify_s = avg_over_honest !share_verify_time;
+      client_proof_s = avg_over_honest !proof_time;
+      server_prep_s = prep_time;
+      server_verify_s = verify_time;
+      server_agg_s = agg_time;
+      client_up_bytes = up;
+      client_down_bytes = down;
+    }
 
-let run_iteration ?predicate ?serialize setup ~updates ~behaviours ~seed ~round =
-  run_round ?predicate ?serialize (create_session setup ~seed) ~updates ~behaviours ~round
+let run_round_outcome ?predicate ?serialize ?transport session ~updates ~behaviours ~round =
+  match
+    run_round_core ?predicate ?serialize ?transport ~lifecycle:true session ~updates ~behaviours
+      ~round
+  with
+  | outcome -> outcome
+  | exception Abort outcome -> outcome
+
+let run_round ?predicate ?serialize ?transport session ~updates ~behaviours ~round =
+  match
+    run_round_core ?predicate ?serialize ?transport ~lifecycle:false session ~updates ~behaviours
+      ~round
+  with
+  | Completed stats -> stats
+  | Aborted_insufficient_quorum _ | Aborted_decode _ ->
+      (* lifecycle:false never aborts early *)
+      assert false
+
+let run_iteration ?predicate ?serialize ?transport setup ~updates ~behaviours ~seed ~round =
+  run_round ?predicate ?serialize ?transport (create_session setup ~seed) ~updates ~behaviours
+    ~round

@@ -3,7 +3,14 @@
     Wires n {!Client}s and one {!Server} together, injects configurable
     malicious behaviours, and reports the per-stage timings and
     per-client communication volumes that Tables 1–2 and Figures 6–7 of
-    the paper measure. *)
+    the paper measure.
+
+    With a {!Netsim.t} transport every client → server frame additionally
+    crosses a fault-injected link (drops, delays, duplicates, truncation,
+    byte flips, replays): undecodable frames cost the sender its honesty
+    bit (it joins the malicious set), late/missing frames make it a dropout, and the
+    round either completes or ends with a typed {!round_outcome} — no
+    fault plan can make an exception escape. *)
 
 (** What a client does this iteration. *)
 type behaviour =
@@ -19,7 +26,10 @@ type behaviour =
 
 type stats = {
   aggregate : int array option;  (** Σ_{i∈H} u_i, or None if aggregation failed *)
+  failure : Server.agg_error option;  (** why aggregation failed, when it did *)
   flagged : int list;  (** the final C* *)
+  decode_failures : int list;
+      (** clients whose frames failed to decode this round (⊆ flagged) *)
   (* per-stage wall-clock seconds, averaged over honest clients *)
   client_commit_s : float;
   client_share_verify_s : float;
@@ -32,6 +42,22 @@ type stats = {
   client_down_bytes : int;  (** per honest client: everything it receives *)
 }
 
+(** How a round ended under the quorum-aware lifecycle
+    ({!run_round_outcome}): the server proceeds as long as at least
+    t = m+1 clients survive each stage, and otherwise returns a verdict
+    instead of raising. *)
+type round_outcome =
+  | Completed of stats
+      (** the round ran to the end (aggregation itself may still have
+          failed benignly — see [stats.failure]) *)
+  | Aborted_insufficient_quorum of { stage : string; survivors : int; needed : int }
+      (** fewer than t = m+1 clients survived the named stage *)
+  | Aborted_decode of int list
+      (** quorum was lost and undecodable frames from these clients
+          contributed to the loss *)
+
+val outcome_to_string : round_outcome -> string
+
 (** A persistent deployment: clients keep their DH key pairs (and the
     public-key bulletin) across training rounds. *)
 type session
@@ -40,19 +66,36 @@ type session
     the public-key directory. Deterministic in [seed]. *)
 val create_session : Setup.t -> seed:string -> session
 
-(** [run_round ?predicate ?serialize session ~updates ~behaviours ~round]
-    — one full protocol iteration (commit → flags → probabilistic check →
-    aggregation) over the session's long-lived clients. With [serialize]
-    every message round-trips through the binary wire codecs, exactly as
-    over a network. *)
+(** [run_round ?predicate ?serialize ?transport session ~updates
+    ~behaviours ~round] — one full protocol iteration (commit → flags →
+    probabilistic check → aggregation) over the session's long-lived
+    clients. With [serialize] every message round-trips through the
+    binary wire codecs, exactly as over a network; with [transport]
+    (which implies [serialize]) the frames additionally cross the
+    fault-injected links. All stages always run; quorum loss surfaces as
+    [failure = Some (Insufficient_quorum _)], never as an exception. *)
 val run_round :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
+  ?transport:Netsim.t ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
   round:int ->
   stats
+
+(** [run_round_outcome] — like {!run_round} but with the deadline/quorum
+    lifecycle armed: the server abandons the round as soon as fewer than
+    t = m+1 clients survive a stage, returning the typed verdict. *)
+val run_round_outcome :
+  ?predicate:Predicate.t ->
+  ?serialize:bool ->
+  ?transport:Netsim.t ->
+  session ->
+  updates:int array array ->
+  behaviours:behaviour array ->
+  round:int ->
+  round_outcome
 
 (** [run_iteration setup ~updates ~behaviours ~seed ~round] — one-shot
     convenience: a fresh session running a single round. [updates] are
@@ -61,6 +104,7 @@ val run_round :
 val run_iteration :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
+  ?transport:Netsim.t ->
   Setup.t ->
   updates:int array array ->
   behaviours:behaviour array ->

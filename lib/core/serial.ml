@@ -3,7 +3,16 @@ module Point = Curve25519.Point
 
 exception Malformed of string
 
-let fail msg = raise (Malformed msg)
+type error = { offset : int; reason : string }
+
+let pp_error fmt e = Format.fprintf fmt "malformed frame at byte %d: %s" e.offset e.reason
+let error_to_string e = Printf.sprintf "malformed frame at byte %d: %s" e.offset e.reason
+
+(* internal: carries the reader offset of the defect; never escapes this
+   module (result decoders catch it, legacy decoders translate it) *)
+exception Err of int * string
+
+let err pos msg = raise (Err (pos, msg))
 
 (* --- writer --- *)
 
@@ -39,14 +48,20 @@ module W = struct
   let scalars b ss = array b scalar ss
 end
 
-(* --- reader --- *)
+(* --- reader ---
+
+   Totality invariant: every reader either succeeds or raises [Err]; no
+   other exception can escape, and no read allocates proportionally to an
+   attacker-chosen length prefix before that prefix has been validated
+   against the bytes actually remaining in the frame. *)
 
 module R = struct
   type t = { buf : Bytes.t; mutable pos : int }
 
   let create buf = { buf; pos = 0 }
+  let remaining r = Bytes.length r.buf - r.pos
 
-  let need r n = if r.pos + n > Bytes.length r.buf then fail "truncated message"
+  let need r n = if n < 0 || n > remaining r then err r.pos "truncated message"
 
   let u8 r =
     need r 1;
@@ -71,29 +86,38 @@ module R = struct
 
   let bytes r =
     let n = u32 r in
-    if n > Bytes.length r.buf then fail "length field exceeds message";
+    if n > remaining r then err (r.pos - 4) "length field exceeds remaining bytes";
     raw r n
 
   let point r =
+    let off = r.pos in
     match Point.decompress_unchecked (raw r 32) with
     | Some p -> p
-    | None -> fail "invalid point encoding"
+    | None -> err off "invalid point encoding"
 
   let scalar r =
-    match Scalar.of_bytes (raw r 32) with
-    | s -> s
-    | exception Invalid_argument _ -> fail "non-canonical scalar"
+    let off = r.pos in
+    match Scalar.of_bytes_opt (raw r 32) with
+    | Some s -> s
+    | None -> err off "non-canonical scalar"
 
-  let array r f =
+  (* A length-prefixed count: a hostile 0xFFFFFFFF prefix must be rejected
+     before any allocation, so the count is checked against the bytes left
+     in the frame at [min_elem] bytes per element. *)
+  let counted r ~min_elem =
     let n = u32 r in
-    (* cap: no legitimate message in this protocol has > 2^22 elements *)
-    if n > 1 lsl 22 then fail "count too large";
+    if n > remaining r / max 1 min_elem then
+      err (r.pos - 4) "count field exceeds remaining bytes";
+    n
+
+  let array r ?(min_elem = 1) f =
+    let n = counted r ~min_elem in
     Array.init n (fun _ -> f r)
 
-  let points r = array r point
-  let scalars r = array r scalar
+  let points r = array r ~min_elem:32 point
+  let scalars r = array r ~min_elem:32 scalar
 
-  let finish r = if r.pos <> Bytes.length r.buf then fail "trailing bytes"
+  let finish r = if r.pos <> Bytes.length r.buf then err r.pos "trailing bytes"
 end
 
 (* --- sub-structures --- *)
@@ -102,6 +126,9 @@ let w_sealed b (s : Channel.sealed) =
   W.bytes b s.Channel.nonce;
   W.bytes b s.Channel.body;
   W.bytes b s.Channel.tag
+
+(* three u32 length prefixes: 12 bytes minimum *)
+let sealed_min_size = 12
 
 let r_sealed r =
   let nonce = R.bytes r in
@@ -132,6 +159,8 @@ let w_square b (p : Zkp.Sigma.Square.proof) =
   W.scalar b p.Zkp.Sigma.Square.zx;
   W.scalar b p.Zkp.Sigma.Square.zs;
   W.scalar b p.Zkp.Sigma.Square.zs'
+
+let square_size = 5 * 32
 
 let r_square r =
   let a1 = R.point r in
@@ -183,7 +212,20 @@ let magic_proof = 0xC3
 let magic_agg = 0xC4
 let magic_broadcast = 0xC5
 
-let expect_magic r m = if R.u8 r <> m then fail "wrong message type"
+let expect_magic r m =
+  let off = r.R.pos in
+  if R.u8 r <> m then err off "wrong message type"
+
+(* every result decoder funnels through here: [Err] carries the offending
+   offset; anything else (a defect in a reader) is still converted so that
+   Malformed — or any exception at all — cannot escape a decode_* call *)
+let total name f buf =
+  let r = R.create buf in
+  try Ok (f r) with
+  | Err (offset, reason) -> Error { offset; reason }
+  | Malformed reason -> Error { offset = r.R.pos; reason }
+  | Invalid_argument m | Failure m -> Error { offset = r.R.pos; reason = name ^ ": " ^ m }
+  | exn -> Error { offset = r.R.pos; reason = name ^ ": " ^ Printexc.to_string exn }
 
 let encode_commit_msg (m : Wire.commit_msg) =
   let b = W.create () in
@@ -194,15 +236,15 @@ let encode_commit_msg (m : Wire.commit_msg) =
   W.array b w_sealed m.Wire.enc_shares;
   Buffer.to_bytes b
 
-let decode_commit_msg buf =
-  let r = R.create buf in
-  expect_magic r magic_commit;
-  let sender = R.u32 r in
-  let y = R.points r in
-  let check = R.points r in
-  let enc_shares = R.array r r_sealed in
-  R.finish r;
-  { Wire.sender; y; check; enc_shares }
+let decode_commit =
+  total "commit" (fun r ->
+      expect_magic r magic_commit;
+      let sender = R.u32 r in
+      let y = R.points r in
+      let check = R.points r in
+      let enc_shares = R.array r ~min_elem:sealed_min_size r_sealed in
+      R.finish r;
+      { Wire.sender; y; check; enc_shares })
 
 let encode_flag_msg (m : Wire.flag_msg) =
   let b = W.create () in
@@ -212,15 +254,14 @@ let encode_flag_msg (m : Wire.flag_msg) =
   List.iter (W.u32 b) m.Wire.suspects;
   Buffer.to_bytes b
 
-let decode_flag_msg buf =
-  let r = R.create buf in
-  expect_magic r magic_flag;
-  let sender = R.u32 r in
-  let n = R.u32 r in
-  if n > 1 lsl 20 then fail "count too large";
-  let suspects = List.init n (fun _ -> R.u32 r) in
-  R.finish r;
-  { Wire.sender; suspects }
+let decode_flag =
+  total "flag" (fun r ->
+      expect_magic r magic_flag;
+      let sender = R.u32 r in
+      let n = R.counted r ~min_elem:4 in
+      let suspects = List.init n (fun _ -> R.u32 r) in
+      R.finish r;
+      { Wire.sender; suspects })
 
 let w_link b (p : Zkp.Sigma.Link.proof) =
   W.point b p.Zkp.Sigma.Link.az;
@@ -272,25 +313,26 @@ let encode_proof_msg (m : Wire.proof_msg) =
   w_range b m.Wire.mu_range;
   Buffer.to_bytes b
 
-let decode_proof_msg buf =
-  let r = R.create buf in
-  expect_magic r magic_proof;
-  let sender = R.u32 r in
-  let es = R.points r in
-  let os = R.points r in
-  let os' = R.points r in
-  let wf = r_wf r in
-  let squares = R.array r r_square in
-  let cosine =
-    match R.u8 r with
-    | 0 -> None
-    | 1 -> Some (r_cosine r)
-    | _ -> fail "bad cosine flag"
-  in
-  let sigma_range = r_range r in
-  let mu_range = r_range r in
-  R.finish r;
-  { Wire.sender; es; os; os'; wf; squares; cosine; sigma_range; mu_range }
+let decode_proof =
+  total "proof" (fun r ->
+      expect_magic r magic_proof;
+      let sender = R.u32 r in
+      let es = R.points r in
+      let os = R.points r in
+      let os' = R.points r in
+      let wf = r_wf r in
+      let squares = R.array r ~min_elem:square_size r_square in
+      let cosine =
+        let off = r.R.pos in
+        match R.u8 r with
+        | 0 -> None
+        | 1 -> Some (r_cosine r)
+        | _ -> err off "bad cosine flag"
+      in
+      let sigma_range = r_range r in
+      let mu_range = r_range r in
+      R.finish r;
+      { Wire.sender; es; os; os'; wf; squares; cosine; sigma_range; mu_range })
 
 let encode_agg_msg (m : Wire.agg_msg) =
   let b = W.create () in
@@ -299,13 +341,13 @@ let encode_agg_msg (m : Wire.agg_msg) =
   W.scalar b m.Wire.r_sum;
   Buffer.to_bytes b
 
-let decode_agg_msg buf =
-  let r = R.create buf in
-  expect_magic r magic_agg;
-  let sender = R.u32 r in
-  let r_sum = R.scalar r in
-  R.finish r;
-  { Wire.sender; r_sum }
+let decode_agg =
+  total "agg" (fun r ->
+      expect_magic r magic_agg;
+      let sender = R.u32 r in
+      let r_sum = R.scalar r in
+      R.finish r;
+      { Wire.sender; r_sum })
 
 let encode_broadcast ~s ~hs =
   let b = W.create () in
@@ -314,10 +356,21 @@ let encode_broadcast ~s ~hs =
   W.points b hs;
   Buffer.to_bytes b
 
-let decode_broadcast buf =
-  let r = R.create buf in
-  expect_magic r magic_broadcast;
-  let s = R.bytes r in
-  let hs = R.points r in
-  R.finish r;
-  (s, hs)
+let decode_broadcast_r =
+  total "broadcast" (fun r ->
+      expect_magic r magic_broadcast;
+      let s = R.bytes r in
+      let hs = R.points r in
+      R.finish r;
+      (s, hs))
+
+(* --- legacy raising decoders (internal/test convenience) --- *)
+
+let raising decode buf =
+  match decode buf with Ok m -> m | Error e -> raise (Malformed (error_to_string e))
+
+let decode_commit_msg buf = raising decode_commit buf
+let decode_flag_msg buf = raising decode_flag buf
+let decode_proof_msg buf = raising decode_proof buf
+let decode_agg_msg buf = raising decode_agg buf
+let decode_broadcast buf = raising decode_broadcast_r buf

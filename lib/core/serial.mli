@@ -5,8 +5,15 @@
     accounting honest and forces the server/clients to handle malformed
     bytes. Format: little-endian u32 lengths/counts, 32-byte compressed
     points, 32-byte canonical scalars; every decoder validates counts,
-    point encodings (on-curve + canonical) and scalar canonicity, and
-    fails with [Malformed] rather than crashing.
+    point encodings (on-curve + canonical) and scalar canonicity.
+
+    Totality invariant: the [decode_*] result decoders are total — on any
+    byte string whatsoever they return [Ok] or [Error] and never raise,
+    and no length prefix is trusted before it has been validated against
+    the bytes actually remaining in the frame (a hostile 0xFFFFFFFF count
+    cannot trigger a large allocation). The server's rule for an
+    undecodable frame is: the sender loses its honesty bit and goes into
+    C*, never the server its round.
 
     Decoded points are {e not} subjected to the (expensive) prime-order
     subgroup check; all higher-level checks in this protocol are
@@ -14,17 +21,37 @@
     cofactor-free encoding (Ristretto) as the paper does. *)
 
 exception Malformed of string
+(** Raised only by the legacy [decode_*_msg] wrappers below — never by the
+    result decoders. *)
+
+(** Where and why a frame failed to decode. [offset] is the byte position
+    the reader had reached when it rejected the frame. *)
+type error = { offset : int; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
 
 val encode_commit_msg : Wire.commit_msg -> Bytes.t
-val decode_commit_msg : Bytes.t -> Wire.commit_msg
 val encode_flag_msg : Wire.flag_msg -> Bytes.t
-val decode_flag_msg : Bytes.t -> Wire.flag_msg
 val encode_proof_msg : Wire.proof_msg -> Bytes.t
-val decode_proof_msg : Bytes.t -> Wire.proof_msg
 val encode_agg_msg : Wire.agg_msg -> Bytes.t
-val decode_agg_msg : Bytes.t -> Wire.agg_msg
 
 (** The server → clients proof-round broadcast: (s, h₀ … h_k). *)
 val encode_broadcast : s:Bytes.t -> hs:Curve25519.Point.t array -> Bytes.t
 
+(** Total decoders — the only ones the transport-facing paths use. *)
+
+val decode_commit : Bytes.t -> (Wire.commit_msg, error) result
+val decode_flag : Bytes.t -> (Wire.flag_msg, error) result
+val decode_proof : Bytes.t -> (Wire.proof_msg, error) result
+val decode_agg : Bytes.t -> (Wire.agg_msg, error) result
+val decode_broadcast_r : Bytes.t -> (Bytes.t * Curve25519.Point.t array, error) result
+
+(** Legacy raising decoders (tests and trusted round-trips).
+    @raise Malformed on any decode failure. *)
+
+val decode_commit_msg : Bytes.t -> Wire.commit_msg
+val decode_flag_msg : Bytes.t -> Wire.flag_msg
+val decode_proof_msg : Bytes.t -> Wire.proof_msg
+val decode_agg_msg : Bytes.t -> Wire.agg_msg
 val decode_broadcast : Bytes.t -> Bytes.t * Curve25519.Point.t array

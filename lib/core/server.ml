@@ -51,6 +51,15 @@ let mark t i reason =
   ignore reason;
   t.bad.(i - 1) <- true
 
+(* the transport layer's rule: an undecodable frame costs the sender its
+   honesty bit, never the server its round *)
+let mark_decode_failure t i =
+  if i >= 1 && i <= n_of t then mark t i "undecodable frame"
+
+(* the server's validated view of this round's commits (structurally
+   invalid ones have been nulled out) — what it forwards to clients *)
+let round_commits t = Array.copy t.commits
+
 let begin_round t ~round ~commits =
   ignore round;
   if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
@@ -242,67 +251,87 @@ let verify_proofs ?(predicate = Predicate.L2) ?jobs t ~round ~proofs =
   in
   Array.iteri (fun idx v -> match v with Some reason -> mark t (idx + 1) reason | None -> ()) verdicts
 
+type agg_error =
+  | Insufficient_quorum of { valid : int; needed : int }
+  | No_check_string
+  | Coordinate_out_of_range of int
+
+let agg_error_to_string = function
+  | Insufficient_quorum { valid; needed } ->
+      Printf.sprintf "insufficient quorum: %d valid aggregated shares (< t = %d)" valid needed
+  | No_check_string -> "no combined check string (no honest commit survived)"
+  | Coordinate_out_of_range l -> Printf.sprintf "coordinate %d out of BSGS decoding range" l
+
+let pp_agg_error fmt e = Format.pp_print_string fmt (agg_error_to_string e)
+
 let aggregate t ~agg_msgs =
-  let hs = honest t in
-  if hs = [] then failwith "Server.aggregate: no honest clients";
-  (* combined check string over the honest dealers *)
-  let combined_check =
-    List.fold_left
-      (fun acc i ->
-        match t.commits.(i - 1) with
-        | None -> acc
-        | Some c -> ( match acc with None -> Some c.Wire.check | Some a -> Some (Vsss.add_checks a c.Wire.check)))
-      None hs
-  in
-  let combined_check = match combined_check with Some c -> c | None -> failwith "no checks" in
-  (* collect valid aggregated shares; each VSSS check is an independent
-     MSM against the combined check string, so fan them out *)
-  let checked =
-    Parallel.parallel_mapi
-      (fun idx msg ->
-        let i = idx + 1 in
-        if t.bad.(idx) then None
-        else
-          match msg with
-          | None -> None
-          | Some (am : Wire.agg_msg) ->
-              let share = { Vsss.idx = i; value = am.Wire.r_sum } in
-              if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then Some share
-              else None)
-      agg_msgs
-  in
-  let valid_shares = ref [] in
-  Array.iter (function Some s -> valid_shares := s :: !valid_shares | None -> ()) checked;
   let threshold = Params.shamir_t t.setup.Setup.params in
-  let shares = !valid_shares in
-  if List.length shares < threshold then
-    failwith
-      (Printf.sprintf "Server.aggregate: only %d valid aggregated shares (< t = %d)"
-         (List.length shares) threshold);
-  (* take exactly threshold shares for interpolation *)
-  let rec take n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl in
-  let r = Vsss.recover (take threshold shares) in
-  (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
-  let p = t.setup.Setup.params in
-  let neg_r = Scalar.neg r in
-  let solver = Lazy.force t.dlog in
-  (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
-     peeling parallelize over coordinate chunks *)
-  let targets =
-    Parallel.parallel_init p.Params.d (fun l ->
-        let prod =
-          List.fold_left
-            (fun acc i ->
-              match t.commits.(i - 1) with
-              | None -> acc
-              | Some c -> Point.add acc c.Wire.y.(l))
-            Point.identity hs
+  let hs = honest t in
+  if hs = [] then Error (Insufficient_quorum { valid = 0; needed = threshold })
+  else begin
+    (* combined check string over the honest dealers *)
+    let combined_check =
+      List.fold_left
+        (fun acc i ->
+          match t.commits.(i - 1) with
+          | None -> acc
+          | Some c -> ( match acc with None -> Some c.Wire.check | Some a -> Some (Vsss.add_checks a c.Wire.check)))
+        None hs
+    in
+    match combined_check with
+    | None -> Error No_check_string
+    | Some combined_check ->
+        (* collect valid aggregated shares; each VSSS check is an independent
+           MSM against the combined check string, so fan them out *)
+        let checked =
+          Parallel.parallel_mapi
+            (fun idx msg ->
+              let i = idx + 1 in
+              if t.bad.(idx) then None
+              else
+                match msg with
+                | None -> None
+                | Some (am : Wire.agg_msg) ->
+                    let share = { Vsss.idx = i; value = am.Wire.r_sum } in
+                    if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then Some share
+                    else None)
+            agg_msgs
         in
-        Point.add prod (Point.mul neg_r t.setup.Setup.w.(l)))
-  in
-  Array.mapi
-    (fun l v ->
-      match v with
-      | Some v -> v
-      | None -> failwith (Printf.sprintf "Server.aggregate: coordinate %d out of decoding range" l))
-    (Curve25519.Dlog.solve_many solver targets)
+        let valid_shares = ref [] in
+        Array.iter (function Some s -> valid_shares := s :: !valid_shares | None -> ()) checked;
+        let shares = !valid_shares in
+        if List.length shares < threshold then
+          Error (Insufficient_quorum { valid = List.length shares; needed = threshold })
+        else begin
+          (* take exactly threshold shares for interpolation *)
+          let rec take n = function
+            | [] -> []
+            | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+          in
+          let r = Vsss.recover (take threshold shares) in
+          (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
+          let p = t.setup.Setup.params in
+          let neg_r = Scalar.neg r in
+          let solver = Lazy.force t.dlog in
+          (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
+             peeling parallelize over coordinate chunks *)
+          let targets =
+            Parallel.parallel_init p.Params.d (fun l ->
+                let prod =
+                  List.fold_left
+                    (fun acc i ->
+                      match t.commits.(i - 1) with
+                      | None -> acc
+                      | Some c -> Point.add acc c.Wire.y.(l))
+                    Point.identity hs
+                in
+                Point.add prod (Point.mul neg_r t.setup.Setup.w.(l)))
+          in
+          let solved = Curve25519.Dlog.solve_many solver targets in
+          let bad_coord = ref None in
+          Array.iteri (fun l v -> if v = None && !bad_coord = None then bad_coord := Some l) solved;
+          match !bad_coord with
+          | Some l -> Error (Coordinate_out_of_range l)
+          | None -> Ok (Array.map (function Some v -> v | None -> assert false) solved)
+        end
+  end

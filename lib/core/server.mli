@@ -19,6 +19,17 @@ val install_directory : t -> Point.t array -> unit
 (** Clients flagged malicious so far this iteration (1-based ids). *)
 val malicious : t -> int list
 
+(** [mark_decode_failure t i] — add client [i] to C* because a frame it
+    sent could not be decoded. A hostile byte on the wire costs the sender
+    its honesty bit, never the server its round. Out-of-range ids (a
+    spoofed link) are ignored. *)
+val mark_decode_failure : t -> int -> unit
+
+(** The server's validated view of this round's commit messages
+    (structurally invalid entries are [None]) — what it forwards to
+    clients for share verification. *)
+val round_commits : t -> Wire.commit_msg option array
+
 (** [begin_round t ~round ~commits] — store the round's commit messages.
     Clients that sent nothing (None) are marked malicious immediately. *)
 val begin_round : t -> round:int -> commits:Wire.commit_msg option array -> unit
@@ -53,9 +64,21 @@ val verify_proofs :
 (** The honest list H = C \ C* (1-based ids). *)
 val honest : t -> int list
 
+(** Why an aggregation attempt could not produce a result. Typed (rather
+    than an exception) so the round lifecycle can degrade gracefully:
+    losing quorum ends the round with a verdict, not a crash. *)
+type agg_error =
+  | Insufficient_quorum of { valid : int; needed : int }
+      (** fewer than t = m+1 valid aggregated shares survived *)
+  | No_check_string  (** no honest dealer's commit survived to check against *)
+  | Coordinate_out_of_range of int
+      (** BSGS could not solve this coordinate (sum outside ± n·2^(b-1)) *)
+
+val agg_error_to_string : agg_error -> string
+val pp_agg_error : Format.formatter -> agg_error -> unit
+
 (** [aggregate t ~agg_msgs] — verify each aggregated share against the
     summed check strings, recover r = Σ r_i, and solve each coordinate
-    with BSGS. Returns the aggregated encoded update Σ_{i∈H} u_i.
-    @raise Failure if fewer than m+1 valid shares arrive or a coordinate
-    is out of decoding range. *)
-val aggregate : t -> agg_msgs:Wire.agg_msg option array -> int array
+    with BSGS. Returns the aggregated encoded update Σ_{i∈H} u_i, or a
+    typed error; never raises on hostile input. *)
+val aggregate : t -> agg_msgs:Wire.agg_msg option array -> (int array, agg_error) result

@@ -66,7 +66,12 @@ val compress_batch : t array -> Bytes.t array
 
 (** Decode and fully validate an untrusted encoding: canonical field
     element, on-curve, and in the prime-order subgroup. Returns [None] on
-    any failure. *)
+    any failure.
+
+    Totality invariant: both decoders are total on arbitrary byte strings
+    (any length, any contents) — they return [None] and never raise. The
+    wire layer relies on this to keep hostile frames from crashing the
+    receiver. *)
 val decompress : Bytes.t -> t option
 
 (** Decode without the (expensive) subgroup check — for trusted inputs

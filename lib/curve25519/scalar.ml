@@ -70,6 +70,13 @@ let of_bytes b =
   if Bigint.compare x order >= 0 then invalid_arg "Scalar.of_bytes: non-canonical";
   x
 
+let of_bytes_opt b =
+  if Bytes.length b <> 32 then None
+  else begin
+    let x = Bigint.of_bytes_le b in
+    if Bigint.compare x order >= 0 then None else Some x
+  end
+
 let of_bytes_wide b = Bigint.erem (Bigint.of_bytes_le b) order
 
 let random drbg =

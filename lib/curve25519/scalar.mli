@@ -54,6 +54,10 @@ val to_bytes : t -> Bytes.t
     >= ℓ. *)
 val of_bytes : Bytes.t -> t
 
+(** [of_bytes_opt b] — total variant of {!of_bytes} for hostile input:
+    [None] on wrong length or a non-canonical encoding, never raises. *)
+val of_bytes_opt : Bytes.t -> t option
+
 (** [of_bytes_wide b] reduces an arbitrary-length byte string modulo ℓ —
     unbiased when [b] is 64 uniform bytes (used for hash-to-scalar). *)
 val of_bytes_wide : Bytes.t -> t

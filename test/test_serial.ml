@@ -116,6 +116,49 @@ let test_rejects_malformed () =
   (* empty input *)
   expect_malformed "empty" (fun () -> Serial.decode_agg_msg Bytes.empty)
 
+(* the result decoders mirror the raising ones but carry the offending
+   offset instead of an exception *)
+let test_result_decoders_offsets () =
+  let enc = Serial.encode_commit_msg commit_msgs.(0) in
+  (match Serial.decode_commit enc with
+  | Ok m -> Alcotest.(check int) "genuine decodes" commit_msgs.(0).Wire.sender m.Wire.sender
+  | Error e -> Alcotest.failf "genuine frame rejected: %s" (Serial.error_to_string e));
+  (* truncated frame: the error offset never exceeds what was received *)
+  for i = 1 to 7 do
+    let len = Bytes.length enc * i / 8 in
+    match Serial.decode_commit (Bytes.sub enc 0 len) with
+    | Ok _ -> Alcotest.failf "truncated at %d decoded" len
+    | Error e ->
+        if e.Serial.offset < 0 || e.Serial.offset > len then
+          Alcotest.failf "offset %d out of range for %d-byte frame" e.Serial.offset len
+  done;
+  (* hostile element count: rejected at the count's own offset (5), before
+     any allocation *)
+  let hostile = Bytes.copy enc in
+  Bytes.fill hostile 5 4 '\xff';
+  (match Serial.decode_commit hostile with
+  | Ok _ -> Alcotest.fail "hostile count decoded"
+  | Error e -> Alcotest.(check int) "count offset" 5 e.Serial.offset);
+  (* corrupt first point: flagged at the point's position *)
+  let bad = Bytes.copy enc in
+  Bytes.fill bad 9 32 '\xff';
+  (match Serial.decode_commit bad with
+  | Ok _ -> Alcotest.fail "bad point decoded"
+  | Error e -> Alcotest.(check int) "point offset" 9 e.Serial.offset);
+  (* every decoder rejects the empty frame at offset 0 *)
+  List.iter
+    (fun (name, dec) ->
+      match dec Bytes.empty with
+      | Ok () -> Alcotest.failf "%s decoded empty input" name
+      | Error e -> Alcotest.(check int) (name ^ " empty offset") 0 e.Serial.offset)
+    [
+      ("commit", fun b -> Result.map ignore (Serial.decode_commit b));
+      ("flag", fun b -> Result.map ignore (Serial.decode_flag b));
+      ("proof", fun b -> Result.map ignore (Serial.decode_proof b));
+      ("agg", fun b -> Result.map ignore (Serial.decode_agg b));
+      ("broadcast", fun b -> Result.map ignore (Serial.decode_broadcast_r b));
+    ]
+
 let test_size_accounting_close () =
   (* the Wire size estimates should match real encodings within framing
      overhead (u32 counts and length prefixes) *)
@@ -147,6 +190,7 @@ let () =
       ( "robustness",
         [
           Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
+          Alcotest.test_case "result decoders carry offsets" `Quick test_result_decoders_offsets;
           Alcotest.test_case "size accounting" `Quick test_size_accounting_close;
         ] );
     ]
