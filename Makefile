@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke clean
 
 all: check
 
@@ -24,6 +24,15 @@ bench-smoke:
 	@grep -q '"results"' BENCH_RISEFL.json || { echo "bench-smoke: no results array in BENCH_RISEFL.json" >&2; exit 1; }
 	@grep -q '"name": "msm-full"' BENCH_RISEFL.json || { echo "bench-smoke: expected msm-full records" >&2; exit 1; }
 	@echo "bench-smoke: BENCH_RISEFL.json OK ($$(grep -c '"target"' BENCH_RISEFL.json) records)"
+
+# Batched-verifier gate: the differential/soundness corpus (batched and
+# naive verdicts must be bit-identical, every single-field corruption
+# rejected with the same C*) at a reduced stride, plus the verify bench
+# smoke point — the build fails if the batched path falls below a 2x
+# jobs=1 speedup over the naive reference.
+verify-smoke:
+	BATCH_STRIDE=4 dune exec test/test_batch_verify.exe
+	dune exec bench/main.exe -- verify --smoke --json /tmp/verify-smoke.json --gate-verify 2.0
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -20,6 +20,8 @@
 module Params = Risefl_core.Params
 module Setup = Risefl_core.Setup
 module Driver = Risefl_core.Driver
+module Client = Risefl_core.Client
+module Server = Risefl_core.Server
 module Sampling = Risefl_core.Sampling
 module Cost_model = Risefl_core.Cost_model
 module Scalar = Curve25519.Scalar
@@ -562,6 +564,85 @@ let run_ablate () =
     /. float_of_int ((32 * params.Params.b_ip_bits) + params.Params.b_max_bits))
 
 (* ------------------------------------------------------------------ *)
+(* Naive vs batched server verification (DESIGN.md "Batch
+   verification").  One committed round is built per ladder point; each
+   timing re-enters at begin_round so both paths verify the identical
+   proof set, and their verdicts are cross-checked every run.           *)
+
+let verify_gate = ref None (* --gate-verify threshold on jobs=1 speedup *)
+
+let verify_round ~n ~m ~d ~k ~seed =
+  let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let setup = Setup.create ~label:(Printf.sprintf "bench/verify/%d/%d/%d" d k n) params in
+  let root = Prng.Drbg.create_string seed in
+  let clients =
+    Array.init n (fun i -> Client.create setup ~id:(i + 1) (Prng.Drbg.fork root (string_of_int i)))
+  in
+  let server = Server.create setup (Prng.Drbg.fork root "server") in
+  let pks = Array.map Client.public_key clients in
+  Array.iter (fun c -> Client.install_directory c pks) clients;
+  Server.install_directory server pks;
+  let commits =
+    Array.map Option.some
+      (Array.mapi (fun i c -> Client.commit_round c ~round:1 ~update:updates.(i)) clients)
+  in
+  Server.begin_round server ~round:1 ~commits;
+  Array.iter
+    (fun c -> ignore (Client.receive_shares c ~round:1 ~msgs:(Array.map Option.get commits)))
+    clients;
+  let s, hs = Server.prepare_check server in
+  let hs_tables = Parallel.parallel_map Point.Table.make hs in
+  let proofs = Array.map (fun c -> Some (Client.proof_round ~hs_tables c ~round:1 ~s ~hs)) clients in
+  (server, commits, proofs)
+
+let run_verify () =
+  pf "================ verify: naive vs batched server verification ================\n";
+  let ladder =
+    if config.smoke then [ (32, 4, 4) ]
+    else if config.full then [ (32, 4, 4); (128, 8, 4); (128, 8, 8); (256, 16, 8) ]
+    else [ (32, 4, 4); (128, 8, 4); (128, 8, 8) ]
+  in
+  let jobs_ladder = if config.smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  pf "%-20s %6s | %12s %12s %9s\n" "(d,k,n)" "jobs" "naive(s)" "batched(s)" "speedup";
+  let worst_j1 = ref infinity in
+  List.iter
+    (fun (d, k, n) ->
+      let server, commits, proofs =
+        verify_round ~n ~m:(max 1 (n / 4)) ~d ~k ~seed:(Printf.sprintf "bench-verify-%d-%d-%d" d k n)
+      in
+      List.iter
+        (fun jobs ->
+          let time_verify ~batched =
+            Server.begin_round server ~round:1 ~commits;
+            let t0 = Unix.gettimeofday () in
+            Server.verify_proofs ~jobs ~batched server ~round:1 ~proofs;
+            let s = Unix.gettimeofday () -. t0 in
+            (Server.malicious server, s)
+          in
+          let bad_n, naive_s = time_verify ~batched:false in
+          let bad_b, batched_s = time_verify ~batched:true in
+          if bad_n <> bad_b then failwith "verify bench: naive/batched verdict mismatch";
+          if bad_b <> [] then failwith "verify bench: honest round rejected";
+          record ~target:"verify" ~name:"verify-naive" ~jobs ~d ~k ~n naive_s;
+          record ~target:"verify" ~name:"verify-batched" ~jobs ~d ~k ~n batched_s;
+          let sp = if batched_s > 0.0 then naive_s /. batched_s else 0.0 in
+          if jobs = 1 && sp < !worst_j1 then worst_j1 := sp;
+          pf "%-20s %6d | %12.4f %12.4f %8.2fx\n"
+            (Printf.sprintf "d=%d k=%d n=%d" d k n)
+            jobs naive_s batched_s sp)
+        jobs_ladder)
+    ladder;
+  match !verify_gate with
+  | Some thr when !worst_j1 < thr ->
+      pf "GATE FAIL: batched speedup %.2fx (jobs=1) below threshold %.2fx\n" !worst_j1 thr;
+      exit 1
+  | Some thr -> pf "gate ok: min jobs=1 speedup %.2fx >= %.2fx\n" !worst_j1 thr
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection degradation ladder (EXPERIMENTS.md)                 *)
 
 let run_faults () =
@@ -614,7 +695,8 @@ let run_faults () =
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
-let all_targets = [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "faults" ]
+let all_targets =
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -625,6 +707,7 @@ let rec run_target = function
   | "fig8" -> run_fig8 ()
   | "micro" -> run_micro ()
   | "ablate" -> run_ablate ()
+  | "verify" -> run_verify ()
   | "faults" -> run_faults ()
   | "all" -> List.iter run_target all_targets
   | t ->
@@ -648,6 +731,9 @@ let () =
       ( "--json",
         Arg.String (fun v -> config.json <- v),
         "machine-readable results path (default BENCH_RISEFL.json)" );
+      ( "--gate-verify",
+        Arg.Float (fun v -> verify_gate := Some v),
+        "fail (exit 1) if the verify target's jobs=1 batched speedup drops below this factor" );
     ]
   in
   Arg.parse spec (fun t -> config.targets <- config.targets @ [ t ]) "bench targets: table1 table2 fig5 fig6 fig7 fig8 micro ablate all";

@@ -130,7 +130,7 @@ let make_transcript ~round ~client_id ~s =
   Transcript.append_bytes tr ~label:"s" s;
   tr
 
-let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
+let try_proof_round ?(predicate = Predicate.L2) ?hs_tables t ~round ~s ~hs =
   Predicate.validate t.setup.Setup.params predicate;
   let p = t.setup.Setup.params in
   let setup = t.setup
@@ -170,13 +170,20 @@ let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
   if not (in_sigma_range && Bigint.compare sum_sq cap <= 0) then None
   else Some (
   (* commitments e_t = g^{v_t} h_t^{r}; o_t = g^{v_t} q^{s_t}; o'_t = g^{v_t^2} q^{s'_t} *)
+  let mul_h i sc =
+    (* hs are round-shared check bases: when the driver supplies window
+       tables for them (they amortize across all clients) use those *)
+    match hs_tables with
+    | Some ts when Array.length ts = k + 1 -> Point.Table.mul ts.(i) sc
+    | _ -> Point.mul sc hs.(i)
+  in
   let es =
     Array.init (k + 1) (fun i ->
         let gv =
           if i = 0 then Point.Table.mul setup.Setup.g_table v0
           else Point.Table.mul_small setup.Setup.g_table vs.(i - 1)
         in
-        Point.add gv (Point.mul t.r hs.(i)))
+        Point.add gv (mul_h i t.r))
   in
   let ss = Array.init k (fun _ -> Scalar.random t.drbg) in
   let ss' = Array.init k (fun _ -> Scalar.random t.drbg) in
@@ -194,12 +201,14 @@ let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
   let z = Vsss.commitment_of_check t.my_check in
   let vs_scalars = Array.init (k + 1) (fun i -> if i = 0 then v0 else Scalar.of_int vs.(i - 1)) in
   let wf =
-    Sigma.Wf.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~hs ~z ~es ~os ~r:t.r ~vs:vs_scalars ~ss
+    Sigma.Wf.prove ~g_table:setup.Setup.g_table ~q_table:setup.Setup.q_table ?hs_tables t.drbg tr
+      ~g:setup.Setup.g ~q:setup.Setup.q ~hs ~z ~es ~os ~r:t.r ~vs:vs_scalars ~ss
   in
   (* tau: o'_t commits the square of o_t's secret *)
   let squares =
     Array.init k (fun i ->
-        Sigma.Square.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:os.(i) ~y2:os'.(i)
+        Sigma.Square.prove ~g_table:setup.Setup.g_table ~q_table:setup.Setup.q_table t.drbg tr
+          ~g:setup.Setup.g ~q:setup.Setup.q ~y1:os.(i) ~y2:os'.(i)
           ~x:(Scalar.of_int vs.(i)) ~s:ss.(i) ~s':ss'.(i))
   in
   (* cosine extension: commit w = <u, v>, link it to the homomorphic
@@ -227,15 +236,18 @@ let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
         let c_w = Point.add (Point.Table.mul_small setup.Setup.g_table w) (Point.mul t.r w_base) in
         let z = Vsss.commitment_of_check t.my_check in
         let link =
-          Sigma.Link.prove t.drbg tr ~g:setup.Setup.g ~h:w_base ~q:setup.Setup.q ~z ~e:c_w ~o:o_w
+          Sigma.Link.prove ~g_table:setup.Setup.g_table ~q_table:setup.Setup.q_table t.drbg tr
+            ~g:setup.Setup.g ~h:w_base ~q:setup.Setup.q ~z ~e:c_w ~o:o_w
             ~x:(Scalar.of_int w) ~r:t.r ~s:s_w
         in
         let w_square =
-          Sigma.Square.prove t.drbg tr ~g:setup.Setup.g ~q:setup.Setup.q ~y1:o_w ~y2:o_w2
+          Sigma.Square.prove ~g_table:setup.Setup.g_table ~q_table:setup.Setup.q_table t.drbg tr
+            ~g:setup.Setup.g ~q:setup.Setup.q ~y1:o_w ~y2:o_w2
             ~x:(Scalar.of_int w) ~s:s_w ~s':s'_w
         in
         let w_range =
-          Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+          Range_proof.prove ~g_table:setup.Setup.g_table ~h_table:setup.Setup.q_table t.drbg tr
+            ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
             ~bits:p.Params.b_ip_bits ~values:[| Bigint.of_int w |] ~blinds:[| s_w |]
         in
         (* mu proves w^2 * factor - sum v_t^2 >= 0, with blind
@@ -247,18 +259,20 @@ let try_proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
   (* sigma: each v_t + 2^(b_ip-1) in [0, 2^b_ip) *)
   let sigma_values = Array.map (fun v -> Bigint.add (Bigint.of_int v) shift) vs in
   let sigma_range =
-    Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+    Range_proof.prove ~g_table:setup.Setup.g_table ~h_table:setup.Setup.q_table t.drbg tr
+      ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
       ~bits:p.Params.b_ip_bits ~values:sigma_values ~blinds:ss
   in
   let mu_blind = Scalar.sub mu_blind_head (Array.fold_left Scalar.add Scalar.zero ss') in
   let mu_range =
-    Range_proof.prove t.drbg tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
+    Range_proof.prove ~g_table:setup.Setup.g_table ~h_table:setup.Setup.q_table t.drbg tr
+      ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
       ~bits:p.Params.b_max_bits ~values:[| mu_value |] ~blinds:[| mu_blind |]
   in
   { Wire.sender = t.id; es; os; os'; wf; squares; cosine; sigma_range; mu_range })
 
-let proof_round ?(predicate = Predicate.L2) t ~round ~s ~hs =
-  match try_proof_round ~predicate t ~round ~s ~hs with
+let proof_round ?(predicate = Predicate.L2) ?hs_tables t ~round ~s ~hs =
+  match try_proof_round ~predicate ?hs_tables t ~round ~s ~hs with
   | Some msg -> msg
   | None ->
       failwith

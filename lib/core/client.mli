@@ -49,21 +49,38 @@ val reveal_shares : t -> requests:int list -> (int * Scalar.t) list
     server obtained in clear during rule 2 on this client's behalf. *)
 val accept_cleared_share : t -> from:int -> value:Scalar.t -> unit
 
-(** [proof_round ?predicate t ~round ~s ~hs] — verify [hs] with VerCrt and
-    build the proof bundle for the round's integrity predicate (default
-    the plain L2 check).
+(** [proof_round ?predicate ?hs_tables t ~round ~s ~hs] — verify [hs]
+    with VerCrt and build the proof bundle for the round's integrity
+    predicate (default the plain L2 check). [hs_tables], when present
+    and of length k+1, holds fixed-base window tables for the round's
+    check bases h_t — the same bases serve every client of the round, so
+    a caller driving several clients (the driver, the bench) builds them
+    once and the per-client e* and Wf commitments get table-speed
+    multiplications.
     @raise Server_misbehaving if the h vector fails verification.
     @raise Failure if this client's update cannot pass the probabilistic
     check (never happens for an in-bound update, up to the ε event). *)
 val proof_round :
-  ?predicate:Predicate.t -> t -> round:int -> s:Bytes.t -> hs:Point.t array -> Wire.proof_msg
+  ?predicate:Predicate.t ->
+  ?hs_tables:Curve25519.Point.Table.table array ->
+  t ->
+  round:int ->
+  s:Bytes.t ->
+  hs:Point.t array ->
+  Wire.proof_msg
 
 (** [try_proof_round] — like {!proof_round} but returns [None] when the
     update cannot pass the check: the best a rational malicious client
     with an oversized update can do is attempt the proof and stay silent
     when the sampled projections betray it. *)
 val try_proof_round :
-  ?predicate:Predicate.t -> t -> round:int -> s:Bytes.t -> hs:Point.t array -> Wire.proof_msg option
+  ?predicate:Predicate.t ->
+  ?hs_tables:Curve25519.Point.Table.table array ->
+  t ->
+  round:int ->
+  s:Bytes.t ->
+  hs:Point.t array ->
+  Wire.proof_msg option
 
 (** The Fiat–Shamir transcript shape shared by prover and verifier for the
     proof bundle (exposed so the server can replay it). *)

@@ -240,13 +240,18 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
       | Ok (s, hs) -> (s, hs)
       | Error e -> failwith ("Driver: broadcast round-trip failed: " ^ Serial.error_to_string e)
   in
+  (* The check bases h_t are shared by every client of the round: build
+     their fixed-base tables once (cost ~ one table build per base,
+     repaid k+1 ladder multiplications per client). *)
+  let hs_tables = Parallel.parallel_map Curve25519.Point.Table.make hs in
   let proof_time = ref 0.0 in
   let proofs_out =
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
           let result, dt =
-            time (fun () -> Client.try_proof_round ~predicate clients.(i) ~round ~s:s_value ~hs)
+            time (fun () ->
+                Client.try_proof_round ~predicate ~hs_tables clients.(i) ~round ~s:s_value ~hs)
           in
           if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
           result

@@ -54,6 +54,31 @@ let ver_crt drbg ~bases ~targets ~matrix =
     Point.equal lhs rhs
   end
 
+(* RLC form of [ver_crt] for the server's batched verifier: identical
+   shape checks and DRBG draw order, but instead of evaluating the two
+   MSMs it pushes rho * (Σ_t b_t·targets_t − Σ_l c_l·bases_l) into the
+   caller's accumulator. The whole VerCrt equation is a single point
+   equation, hence a single [rho]. *)
+let ver_crt_acc drbg ~rho ~push ~bases ~targets ~matrix =
+  let d = Array.length bases in
+  let k = Array.length matrix.rows in
+  if Array.length targets <> k + 1 || Array.length matrix.a0 <> d then false
+  else begin
+    let b = Array.init (k + 1) (fun _ -> Scalar.random drbg) in
+    let c =
+      Parallel.parallel_init d (fun l ->
+          let acc = ref (Scalar.mul b.(0) matrix.a0.(l)) in
+          for t = 0 to k - 1 do
+            let a = matrix.rows.(t).(l) in
+            if a <> 0 then acc := Scalar.add !acc (Scalar.mul_small b.(t + 1) a)
+          done;
+          !acc)
+    in
+    Array.iteri (fun t bt -> push (Scalar.mul rho bt) targets.(t)) b;
+    Array.iteri (fun l cl -> push (Scalar.neg (Scalar.mul rho cl)) bases.(l)) c;
+    true
+  end
+
 let dot_exact a u =
   if Array.length a <> Array.length u then invalid_arg "Sampling.dot_exact: dimension mismatch";
   let acc = ref 0 in

@@ -34,6 +34,21 @@ val compute_h : Setup.t -> matrix -> Point.t array
     Completeness is exact; soundness error is 1/ℓ per invocation. *)
 val ver_crt : Prng.Drbg.t -> bases:Point.t array -> targets:Point.t array -> matrix:matrix -> bool
 
+(** Batch-verification form of {!ver_crt}: draws the same batching
+    vector b from [drbg] in the same order, but pushes the terms of
+    ρ·(Σ_t b_t·targets_t − Σ_l c_l·bases_l) through [push] instead of
+    evaluating them, so the equation joins the caller's single batched
+    MSM. Returns [false] on the same shape mismatches as {!ver_crt}
+    (before drawing from [drbg]). *)
+val ver_crt_acc :
+  Prng.Drbg.t ->
+  rho:Scalar.t ->
+  push:(Scalar.t -> Point.t -> unit) ->
+  bases:Point.t array ->
+  targets:Point.t array ->
+  matrix:matrix ->
+  bool
+
 (** [dot_exact a u] — exact signed integer inner product with chunked
     overflow-safe accumulation (requires |aᵢ·uᵢ| ≤ 2^60).
     @raise Invalid_argument on dimension mismatch. *)

@@ -223,33 +223,187 @@ let verify_one t ~round ~ctx ~drbg shift_pt (msg : Wire.proof_msg) =
       Range_proof.verify tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g ~h:setup.Setup.q
         ~bits:p.Params.b_max_bits ~commitments:[| p_commit |] msg.Wire.mu_range
 
-let verify_proofs ?(predicate = Predicate.L2) ?jobs t ~round ~proofs =
+(* Batched counterpart of [verify_one]: instead of evaluating each
+   verifier equation, folds all of them — VerCrt, Wf's 2k+2 equations,
+   the k Square proofs, the cosine branch, and both range proofs — into
+   one term accumulator as rho_j * (LHS - RHS), one independent rho_j per
+   equation. Returns the accumulated terms, or None on any structural
+   failure (the cases where the naive path rejects without an equation
+   ever being evaluated: missing commit, bad shapes, predicate mismatch,
+   proof-shape mismatch inside a sub-protocol).
+
+   The per-equation coefficients come from a DRBG forked by (round,
+   client), with one extra leading draw folded into every rho as the
+   client's outer batching coefficient sigma_i: the cross-client sum
+   Σ_i sigma_i · (client i's accumulated sum) is then itself an RLC, and
+   because each client's stream depends only on (round, client id) the
+   terms — and hence every verdict — are identical for any job count or
+   scheduling order. Transcript replay and the VerCrt fork draw order are
+   byte-identical to the naive path. *)
+let accumulate_one t ~round ~ctx ~drbg ~rlc shift_pt (msg : Wire.proof_msg) =
+  let p = t.setup.Setup.params in
+  let setup = t.setup in
+  let k = p.Params.k in
+  let i = msg.Wire.sender in
+  let matrix = match t.matrix with Some m -> m | None -> failwith "Server: prepare_check first" in
+  match t.commits.(i - 1) with
+  | None -> None
+  | Some commit ->
+      if
+        Array.length msg.Wire.es <> k + 1
+        || Array.length msg.Wire.os <> k
+        || Array.length msg.Wire.os' <> k
+        || Array.length msg.Wire.squares <> k
+      then None
+      else begin
+        let acc = Curve25519.Msm.Acc.create ~coalesce:[| setup.Setup.g; setup.Setup.q |] () in
+        let push s pt = Curve25519.Msm.Acc.push acc s pt in
+        let outer = Scalar.random rlc in
+        let rho () = Scalar.mul outer (Scalar.random rlc) in
+        let ok =
+          Sampling.ver_crt_acc drbg ~rho:(rho ()) ~push ~bases:commit.Wire.y ~targets:msg.Wire.es
+            ~matrix
+          &&
+          let tr = Client.make_transcript ~round ~client_id:i ~s:t.s_value in
+          let z = Vsss.commitment_of_check commit.Wire.check in
+          Sigma.Wf.accumulate ~rho ~push tr ~g:setup.Setup.g ~q:setup.Setup.q ~hs:t.hs ~z
+            ~es:msg.Wire.es ~os:msg.Wire.os msg.Wire.wf
+          && (let ok = ref true in
+              Array.iteri
+                (fun ti sq ->
+                  if !ok then
+                    ok :=
+                      Sigma.Square.accumulate ~rho ~push tr ~g:setup.Setup.g ~q:setup.Setup.q
+                        ~y1:msg.Wire.os.(ti) ~y2:msg.Wire.os'.(ti) sq)
+                msg.Wire.squares;
+              !ok)
+          && (match (ctx, msg.Wire.cosine) with
+             | Ctx_l2, None -> true
+             | Ctx_l2, Some _ | Ctx_cosine _, None -> false (* predicate mismatch *)
+             | Ctx_cosine { v; w_base; _ }, Some cos ->
+                 let c_w =
+                   Curve25519.Msm.msm_small (Array.mapi (fun l vl -> (vl, commit.Wire.y.(l))) v)
+                 in
+                 Sigma.Link.accumulate ~rho ~push tr ~g:setup.Setup.g ~h:w_base ~q:setup.Setup.q ~z
+                   ~e:c_w ~o:cos.Wire.o_w cos.Wire.link
+                 && Sigma.Square.accumulate ~rho ~push tr ~g:setup.Setup.g ~q:setup.Setup.q
+                      ~y1:cos.Wire.o_w ~y2:cos.Wire.o_w2 cos.Wire.w_square
+                 && Range_proof.accumulate ~rho ~push tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g
+                      ~h:setup.Setup.q ~bits:p.Params.b_ip_bits ~commitments:[| cos.Wire.o_w |]
+                      cos.Wire.w_range)
+          && (let sigma_commitments = Array.map (fun o -> Point.add o shift_pt) msg.Wire.os in
+              Range_proof.accumulate ~rho ~push tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g
+                ~h:setup.Setup.q ~bits:p.Params.b_ip_bits ~commitments:sigma_commitments
+                msg.Wire.sigma_range)
+          &&
+          let budget_commit =
+            match (ctx, msg.Wire.cosine) with
+            | Ctx_l2, _ -> Point.Table.mul setup.Setup.g_table (Scalar.of_bigint setup.Setup.b0)
+            | Ctx_cosine { factor; _ }, Some cos -> Point.mul (Scalar.of_bigint factor) cos.Wire.o_w2
+            | Ctx_cosine _, None -> assert false (* rejected above *)
+          in
+          let p_commit =
+            Point.sub budget_commit (Array.fold_left Point.add Point.identity msg.Wire.os')
+          in
+          Range_proof.accumulate ~rho ~push tr ~gens:setup.Setup.bp_gens ~g:setup.Setup.g
+            ~h:setup.Setup.q ~bits:p.Params.b_max_bits ~commitments:[| p_commit |] msg.Wire.mu_range
+        in
+        if ok then Some (Curve25519.Msm.Acc.terms acc) else None
+      end
+
+(* Find the clients whose term blocks make [total] nonzero, recursively
+   splitting the candidate list. The right half's sum is derived by
+   subtraction (total - left), so each tree level costs one MSM over half
+   the terms instead of two. Invariant: [total] = Σ terms of [cands] and
+   is not the identity. *)
+let rec bisect_failures ?jobs cands total =
+  let ncands = Array.length cands in
+  if ncands = 1 then [ fst cands.(0) ]
+  else begin
+    let mid = ncands / 2 in
+    let left = Array.sub cands 0 mid and right = Array.sub cands mid (ncands - mid) in
+    let left_sum =
+      Curve25519.Msm.msm ?jobs (Array.concat (Array.to_list (Array.map snd left)))
+    in
+    let right_sum = Point.sub total left_sum in
+    (if Point.is_identity left_sum then [] else bisect_failures ?jobs left left_sum)
+    @ if Point.is_identity right_sum then [] else bisect_failures ?jobs right right_sum
+  end
+
+let verify_proofs ?(predicate = Predicate.L2) ?jobs ?(batched = true) t ~round ~proofs =
   if Array.length proofs <> n_of t then invalid_arg "Server.verify_proofs: wrong size";
   Predicate.validate t.setup.Setup.params predicate;
   let ctx = make_predicate_ctx t predicate in
   let shift_pt = shift_point t in
-  (* Per-client verification is embarrassingly parallel. Each client gets
-     a DRBG forked from the server key by (round, id) alone, so the
-     VerCrt challenge randomness — and with it the accept/reject outcome
-     — is identical whatever the job count or execution order. Verdicts
-     are collected first and C* is updated sequentially afterwards. *)
-  let verdicts =
-    Parallel.parallel_mapi ?jobs
-      (fun idx pr ->
-        let i = idx + 1 in
-        if t.bad.(idx) then None
-        else
-          match pr with
-          | None -> Some "no proof"
-          | Some (msg : Wire.proof_msg) ->
-              if msg.Wire.sender <> i then Some "proof sender mismatch"
-              else begin
-                let drbg = Prng.Drbg.fork t.drbg (Printf.sprintf "vercrt/r%d/c%d" round i) in
-                if verify_one t ~round ~ctx ~drbg shift_pt msg then None else Some "proof failed"
-              end)
-      proofs
-  in
-  Array.iteri (fun idx v -> match v with Some reason -> mark t (idx + 1) reason | None -> ()) verdicts
+  if not batched then begin
+    (* Naive reference path: every equation evaluated directly, per-client
+       in parallel. Kept verbatim as the differential-testing baseline.
+       Each client gets a DRBG forked from the server key by (round, id)
+       alone, so the VerCrt challenge randomness — and with it the
+       accept/reject outcome — is identical whatever the job count or
+       execution order. Verdicts are collected first and C* is updated
+       sequentially afterwards. *)
+    let verdicts =
+      Parallel.parallel_mapi ?jobs
+        (fun idx pr ->
+          let i = idx + 1 in
+          if t.bad.(idx) then None
+          else
+            match pr with
+            | None -> Some "no proof"
+            | Some (msg : Wire.proof_msg) ->
+                if msg.Wire.sender <> i then Some "proof sender mismatch"
+                else begin
+                  let drbg = Prng.Drbg.fork t.drbg (Printf.sprintf "vercrt/r%d/c%d" round i) in
+                  if verify_one t ~round ~ctx ~drbg shift_pt msg then None else Some "proof failed"
+                end)
+        proofs
+    in
+    Array.iteri
+      (fun idx v -> match v with Some reason -> mark t (idx + 1) reason | None -> ())
+      verdicts
+  end
+  else begin
+    (* Batched path: accumulate every client's equations (parallel per
+       client — pure scalar work), then decide the whole round with ONE
+       MSM over the concatenated terms. On failure, bisect the term
+       blocks to attribute blame; the RLC coefficients make each client's
+       block nonzero (w.h.p.) exactly when its naive verdict is reject,
+       so C* matches the naive path bit for bit. *)
+    let checks =
+      Parallel.parallel_mapi ?jobs
+        (fun idx pr ->
+          let i = idx + 1 in
+          if t.bad.(idx) then None
+          else
+            match pr with
+            | None -> Some (Error "no proof")
+            | Some (msg : Wire.proof_msg) ->
+                if msg.Wire.sender <> i then Some (Error "proof sender mismatch")
+                else begin
+                  let drbg = Prng.Drbg.fork t.drbg (Printf.sprintf "vercrt/r%d/c%d" round i) in
+                  let rlc = Prng.Drbg.fork t.drbg (Printf.sprintf "rlc/r%d/c%d" round i) in
+                  match accumulate_one t ~round ~ctx ~drbg ~rlc shift_pt msg with
+                  | None -> Some (Error "proof failed")
+                  | Some terms -> Some (Ok terms)
+                end)
+        proofs
+    in
+    let cands = ref [] in
+    Array.iteri
+      (fun idx v ->
+        match v with
+        | None -> ()
+        | Some (Error reason) -> mark t (idx + 1) reason
+        | Some (Ok terms) -> cands := (idx, terms) :: !cands)
+      checks;
+    let cands = Array.of_list (List.rev !cands) in
+    if Array.length cands > 0 then begin
+      let total = Curve25519.Msm.msm ?jobs (Array.concat (Array.to_list (Array.map snd cands))) in
+      if not (Point.is_identity total) then
+        List.iter (fun idx -> mark t (idx + 1) "proof failed") (bisect_failures ?jobs cands total)
+    end
+  end
 
 type agg_error =
   | Insufficient_quorum of { valid : int; needed : int }

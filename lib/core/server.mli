@@ -49,17 +49,37 @@ val process_flags :
     Returns (s, h) for broadcast. *)
 val prepare_check : t -> Bytes.t * Point.t array
 
-(** [verify_proofs ?predicate ?jobs t ~round ~proofs] — full §4.4.2
-    verification for every client: e*-consistency against y_i (batch
-    check), ρ, τ, σ, μ (plus the w-linkage material under the cosine
-    predicate). Clients whose proof fails (or is absent) are added to C*.
-    Clients verify in parallel on [jobs] domains (default
+(** [verify_proofs ?predicate ?jobs ?batched t ~round ~proofs] — full
+    §4.4.2 verification for every client: e*-consistency against y_i
+    (batch check), ρ, τ, σ, μ (plus the w-linkage material under the
+    cosine predicate). Clients whose proof fails (or is absent) are added
+    to C*.
+
+    With [batched] (the default) every verifier equation of every client
+    is folded into a single random-linear-combination MSM: each equation
+    contributes ρ_j·(LHS − RHS) with an independent coefficient ρ_j drawn
+    from a DRBG forked by (round, client), scaled by a per-client outer
+    coefficient σ_i, and the whole round is accepted by ONE
+    Pippenger evaluation returning the identity. On failure the
+    per-client term blocks are bisected to recover exact C* attribution.
+    A batch containing a cheating equation survives with probability
+    ≤ (#equations)/ℓ ≈ 2⁻²⁴⁰ over the coefficient draw.
+    [batched:false] selects the naive per-equation reference path (the
+    differential-testing baseline).
+
+    Clients accumulate/verify in parallel on [jobs] domains (default
     [Parallel.default_jobs ()]); the accepted/rejected sets are identical
-    for every job count — each client's VerCrt challenge randomness is
-    forked from the server key by (round, id), not drawn from a shared
-    stream. *)
+    for every job count and for both paths — all per-client randomness
+    (VerCrt challenges, RLC coefficients) is forked from the server key
+    by (round, id), not drawn from a shared stream. *)
 val verify_proofs :
-  ?predicate:Predicate.t -> ?jobs:int -> t -> round:int -> proofs:Wire.proof_msg option array -> unit
+  ?predicate:Predicate.t ->
+  ?jobs:int ->
+  ?batched:bool ->
+  t ->
+  round:int ->
+  proofs:Wire.proof_msg option array ->
+  unit
 
 (** The honest list H = C \ C* (1-based ids). *)
 val honest : t -> int list

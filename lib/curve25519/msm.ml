@@ -53,9 +53,26 @@ let run_range ~c ~nwindows ~lo ~hi ~digits ~point =
   done;
   !acc
 
+(* Sequential cutoff: each chunk pays fixed costs that are independent of
+   its point count — a full doubling chain across every window plus a
+   suffix-sum pass over all 2^c buckets per window. Below ~1k points per
+   chunk those fixed costs dominate the per-point bucket additions, so
+   fanning out across domains is a net loss (BENCH_RISEFL.json showed
+   msm-full at n=256 5x slower at jobs=2 than jobs=1). Capping the chunk
+   count so every chunk keeps at least this many points makes small MSMs
+   run sequentially at any job count. *)
+let seq_cutoff = 1024
+
+(* The window size is chosen from the per-chunk point count, not the
+   total: each chunk runs its own bucket accumulation, so oversizing c
+   from the global n would blow up the per-chunk suffix-sum cost. *)
+let chunk_window ?jobs n =
+  let nchunks = Parallel.chunk_count ?jobs ~min_chunk:seq_cutoff n in
+  window_bits ((n + nchunks - 1) / nchunks)
+
 let run ?jobs ~c ~nwindows ~npoints ~digits ~point () =
   let partials =
-    Parallel.map_chunks ?jobs ~n:npoints (fun lo hi ->
+    Parallel.map_chunks ?jobs ~min_chunk:seq_cutoff ~n:npoints (fun lo hi ->
         run_range ~c ~nwindows ~lo ~hi ~digits ~point)
   in
   if Array.length partials = 0 then Point.identity
@@ -65,7 +82,7 @@ let msm ?jobs pairs =
   let n = Array.length pairs in
   if n = 0 then Point.identity
   else begin
-    let c = window_bits n in
+    let c = chunk_window ?jobs n in
     let nwindows = (256 + c - 1) / c in
     let digits =
       Array.map (fun (s, _) -> Bigint.to_digits ~bits:c ~count:nwindows (Scalar.to_bigint s)) pairs
@@ -77,7 +94,7 @@ let msm_small ?jobs pairs =
   let n = Array.length pairs in
   if n = 0 then Point.identity
   else begin
-    let c = window_bits n in
+    let c = chunk_window ?jobs n in
     (* sign-fold: negative exponents negate the base *)
     let exps = Array.map (fun (e, _) -> abs e) pairs in
     let pts = Array.map (fun (e, p) -> if e < 0 then Point.neg p else p) pairs in
@@ -91,3 +108,66 @@ let msm_small ?jobs pairs =
     in
     run ?jobs ~c ~nwindows ~npoints:n ~digits ~point:(fun i -> pts.(i)) ()
   end
+
+(* Growable (scalar, point) term accumulator for random-linear-combination
+   batch verification: every verifier equation LHS = RHS contributes the
+   terms of rho * (LHS - RHS); the whole batch is accepted iff the single
+   evaluated sum is the group identity.
+
+   Bases listed in [coalesce] are matched by physical equality on push and
+   their coefficients are summed into one cell each, so ubiquitous fixed
+   bases (the Pedersen g and blinding base q appear in nearly every
+   equation) cost one MSM term instead of dozens. *)
+module Acc = struct
+  type t = {
+    mutable scalars : Scalar.t array;
+    mutable points : Point.t array;
+    mutable n : int;
+    cbases : Point.t array;
+    csums : Scalar.t array;
+  }
+
+  let create ?(coalesce = [||]) () =
+    {
+      scalars = Array.make 64 Scalar.zero;
+      points = Array.make 64 Point.identity;
+      n = 0;
+      cbases = coalesce;
+      csums = Array.make (Array.length coalesce) Scalar.zero;
+    }
+
+  let push t s p =
+    let nc = Array.length t.cbases in
+    let rec find i = if i = nc then -1 else if t.cbases.(i) == p then i else find (i + 1) in
+    let ci = find 0 in
+    if ci >= 0 then t.csums.(ci) <- Scalar.add t.csums.(ci) s
+    else begin
+      let cap = Array.length t.scalars in
+      if t.n = cap then begin
+        let scalars = Array.make (2 * cap) Scalar.zero in
+        let points = Array.make (2 * cap) Point.identity in
+        Array.blit t.scalars 0 scalars 0 cap;
+        Array.blit t.points 0 points 0 cap;
+        t.scalars <- scalars;
+        t.points <- points
+      end;
+      t.scalars.(t.n) <- s;
+      t.points.(t.n) <- p;
+      t.n <- t.n + 1
+    end
+
+  let size t =
+    let extra = ref 0 in
+    Array.iter (fun s -> if not (Scalar.is_zero s) then incr extra) t.csums;
+    t.n + !extra
+
+  let terms t =
+    let extra = ref [] in
+    Array.iteri
+      (fun i s -> if not (Scalar.is_zero s) then extra := (s, t.cbases.(i)) :: !extra)
+      t.csums;
+    Array.append (Array.init t.n (fun i -> (t.scalars.(i), t.points.(i)))) (Array.of_list !extra)
+
+  let eval ?jobs t = msm ?jobs (terms t)
+  let is_identity ?jobs t = Point.is_identity (eval ?jobs t)
+end

@@ -23,3 +23,46 @@ val msm_small : ?jobs:int -> (int * Point.t) array -> Point.t
 (** [window_bits n] — the window size heuristic used internally (exposed
     for the cost model and tests). *)
 val window_bits : int -> int
+
+(** Points-per-chunk sequential cutoff: inputs that would leave a chunk
+    with fewer points run sequentially regardless of [?jobs], because the
+    per-chunk fixed costs (full doubling chain + bucket suffix sums per
+    window) would dominate. Exposed for tests and the cost model. *)
+val seq_cutoff : int
+
+(** Term accumulator for random-linear-combination batch verification.
+
+    Verifier equations [LHS = RHS] are folded by pushing the terms of
+    [rho_j * (LHS - RHS)] for an independently random [rho_j] per
+    equation; the whole accumulated batch is accepted iff {!eval} returns
+    the identity. A dishonest term set survives with probability at most
+    (#equations)/ℓ over the choice of the [rho_j] (ℓ the group order,
+    ~2^252), because the accumulated sum is a nonzero ℓ-linear form in
+    the [rho_j] evaluated at a random point. *)
+module Acc : sig
+  type t
+
+  (** [create ?coalesce ()] — fresh empty accumulator. Bases in
+      [coalesce] are recognized by physical equality on {!push} and
+      accumulate into a single coefficient cell each (use for fixed bases
+      like the Pedersen [g]/[q] that appear in every equation). *)
+  val create : ?coalesce:Point.t array -> unit -> t
+
+  (** [push t s p] — add the term [s·p]. *)
+  val push : t -> Scalar.t -> Point.t -> unit
+
+  (** Number of MSM terms currently held (coalesced bases with a nonzero
+      running coefficient count as one each). *)
+  val size : t -> int
+
+  (** Materialize the current term list (coalesced bases last, only if
+      their running coefficient is nonzero). The accumulator remains
+      usable. *)
+  val terms : t -> (Scalar.t * Point.t) array
+
+  (** Evaluate the accumulated sum with one Pippenger MSM. *)
+  val eval : ?jobs:int -> t -> Point.t
+
+  (** [is_identity ?jobs t] = [Point.is_identity (eval ?jobs t)]. *)
+  val is_identity : ?jobs:int -> t -> bool
+end

@@ -120,12 +120,27 @@ let run_chunks ~jobs nchunks f =
 
 (* Chunk layout: at most [4 * jobs] chunks (oversubscription smooths
    skewed per-element costs), sized as evenly as possible, fixed by
-   [n] and [jobs] alone so partial-result order is reproducible. *)
-let chunks_of ~jobs n =
-  if n <= 0 then [||]
+   [n], [jobs] and [min_chunk] alone so partial-result order is
+   reproducible. [min_chunk] is the sequential cutoff: the chunk count
+   is capped so every chunk holds at least that many elements, which
+   keeps small inputs from fanning out across domains when the
+   per-chunk fixed costs (domain wakeup, per-chunk setup such as a
+   Pippenger bucket pass) would dominate the useful work. *)
+let target_chunks ~jobs ~min_chunk n =
+  if n <= 0 then 0
   else begin
     let jobs = clamp_jobs jobs in
-    let target = if jobs = 1 then 1 else min n (4 * jobs) in
+    if jobs = 1 then 1
+    else begin
+      let cap = if min_chunk <= 1 then n else Stdlib.max 1 (n / min_chunk) in
+      Stdlib.max 1 (Stdlib.min (Stdlib.min n (4 * jobs)) cap)
+    end
+  end
+
+let chunks_of ~jobs ~min_chunk n =
+  let target = target_chunks ~jobs ~min_chunk n in
+  if target = 0 then [||]
+  else begin
     let base = n / target and extra = n mod target in
     let bounds = Array.make target (0, 0) in
     let lo = ref 0 in
@@ -139,21 +154,23 @@ let chunks_of ~jobs n =
 
 let resolve_jobs jobs = match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
 
-let parallel_for ?jobs ~lo ~hi f =
+let chunk_count ?jobs ?(min_chunk = 1) n = target_chunks ~jobs:(resolve_jobs jobs) ~min_chunk n
+
+let parallel_for ?jobs ?(min_chunk = 1) ~lo ~hi f =
   let n = hi - lo in
   if n > 0 then begin
     let jobs = resolve_jobs jobs in
-    let bounds = chunks_of ~jobs n in
+    let bounds = chunks_of ~jobs ~min_chunk n in
     run_chunks ~jobs (Array.length bounds) (fun c ->
         let clo, chi = bounds.(c) in
         f (lo + clo) (lo + chi))
   end
 
-let map_chunks ?jobs ~n f =
+let map_chunks ?jobs ?(min_chunk = 1) ~n f =
   if n <= 0 then [||]
   else begin
     let jobs = resolve_jobs jobs in
-    let bounds = chunks_of ~jobs n in
+    let bounds = chunks_of ~jobs ~min_chunk n in
     let out = Array.make (Array.length bounds) None in
     run_chunks ~jobs (Array.length bounds) (fun c ->
         let clo, chi = bounds.(c) in

@@ -25,16 +25,26 @@ val default_jobs : unit -> int
     Used by the bench harness's [--jobs] flag and the CLI. *)
 val set_default_jobs : int -> unit
 
-(** [parallel_for ?jobs ~lo ~hi f] — split the index range [\[lo, hi)]
-    into chunks and run [f clo chi] for each sub-range [\[clo, chi)].
-    [f] must only write to disjoint, per-index state. *)
-val parallel_for : ?jobs:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for ?jobs ?min_chunk ~lo ~hi f] — split the index range
+    [\[lo, hi)] into chunks and run [f clo chi] for each sub-range
+    [\[clo, chi)]. [f] must only write to disjoint, per-index state.
+    [min_chunk] (default 1) is a sequential cutoff: the chunk count is
+    capped so no chunk holds fewer than [min_chunk] elements, so small
+    inputs never fan out across domains when per-chunk fixed costs would
+    dominate. *)
+val parallel_for : ?jobs:int -> ?min_chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 
-(** [map_chunks ?jobs ~n f] — split [\[0, n)] into chunks, compute
-    [f clo chi] per chunk, and return the per-chunk results in ascending
-    chunk order. The chunking depends only on [n] and the effective job
-    count. *)
-val map_chunks : ?jobs:int -> n:int -> (int -> int -> 'a) -> 'a array
+(** [map_chunks ?jobs ?min_chunk ~n f] — split [\[0, n)] into chunks,
+    compute [f clo chi] per chunk, and return the per-chunk results in
+    ascending chunk order. The chunking depends only on [n], [min_chunk]
+    and the effective job count. [min_chunk] as in {!parallel_for}. *)
+val map_chunks : ?jobs:int -> ?min_chunk:int -> n:int -> (int -> int -> 'a) -> 'a array
+
+(** [chunk_count ?jobs ?min_chunk n] — the number of chunks
+    {!map_chunks} / {!parallel_for} would use for an [n]-element input;
+    exposed so callers whose per-chunk setup depends on the chunk size
+    (e.g. Pippenger window selection) can agree with the layout. *)
+val chunk_count : ?jobs:int -> ?min_chunk:int -> int -> int
 
 (** [parallel_init ?jobs n f] — like [Array.init n f] with the element
     functions evaluated in parallel. [f] must be pure (or touch only

@@ -96,4 +96,49 @@ let verify tr ~g ~h ~u ~p proof =
     end
   end
 
+(* RLC form of [verify] for batch verification. The whole IPA check is a
+   single point equation; [rho] is its random batching coefficient. Base
+   coefficients are handed back by index ([push_g i c] means "add c·g_i",
+   likewise [push_h]/[push_u]) so the range-proof layer can merge them
+   with its own per-index coefficients (folding the h'_i = h_i^{y^{-i}}
+   reindexing into scalars instead of materializing nt point
+   multiplications); L/R cross terms go straight to [push]. The caller
+   must push -rho·P itself. Transcript replay is identical to [verify];
+   structural mismatches return false without absorbing, like [verify]. *)
+let accumulate ~rho ~push_g ~push_h ~push_u ~push tr ~n proof =
+  if not (is_pow2 n) then false
+  else begin
+    let rounds = Array.length proof.ls in
+    if Array.length proof.rs <> rounds || 1 lsl rounds <> n then false
+    else begin
+      let xs = Array.make rounds Scalar.zero in
+      for j = 0 to rounds - 1 do
+        Transcript.append_point tr ~label:"ipa/L" proof.ls.(j);
+        Transcript.append_point tr ~label:"ipa/R" proof.rs.(j);
+        xs.(j) <- Transcript.challenge_nonzero tr ~label:"ipa/x"
+      done;
+      let xinvs = Array.map Scalar.inv xs in
+      let s = Array.make n Scalar.one in
+      for i = 0 to n - 1 do
+        let acc = ref Scalar.one in
+        for j = 0 to rounds - 1 do
+          let bit = (i lsr (rounds - 1 - j)) land 1 in
+          acc := Scalar.mul !acc (if bit = 1 then xs.(j) else xinvs.(j))
+        done;
+        s.(i) <- !acc
+      done;
+      let ra = Scalar.mul rho proof.a and rb = Scalar.mul rho proof.b in
+      for i = 0 to n - 1 do
+        push_g i (Scalar.mul ra s.(i));
+        push_h i (Scalar.mul rb s.(n - 1 - i))
+      done;
+      push_u (Scalar.mul ra proof.b);
+      for j = 0 to rounds - 1 do
+        push (Scalar.neg (Scalar.mul rho (Scalar.square xs.(j)))) proof.ls.(j);
+        push (Scalar.neg (Scalar.mul rho (Scalar.square xinvs.(j)))) proof.rs.(j)
+      done;
+      true
+    end
+  end
+
 let size_bytes p = (32 * (Array.length p.ls + Array.length p.rs)) + 64

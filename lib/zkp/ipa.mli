@@ -26,4 +26,24 @@ val prove :
 val verify :
   Transcript.t -> g:Point.t array -> h:Point.t array -> u:Point.t -> p:Point.t -> proof -> bool
 
+(** Batch-verification form of [verify] — the IPA check is one point
+    equation with batching coefficient [rho]. Coefficients for the
+    generator vectors are returned by index ([push_g i c] ≙ add c·gᵢ,
+    same for [push_h] and the single [push_u]); L/R cross terms go to
+    [push] directly. The caller is responsible for pushing −ρ·P and for
+    supplying the vector length [n] (a power of two matching the
+    generator slice it will apply the indexed coefficients to).
+    Transcript replay is byte-identical to [verify]; structural
+    mismatches return [false] without absorbing. *)
+val accumulate :
+  rho:Scalar.t ->
+  push_g:(int -> Scalar.t -> unit) ->
+  push_h:(int -> Scalar.t -> unit) ->
+  push_u:(Scalar.t -> unit) ->
+  push:(Scalar.t -> Point.t -> unit) ->
+  Transcript.t ->
+  n:int ->
+  proof ->
+  bool
+
 val size_bytes : proof -> int

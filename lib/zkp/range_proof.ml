@@ -23,6 +23,13 @@ type proof = {
   ipa : Ipa.proof;
 }
 
+let tmul tbl s p = match tbl with Some t -> Point.Table.mul t s | None -> Point.mul s p
+
+let tdouble_mul t1 s1 p1 t2 s2 p2 =
+  match (t1, t2) with
+  | None, None -> Point.double_mul s1 p1 s2 p2
+  | _ -> Point.add (tmul t1 s1 p1) (tmul t2 s2 p2)
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 let next_pow2 n = if is_pow2 n then n else 1 lsl (let rec f a v = if v = 0 then a else f (a+1) (v lsr 1) in f 0 n)
 
@@ -67,7 +74,7 @@ let absorb_statement tr ~g ~h ~bits ~commitments =
   Transcript.append_point tr ~label:"rp/h" h;
   Transcript.append_points tr ~label:"rp/V" commitments
 
-let prove drbg tr ~gens ~g ~h ~bits ~values ~blinds =
+let prove ?g_table ?h_table drbg tr ~gens ~g ~h ~bits ~values ~blinds =
   check_bits bits;
   let m_orig = Array.length values in
   if m_orig = 0 || Array.length blinds <> m_orig then invalid_arg "Range_proof.prove: shapes";
@@ -85,7 +92,7 @@ let prove drbg tr ~gens ~g ~h ~bits ~values ~blinds =
     invalid_arg "Range_proof.prove: generator set too small";
   let gv = Array.sub gens.gv 0 nt and hv = Array.sub gens.hv 0 nt in
   let commitments =
-    Array.init m_orig (fun j -> Point.double_mul (Scalar.of_bigint values.(j)) g blinds.(j) h)
+    Array.init m_orig (fun j -> tdouble_mul g_table (Scalar.of_bigint values.(j)) g h_table blinds.(j) h)
   in
   absorb_statement tr ~g ~h ~bits ~commitments;
   (* bit decomposition: a_L, a_R = a_L - 1 *)
@@ -124,8 +131,8 @@ let prove drbg tr ~gens ~g ~h ~bits ~values ~blinds =
   let t2 = dot l1 r1 in
   let t1 = Scalar.sub (Scalar.sub (dot (Array.map2 Scalar.add l0 l1) (Array.map2 Scalar.add r0 r1)) t0) t2 in
   let tau1 = Scalar.random drbg and tau2 = Scalar.random drbg in
-  let t1_pt = Point.double_mul t1 g tau1 h in
-  let t2_pt = Point.double_mul t2 g tau2 h in
+  let t1_pt = tdouble_mul g_table t1 g h_table tau1 h in
+  let t2_pt = tdouble_mul g_table t2 g h_table tau2 h in
   Transcript.append_point tr ~label:"rp/T1" t1_pt;
   Transcript.append_point tr ~label:"rp/T2" t2_pt;
   let x = Transcript.challenge_nonzero tr ~label:"rp/x" in
@@ -214,6 +221,91 @@ let verify tr ~gens ~g ~h ~bits ~commitments proof =
         in
         Ipa.verify tr ~g:gv ~h:hv' ~u:u_x ~p proof.ipa
       end
+    end
+  end
+
+(* RLC form of [verify]: one [rho] draw per point equation (check 1 and
+   the IPA check). Replays the transcript byte-identically to [verify].
+
+   The big win over the naive path is that h'_i = h_i^{y^{-i}} is never
+   materialized: the reindexing factor y^{-i} is folded into the scalar
+   coefficient of the raw generator h_i, turning nt variable-base point
+   multiplications into nt scalar multiplications inside one big MSM.
+   Likewise u_x = u^w stays as a coefficient w on the raw u, and the
+   whole P commitment for the IPA is pushed as terms instead of being
+   evaluated. Identity padding commitments (value count below the padded
+   power of two) contribute nothing and are skipped. *)
+let accumulate ~rho ~push tr ~gens ~g ~h ~bits ~commitments proof =
+  check_bits bits;
+  let m_orig = Array.length commitments in
+  if m_orig = 0 then false
+  else begin
+    let m = next_pow2 m_orig in
+    let nt = bits * m in
+    if Array.length gens.gv < nt || Array.length gens.hv < nt then false
+    else begin
+      absorb_statement tr ~g ~h ~bits ~commitments;
+      Transcript.append_point tr ~label:"rp/A" proof.a;
+      Transcript.append_point tr ~label:"rp/S" proof.s;
+      let y = Transcript.challenge_nonzero tr ~label:"rp/y" in
+      let z = Transcript.challenge_nonzero tr ~label:"rp/z" in
+      Transcript.append_point tr ~label:"rp/T1" proof.t1;
+      Transcript.append_point tr ~label:"rp/T2" proof.t2;
+      let x = Transcript.challenge_nonzero tr ~label:"rp/x" in
+      Transcript.append_scalar tr ~label:"rp/t_hat" proof.t_hat;
+      Transcript.append_scalar tr ~label:"rp/tau_x" proof.tau_x;
+      Transcript.append_scalar tr ~label:"rp/mu" proof.mu;
+      let w = Transcript.challenge_nonzero tr ~label:"rp/w" in
+      let ys = powers y nt in
+      let zjs = powers z (m + 3) in
+      let x2 = Scalar.square x in
+      (* check 1, as rho1 * (LHS - RHS) *)
+      let r1 = rho () in
+      let sum_y = Array.fold_left Scalar.add Scalar.zero ys in
+      let two_n = Scalar.of_bigint (two_n_minus_1 bits) in
+      let sum_z3 = ref Scalar.zero in
+      for j = 0 to m - 1 do
+        sum_z3 := Scalar.add !sum_z3 zjs.(j + 3)
+      done;
+      let delta = Scalar.sub (Scalar.mul (Scalar.sub z (Scalar.square z)) sum_y) (Scalar.mul !sum_z3 two_n) in
+      push (Scalar.mul r1 (Scalar.sub proof.t_hat delta)) g;
+      push (Scalar.mul r1 proof.tau_x) h;
+      push (Scalar.neg (Scalar.mul r1 x)) proof.t1;
+      push (Scalar.neg (Scalar.mul r1 x2)) proof.t2;
+      for j = 0 to m_orig - 1 do
+        push (Scalar.neg (Scalar.mul r1 zjs.(j + 2))) commitments.(j)
+      done;
+      (* check 2: rho2 * (IPA recombination - P), with the generator-vector
+         coefficients from the IPA merged with P's before pushing *)
+      let r2 = rho () in
+      let zv = z_vec ~z ~bits ~m in
+      let yinv = Scalar.inv y in
+      let yinv_pows = powers yinv nt in
+      let gcoef = Array.make nt Scalar.zero in
+      let hcoef = Array.make nt Scalar.zero in
+      let ucoef = ref Scalar.zero in
+      let ok =
+        Ipa.accumulate ~rho:r2
+          ~push_g:(fun i c -> gcoef.(i) <- Scalar.add gcoef.(i) c)
+          ~push_h:(fun i c -> hcoef.(i) <- Scalar.add hcoef.(i) c)
+          ~push_u:(fun c -> ucoef := Scalar.add !ucoef c)
+          ~push tr ~n:nt proof.ipa
+      in
+      ok
+      && begin
+           push (Scalar.neg r2) proof.a;
+           push (Scalar.neg (Scalar.mul r2 x)) proof.s;
+           push (Scalar.mul r2 proof.mu) h;
+           ucoef := Scalar.sub !ucoef (Scalar.mul r2 proof.t_hat);
+           let r2z = Scalar.mul r2 z in
+           for i = 0 to nt - 1 do
+             push (Scalar.add gcoef.(i) r2z) gens.gv.(i);
+             let h_exp = Scalar.add (Scalar.mul z ys.(i)) zv.(i) in
+             push (Scalar.mul (Scalar.sub hcoef.(i) (Scalar.mul r2 h_exp)) yinv_pows.(i)) gens.hv.(i)
+           done;
+           push (Scalar.mul w !ucoef) gens.u;
+           true
+         end
     end
   end
 

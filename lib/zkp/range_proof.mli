@@ -33,12 +33,16 @@ type proof = {
   ipa : Ipa.proof;
 }
 
-(** [prove drbg tr ~gens ~g ~h ~bits ~values ~blinds] — [values.(j)] must
-    be a non-negative bigint < 2^bits committed as g^{v_j}·h^{γ_j} with
-    [blinds.(j)] = γ_j. The commitments themselves are recomputed and
-    absorbed, so prover and verifier bind the same statement.
+(** [prove ?g_table ?h_table drbg tr ~gens ~g ~h ~bits ~values ~blinds] —
+    [values.(j)] must be a non-negative bigint < 2^bits committed as
+    g^{v_j}·h^{γ_j} with [blinds.(j)] = γ_j. The commitments themselves
+    are recomputed and absorbed, so prover and verifier bind the same
+    statement. [g_table]/[h_table] are optional fixed-base window tables
+    for [g]/[h] used for the value, T1 and T2 commitments.
     @raise Invalid_argument on bad shapes, bits, or out-of-range values. *)
 val prove :
+  ?g_table:Point.Table.table ->
+  ?h_table:Point.Table.table ->
   Prng.Drbg.t ->
   Transcript.t ->
   gens:gens ->
@@ -51,6 +55,26 @@ val prove :
 
 (** [verify tr ~gens ~g ~h ~bits ~commitments proof]. *)
 val verify :
+  Transcript.t ->
+  gens:gens ->
+  g:Point.t ->
+  h:Point.t ->
+  bits:int ->
+  commitments:Point.t array ->
+  proof ->
+  bool
+
+(** Batch-verification form of [verify]: draws one coefficient via [rho]
+    per point equation (the τ-consistency check and the folded IPA check)
+    and pushes every term of ρ·(LHS − RHS) through [push]; the h'ᵢ =
+    hᵢ^{y^{-i}} reindexing and u_x = u^w are folded into scalar
+    coefficients, so no point multiplication happens here at all. Returns
+    [false] only on structural mismatch (same cases and transcript
+    behavior as [verify]); the equations themselves are decided when the
+    caller evaluates its accumulator. *)
+val accumulate :
+  rho:(unit -> Scalar.t) ->
+  push:(Scalar.t -> Point.t -> unit) ->
   Transcript.t ->
   gens:gens ->
   g:Point.t ->

@@ -4,6 +4,17 @@ module Point = Curve25519.Point
 let point_size = 32
 let scalar_size = 32
 
+(* Provers accept optional fixed-base window tables (Point.Table) for the
+   bases that recur across many proofs in a round; absent a table the
+   original variable-base ladder is used, so callers without precompute
+   pay nothing new. *)
+let tmul tbl s p = match tbl with Some t -> Point.Table.mul t s | None -> Point.mul s p
+
+let tdouble_mul t1 s1 p1 t2 s2 p2 =
+  match (t1, t2) with
+  | None, None -> Point.double_mul s1 p1 s2 p2
+  | _ -> Point.add (tmul t1 s1 p1) (tmul t2 s2 p2)
+
 module Schnorr = struct
   type proof = { a : Point.t; z : Scalar.t }
 
@@ -64,11 +75,11 @@ module Square = struct
     Transcript.append_point tr ~label:"sq/y1" y1;
     Transcript.append_point tr ~label:"sq/y2" y2
 
-  let prove drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s' =
+  let prove ?g_table ?q_table drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s' =
     absorb_statement tr ~g ~q ~y1 ~y2;
     let a = Scalar.random drbg and b1 = Scalar.random drbg and b2 = Scalar.random drbg in
-    let a1 = Point.double_mul a g b1 q in
-    let a2 = Point.double_mul a y1 b2 q in
+    let a1 = tdouble_mul g_table a g q_table b1 q in
+    let a2 = tdouble_mul None a y1 q_table b2 q in
     Transcript.append_point tr ~label:"sq/A1" a1;
     Transcript.append_point tr ~label:"sq/A2" a2;
     let ch = Transcript.challenge_scalar tr ~label:"sq/c" in
@@ -88,6 +99,25 @@ module Square = struct
     let ch = Transcript.challenge_scalar tr ~label:"sq/c" in
     Point.equal (Point.double_mul proof.zx g proof.zs q) (Point.add proof.a1 (Point.mul ch y1))
     && Point.equal (Point.double_mul proof.zx y1 proof.zs' q) (Point.add proof.a2 (Point.mul ch y2))
+
+  (* RLC form of [verify]: pushes rho_j * (LHS - RHS) for both equations
+     into the caller's accumulator; replays the transcript identically. *)
+  let accumulate ~rho ~push tr ~g ~q ~y1 ~y2 proof =
+    absorb_statement tr ~g ~q ~y1 ~y2;
+    Transcript.append_point tr ~label:"sq/A1" proof.a1;
+    Transcript.append_point tr ~label:"sq/A2" proof.a2;
+    let ch = Transcript.challenge_scalar tr ~label:"sq/c" in
+    let r1 = rho () in
+    push (Scalar.mul r1 proof.zx) g;
+    push (Scalar.mul r1 proof.zs) q;
+    push (Scalar.neg r1) proof.a1;
+    push (Scalar.neg (Scalar.mul r1 ch)) y1;
+    let r2 = rho () in
+    push (Scalar.mul r2 proof.zx) y1;
+    push (Scalar.mul r2 proof.zs') q;
+    push (Scalar.neg r2) proof.a2;
+    push (Scalar.neg (Scalar.mul r2 ch)) y2;
+    true
 
   let size_bytes _ = (2 * point_size) + (3 * scalar_size)
 end
@@ -115,12 +145,12 @@ module Link = struct
     Transcript.append_point tr ~label:"lk/e" e;
     Transcript.append_point tr ~label:"lk/o" o
 
-  let prove drbg tr ~g ~h ~q ~z ~e ~o ~x ~r ~s =
+  let prove ?g_table ?q_table drbg tr ~g ~h ~q ~z ~e ~o ~x ~r ~s =
     absorb_statement tr ~g ~h ~q ~z ~e ~o;
     let alpha = Scalar.random drbg and beta = Scalar.random drbg and delta = Scalar.random drbg in
-    let az = Point.mul beta g in
-    let ae = Point.double_mul alpha g beta h in
-    let ao = Point.double_mul alpha g delta q in
+    let az = tmul g_table beta g in
+    let ae = tdouble_mul g_table alpha g None beta h in
+    let ao = tdouble_mul g_table alpha g q_table delta q in
     Transcript.append_point tr ~label:"lk/Az" az;
     Transcript.append_point tr ~label:"lk/Ae" ae;
     Transcript.append_point tr ~label:"lk/Ao" ao;
@@ -143,6 +173,29 @@ module Link = struct
     Point.equal (Point.mul proof.zr g) (Point.add proof.az (Point.mul ch z))
     && Point.equal (Point.double_mul proof.zx g proof.zr h) (Point.add proof.ae (Point.mul ch e))
     && Point.equal (Point.double_mul proof.zx g proof.zs q) (Point.add proof.ao (Point.mul ch o))
+
+  (* RLC form of [verify]: one fresh rho per equation. *)
+  let accumulate ~rho ~push tr ~g ~h ~q ~z ~e ~o proof =
+    absorb_statement tr ~g ~h ~q ~z ~e ~o;
+    Transcript.append_point tr ~label:"lk/Az" proof.az;
+    Transcript.append_point tr ~label:"lk/Ae" proof.ae;
+    Transcript.append_point tr ~label:"lk/Ao" proof.ao;
+    let ch = Transcript.challenge_scalar tr ~label:"lk/c" in
+    let r1 = rho () in
+    push (Scalar.mul r1 proof.zr) g;
+    push (Scalar.neg r1) proof.az;
+    push (Scalar.neg (Scalar.mul r1 ch)) z;
+    let r2 = rho () in
+    push (Scalar.mul r2 proof.zx) g;
+    push (Scalar.mul r2 proof.zr) h;
+    push (Scalar.neg r2) proof.ae;
+    push (Scalar.neg (Scalar.mul r2 ch)) e;
+    let r3 = rho () in
+    push (Scalar.mul r3 proof.zx) g;
+    push (Scalar.mul r3 proof.zs) q;
+    push (Scalar.neg r3) proof.ao;
+    push (Scalar.neg (Scalar.mul r3 ch)) o;
+    true
 
   let size_bytes _ = (3 * point_size) + (3 * scalar_size)
 end
@@ -170,18 +223,23 @@ module Wf = struct
     if Array.length es <> kp1 then invalid_arg "Sigma.Wf: |es| must equal |hs|";
     if Array.length os <> kp1 - 1 then invalid_arg "Sigma.Wf: |os| must be |hs| - 1"
 
-  let prove drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss =
+  let prove ?g_table ?q_table ?hs_tables drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss =
     check_shapes ~hs ~es ~os;
     if Array.length vs <> Array.length es || Array.length ss <> Array.length os then
       invalid_arg "Sigma.Wf: secret shapes";
     absorb_statement tr ~g ~q ~hs ~z ~es ~os;
     let kp1 = Array.length hs in
+    let hs_table t =
+      match hs_tables with
+      | Some ts when Array.length ts = kp1 -> Some ts.(t)
+      | _ -> None
+    in
     let beta = Scalar.random drbg in
     let alphas = Array.init kp1 (fun _ -> Scalar.random drbg) in
     let deltas = Array.init (kp1 - 1) (fun _ -> Scalar.random drbg) in
-    let az = Point.mul beta g in
-    let ae = Array.init kp1 (fun t -> Point.double_mul alphas.(t) g beta hs.(t)) in
-    let ao = Array.init (kp1 - 1) (fun t -> Point.double_mul alphas.(t + 1) g deltas.(t) q) in
+    let az = tmul g_table beta g in
+    let ae = Array.init kp1 (fun t -> tdouble_mul g_table alphas.(t) g (hs_table t) beta hs.(t)) in
+    let ao = Array.init (kp1 - 1) (fun t -> tdouble_mul g_table alphas.(t + 1) g q_table deltas.(t) q) in
     Transcript.append_point tr ~label:"wf/Az" az;
     Transcript.append_points tr ~label:"wf/Ae" ae;
     Transcript.append_points tr ~label:"wf/Ao" ao;
@@ -222,6 +280,41 @@ module Wf = struct
               (Point.add proof.ao.(t) (Point.mul ch os.(t)))
       done;
       !ok
+    end
+
+  (* RLC form of [verify]: identical shape checks (returning false before
+     the transcript absorbs anything, like [verify]) and transcript
+     replay; pushes rho_j * (LHS - RHS) for all 2k+2 equations. *)
+  let accumulate ~rho ~push tr ~g ~q ~hs ~z ~es ~os proof =
+    check_shapes ~hs ~es ~os;
+    let kp1 = Array.length hs in
+    if Array.length proof.ae <> kp1 || Array.length proof.ao <> kp1 - 1 then false
+    else if Array.length proof.zv <> kp1 || Array.length proof.zs <> kp1 - 1 then false
+    else begin
+      absorb_statement tr ~g ~q ~hs ~z ~es ~os;
+      Transcript.append_point tr ~label:"wf/Az" proof.az;
+      Transcript.append_points tr ~label:"wf/Ae" proof.ae;
+      Transcript.append_points tr ~label:"wf/Ao" proof.ao;
+      let ch = Transcript.challenge_scalar tr ~label:"wf/c" in
+      let r0 = rho () in
+      push (Scalar.mul r0 proof.zr) g;
+      push (Scalar.neg r0) proof.az;
+      push (Scalar.neg (Scalar.mul r0 ch)) z;
+      for t = 0 to kp1 - 1 do
+        let r = rho () in
+        push (Scalar.mul r proof.zv.(t)) g;
+        push (Scalar.mul r proof.zr) hs.(t);
+        push (Scalar.neg r) proof.ae.(t);
+        push (Scalar.neg (Scalar.mul r ch)) es.(t)
+      done;
+      for t = 0 to kp1 - 2 do
+        let r = rho () in
+        push (Scalar.mul r proof.zv.(t + 1)) g;
+        push (Scalar.mul r proof.zs.(t)) q;
+        push (Scalar.neg r) proof.ao.(t);
+        push (Scalar.neg (Scalar.mul r ch)) os.(t)
+      done;
+      true
     end
 
   let size_bytes p =

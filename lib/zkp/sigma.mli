@@ -44,9 +44,12 @@ end
 module Square : sig
   type proof = { a1 : Point.t; a2 : Point.t; zx : Scalar.t; zs : Scalar.t; zs' : Scalar.t }
 
-  (** [prove drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s'] for y1 = g^x·q^s and
-      y2 = g^{x²}·q^{s'}. *)
+  (** [prove ?g_table ?q_table drbg tr ~g ~q ~y1 ~y2 ~x ~s ~s'] for
+      y1 = g^x·q^s and y2 = g^{x²}·q^{s'}. The optional tables are
+      fixed-base window precomputes for [g] and [q]. *)
   val prove :
+    ?g_table:Point.Table.table ->
+    ?q_table:Point.Table.table ->
     Prng.Drbg.t ->
     Transcript.t ->
     g:Point.t ->
@@ -59,6 +62,24 @@ module Square : sig
     proof
 
   val verify : Transcript.t -> g:Point.t -> q:Point.t -> y1:Point.t -> y2:Point.t -> proof -> bool
+
+  (** Batch-verification form of [verify]: replays the transcript
+      identically, draws one coefficient via [rho] per verifier equation
+      and pushes the terms of ρ·(LHS − RHS) through [push]. Returns
+      [false] only on structural mismatch (never absorbing into the
+      transcript in that case); the actual equation check happens when
+      the caller's accumulator is evaluated. *)
+  val accumulate :
+    rho:(unit -> Scalar.t) ->
+    push:(Scalar.t -> Point.t -> unit) ->
+    Transcript.t ->
+    g:Point.t ->
+    q:Point.t ->
+    y1:Point.t ->
+    y2:Point.t ->
+    proof ->
+    bool
+
   val size_bytes : proof -> int
 end
 
@@ -77,6 +98,8 @@ module Link : sig
   }
 
   val prove :
+    ?g_table:Point.Table.table ->
+    ?q_table:Point.Table.table ->
     Prng.Drbg.t ->
     Transcript.t ->
     g:Point.t ->
@@ -93,6 +116,20 @@ module Link : sig
   val verify :
     Transcript.t -> g:Point.t -> h:Point.t -> q:Point.t -> z:Point.t -> e:Point.t -> o:Point.t -> proof -> bool
 
+  (** Batch-verification form of [verify]; see {!Square.accumulate}. *)
+  val accumulate :
+    rho:(unit -> Scalar.t) ->
+    push:(Scalar.t -> Point.t -> unit) ->
+    Transcript.t ->
+    g:Point.t ->
+    h:Point.t ->
+    q:Point.t ->
+    z:Point.t ->
+    e:Point.t ->
+    o:Point.t ->
+    proof ->
+    bool
+
   val size_bytes : proof -> int
 end
 
@@ -106,12 +143,18 @@ module Wf : sig
     zs : Scalar.t array;  (** responses for s_1 … s_k *)
   }
 
-  (** [prove drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss]:
+  (** [prove ?g_table ?q_table ?hs_tables drbg tr ~g ~q ~hs ~z ~es ~os ~r ~vs ~ss]:
       [hs] has length k+1 (bases h_0 … h_k), [es] length k+1, [os] and
       [ss] length k, [vs] length k+1. Statement:
       z = g^r; e_t = g^{v_t}·hs_t^r (t ∈ [0,k]); o_t = g^{v_t}·q^{s_t}
-      (t ∈ [1,k], with v index shifted by one). *)
+      (t ∈ [1,k], with v index shifted by one). [hs_tables], when present
+      and of length k+1, holds one fixed-base table per check base h_t
+      (the same h_t commit every client in a round, so the tables
+      amortize across clients). *)
   val prove :
+    ?g_table:Point.Table.table ->
+    ?q_table:Point.Table.table ->
+    ?hs_tables:Point.Table.table array ->
     Prng.Drbg.t ->
     Transcript.t ->
     g:Point.t ->
@@ -126,6 +169,22 @@ module Wf : sig
     proof
 
   val verify :
+    Transcript.t ->
+    g:Point.t ->
+    q:Point.t ->
+    hs:Point.t array ->
+    z:Point.t ->
+    es:Point.t array ->
+    os:Point.t array ->
+    proof ->
+    bool
+
+  (** Batch-verification form of [verify]; see {!Square.accumulate}.
+      Mirrors [verify] exactly on structural mismatches (returns [false]
+      without touching the transcript). *)
+  val accumulate :
+    rho:(unit -> Scalar.t) ->
+    push:(Scalar.t -> Point.t -> unit) ->
     Transcript.t ->
     g:Point.t ->
     q:Point.t ->
