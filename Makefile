@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke clean
 
 all: check
 
@@ -33,6 +33,21 @@ bench-smoke:
 verify-smoke:
 	BATCH_STRIDE=4 dune exec test/test_batch_verify.exe
 	dune exec bench/main.exe -- verify --smoke --json /tmp/verify-smoke.json --gate-verify 2.0
+
+# Telemetry gate: a traced round over a faulty transport must emit a
+# snapshot carrying every counter family plus per-stage spans, and the
+# measured per-stage group-exponentiation counts must sit inside the
+# documented tolerance bands around the Cost_model (Table 1) predictions.
+telemetry-smoke:
+	rm -f /tmp/risefl-trace.json
+	dune exec bin/risefl_cli.exe -- round --clients 3 --dimension 32 -k 4 \
+	  --faults 'drop=0.05,flip=0.02' --trace /tmp/risefl-trace.json
+	@test -s /tmp/risefl-trace.json || { echo "telemetry-smoke: trace file missing or empty" >&2; exit 1; }
+	@for key in point.add msm.evals sha256.blocks drbg.bytes wire.commit.bytes net.sent '"spans"'; do \
+	  grep -q "$$key" /tmp/risefl-trace.json || { echo "telemetry-smoke: $$key missing from trace" >&2; exit 1; }; \
+	done
+	@echo "telemetry-smoke: trace OK"
+	dune exec bench/main.exe -- table1 --smoke --gate-table1
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -24,6 +24,7 @@ module Client = Risefl_core.Client
 module Server = Risefl_core.Server
 module Sampling = Risefl_core.Sampling
 module Cost_model = Risefl_core.Cost_model
+module Table1_check = Risefl_core.Table1_check
 module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
 module Msm = Curve25519.Msm
@@ -41,6 +42,7 @@ type config = {
   mutable full : bool;  (* larger sizes *)
   mutable smoke : bool;  (* tiny sizes for CI smoke runs *)
   mutable json : string;  (* machine-readable output path *)
+  mutable seed : string;  (* workload seed namespace, recorded in metadata *)
   mutable targets : string list;
 }
 
@@ -53,8 +55,14 @@ let config =
     full = false;
     smoke = false;
     json = "BENCH_RISEFL.json";
+    seed = "default";
     targets = [];
   }
+
+(* [seed "x"] keeps the historical per-target seed strings under the
+   default namespace and prefixes them when --seed overrides it, so two
+   runs with different --seed values draw distinct synthetic workloads *)
+let ns_seed s = if config.seed = "default" then s else config.seed ^ "/" ^ s
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_RISEFL.json)                        *)
@@ -68,13 +76,35 @@ let record ~target ~name ?(jobs = Parallel.default_jobs ()) ?(d = 0) ?(k = 0) ?(
     { r_target = target; r_name = name; r_jobs = jobs; r_d = d; r_k = k; r_n = n; r_seconds = seconds }
     :: !records
 
+(* snapshot captured by the phases target, embedded in the JSON output *)
+let telemetry_snapshot : Telemetry.snapshot option ref = ref None
+
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "unknown" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ | (exception _) -> "unknown")
+
 let write_json path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"version\": 1,\n";
+  Buffer.add_string buf "  \"version\": 2,\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml\",\n";
+  (* run metadata: the bench trajectory is self-describing *)
+  Buffer.add_string buf (Printf.sprintf "  \"git_commit\": %S,\n" (git_commit ()));
+  Buffer.add_string buf (Printf.sprintf "  \"timestamp_unix\": %.0f,\n" (Unix.time ()));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %S,\n" config.seed);
   Buffer.add_string buf
     (Printf.sprintf "  \"default_jobs\": %d,\n" (Parallel.default_jobs ()));
+  (match !telemetry_snapshot with
+  | None -> ()
+  | Some snap ->
+      Buffer.add_string buf "  \"telemetry\": ";
+      Buffer.add_string buf (Telemetry.Json.to_string (Telemetry.snapshot_to_json snap));
+      Buffer.add_string buf ",\n");
   Buffer.add_string buf "  \"results\": [";
   List.iteri
     (fun i r ->
@@ -104,6 +134,7 @@ let risefl_params ~n ~m ~d ~k ~bound =
 
 (* One RiseFL iteration on synthetic honest updates; returns driver stats. *)
 let risefl_point ~n ~m ~d ~k ~seed =
+  let seed = ns_seed seed in
   let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
   let updates = mk_updates drbg ~n ~d ~amp:40 in
   let bound = 1.25 *. max_norm updates in
@@ -116,6 +147,8 @@ let mb bytes = float_of_int bytes /. 1048576.0
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
+let table1_gate = ref false (* --gate-table1: exit 1 on out-of-band ratios *)
+
 let run_table1 () =
   pf "================ Table 1: asymptotic cost model ================\n";
   List.iter
@@ -123,7 +156,26 @@ let run_table1 () =
       let c = { Cost_model.n = 100; m = 10; d; k = 1000; b = 16; log_m_factor = 24; log_p = 253 } in
       print_string (Cost_model.to_table c);
       print_newline ())
-    [ 1_000; 10_000; 100_000 ]
+    [ 1_000; 10_000; 100_000 ];
+  (* measured cross-check: one instrumented round, per-stage group-exp
+     counts against the RiseFL row of the model (EXPERIMENTS.md documents
+     the tolerance bands) *)
+  pf "---- measured cross-check (telemetry op counts vs Cost_model.risefl) ----\n";
+  let r = Table1_check.run () in
+  print_string (Table1_check.to_table r);
+  List.iter
+    (fun st ->
+      record ~target:"table1"
+        ~name:("ge-ratio:" ^ st.Table1_check.stage)
+        ~d:r.Table1_check.cfg.Cost_model.d ~k:r.Table1_check.cfg.Cost_model.k
+        ~n:r.Table1_check.cfg.Cost_model.n st.Table1_check.ratio)
+    r.Table1_check.stages;
+  if r.Table1_check.all_ok then pf "table1 cross-check ok\n"
+  else begin
+    pf "TABLE1 %s: measured group-exp counts drifted outside tolerance\n"
+      (if !table1_gate then "GATE FAIL" else "WARNING");
+    if !table1_gate then exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -137,15 +189,14 @@ let row_table2 ~d ~name ~commit ~gen ~ver ~prep ~sver ~agg ~comm_mb =
     gen ver (commit +. gen +. ver) prep sver agg (prep +. sver +. agg) comm_mb
 
 let baseline_updates ~seed ~n ~d =
+  let seed = ns_seed seed in
   let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
   let updates = mk_updates drbg ~n ~d ~amp:40 in
   let bound = 1.25 *. max_norm updates in
   (updates, bound)
 
 let run_baseline name run ~d =
-  let t0 = Unix.gettimeofday () in
-  let (outcome : Baselines.Types.outcome) = run () in
-  let wall = Unix.gettimeofday () -. t0 in
+  let (outcome : Baselines.Types.outcome), wall = Telemetry.Clock.time run in
   let t = outcome.Baselines.Types.timings in
   row_table2 ~d ~name ~commit:t.Baselines.Types.client_commit_s ~gen:t.Baselines.Types.client_proof_gen_s
     ~ver:t.Baselines.Types.client_proof_ver_s ~prep:t.Baselines.Types.server_prep_s
@@ -429,12 +480,9 @@ and run_parallel_scaling () =
   let ladder = if config.smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
   let time_min f =
     (* min of 2 runs: the first run also warms the pool's domains *)
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    let t1 = Unix.gettimeofday () in
-    ignore (f ());
-    let t2 = Unix.gettimeofday () in
-    (r, Float.min (t1 -. t0) (t2 -. t1))
+    let r, s1 = Telemetry.Clock.time f in
+    let _, s2 = Telemetry.Clock.time f in
+    (r, Float.min s1 s2)
   in
   let speedup base s = if s > 0.0 then base /. s else 0.0 in
   (* (1) Pippenger MSM, full-width scalars *)
@@ -517,12 +565,7 @@ let run_ablate () =
   pf "================ Ablations (DESIGN.md) ================\n";
   let d = 512 in
   let drbg = Prng.Drbg.create_string "ablate" in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    ignore r;
-    Unix.gettimeofday () -. t0
-  in
+  let time f = snd (Telemetry.Clock.time f) in
   (* (1) projection-consistency check: naive per-row MSMs vs the VerCrt
      batch (Algorithm 3).  The batch trades O(kd) group work for one
      full-scalar MSM plus O(kd) field ops, so it wins once k passes the
@@ -562,6 +605,36 @@ let run_ablate () =
   pf "  reduction                   : %.1fx fewer committed bits\n"
     (float_of_int (d * 16)
     /. float_of_int ((32 * params.Params.b_ip_bits) + params.Params.b_max_bits))
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase breakdown: one traced honest round; span durations and the
+   full counter snapshot land in BENCH_RISEFL.json under "telemetry".    *)
+
+let run_phases () =
+  pf "================ Per-phase breakdown (telemetry spans) ================\n";
+  let d = if config.smoke then 32 else 128 in
+  let k = if config.smoke then 4 else 16 in
+  let n = config.n in
+  let m = max 1 (n / 4) in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let stats =
+    Fun.protect ~finally:Telemetry.disable (fun () ->
+        risefl_point ~n ~m ~d ~k ~seed:"bench-phases")
+  in
+  let snap = Telemetry.snapshot () in
+  telemetry_snapshot := Some snap;
+  print_string (Telemetry.to_table snap);
+  (* depth-2 spans are the round stages: round/<stage>.<role> *)
+  List.iter
+    (fun sp ->
+      match sp.Telemetry.path with
+      | [ _; stage ] -> record ~target:"phases" ~name:("span:" ^ stage) ~d ~k ~n sp.Telemetry.dur_s
+      | _ -> ())
+    snap.Telemetry.spans;
+  match stats.Driver.aggregate with
+  | Some _ -> ()
+  | None -> failwith "phases: round did not complete"
 
 (* ------------------------------------------------------------------ *)
 (* Naive vs batched server verification (DESIGN.md "Batch
@@ -617,9 +690,10 @@ let run_verify () =
         (fun jobs ->
           let time_verify ~batched =
             Server.begin_round server ~round:1 ~commits;
-            let t0 = Unix.gettimeofday () in
-            Server.verify_proofs ~jobs ~batched server ~round:1 ~proofs;
-            let s = Unix.gettimeofday () -. t0 in
+            let (), s =
+              Telemetry.Clock.time (fun () ->
+                  Server.verify_proofs ~jobs ~batched server ~round:1 ~proofs)
+            in
             (Server.malicious server, s)
           in
           let bad_n, naive_s = time_verify ~batched:false in
@@ -672,16 +746,18 @@ let run_faults () =
       let elapsed = ref 0.0 in
       for _ = 1 to rounds_per_level do
         incr round_counter;
-        let t0 = Unix.gettimeofday () in
-        (match
-           Driver.run_round_outcome session ~transport:net ~updates
-             ~behaviours:(Driver.honest_all n) ~round:!round_counter
-         with
-        | Driver.Completed stats ->
-            incr completed;
-            flagged := !flagged + List.length stats.Driver.flagged
-        | Driver.Aborted_insufficient_quorum _ | Driver.Aborted_decode _ -> incr aborted);
-        elapsed := !elapsed +. (Unix.gettimeofday () -. t0)
+        let (), dt =
+          Telemetry.Clock.time (fun () ->
+              match
+                Driver.run_round_outcome session ~transport:net ~updates
+                  ~behaviours:(Driver.honest_all n) ~round:!round_counter
+              with
+              | Driver.Completed stats ->
+                  incr completed;
+                  flagged := !flagged + List.length stats.Driver.flagged
+              | Driver.Aborted_insufficient_quorum _ | Driver.Aborted_decode _ -> incr aborted)
+        in
+        elapsed := !elapsed +. dt
       done;
       let c = Netsim.counters net in
       let mean_s = !elapsed /. float_of_int rounds_per_level in
@@ -696,10 +772,11 @@ let run_faults () =
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults"; "phases" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
+  | "phases" -> run_phases ()
   | "table2" -> run_table2 ()
   | "fig5" -> run_fig5 ()
   | "fig6" -> run_fig6 ()
@@ -734,17 +811,21 @@ let () =
       ( "--gate-verify",
         Arg.Float (fun v -> verify_gate := Some v),
         "fail (exit 1) if the verify target's jobs=1 batched speedup drops below this factor" );
+      ( "--gate-table1",
+        Arg.Unit (fun () -> table1_gate := true),
+        "fail (exit 1) if measured group-exp counts drift outside the table1 tolerance bands" );
+      ( "--seed",
+        Arg.String (fun v -> config.seed <- v),
+        "workload seed namespace, recorded in the JSON metadata (default \"default\")" );
     ]
   in
   Arg.parse spec (fun t -> config.targets <- config.targets @ [ t ]) "bench targets: table1 table2 fig5 fig6 fig7 fig8 micro ablate all";
   let targets = if config.targets = [] then [ "all" ] else config.targets in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_s () in
   List.iter
     (fun t ->
-      let (), wall = (fun f -> let s = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. s))
-        (fun () -> run_target t; print_newline ())
-      in
+      let (), wall = Telemetry.Clock.time (fun () -> run_target t; print_newline ()) in
       record ~target:t ~name:"target-wall" ~k:config.k ~n:config.n wall)
     targets;
-  pf "total bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  pf "total bench wall time: %.1f s\n" (Telemetry.Clock.now_s () -. t0);
   write_json config.json

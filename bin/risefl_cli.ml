@@ -51,8 +51,20 @@ let round_cmd =
       & info [ "deadline" ] ~docv:"TICKS"
           ~doc:"Per-stage delivery deadline in simulated ticks; later frames count as dropouts.")
   in
-  let run n m d k bound seed attackers jobs faults deadline =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry for the round and write the snapshot (operation counters, \
+             per-stage spans, wire bytes, transport fault stats) to FILE as JSON.")
+  in
+  let run n m d k bound seed attackers jobs faults deadline trace =
     if jobs > 0 then Parallel.set_default_jobs jobs;
+    if trace <> None then begin
+      Telemetry.reset ();
+      Telemetry.enable ()
+    end;
     let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
     let setup = Setup.create ~label:("cli/" ^ seed) params in
     let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
@@ -106,20 +118,29 @@ let round_cmd =
     (match Driver.run_round_outcome ?transport session ~updates ~behaviours ~round:1 with
     | Driver.Completed stats -> print_stats stats
     | outcome -> Printf.printf "round aborted: %s\n" (Driver.outcome_to_string outcome));
-    match transport with
+    (match transport with
     | None -> ()
     | Some net ->
         let c = Netsim.counters net in
         Printf.printf
           "transport: %d sent, %d delivered, %d dropped, %d late, %d mutated, %d duplicated, %d reordered, %d replayed\n"
           c.Netsim.sent c.Netsim.delivered c.Netsim.dropped c.Netsim.late c.Netsim.mutated
-          c.Netsim.duplicated c.Netsim.reordered c.Netsim.replayed
+          c.Netsim.duplicated c.Netsim.reordered c.Netsim.replayed);
+    match trace with
+    | None -> ()
+    | Some file ->
+        Telemetry.disable ();
+        let snap = Telemetry.snapshot () in
+        Telemetry.write_json file snap;
+        Printf.printf "trace: %d counters, %d spans -> %s\n"
+          (List.length (List.filter (fun (_, v) -> v <> 0) snap.Telemetry.counters))
+          (List.length snap.Telemetry.spans) file
   in
   Cmd.v
     (Cmd.info "round" ~doc:"Run one secure-and-verifiable aggregation round.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers $ jobs_arg
-      $ faults_arg $ deadline_arg)
+      $ faults_arg $ deadline_arg $ trace_arg)
 
 (* --- train --- *)
 

@@ -17,10 +17,7 @@ type outcome = {
   aggregate : int array option;
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time f = Telemetry.Clock.time f
 
 let zero_timings =
   {

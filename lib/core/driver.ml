@@ -38,10 +38,8 @@ let outcome_to_string = function
 
 let honest_all n = Array.make n Honest
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* one timing authority for the repo: monotonic, defined in Telemetry *)
+let time f = Telemetry.Clock.time f
 
 let corrupt_sealed (s : Channel.sealed) =
   let body = Bytes.copy s.Channel.body in
@@ -67,8 +65,8 @@ let create_session setup ~seed =
    run_round_core returns, never escapes *)
 exception Abort of round_outcome
 
-let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~lifecycle session
-    ~updates ~behaviours ~round =
+let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~lifecycle
+    session ~updates ~behaviours ~round =
   (* a transport implies the wire: bytes are the only thing it can fault *)
   let serialize = serialize || Option.is_some transport in
   let setup = session.setup in
@@ -77,6 +75,13 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
   let n = p.Params.n_clients in
   if Array.length updates <> n || Array.length behaviours <> n then
     invalid_arg "Driver.run_round: need one update and one behaviour per client";
+  (* (round, stage, role)-attributed spans for the trace; no-ops unless
+     telemetry is enabled *)
+  let span stage role f =
+    Telemetry.Span.with_
+      ~attrs:[ ("round", string_of_int round); ("stage", stage); ("role", role) ]
+      (stage ^ "." ^ role) f
+  in
   let needed = Params.shamir_t p in
   let decode_failures = ref [] in
   (* One client → server exchange. Without a transport this is the
@@ -155,6 +160,7 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
   (* --- round 1: commitments --- *)
   let commit_time = ref 0.0 in
   let commits_out =
+    span "commit" "client" @@ fun () ->
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -179,11 +185,12 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
         end)
   in
   let commits, commit_offenders =
+    span "commit" "wire" @@ fun () ->
     exchange ~stage:Netsim.Commit ~encode:Serial.encode_commit_msg ~decode:Serial.decode_commit
       ~sender_of:(fun (m : Wire.commit_msg) -> m.Wire.sender)
       commits_out
   in
-  Server.begin_round server ~round ~commits;
+  span "commit" "server" (fun () -> Server.begin_round server ~round ~commits);
   (* begin_round reset C*, so decode offenders are marked after it *)
   note_offenders commit_offenders;
   check_quorum "commit";
@@ -195,6 +202,7 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
   in
   let share_verify_time = ref 0.0 in
   let flags_out =
+    span "flag" "client" @@ fun () ->
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -209,6 +217,7 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
         end)
   in
   let flags, flag_offenders =
+    span "flag" "wire" @@ fun () ->
     exchange ~stage:Netsim.Flag ~encode:Serial.encode_flag_msg ~decode:Serial.decode_flag
       ~sender_of:(fun (m : Wire.flag_msg) -> m.Wire.sender)
       flags_out
@@ -221,7 +230,7 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
       | shares -> Some shares
       | exception Client.Server_misbehaving _ -> None
   in
-  let cleared = Server.process_flags server ~flags ~reveal in
+  let cleared = span "flag" "server" (fun () -> Server.process_flags server ~flags ~reveal) in
   List.iter
     (fun (flagger, dealer, value) ->
       if is_active (flagger - 1) then
@@ -229,7 +238,9 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
     cleared;
   check_quorum "flag";
   (* --- round 2 step 2: probabilistic integrity check --- *)
-  let (s_value, hs), prep_time = time (fun () -> Server.prepare_check server) in
+  let (s_value, hs), prep_time =
+    span "check" "server" (fun () -> time (fun () -> Server.prepare_check server))
+  in
   (* the (s, h) broadcast crosses the wire too when serializing; the
      server → client links are assumed reliable in this simulation, so a
      failed round-trip of our own encoding would be a codec bug *)
@@ -243,9 +254,12 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
   (* The check bases h_t are shared by every client of the round: build
      their fixed-base tables once (cost ~ one table build per base,
      repaid k+1 ladder multiplications per client). *)
-  let hs_tables = Parallel.parallel_map Curve25519.Point.Table.make hs in
+  let hs_tables =
+    span "check" "tables" (fun () -> Parallel.parallel_map Curve25519.Point.Table.make hs)
+  in
   let proof_time = ref 0.0 in
   let proofs_out =
+    span "proof" "client" @@ fun () ->
     Array.init n (fun i ->
         if not (is_active i) then None
         else begin
@@ -258,16 +272,21 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
         end)
   in
   let proofs, proof_offenders =
+    span "proof" "wire" @@ fun () ->
     exchange ~stage:Netsim.Proof ~encode:Serial.encode_proof_msg ~decode:Serial.decode_proof
       ~sender_of:(fun (m : Wire.proof_msg) -> m.Wire.sender)
       proofs_out
   in
   note_offenders proof_offenders;
-  let (), verify_time = time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs) in
+  let (), verify_time =
+    span "proof" "server" (fun () ->
+        time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs))
+  in
   check_quorum "proof";
   (* --- round 3: secure aggregation --- *)
   let honest = Server.honest server in
   let agg_out =
+    span "agg" "client" @@ fun () ->
     Array.init n (fun i ->
         if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
         else
@@ -285,12 +304,15 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
           | exception Invalid_argument _ -> None)
   in
   let agg_msgs, agg_offenders =
+    span "agg" "wire" @@ fun () ->
     exchange ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
       ~sender_of:(fun (m : Wire.agg_msg) -> m.Wire.sender)
       agg_out
   in
   note_offenders agg_offenders;
-  let agg_result, agg_time = time (fun () -> Server.aggregate server ~agg_msgs) in
+  let agg_result, agg_time =
+    span "agg" "server" (fun () -> time (fun () -> Server.aggregate server ~agg_msgs))
+  in
   (if lifecycle then
      match agg_result with
      | Error (Server.Insufficient_quorum { valid; needed }) ->
@@ -344,6 +366,17 @@ let run_round_core ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~
       client_up_bytes = up;
       client_down_bytes = down;
     }
+
+(* outer span covering the full round; the Abort control-flow exception
+   passes through Span.with_ (the span is still recorded) *)
+let run_round_core ?predicate ?serialize ?transport ~lifecycle session ~updates ~behaviours ~round
+    =
+  Telemetry.Span.with_
+    ~attrs:[ ("round", string_of_int round) ]
+    "round"
+    (fun () ->
+      run_round_core_inner ?predicate ?serialize ?transport ~lifecycle session ~updates
+        ~behaviours ~round)
 
 let run_round_outcome ?predicate ?serialize ?transport session ~updates ~behaviours ~round =
   match

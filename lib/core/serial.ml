@@ -219,13 +219,37 @@ let expect_magic r m =
 (* every result decoder funnels through here: [Err] carries the offending
    offset; anything else (a defect in a reader) is still converted so that
    Malformed — or any exception at all — cannot escape a decode_* call *)
+let c_decode_errors = Telemetry.Counter.make "wire.decode.errors"
+
 let total name f buf =
   let r = R.create buf in
   try Ok (f r) with
-  | Err (offset, reason) -> Error { offset; reason }
-  | Malformed reason -> Error { offset = r.R.pos; reason }
-  | Invalid_argument m | Failure m -> Error { offset = r.R.pos; reason = name ^ ": " ^ m }
-  | exn -> Error { offset = r.R.pos; reason = name ^ ": " ^ Printexc.to_string exn }
+  | Err (offset, reason) ->
+      Telemetry.Counter.incr c_decode_errors;
+      Error { offset; reason }
+  | Malformed reason ->
+      Telemetry.Counter.incr c_decode_errors;
+      Error { offset = r.R.pos; reason }
+  | Invalid_argument m | Failure m ->
+      Telemetry.Counter.incr c_decode_errors;
+      Error { offset = r.R.pos; reason = name ^ ": " ^ m }
+  | exn ->
+      Telemetry.Counter.incr c_decode_errors;
+      Error { offset = r.R.pos; reason = name ^ ": " ^ Printexc.to_string exn }
+
+(* per-message-type encoded byte counters: encode_* is the single choke
+   point every outbound frame passes through (driver serialize mode,
+   transcripts, netsim transport) *)
+let c_wire_commit = Telemetry.Counter.make "wire.commit.bytes"
+let c_wire_flag = Telemetry.Counter.make "wire.flag.bytes"
+let c_wire_proof = Telemetry.Counter.make "wire.proof.bytes"
+let c_wire_agg = Telemetry.Counter.make "wire.agg.bytes"
+let c_wire_broadcast = Telemetry.Counter.make "wire.broadcast.bytes"
+
+let counted counter b =
+  let out = Buffer.to_bytes b in
+  Telemetry.Counter.add counter (Bytes.length out);
+  out
 
 let encode_commit_msg (m : Wire.commit_msg) =
   let b = W.create () in
@@ -234,7 +258,7 @@ let encode_commit_msg (m : Wire.commit_msg) =
   W.points b m.Wire.y;
   W.points b m.Wire.check;
   W.array b w_sealed m.Wire.enc_shares;
-  Buffer.to_bytes b
+  counted c_wire_commit b
 
 let decode_commit =
   total "commit" (fun r ->
@@ -252,7 +276,7 @@ let encode_flag_msg (m : Wire.flag_msg) =
   W.u32 b m.Wire.sender;
   W.u32 b (List.length m.Wire.suspects);
   List.iter (W.u32 b) m.Wire.suspects;
-  Buffer.to_bytes b
+  counted c_wire_flag b
 
 let decode_flag =
   total "flag" (fun r ->
@@ -311,7 +335,7 @@ let encode_proof_msg (m : Wire.proof_msg) =
       w_cosine b c);
   w_range b m.Wire.sigma_range;
   w_range b m.Wire.mu_range;
-  Buffer.to_bytes b
+  counted c_wire_proof b
 
 let decode_proof =
   total "proof" (fun r ->
@@ -339,7 +363,7 @@ let encode_agg_msg (m : Wire.agg_msg) =
   W.u8 b magic_agg;
   W.u32 b m.Wire.sender;
   W.scalar b m.Wire.r_sum;
-  Buffer.to_bytes b
+  counted c_wire_agg b
 
 let decode_agg =
   total "agg" (fun r ->
@@ -354,7 +378,7 @@ let encode_broadcast ~s ~hs =
   W.u8 b magic_broadcast;
   W.bytes b s;
   W.points b hs;
-  Buffer.to_bytes b
+  counted c_wire_broadcast b
 
 let decode_broadcast_r =
   total "broadcast" (fun r ->

@@ -212,7 +212,12 @@ let pow_bigint f e =
 
 let invert f = pow_bigint f Bigint.(sub p two)
 
+let c_invb_calls = Telemetry.Counter.make "fe.invert_batch.calls"
+let c_invb_elems = Telemetry.Counter.make "fe.invert_batch.elems"
+
 let invert_batch xs =
+  Telemetry.Counter.incr c_invb_calls;
+  Telemetry.Counter.add c_invb_elems (Array.length xs);
   let n = Array.length xs in
   if n = 0 then [||]
   else begin

@@ -70,11 +70,20 @@ let chunk_window ?jobs n =
   let nchunks = Parallel.chunk_count ?jobs ~min_chunk:seq_cutoff n in
   window_bits ((n + nchunks - 1) / nchunks)
 
+let c_evals = Telemetry.Counter.make "msm.evals"
+let c_points = Telemetry.Counter.make "msm.points"
+let c_window = Telemetry.Counter.make "msm.window_bits"
+let c_chunks = Telemetry.Counter.make "msm.chunks"
+
 let run ?jobs ~c ~nwindows ~npoints ~digits ~point () =
+  Telemetry.Counter.incr c_evals;
+  Telemetry.Counter.add c_points npoints;
+  Telemetry.Counter.add c_window c;
   let partials =
     Parallel.map_chunks ?jobs ~min_chunk:seq_cutoff ~n:npoints (fun lo hi ->
         run_range ~c ~nwindows ~lo ~hi ~digits ~point)
   in
+  Telemetry.Counter.add c_chunks (Array.length partials);
   if Array.length partials = 0 then Point.identity
   else Parallel.tree_combine Point.add partials
 

@@ -5,7 +5,12 @@ type t = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
 
 let identity = { x = Fe.zero; y = Fe.one; z = Fe.one; t = Fe.zero }
 
+let c_add = Telemetry.Counter.make "point.add"
+let c_double = Telemetry.Counter.make "point.double"
+let c_scalarmul = Telemetry.Counter.make "point.scalarmul"
+
 let add p q =
+  Telemetry.Counter.incr c_add;
   let a = Fe.mul (Fe.sub p.y p.x) (Fe.sub q.y q.x) in
   let b = Fe.mul (Fe.add p.y p.x) (Fe.add q.y q.x) in
   let c = Fe.mul (Fe.mul p.t Fe.edwards_d2) q.t in
@@ -17,6 +22,7 @@ let add p q =
   { x = Fe.mul e f; y = Fe.mul g h; z = Fe.mul f g; t = Fe.mul e h }
 
 let double p =
+  Telemetry.Counter.incr c_double;
   let a = Fe.square p.x in
   let b = Fe.square p.y in
   let c = Fe.mul_small (Fe.square p.z) 2 in
@@ -129,11 +135,13 @@ let small_table p =
   tbl
 
 let mul s p =
+  Telemetry.Counter.incr c_scalarmul;
   let e = Scalar.to_bigint s in
   if Bigint.is_zero e then identity
   else mul_digits (window_digits_of_bigint e (Bigint.bit_length e)) (small_table p)
 
 let mul_small n p =
+  Telemetry.Counter.incr c_scalarmul;
   if n = 0 then identity
   else begin
     let p = if n < 0 then neg p else p in
@@ -172,6 +180,7 @@ module Table = struct
     tbl
 
   let mul tbl s =
+    Telemetry.Counter.incr c_scalarmul;
     let e = Scalar.to_bigint s in
     let digits = window_digits_of_bigint e 256 in
     let acc = ref identity in
@@ -179,6 +188,7 @@ module Table = struct
     !acc
 
   let mul_small tbl n =
+    Telemetry.Counter.incr c_scalarmul;
     if n = 0 then identity
     else begin
       let negp = n < 0 in
@@ -220,6 +230,7 @@ let double_mul s p t q =
   if Bigint.is_zero es then mul t q
   else if Bigint.is_zero et then mul s p
   else begin
+    Telemetry.Counter.add c_scalarmul 2;
     let tp = small_table p and tq = small_table q in
     let nbits = Stdlib.max (Bigint.bit_length es) (Bigint.bit_length et) in
     let nd = (nbits + 3) / 4 in

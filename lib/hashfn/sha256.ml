@@ -34,7 +34,10 @@ let init () =
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
 
+let c_blocks = Telemetry.Counter.make "sha256.blocks"
+
 let compress ctx block off =
+  Telemetry.Counter.incr c_blocks;
   let w = ctx.w in
   for i = 0 to 15 do
     w.(i) <-

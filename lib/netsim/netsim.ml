@@ -104,6 +104,17 @@ type counters = {
   replayed : int;
 }
 
+(* telemetry mirrors of the per-instance struct counters, so transport
+   fault stats land in the same snapshot as the crypto op counts *)
+let t_sent = Telemetry.Counter.make "net.sent"
+let t_delivered = Telemetry.Counter.make "net.delivered"
+let t_dropped = Telemetry.Counter.make "net.dropped"
+let t_late = Telemetry.Counter.make "net.late"
+let t_mutated = Telemetry.Counter.make "net.mutated"
+let t_duplicated = Telemetry.Counter.make "net.duplicated"
+let t_reordered = Telemetry.Counter.make "net.reordered"
+let t_replayed = Telemetry.Counter.make "net.replayed"
+
 type queued = { tick : int; seq : int; q_sender : int; frame : Bytes.t }
 
 type t = {
@@ -172,6 +183,7 @@ let counters t =
 let begin_stage t ~round ~stage =
   (* frames still queued belonged to the previous exchange: late *)
   t.c_late <- t.c_late + List.length t.queue;
+  Telemetry.Counter.add t_late (List.length t.queue);
   t.queue <- [];
   t.next_seq <- 0;
   t.round <- round;
@@ -200,6 +212,7 @@ let sample_faults drbg plan frame_len =
 
 let send t ~sender frame =
   t.c_sent <- t.c_sent + 1;
+  Telemetry.Counter.incr t_sent;
   let key = (t.stage, sender) in
   let drbg =
     Prng.Drbg.fork t.root
@@ -212,7 +225,10 @@ let send t ~sender frame =
   in
   let previous = Hashtbl.find_opt t.history key in
   Hashtbl.replace t.history key (t.round, frame);
-  if List.mem Drop faults then t.c_dropped <- t.c_dropped + 1
+  if List.mem Drop faults then begin
+    t.c_dropped <- t.c_dropped + 1;
+    Telemetry.Counter.incr t_dropped
+  end
   else begin
     let payload = ref frame in
     let tick = ref 0 in
@@ -228,6 +244,7 @@ let send t ~sender frame =
             | Some (r, old) when r < t.round ->
                 payload := old;
                 t.c_replayed <- t.c_replayed + 1;
+                Telemetry.Counter.incr t_replayed;
                 mutated := true
             | _ -> ())
         | Truncate_at off ->
@@ -250,12 +267,17 @@ let send t ~sender frame =
         | Delay dt -> tick := !tick + max 0 dt
         | Duplicate ->
             incr copies;
-            t.c_duplicated <- t.c_duplicated + 1
+            t.c_duplicated <- t.c_duplicated + 1;
+            Telemetry.Counter.incr t_duplicated
         | Reorder ->
             reordered := true;
-            t.c_reordered <- t.c_reordered + 1)
+            t.c_reordered <- t.c_reordered + 1;
+            Telemetry.Counter.incr t_reordered)
       faults;
-    if !mutated then t.c_mutated <- t.c_mutated + 1;
+    if !mutated then begin
+      t.c_mutated <- t.c_mutated + 1;
+      Telemetry.Counter.incr t_mutated
+    end;
     let base_seq =
       if !reordered then t.next_seq + 1000 + Prng.Drbg.uniform_int drbg 1000 else t.next_seq
     in
@@ -272,8 +294,10 @@ let deliver ?deadline:dl t =
   let on_time, late = List.partition (fun q -> q.tick <= dl) t.queue in
   t.queue <- [];
   t.c_late <- t.c_late + List.length late;
+  Telemetry.Counter.add t_late (List.length late);
   let sorted =
     List.sort (fun a b -> if a.tick <> b.tick then compare a.tick b.tick else compare a.seq b.seq) on_time
   in
   t.c_delivered <- t.c_delivered + List.length sorted;
+  Telemetry.Counter.add t_delivered (List.length sorted);
   List.map (fun q -> (q.q_sender, q.frame)) sorted

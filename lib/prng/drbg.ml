@@ -7,7 +7,10 @@ type t = {
   mutable cached_gauss : float option;
 }
 
+let c_bytes = Telemetry.Counter.make "drbg.bytes"
+
 let refill t =
+  Telemetry.Counter.add c_bytes 64;
   t.block <- Chacha20.block ~key:t.key ~counter:t.counter ~nonce:t.nonce;
   t.counter <- t.counter + 1;
   t.pos <- 0

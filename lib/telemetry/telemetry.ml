@@ -1,0 +1,531 @@
+module Clock = struct
+  external now_ns : unit -> int64 = "risefl_telemetry_now_ns"
+
+  let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+  let time f =
+    let t0 = now_ns () in
+    let r = f () in
+    let t1 = now_ns () in
+    (r, Int64.to_float (Int64.sub t1 t0) *. 1e-9)
+end
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* Registry of counter names plus per-domain shard arrays.
+
+   Ownership discipline that makes increments contention-free:
+   - [registry_lock] protects name registration and growth of the *outer*
+     [shards] array (which only ever copies inner-array refs, so concurrent
+     writers into an inner array are unaffected by a swap).
+   - an inner shard array is allocated and grown only by the domain that
+     owns it, so the owner's plain [int] writes never race a resize copy.
+   - snapshot/value read other domains' shards without synchronisation;
+     int reads are word-atomic, so the worst case is a slightly stale sum
+     if a parallel region is still running (we only snapshot between
+     regions). *)
+let registry_lock = Mutex.create ()
+
+let counter_names : string array ref = ref (Array.make 16 "")
+let counter_count = ref 0
+let counter_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+
+(* shards.(domain_id) is that domain's int array, [||] until first use *)
+let shards : int array array ref = ref (Array.make 8 [||])
+
+type counter = int (* index into every shard *)
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    Mutex.lock registry_lock;
+    let id =
+      match Hashtbl.find_opt counter_ids name with
+      | Some id -> id
+      | None ->
+          let id = !counter_count in
+          if id >= Array.length !counter_names then begin
+            let bigger = Array.make (2 * Array.length !counter_names) "" in
+            Array.blit !counter_names 0 bigger 0 id;
+            counter_names := bigger
+          end;
+          !counter_names.(id) <- name;
+          incr counter_count;
+          Hashtbl.add counter_ids name id;
+          id
+    in
+    Mutex.unlock registry_lock;
+    id
+
+  (* Slow path: ensure this domain's shard exists and covers index [id].
+     Only the owning domain runs this for its own slot. *)
+  let grow_shard did id =
+    Mutex.lock registry_lock;
+    let outer = !shards in
+    let outer =
+      if did < Array.length outer then outer
+      else begin
+        let bigger = Array.make (max (did + 1) (2 * Array.length outer)) [||] in
+        Array.blit outer 0 bigger 0 (Array.length outer);
+        shards := bigger;
+        bigger
+      end
+    in
+    let inner = outer.(did) in
+    let cap = max 64 (max (id + 1) (2 * Array.length inner)) in
+    let bigger = Array.make cap 0 in
+    Array.blit inner 0 bigger 0 (Array.length inner);
+    outer.(did) <- bigger;
+    Mutex.unlock registry_lock;
+    bigger
+
+  let add t n =
+    if Atomic.get enabled_flag then begin
+      let did = (Domain.self () :> int) in
+      let outer = !shards in
+      let inner =
+        if did < Array.length outer && t < Array.length outer.(did) then
+          outer.(did)
+        else grow_shard did t
+      in
+      inner.(t) <- inner.(t) + n
+    end
+
+  let incr t = add t 1
+
+  let value t =
+    Mutex.lock registry_lock;
+    let outer = !shards in
+    let sum = ref 0 in
+    Array.iter (fun inner -> if t < Array.length inner then sum := !sum + inner.(t)) outer;
+    Mutex.unlock registry_lock;
+    !sum
+end
+
+type span = {
+  path : string list;
+  attrs : (string * string) list;
+  start_s : float;
+  dur_s : float;
+}
+
+let spans_lock = Mutex.create ()
+let completed_spans : span list ref = ref []
+
+(* per-domain stack of open span names, innermost first *)
+let span_stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+module Span = struct
+  let with_ ?(attrs = []) name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let stack = Domain.DLS.get span_stack in
+      let saved = !stack in
+      stack := name :: saved;
+      let path = List.rev !stack in
+      let t0 = Clock.now_s () in
+      let finish () =
+        let dur = Clock.now_s () -. t0 in
+        stack := saved;
+        Mutex.lock spans_lock;
+        completed_spans := { path; attrs; start_s = t0; dur_s = dur } :: !completed_spans;
+        Mutex.unlock spans_lock
+      in
+      match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e
+    end
+end
+
+let reset () =
+  Mutex.lock registry_lock;
+  Array.iter (fun inner -> Array.fill inner 0 (Array.length inner) 0) !shards;
+  Mutex.unlock registry_lock;
+  Mutex.lock spans_lock;
+  completed_spans := [];
+  Mutex.unlock spans_lock
+
+type snapshot = { counters : (string * int) list; spans : span list }
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let n = !counter_count in
+  let names = Array.sub !counter_names 0 n in
+  let outer = !shards in
+  let sums = Array.make n 0 in
+  Array.iter
+    (fun inner ->
+      for id = 0 to min n (Array.length inner) - 1 do
+        sums.(id) <- sums.(id) + inner.(id)
+      done)
+    outer;
+  Mutex.unlock registry_lock;
+  let counters =
+    Array.to_list (Array.mapi (fun id name -> (name, sums.(id))) names)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Mutex.lock spans_lock;
+  let spans = List.rev !completed_spans in
+  Mutex.unlock spans_lock;
+  { counters; spans }
+
+(* ------------------------------------------------------------------ *)
+(* Minimal self-contained JSON                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> Buffer.add_string buf (num_to_string f)
+      | Str s ->
+          Buffer.add_char buf '"';
+          escape buf s;
+          Buffer.add_char buf '"'
+      | Arr xs ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              go x)
+            xs;
+          Buffer.add_char buf ']'
+      | Obj kvs ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_char buf '"';
+              escape buf k;
+              Buffer.add_string buf "\":";
+              go v)
+            kvs;
+          Buffer.add_char buf '}'
+    in
+    go t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < len && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let n = String.length word in
+      if !pos + n <= len && String.sub s !pos n = word then begin
+        pos := !pos + n;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            if !pos >= len then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if !pos + 4 >= len then fail "bad \\u escape";
+                let hex = String.sub s (!pos + 1) 4 in
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> fail "bad \\u escape"
+                in
+                pos := !pos + 4;
+                (* only BMP codepoints we emit ourselves: control chars *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec go () =
+              items := parse_value () :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  go ()
+              | Some ']' -> advance ()
+              | _ -> fail "expected ',' or ']'"
+            in
+            go ();
+            Arr (List.rev !items)
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let items = ref [] in
+            let rec go () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              items := (k, v) :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  go ()
+              | Some '}' -> advance ()
+              | _ -> fail "expected ',' or '}'"
+            in
+            go ();
+            Obj (List.rev !items)
+          end
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> len then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot <-> JSON                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let span_to_json sp =
+  Json.Obj
+    [
+      ("path", Json.Arr (List.map (fun p -> Json.Str p) sp.path));
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.attrs));
+      ("start_s", Json.Num sp.start_s);
+      ("dur_s", Json.Num sp.dur_s);
+    ]
+
+let snapshot_to_json snap =
+  Json.Obj
+    [
+      ("schema", Json.Num 1.0);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) snap.counters));
+      ("spans", Json.Arr (List.map span_to_json snap.spans));
+    ]
+
+let span_of_json j =
+  let str_of = function Json.Str s -> Ok s | _ -> Error "expected string" in
+  let num_of = function Json.Num f -> Ok f | _ -> Error "expected number" in
+  let ( let* ) = Result.bind in
+  let* path =
+    match Json.member "path" j with
+    | Some (Json.Arr xs) ->
+        List.fold_right
+          (fun x acc ->
+            let* acc = acc in
+            let* s = str_of x in
+            Ok (s :: acc))
+          xs (Ok [])
+    | _ -> Error "span: missing path"
+  in
+  let* attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* acc = acc in
+            let* s = str_of v in
+            Ok ((k, s) :: acc))
+          kvs (Ok [])
+    | None -> Ok []
+    | _ -> Error "span: bad attrs"
+  in
+  let* start_s =
+    match Json.member "start_s" j with Some v -> num_of v | None -> Error "span: missing start_s"
+  in
+  let* dur_s =
+    match Json.member "dur_s" j with Some v -> num_of v | None -> Error "span: missing dur_s"
+  in
+  Ok { path; attrs; start_s; dur_s }
+
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let* counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj kvs) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* acc = acc in
+            match v with
+            | Json.Num f -> Ok ((k, int_of_float f) :: acc)
+            | _ -> Error ("counter " ^ k ^ ": expected number"))
+          kvs (Ok [])
+    | _ -> Error "snapshot: missing counters"
+  in
+  let* spans =
+    match Json.member "spans" j with
+    | Some (Json.Arr xs) ->
+        List.fold_right
+          (fun x acc ->
+            let* acc = acc in
+            let* sp = span_of_json x in
+            Ok (sp :: acc))
+          xs (Ok [])
+    | None -> Ok []
+    | _ -> Error "snapshot: bad spans"
+  in
+  Ok { counters; spans }
+
+let write_json path snap =
+  let oc = open_out path in
+  output_string oc (Json.to_string (snapshot_to_json snap));
+  output_char oc '\n';
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Console table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_table snap =
+  let buf = Buffer.create 1024 in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) snap.counters in
+  if nonzero <> [] then begin
+    let wname =
+      List.fold_left (fun acc (k, _) -> max acc (String.length k)) 7 nonzero
+    in
+    Buffer.add_string buf (Printf.sprintf "%-*s  %14s\n" wname "counter" "value");
+    Buffer.add_string buf (String.make (wname + 16) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s  %14d\n" wname k v))
+      nonzero
+  end;
+  if snap.spans <> [] then begin
+    if nonzero <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf "spans (ms):\n";
+    (* completion order is children-before-parents; render in start order
+       with indentation by depth instead *)
+    let ordered =
+      List.stable_sort (fun a b -> compare a.start_s b.start_s) snap.spans
+    in
+    List.iter
+      (fun sp ->
+        let depth = max 0 (List.length sp.path - 1) in
+        let name = match List.rev sp.path with x :: _ -> x | [] -> "?" in
+        let attrs =
+          match sp.attrs with
+          | [] -> ""
+          | kvs ->
+              "  [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "]"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-*s %10.3f%s\n" (String.make (2 * depth) ' ')
+             (max 1 (30 - (2 * depth)))
+             name (sp.dur_s *. 1000.0) attrs))
+      ordered
+  end;
+  Buffer.contents buf

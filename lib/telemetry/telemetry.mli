@@ -1,0 +1,98 @@
+(** Operation-counting and tracing subsystem.
+
+    The library is off by default: every counter increment and span entry
+    first checks one atomic flag and returns immediately when disabled, so
+    instrumented hot paths (point arithmetic, hashing, serialization) pay a
+    single load per call.  When enabled, counters write to per-domain shards
+    — plain [int] cells owned by the incrementing domain — so instrumentation
+    under [Parallel] is contention-free and cannot perturb verdicts.  Shards
+    are merged only at {!snapshot} time.
+
+    No dependencies: the monotonic clock is a tiny C stub
+    ([clock_gettime(CLOCK_MONOTONIC)]) and JSON support is a self-contained
+    minimal implementation, so base libraries (hashfn, prng, curve25519) can
+    link telemetry without pulling in [unix]. *)
+
+(** Monotonic wall-clock helpers — the single timing authority for the repo
+    (driver stage timings, baselines, bench all route through here). *)
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Nanoseconds on a monotonic clock with an arbitrary origin. *)
+
+  val now_s : unit -> float
+  (** Seconds on the same monotonic clock. *)
+
+  val time : (unit -> 'a) -> 'a * float
+  (** [time f] runs [f] and returns its result with elapsed seconds. *)
+end
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter shard and drop all recorded spans.  Counters stay
+    registered. *)
+
+(** Named monotone counters.  [make] registers a global name (idempotent per
+    name: two [make "x"] calls share the cell).  Increments from any domain
+    land in that domain's shard; [value]/[snapshot] merge shards. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Sum across all domain shards. *)
+end
+
+type span = {
+  path : string list;  (** Root-to-leaf span names, e.g. [["round"; "proof.server"]]. *)
+  attrs : (string * string) list;
+  start_s : float;  (** Monotonic-clock start (arbitrary origin). *)
+  dur_s : float;
+}
+
+(** Hierarchical wall-time spans.  Nesting is tracked per domain via a
+    domain-local stack; completed spans are appended to a global list. *)
+module Span : sig
+  val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** Runs the thunk inside a named span.  When telemetry is disabled this
+      is exactly the thunk call — no clock read, no allocation. *)
+end
+
+(** Minimal JSON values — enough for snapshot export/import without a
+    third-party dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end
+
+type snapshot = {
+  counters : (string * int) list;  (** Every registered counter, sorted by name. *)
+  spans : span list;  (** In completion order. *)
+}
+
+val snapshot : unit -> snapshot
+
+val snapshot_to_json : snapshot -> Json.t
+val snapshot_of_json : Json.t -> (snapshot, string) result
+
+val write_json : string -> snapshot -> unit
+(** Write the snapshot to a file as JSON. *)
+
+val to_table : snapshot -> string
+(** Aligned console rendering: counter table followed by the span tree. *)

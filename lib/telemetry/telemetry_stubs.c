@@ -1,0 +1,13 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+/* Monotonic clock in nanoseconds. CLOCK_MONOTONIC never jumps backwards
+   under NTP adjustments, unlike gettimeofday. */
+CAMLprim value risefl_telemetry_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}
