@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke clean
 
 all: check
 
@@ -48,6 +48,31 @@ telemetry-smoke:
 	done
 	@echo "telemetry-smoke: trace OK"
 	dune exec bench/main.exe -- table1 --smoke --gate-table1
+
+# Durability gate: the store/WAL unit+property tests, then a real
+# crash/resume cycle through the CLI — kill the server mid-proof with the
+# write-ahead log armed, resume from the log in a second process, and
+# require the recovered aggregate and C* to be byte-identical to an
+# uncrashed run of the same seed. Finishes with the recovery bench smoke
+# (WAL bytes/round, fsyncs, wall-clock overhead into the JSON).
+recovery-smoke:
+	dune exec test/test_store.exe
+	rm -f /tmp/risefl-smoke.wal
+	dune exec bin/risefl_cli.exe -- round --seed recovery-smoke \
+	  --wal /tmp/risefl-smoke.wal --crash proof:1 --no-recover | tee /tmp/risefl-crash.txt
+	@grep -q "server crashed at proof:1" /tmp/risefl-crash.txt \
+	  || { echo "recovery-smoke: planned crash did not fire" >&2; exit 1; }
+	dune exec bin/risefl_cli.exe -- resume --seed recovery-smoke \
+	  --wal /tmp/risefl-smoke.wal | tee /tmp/risefl-resumed.txt
+	dune exec bin/risefl_cli.exe -- round --seed recovery-smoke | tee /tmp/risefl-ref.txt
+	@grep -E "flagged|aggregate" /tmp/risefl-ref.txt > /tmp/risefl-ref-key.txt
+	@grep -E "flagged|aggregate" /tmp/risefl-resumed.txt > /tmp/risefl-resumed-key.txt
+	@diff /tmp/risefl-ref-key.txt /tmp/risefl-resumed-key.txt \
+	  || { echo "recovery-smoke: resumed round diverged from the uncrashed run" >&2; exit 1; }
+	@echo "recovery-smoke: crash/resume bit-identical"
+	dune exec bench/main.exe -- recovery --smoke --json /tmp/recovery-smoke.json
+	@grep -q '"name": "wal-bytes-per-round"' /tmp/recovery-smoke.json \
+	  || { echo "recovery-smoke: WAL overhead records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -11,6 +11,7 @@
      micro   §6.2     — Bechamel micro-benchmarks of the primitive costs
      ablate  DESIGN.md ablations — naive vs optimized projection check
      faults  fault-injected transport degradation ladder (EXPERIMENTS.md)
+     recovery  WAL overhead (bytes/round, fsyncs, wall-clock) + crash recovery
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -25,6 +26,7 @@ module Server = Risefl_core.Server
 module Sampling = Risefl_core.Sampling
 module Cost_model = Risefl_core.Cost_model
 module Table1_check = Risefl_core.Table1_check
+module Round_log = Risefl_core.Round_log
 module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
 module Msm = Curve25519.Msm
@@ -769,10 +771,81 @@ let run_faults () =
     (if config.smoke then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.35 ])
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL overhead and crash-recovery time (EXPERIMENTS.md)   *)
+
+let run_recovery () =
+  pf "================ recovery: WAL overhead + crash recovery ================\n";
+  let n = 5 and m = 2 in
+  let d = if config.smoke then 16 else 32 and k = if config.smoke then 4 else 8 in
+  let rounds = if config.smoke then 2 else 4 in
+  let drbg = Prng.Drbg.create_string "bench-recovery/updates" in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let setup = Setup.create ~label:"bench/recovery" params in
+  let behaviours = Driver.honest_all n in
+  let updates_for _ = updates in
+  let seed = ns_seed "bench-recovery" in
+  (* baseline: the same serialized rounds with no log *)
+  let baseline = Driver.create_session setup ~seed in
+  let (), base_s =
+    Telemetry.Clock.time (fun () ->
+        ignore (Driver.run_session baseline ~serialize:true ~updates_for ~behaviours ~rounds))
+  in
+  (* durable: identical rounds under a write-ahead log, one fsync per append *)
+  let wal_path = Filename.temp_file "risefl-bench" ".wal" in
+  Sys.remove wal_path;
+  let durable = Driver.create_session setup ~seed in
+  let wal = Round_log.create wal_path in
+  let (), wal_s =
+    Telemetry.Clock.time (fun () ->
+        ignore (Driver.run_session durable ~wal ~updates_for ~behaviours ~rounds))
+  in
+  Round_log.close wal;
+  let wal_bytes = (Unix.stat wal_path).Unix.st_size in
+  let records, _ = Round_log.replay wal_path in
+  let fsyncs = List.length records (* one fsync per append *) in
+  let overhead_pct = if base_s > 0.0 then (wal_s -. base_s) /. base_s *. 100.0 else 0.0 in
+  (* recovery time: crash the next round at proof intake, then replay + finish *)
+  Sys.remove wal_path;
+  let crashed = Driver.create_session setup ~seed in
+  let wal = Round_log.create wal_path in
+  (try
+     ignore
+       (Driver.run_round_outcome ~wal ~crash:(Netsim.Proof, Driver.Stage_start) crashed ~updates
+          ~behaviours ~round:1)
+   with Driver.Server_crashed _ -> ());
+  let (), recover_s =
+    Telemetry.Clock.time (fun () ->
+        let records, _ = Round_log.replay wal_path in
+        match Driver.recover_round ~wal crashed ~records ~updates ~behaviours ~round:1 with
+        | Driver.Completed _ -> ()
+        | o -> failwith ("recovery bench: recovered round aborted: " ^ Driver.outcome_to_string o))
+  in
+  Round_log.close wal;
+  Sys.remove wal_path;
+  pf "n=%d m=%d d=%d k=%d, %d rounds, fsync on every append\n\n" n m d k rounds;
+  pf "  plain round        %10.3f s/round\n" (base_s /. float_of_int rounds);
+  pf "  durable round      %10.3f s/round  (%+.1f%% wall-clock)\n"
+    (wal_s /. float_of_int rounds)
+    overhead_pct;
+  pf "  WAL volume         %10d bytes/round (%d fsyncs/round)\n"
+    (wal_bytes / rounds) (fsyncs / rounds);
+  pf "  crash at proof:start -> replay + finish: %.3f s\n" recover_s;
+  record ~target:"recovery" ~name:"plain-round-s" ~d ~k ~n (base_s /. float_of_int rounds);
+  record ~target:"recovery" ~name:"durable-round-s" ~d ~k ~n (wal_s /. float_of_int rounds);
+  record ~target:"recovery" ~name:"wal-overhead-pct" ~d ~k ~n overhead_pct;
+  record ~target:"recovery" ~name:"wal-bytes-per-round" ~d ~k ~n
+    (float_of_int (wal_bytes / rounds));
+  record ~target:"recovery" ~name:"wal-fsyncs-per-round" ~d ~k ~n
+    (float_of_int (fsyncs / rounds));
+  record ~target:"recovery" ~name:"recovery-time-s" ~d ~k ~n recover_s
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults"; "phases" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults"; "phases"; "recovery" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -786,6 +859,7 @@ let rec run_target = function
   | "ablate" -> run_ablate ()
   | "verify" -> run_verify ()
   | "faults" -> run_faults ()
+  | "recovery" -> run_recovery ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);

@@ -1,8 +1,11 @@
 (* risefl_cli — command-line front end for the RiseFL reproduction.
 
    Subcommands:
-     round    run one secure-and-verifiable aggregation round on synthetic
-              updates, optionally with attackers
+     round    run one or more secure-and-verifiable aggregation rounds on
+              synthetic updates, optionally with attackers, a fault-injected
+              (and retransmitting) transport, a write-ahead log and a
+              planned server crash
+     resume   replay a write-ahead log and finish its interrupted round
      train    run a federated training simulation under attack with a
               chosen integrity checker
      params   print the derived security quantities (gamma, B0, F curve)
@@ -13,6 +16,8 @@ open Cmdliner
 module Params = Risefl_core.Params
 module Setup = Risefl_core.Setup
 module Driver = Risefl_core.Driver
+module Round_log = Risefl_core.Round_log
+module Reliable = Risefl_core.Reliable
 
 (* --- shared args --- *)
 
@@ -29,14 +34,96 @@ let jobs_arg =
     & info [ "jobs" ] ~docv:"J"
         ~doc:"Worker domains for the parallel hot paths (0 = RISEFL_JOBS or the core count).")
 
+let attackers_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
+
+let wal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:
+          "Arm the durable runtime: append every accepted frame to FILE (write-ahead, fsynced) \
+           so an interrupted round can be finished with the resume subcommand.")
+
+(* the synthetic per-round updates: deterministic in (seed, round), with
+   the attackers' vectors re-scaled to 50x the bound. Round 1 keeps the
+   historical derivation so existing seeds reproduce. *)
+let make_updates ~n ~d ~bound ~seed ~attackers ~round =
+  let label =
+    if round = 1 then seed ^ "/updates" else Printf.sprintf "%s/updates/r%d" seed round
+  in
+  let drbg = Prng.Drbg.create_string label in
+  let updates =
+    Array.init n (fun _ -> Array.init d (fun _ -> Prng.Drbg.uniform_int drbg 60 - 30))
+  in
+  List.iter
+    (fun i ->
+      if i >= 1 && i <= n then begin
+        let norm = Encoding.Fixed_point.l2_norm_encoded updates.(i - 1) in
+        let factor = int_of_float (50.0 *. bound /. norm) in
+        updates.(i - 1) <- Array.map (fun x -> factor * x) updates.(i - 1)
+      end)
+    attackers;
+  updates
+
+let make_behaviours ~n ~attackers =
+  let behaviours = Driver.honest_all n in
+  List.iter
+    (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Oversized 50.0)
+    attackers;
+  behaviours
+
+let print_stats ~d (stats : Driver.stats) =
+  Printf.printf "flagged: [%s]\n" (String.concat ";" (List.map string_of_int stats.Driver.flagged));
+  if stats.Driver.decode_failures <> [] then
+    Printf.printf "undecodable frames from: [%s]\n"
+      (String.concat ";" (List.map string_of_int stats.Driver.decode_failures));
+  (match stats.Driver.aggregate with
+  | Some agg ->
+      Printf.printf "aggregate (first 8 coords): %s\n"
+        (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
+  | None -> (
+      match stats.Driver.failure with
+      | Some e ->
+          Printf.printf "aggregation failed: %s\n" (Risefl_core.Server.agg_error_to_string e)
+      | None -> print_endline "aggregation failed"));
+  Printf.printf
+    "client: commit %.3fs, share-verify %.3fs, proof %.3fs | server: prep %.3fs, verify %.3fs, agg %.3fs\n"
+    stats.Driver.client_commit_s stats.Driver.client_share_verify_s stats.Driver.client_proof_s
+    stats.Driver.server_prep_s stats.Driver.server_verify_s stats.Driver.server_agg_s;
+  Printf.printf "comm per client: %.1f KB up, %.1f KB down\n"
+    (float_of_int stats.Driver.client_up_bytes /. 1024.0)
+    (float_of_int stats.Driver.client_down_bytes /. 1024.0)
+
+let print_outcome ~d ~round outcome =
+  match outcome with
+  | Driver.Completed stats ->
+      Printf.printf "round %d completed\n" round;
+      print_stats ~d stats
+  | outcome -> Printf.printf "round %d aborted: %s\n" round (Driver.outcome_to_string outcome)
+
+let print_transport_counters net =
+  let c = Netsim.counters net in
+  Printf.printf
+    "transport: %d sent, %d delivered, %d dropped, %d late, %d mutated, %d duplicated, %d \
+     reordered, %d replayed, %d retransmitted, %d recovered\n"
+    c.Netsim.sent c.Netsim.delivered c.Netsim.dropped c.Netsim.late c.Netsim.mutated
+    c.Netsim.duplicated c.Netsim.reordered c.Netsim.replayed c.Netsim.retransmitted
+    c.Netsim.recovered
+
+let print_reliable_counters rel =
+  let c = Reliable.counters rel in
+  Printf.printf
+    "reliable: %d frames, %d sends, %d retransmits, %d recovered after retry, %d lost for good, \
+     %d duplicates suppressed, %d rejected\n"
+    c.Reliable.logical c.Reliable.attempts c.Reliable.retransmits c.Reliable.recovered
+    c.Reliable.lost c.Reliable.dup_suppressed c.Reliable.rejected
+
 (* --- round --- *)
 
 let round_cmd =
-  let attackers =
-    Arg.(
-      value & opt (list int) []
-      & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
-  in
   let faults_arg =
     Arg.(
       value & opt (some string) None
@@ -59,7 +146,36 @@ let round_cmd =
             "Enable telemetry for the round and write the snapshot (operation counters, \
              per-stage spans, wire bytes, transport fault stats) to FILE as JSON.")
   in
-  let run n m d k bound seed attackers jobs faults deadline trace =
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Protocol rounds to run (C* carries across rounds).")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "crash" ] ~docv:"[ROUND:]STAGE:STEP"
+          ~doc:
+            "Kill the server at the given point (stage in commit|flag|proof|agg, step in \
+             start|end|frame-index), then recover from the write-ahead log (requires $(b,--wal)). \
+             E.g. 'proof:start', '2:agg:1'.")
+  in
+  let retransmit_arg =
+    Arg.(
+      value & flag
+      & info [ "retransmit" ]
+          ~doc:
+            "Layer the ack/retransmission protocol over the transport: unacked frames are resent \
+             under exponential backoff and duplicates are suppressed by (round,stage,sender,seq).")
+  in
+  let no_recover_arg =
+    Arg.(
+      value & flag
+      & info [ "no-recover" ]
+          ~doc:
+            "Do not recover in-process after $(b,--crash): sync the log and exit, leaving the \
+             interrupted WAL for the resume subcommand (requires $(b,--rounds) 1).")
+  in
+  let run n m d k bound seed attackers jobs faults deadline trace rounds crash wal_file retransmit
+      no_recover =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     if trace <> None then begin
       Telemetry.reset ();
@@ -67,20 +183,8 @@ let round_cmd =
     end;
     let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
     let setup = Setup.create ~label:("cli/" ^ seed) params in
-    let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
-    let updates =
-      Array.init n (fun _ -> Array.init d (fun _ -> Prng.Drbg.uniform_int drbg 60 - 30))
-    in
-    let behaviours = Driver.honest_all n in
-    List.iter
-      (fun i ->
-        if i >= 1 && i <= n then begin
-          let norm = Encoding.Fixed_point.l2_norm_encoded updates.(i - 1) in
-          let factor = int_of_float (50.0 *. bound /. norm) in
-          updates.(i - 1) <- Array.map (fun x -> factor * x) updates.(i - 1);
-          behaviours.(i - 1) <- Driver.Oversized 50.0
-        end)
-      attackers;
+    let updates_for round = make_updates ~n ~d ~bound ~seed ~attackers ~round in
+    let behaviours = make_behaviours ~n ~attackers in
     let transport =
       match faults with
       | None -> None
@@ -91,41 +195,74 @@ let round_cmd =
               Printf.eprintf "bad --faults spec: %s\n" e;
               exit 2)
     in
-    let session = Driver.create_session setup ~seed in
-    let print_stats (stats : Driver.stats) =
-      Printf.printf "flagged: [%s]\n"
-        (String.concat ";" (List.map string_of_int stats.Driver.flagged));
-      if stats.Driver.decode_failures <> [] then
-        Printf.printf "undecodable frames from: [%s]\n"
-          (String.concat ";" (List.map string_of_int stats.Driver.decode_failures));
-      (match stats.Driver.aggregate with
-      | Some agg ->
-          Printf.printf "aggregate (first 8 coords): %s\n"
-            (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
-      | None -> (
-          match stats.Driver.failure with
-          | Some e ->
-              Printf.printf "aggregation failed: %s\n" (Risefl_core.Server.agg_error_to_string e)
-          | None -> print_endline "aggregation failed"));
-      Printf.printf
-        "client: commit %.3fs, share-verify %.3fs, proof %.3fs | server: prep %.3fs, verify %.3fs, agg %.3fs\n"
-        stats.Driver.client_commit_s stats.Driver.client_share_verify_s stats.Driver.client_proof_s
-        stats.Driver.server_prep_s stats.Driver.server_verify_s stats.Driver.server_agg_s;
-      Printf.printf "comm per client: %.1f KB up, %.1f KB down\n"
-        (float_of_int stats.Driver.client_up_bytes /. 1024.0)
-        (float_of_int stats.Driver.client_down_bytes /. 1024.0)
+    let reliable =
+      if not retransmit then None
+      else
+        let net =
+          match transport with
+          | Some net -> net
+          | None -> Netsim.create ~plan:Netsim.ideal ~deadline ~seed:("cli/" ^ seed) ()
+        in
+        Some (Reliable.create net)
     in
-    (match Driver.run_round_outcome ?transport session ~updates ~behaviours ~round:1 with
-    | Driver.Completed stats -> print_stats stats
-    | outcome -> Printf.printf "round aborted: %s\n" (Driver.outcome_to_string outcome));
-    (match transport with
-    | None -> ()
-    | Some net ->
-        let c = Netsim.counters net in
-        Printf.printf
-          "transport: %d sent, %d delivered, %d dropped, %d late, %d mutated, %d duplicated, %d reordered, %d replayed\n"
-          c.Netsim.sent c.Netsim.delivered c.Netsim.dropped c.Netsim.late c.Netsim.mutated
-          c.Netsim.duplicated c.Netsim.reordered c.Netsim.replayed);
+    let crash =
+      match crash with
+      | None -> None
+      | Some spec -> (
+          if wal_file = None then begin
+            Printf.eprintf "--crash requires --wal (recovery needs the log)\n";
+            exit 2
+          end;
+          let parts = String.split_on_char ':' spec in
+          let round, rest =
+            match parts with
+            | [ r; _; _ ] when int_of_string_opt r <> None -> (int_of_string r, String.concat ":" (List.tl parts))
+            | _ -> (1, spec)
+          in
+          match Driver.crash_of_string rest with
+          | Ok (stage, at) -> Some (round, stage, at)
+          | Error e ->
+              Printf.eprintf "bad --crash spec: %s\n" e;
+              exit 2)
+    in
+    let wal = Option.map (fun f -> Round_log.create f) wal_file in
+    let session = Driver.create_session setup ~seed in
+    (if no_recover then begin
+       if rounds <> 1 then begin
+         Printf.eprintf "--no-recover requires --rounds 1\n";
+         exit 2
+       end;
+       let crash = Option.map (fun (_, stage, at) -> (stage, at)) crash in
+       match
+         Driver.run_round_outcome ?transport ?reliable ?wal ?crash session
+           ~updates:(updates_for 1) ~behaviours ~round:1
+       with
+       | outcome -> print_outcome ~d ~round:1 outcome
+       | exception Driver.Server_crashed { stage; at } ->
+           Printf.printf "server crashed at %s (wal synced); finish the round with: resume --wal %s\n"
+             (Driver.crash_to_string (stage, at))
+             (Option.value ~default:"<file>" wal_file)
+     end
+     else begin
+       let report =
+         Driver.run_session ?transport ?reliable ?wal ?crash session ~updates_for ~behaviours
+           ~rounds
+       in
+       List.iter
+         (fun (r, outcome) -> print_outcome ~d ~round:r outcome)
+         report.Driver.round_outcomes;
+       if rounds > 1 || report.Driver.crashes_recovered > 0 then
+         Printf.printf "session: %d/%d rounds completed, %d crash(es) recovered, banned [%s]\n"
+           report.Driver.rounds_completed report.Driver.rounds_attempted
+           report.Driver.crashes_recovered
+           (String.concat ";" (List.map string_of_int report.Driver.final_banned))
+     end);
+    (match reliable with
+    | Some rel ->
+        print_reliable_counters rel;
+        print_transport_counters (Reliable.net rel)
+    | None -> Option.iter print_transport_counters transport);
+    Option.iter Round_log.close wal;
     match trace with
     | None -> ()
     | Some file ->
@@ -137,10 +274,61 @@ let round_cmd =
           (List.length snap.Telemetry.spans) file
   in
   Cmd.v
-    (Cmd.info "round" ~doc:"Run one secure-and-verifiable aggregation round.")
+    (Cmd.info "round" ~doc:"Run secure-and-verifiable aggregation rounds.")
     Term.(
-      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers $ jobs_arg
-      $ faults_arg $ deadline_arg $ trace_arg)
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
+      $ faults_arg $ deadline_arg $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg
+      $ no_recover_arg)
+
+(* --- resume --- *)
+
+let resume_cmd =
+  let wal_req =
+    Arg.(
+      required & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log of the interrupted run.")
+  in
+  let run n m d k bound seed attackers jobs wal_file =
+    if jobs > 0 then Parallel.set_default_jobs jobs;
+    let records, status = Round_log.replay wal_file in
+    let frames = List.length (List.filter (function Round_log.Frame _ -> true | _ -> false) records) in
+    Printf.printf "wal: %d records (%d frames)%s\n" (List.length records) frames
+      (match status with
+      | Store.Wal.Complete -> ""
+      | Store.Wal.Torn { offset; reason } ->
+          Printf.sprintf ", torn tail at byte %d (%s)" offset reason);
+    (* the round to finish: the last Round_start without a Round_end *)
+    let pending =
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Round_log.Round_start { round } -> Some round
+          | Round_log.Round_end { round; _ } when acc = Some round -> None
+          | _ -> acc)
+        None records
+    in
+    match pending with
+    | None -> print_endline "nothing to recover: every logged round is sealed"
+    | Some round ->
+        Printf.printf "recovering round %d (same parameters and seed as the original run)\n" round;
+        let params =
+          Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound ()
+        in
+        let setup = Setup.create ~label:("cli/" ^ seed) params in
+        let session = Driver.create_session setup ~seed in
+        let updates = make_updates ~n ~d ~bound ~seed ~attackers ~round in
+        let behaviours = make_behaviours ~n ~attackers in
+        let wal = Round_log.create wal_file in
+        let outcome = Driver.recover_round ~wal session ~records ~updates ~behaviours ~round in
+        Round_log.close wal;
+        print_outcome ~d ~round outcome
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Replay a write-ahead log and finish its interrupted round bit-identically.")
+    Term.(
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
+      $ wal_req)
 
 (* --- train --- *)
 
@@ -243,4 +431,6 @@ let params_cmd =
 
 let () =
   let doc = "RiseFL: secure and verifiable data collaboration with low-cost ZKPs (VLDB 2024 reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "risefl_cli" ~doc) [ round_cmd; train_cmd; params_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "risefl_cli" ~doc) [ round_cmd; resume_cmd; train_cmd; params_cmd ]))

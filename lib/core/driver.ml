@@ -47,7 +47,18 @@ let corrupt_sealed (s : Channel.sealed) =
     Bytes.set body 0 (Char.chr (Char.code (Bytes.get body 0) lxor 0xff));
   { s with Channel.body = body }
 
-type session = { setup : Setup.t; clients : Client.t array; server : Server.t }
+type session = {
+  setup : Setup.t;
+  seed : string;
+  clients : Client.t array;
+  mutable server : Server.t;
+  (* post-behaviour encoded frames per (round, stage), cached under the
+     durable runtime. Client-side randomness is one sequential stream per
+     client, so a stage's messages must be produced exactly once per
+     process: in-process recovery replays these bytes instead of re-running
+     the clients (which would advance their DRBGs and break bit-identity) *)
+  outbox : (int * Netsim.stage, Bytes.t option array) Hashtbl.t;
+}
 
 let create_session setup ~seed =
   let n = setup.Setup.params.Params.n_clients in
@@ -59,16 +70,101 @@ let create_session setup ~seed =
   let pks = Array.map Client.public_key clients in
   Array.iter (fun c -> Client.install_directory c pks) clients;
   Server.install_directory server pks;
-  { setup; clients; server }
+  { setup; seed; clients; server; outbox = Hashtbl.create 31 }
+
+let session_server t = t.server
+
+(* --- crash plan --- *)
+
+type crash_point = Stage_start | Stage_frame of int | Stage_end
+
+exception Server_crashed of { stage : Netsim.stage; at : crash_point }
+
+let crash_point_to_string = function
+  | Stage_start -> "start"
+  | Stage_end -> "end"
+  | Stage_frame i -> string_of_int i
+
+let crash_to_string (stage, at) =
+  Netsim.stage_to_string stage ^ ":" ^ crash_point_to_string at
+
+let crash_of_string spec =
+  match String.index_opt spec ':' with
+  | None -> Error "expected STAGE:STEP (e.g. proof:start, agg:2)"
+  | Some c -> (
+      let sname = String.sub spec 0 c in
+      let pname = String.sub spec (c + 1) (String.length spec - c - 1) in
+      let stage =
+        match String.lowercase_ascii sname with
+        | "commit" -> Some Netsim.Commit
+        | "flag" -> Some Netsim.Flag
+        | "proof" -> Some Netsim.Proof
+        | "agg" -> Some Netsim.Agg
+        | _ -> None
+      in
+      match stage with
+      | None -> Error ("unknown stage: " ^ sname)
+      | Some stage -> (
+          match String.lowercase_ascii pname with
+          | "start" -> Ok (stage, Stage_start)
+          | "end" -> Ok (stage, Stage_end)
+          | _ -> (
+              match int_of_string_opt pname with
+              | Some i when i >= 0 -> Ok (stage, Stage_frame i)
+              | _ -> Error ("bad step: " ^ pname))))
+
+(* a seeded crash plan, scheduled like Netsim faults: each index draws its
+   (stage, step) from an independent fork, so a sweep is a pure function
+   of the seed *)
+let seeded_crashes ~seed ~n ~max_step =
+  let root = Prng.Drbg.create_string ("crash/" ^ seed) in
+  List.init n (fun i ->
+      let drbg = Prng.Drbg.fork root (Printf.sprintf "p%d" i) in
+      let stage =
+        match Prng.Drbg.uniform_int drbg 4 with
+        | 0 -> Netsim.Commit
+        | 1 -> Netsim.Flag
+        | 2 -> Netsim.Proof
+        | _ -> Netsim.Agg
+      in
+      (stage, Stage_frame (Prng.Drbg.uniform_int drbg (max 1 max_step))))
+
+(* --- recovery context: the current round's WAL records, indexed --- *)
+
+type recovery = {
+  rec_frames : (Netsim.stage, (int * int * Bytes.t) list) Hashtbl.t;
+  rec_done : (Netsim.stage, unit) Hashtbl.t;
+  rec_s : Bytes.t option;
+}
+
+let recovery_of_records ~round records =
+  let ctx = { rec_frames = Hashtbl.create 7; rec_done = Hashtbl.create 7; rec_s = None } in
+  let rec_s = ref None in
+  List.iter
+    (fun r ->
+      match r with
+      | Round_log.Frame { round = r'; stage; sender; seq; frame } when r' = round ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt ctx.rec_frames stage) in
+          Hashtbl.replace ctx.rec_frames stage (prev @ [ (sender, seq, frame) ])
+      | Round_log.Stage_done { round = r'; stage } when r' = round ->
+          Hashtbl.replace ctx.rec_done stage ()
+      | Round_log.Check { round = r'; s } when r' = round -> rec_s := Some s
+      | _ -> ())
+    records;
+  { ctx with rec_s = !rec_s }
 
 (* internal: the one early exit of the lifecycle; caught before
    run_round_core returns, never escapes *)
 exception Abort of round_outcome
 
-let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ~lifecycle
-    session ~updates ~behaviours ~round =
-  (* a transport implies the wire: bytes are the only thing it can fault *)
-  let serialize = serialize || Option.is_some transport in
+let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?reliable
+    ?wal ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round =
+  (* a transport, a reliability layer or a write-ahead log implies the
+     wire: bytes are the only thing they can fault, retransmit or log *)
+  let serialize =
+    serialize || Option.is_some transport || Option.is_some reliable || Option.is_some wal
+    || Option.is_some recovery
+  in
   let setup = session.setup in
   let clients = session.clients and server = session.server in
   let p = setup.Setup.params in
@@ -84,48 +180,107 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   in
   let needed = Params.shamir_t p in
   let decode_failures = ref [] in
+  let wal_append r = match wal with Some w -> Round_log.append w r | None -> () in
+  (* in-process recovery replays the outbox; only the durable runtime
+     caches (plain serialize/transport rounds behave exactly as before) *)
+  let durable = Option.is_some wal || Option.is_some recovery in
+  let crash_check stage at =
+    match crash with
+    | Some (cs, ca) when cs = stage && ca = at ->
+        (match wal with Some w -> Round_log.sync w | None -> ());
+        raise (Server_crashed { stage; at })
+    | _ -> ()
+  in
+  let rec_frames_for stage =
+    match recovery with
+    | None -> []
+    | Some ctx -> Option.value ~default:[] (Hashtbl.find_opt ctx.rec_frames stage)
+  in
+  let rec_done stage =
+    match recovery with None -> false | Some ctx -> Hashtbl.mem ctx.rec_done stage
+  in
   (* One client → server exchange. Without a transport this is the
      encode/decode round-trip (or the identity); with one, every frame
      crosses the fault plan and the server keeps whatever decodes by the
-     deadline. First frame per sender wins; an undecodable frame poisons
-     its sender for the stage (a later clean duplicate does not restore
-     it) and lands the sender in C*. *)
+     deadline; with a reliability layer, unacked frames retransmit under
+     backoff and arrivals are de-duplicated by (round, stage, sender, seq).
+     First frame per sender wins; an undecodable frame poisons its sender
+     for the stage (a later clean duplicate does not restore it) and lands
+     the sender in C*. Under a write-ahead log every accepted frame is
+     appended (and fsynced) before the server processes it; under
+     recovery, the logged frames replay first and only the unlogged
+     senders re-enter delivery. *)
   let exchange : 'a. stage:Netsim.stage -> encode:('a -> Bytes.t) ->
       decode:(Bytes.t -> ('a, Serial.error) result) -> sender_of:('a -> int) ->
-      'a option array -> 'a option array * int list =
-    fun ~stage ~encode ~decode ~sender_of outgoing ->
-    match transport with
-    | None ->
-        if not serialize then (outgoing, [])
-        else begin
-          let offenders = ref [] in
-          let delivered =
-            Array.mapi
-              (fun i msg ->
-                match msg with
-                | None -> None
-                | Some m -> (
-                    match decode (encode m) with
-                    | Ok m' when sender_of m' = i + 1 -> Some m'
-                    | Ok _ | Error _ ->
-                        offenders := (i + 1) :: !offenders;
-                        None))
-              outgoing
-          in
-          (delivered, List.rev !offenders)
-        end
-    | Some net ->
-        Netsim.begin_stage net ~round ~stage;
-        Array.iteri
-          (fun i msg -> match msg with None -> () | Some m -> Netsim.send net ~sender:(i + 1) (encode m))
-          outgoing;
-        let arrived = Netsim.deliver net in
-        let delivered = Array.make n None in
-        let poisoned = Array.make n false in
-        let offenders = ref [] in
-        List.iter
-          (fun (sender, frame) ->
-            if sender >= 1 && sender <= n && not poisoned.(sender - 1) then begin
+      compute:(unit -> 'a option array) -> 'a option array * int list =
+    fun ~stage ~encode ~decode ~sender_of ~compute ->
+    if not serialize then (compute (), [])
+    else begin
+      (* 1. this process's outgoing payloads, computed exactly once per
+         (round, stage) when durable *)
+      let key = (round, stage) in
+      let outgoing =
+        match if durable then Hashtbl.find_opt session.outbox key else None with
+        | Some cached -> cached
+        | None ->
+            let msgs = compute () in
+            let bytes = Array.map (Option.map encode) msgs in
+            if durable then Hashtbl.replace session.outbox key bytes;
+            bytes
+      in
+      (* 2. frames already accepted (and logged) before the crash *)
+      let logged = rec_frames_for stage in
+      let already = List.map (fun (s, _, _) -> s) logged in
+      let stage_done = rec_done stage in
+      (* 3. fresh deliveries for everyone else *)
+      let fresh =
+        if stage_done then []
+        else
+          match (reliable, transport) with
+          | Some rel, _ -> Reliable.exchange rel ~round ~stage ~already outgoing
+          | None, Some net ->
+              Netsim.begin_stage net ~round ~stage;
+              Array.iteri
+                (fun i payload ->
+                  match payload with
+                  | Some frame when not (List.mem (i + 1) already) ->
+                      Netsim.send net ~sender:(i + 1) frame
+                  | _ -> ())
+                outgoing;
+              List.map (fun (s, f) -> (s, 0, f)) (Netsim.deliver net)
+          | None, None ->
+              let out = ref [] in
+              Array.iteri
+                (fun i payload ->
+                  match payload with
+                  | Some frame when not (List.mem (i + 1) already) ->
+                      out := (i + 1, 0, frame) :: !out
+                  | _ -> ())
+                outgoing;
+              List.rev !out
+      in
+      (* 4. server intake: WAL append (write-ahead), dedup, decode *)
+      let delivered = Array.make n None in
+      let poisoned = Array.make n false in
+      let offenders = ref [] in
+      (* only the reliable layer stamps meaningful sequence numbers; its
+         frames de-duplicate by (sender, seq) so a duplicate straddling a
+         crash cannot be double-processed on replay. The bare transport
+         keeps its historical semantics (every copy is judged). *)
+      let dedup = Option.is_some reliable in
+      let seen = Hashtbl.create 7 in
+      crash_check stage Stage_start;
+      let idx = ref 0 in
+      let process ~replayed (sender, seq, frame) =
+        if sender >= 1 && sender <= n then begin
+          if not replayed then begin
+            crash_check stage (Stage_frame !idx);
+            wal_append (Round_log.Frame { round; stage; sender; seq; frame })
+          end;
+          incr idx;
+          if (not dedup) || not (Hashtbl.mem seen (sender, seq)) then begin
+            Hashtbl.replace seen (sender, seq) ();
+            if not poisoned.(sender - 1) then begin
               match decode frame with
               | Ok m when sender_of m = sender ->
                   if delivered.(sender - 1) = None then delivered.(sender - 1) <- Some m
@@ -134,9 +289,16 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
                   poisoned.(sender - 1) <- true;
                   delivered.(sender - 1) <- None;
                   offenders := sender :: !offenders
-            end)
-          arrived;
-        (delivered, List.sort_uniq compare !offenders)
+            end
+          end
+        end
+      in
+      List.iter (process ~replayed:true) logged;
+      List.iter (process ~replayed:false) fresh;
+      if not stage_done then wal_append (Round_log.Stage_done { round; stage });
+      crash_check stage Stage_end;
+      (delivered, List.sort_uniq compare !offenders)
+    end
   in
   let note_offenders offenders =
     List.iter (fun i -> Server.mark_decode_failure server i) offenders;
@@ -157,38 +319,44 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   Array.iteri (fun i b -> if b = Honest then honest_ids := i :: !honest_ids) behaviours;
   let n_honest = List.length !honest_ids in
   let avg_over_honest total = if n_honest = 0 then 0.0 else total /. float_of_int n_honest in
+  (* a fresh durable round opens with its boundary snapshot — the restore
+     point recovery rolls the server back to before replaying frames *)
+  if Option.is_none recovery then begin
+    wal_append (Round_log.Round_start { round });
+    match wal with
+    | Some w -> Round_log.append w (Round_log.Snapshot (Server.snapshot server))
+    | None -> ()
+  end;
   (* --- round 1: commitments --- *)
   let commit_time = ref 0.0 in
-  let commits_out =
-    span "commit" "client" @@ fun () ->
-    Array.init n (fun i ->
-        if not (is_active i) then None
-        else begin
-          let msg, dt =
-            time (fun () ->
-                match behaviours.(i) with
-                | Oversized _ ->
-                    (* updates.(i) is already the scaled malicious vector *)
-                    Client.commit_round_unchecked clients.(i) ~round ~update:updates.(i)
-                | _ -> Client.commit_round clients.(i) ~round ~update:updates.(i))
-          in
-          if behaviours.(i) = Honest then commit_time := !commit_time +. dt;
-          match behaviours.(i) with
-          | Bad_share_to targets ->
-              let enc_shares =
-                Array.mapi
-                  (fun j s -> if List.mem (j + 1) targets then corrupt_sealed s else s)
-                  msg.Wire.enc_shares
-              in
-              Some { msg with Wire.enc_shares }
-          | _ -> Some msg
-        end)
-  in
   let commits, commit_offenders =
     span "commit" "wire" @@ fun () ->
     exchange ~stage:Netsim.Commit ~encode:Serial.encode_commit_msg ~decode:Serial.decode_commit
       ~sender_of:(fun (m : Wire.commit_msg) -> m.Wire.sender)
-      commits_out
+      ~compute:(fun () ->
+        span "commit" "client" @@ fun () ->
+        Array.init n (fun i ->
+            if not (is_active i) then None
+            else begin
+              let msg, dt =
+                time (fun () ->
+                    match behaviours.(i) with
+                    | Oversized _ ->
+                        (* updates.(i) is already the scaled malicious vector *)
+                        Client.commit_round_unchecked clients.(i) ~round ~update:updates.(i)
+                    | _ -> Client.commit_round clients.(i) ~round ~update:updates.(i))
+              in
+              if behaviours.(i) = Honest then commit_time := !commit_time +. dt;
+              match behaviours.(i) with
+              | Bad_share_to targets ->
+                  let enc_shares =
+                    Array.mapi
+                      (fun j s -> if List.mem (j + 1) targets then corrupt_sealed s else s)
+                      msg.Wire.enc_shares
+                  in
+                  Some { msg with Wire.enc_shares }
+              | _ -> Some msg
+            end))
   in
   span "commit" "server" (fun () -> Server.begin_round server ~round ~commits);
   (* begin_round reset C*, so decode offenders are marked after it *)
@@ -201,26 +369,25 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     Array.of_list (List.filter_map Fun.id (Array.to_list (Server.round_commits server)))
   in
   let share_verify_time = ref 0.0 in
-  let flags_out =
-    span "flag" "client" @@ fun () ->
-    Array.init n (fun i ->
-        if not (is_active i) then None
-        else begin
-          let base, dt =
-            time (fun () -> Client.receive_shares clients.(i) ~round ~msgs:present_commits)
-          in
-          if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
-          match behaviours.(i) with
-          | False_flags extra ->
-              Some { base with Wire.suspects = List.sort_uniq compare (extra @ base.Wire.suspects) }
-          | _ -> Some base
-        end)
-  in
   let flags, flag_offenders =
     span "flag" "wire" @@ fun () ->
     exchange ~stage:Netsim.Flag ~encode:Serial.encode_flag_msg ~decode:Serial.decode_flag
       ~sender_of:(fun (m : Wire.flag_msg) -> m.Wire.sender)
-      flags_out
+      ~compute:(fun () ->
+        span "flag" "client" @@ fun () ->
+        Array.init n (fun i ->
+            if not (is_active i) then None
+            else begin
+              let base, dt =
+                time (fun () -> Client.receive_shares clients.(i) ~round ~msgs:present_commits)
+              in
+              if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
+              match behaviours.(i) with
+              | False_flags extra ->
+                  Some
+                    { base with Wire.suspects = List.sort_uniq compare (extra @ base.Wire.suspects) }
+              | _ -> Some base
+            end))
   in
   note_offenders flag_offenders;
   let reveal dealer requests =
@@ -241,6 +408,17 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   let (s_value, hs), prep_time =
     span "check" "server" (fun () -> time (fun () -> Server.prepare_check server))
   in
+  (* the check string is a pure redraw of the server DRBG: under recovery
+     it must reproduce the logged value bit for bit, and a fresh durable
+     round logs it as the audit record *)
+  (match recovery with
+  | Some { rec_s = Some logged_s; _ } ->
+      if not (Bytes.equal logged_s s_value) then
+        failwith "Driver: recovery check-string mismatch (wrong seed or corrupt WAL?)"
+  | Some { rec_s = None; _ } | None -> ());
+  (match recovery with
+  | Some { rec_s = Some _; _ } -> ()
+  | _ -> wal_append (Round_log.Check { round; s = s_value }));
   (* the (s, h) broadcast crosses the wire too when serializing; the
      server → client links are assumed reliable in this simulation, so a
      failed round-trip of our own encoding would be a codec bug *)
@@ -258,24 +436,22 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     span "check" "tables" (fun () -> Parallel.parallel_map Curve25519.Point.Table.make hs)
   in
   let proof_time = ref 0.0 in
-  let proofs_out =
-    span "proof" "client" @@ fun () ->
-    Array.init n (fun i ->
-        if not (is_active i) then None
-        else begin
-          let result, dt =
-            time (fun () ->
-                Client.try_proof_round ~predicate ~hs_tables clients.(i) ~round ~s:s_value ~hs)
-          in
-          if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
-          result
-        end)
-  in
   let proofs, proof_offenders =
     span "proof" "wire" @@ fun () ->
     exchange ~stage:Netsim.Proof ~encode:Serial.encode_proof_msg ~decode:Serial.decode_proof
       ~sender_of:(fun (m : Wire.proof_msg) -> m.Wire.sender)
-      proofs_out
+      ~compute:(fun () ->
+        span "proof" "client" @@ fun () ->
+        Array.init n (fun i ->
+            if not (is_active i) then None
+            else begin
+              let result, dt =
+                time (fun () ->
+                    Client.try_proof_round ~predicate ~hs_tables clients.(i) ~round ~s:s_value ~hs)
+              in
+              if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
+              result
+            end))
   in
   note_offenders proof_offenders;
   let (), verify_time =
@@ -285,29 +461,27 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   check_quorum "proof";
   (* --- round 3: secure aggregation --- *)
   let honest = Server.honest server in
-  let agg_out =
-    span "agg" "client" @@ fun () ->
-    Array.init n (fun i ->
-        if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
-        else
-          match Client.agg_round clients.(i) ~honest with
-          | msg ->
-              let msg =
-                match behaviours.(i) with
-                | Bad_agg_share ->
-                    (* a garbage aggregated share: SS.Verify against the
-                       combined check string must reject it *)
-                    { msg with Wire.r_sum = Scalar.add msg.Wire.r_sum Scalar.one }
-                | _ -> msg
-              in
-              Some msg
-          | exception Invalid_argument _ -> None)
-  in
   let agg_msgs, agg_offenders =
     span "agg" "wire" @@ fun () ->
     exchange ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
       ~sender_of:(fun (m : Wire.agg_msg) -> m.Wire.sender)
-      agg_out
+      ~compute:(fun () ->
+        span "agg" "client" @@ fun () ->
+        Array.init n (fun i ->
+            if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
+            else
+              match Client.agg_round clients.(i) ~honest with
+              | msg ->
+                  let msg =
+                    match behaviours.(i) with
+                    | Bad_agg_share ->
+                        (* a garbage aggregated share: SS.Verify against the
+                           combined check string must reject it *)
+                        { msg with Wire.r_sum = Scalar.add msg.Wire.r_sum Scalar.one }
+                    | _ -> msg
+                  in
+                  Some msg
+              | exception Invalid_argument _ -> None))
   in
   note_offenders agg_offenders;
   let agg_result, agg_time =
@@ -323,6 +497,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   let aggregate, failure =
     match agg_result with Ok v -> (Some v, None) | Error e -> (None, Some e)
   in
+  wal_append (Round_log.Round_end { round; cstar = Server.malicious server; aggregate });
   (* --- communication accounting (per honest client) --- *)
   let up, down =
     match List.rev !honest_ids with
@@ -369,32 +544,135 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
 
 (* outer span covering the full round; the Abort control-flow exception
    passes through Span.with_ (the span is still recorded) *)
-let run_round_core ?predicate ?serialize ?transport ~lifecycle session ~updates ~behaviours ~round
-    =
+let run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?recovery ~lifecycle
+    session ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "round"
     (fun () ->
-      run_round_core_inner ?predicate ?serialize ?transport ~lifecycle session ~updates
-        ~behaviours ~round)
+      run_round_core_inner ?predicate ?serialize ?transport ?reliable ?wal ?crash ?recovery
+        ~lifecycle session ~updates ~behaviours ~round)
 
-let run_round_outcome ?predicate ?serialize ?transport session ~updates ~behaviours ~round =
+(* a WAL-armed abort still closes the round durably *)
+let seal_abort ?wal session ~round outcome =
+  (match wal with
+  | Some w ->
+      Round_log.append w
+        (Round_log.Round_end
+           { round; cstar = Server.malicious session.server; aggregate = None });
+      Round_log.sync w
+  | None -> ());
+  outcome
+
+let run_round_outcome ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates
+    ~behaviours ~round =
   match
-    run_round_core ?predicate ?serialize ?transport ~lifecycle:true session ~updates ~behaviours
-      ~round
+    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ~lifecycle:true session
+      ~updates ~behaviours ~round
   with
   | outcome -> outcome
-  | exception Abort outcome -> outcome
+  | exception Abort outcome -> seal_abort ?wal session ~round outcome
 
-let run_round ?predicate ?serialize ?transport session ~updates ~behaviours ~round =
+let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates ~behaviours
+    ~round =
   match
-    run_round_core ?predicate ?serialize ?transport ~lifecycle:false session ~updates ~behaviours
-      ~round
+    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ~lifecycle:false session
+      ~updates ~behaviours ~round
   with
   | Completed stats -> stats
   | Aborted_insufficient_quorum _ | Aborted_decode _ ->
       (* lifecycle:false never aborts early *)
       assert false
+
+(* --- crash recovery --- *)
+
+let restore_server session records ~round =
+  (* the crashed server's in-memory state is gone: rebuild one from the
+     session seed (create_session's fork label) and roll it forward to the
+     last snapshot at or before the crashed round *)
+  let root = Prng.Drbg.create_string session.seed in
+  let server = Server.create session.setup (Prng.Drbg.fork root "server") in
+  Server.install_directory server (Array.map Client.public_key session.clients);
+  let snap =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Round_log.Snapshot s when s.Wire.snap_round <= round -> Some s
+        | _ -> acc)
+      None records
+  in
+  (match snap with Some s -> Server.restore server s | None -> ());
+  session.server <- server
+
+let recover_round ?predicate ?transport ?reliable ?wal session ~records ~updates ~behaviours
+    ~round =
+  Telemetry.Span.with_
+    ~attrs:[ ("round", string_of_int round) ]
+    "recover"
+    (fun () ->
+      restore_server session records ~round;
+      let recovery = recovery_of_records ~round records in
+      match
+        run_round_core ?predicate ?transport ?reliable ?wal ~recovery ~lifecycle:true session
+          ~updates ~behaviours ~round
+      with
+      | outcome -> outcome
+      | exception Abort outcome -> seal_abort ?wal session ~round outcome)
+
+(* --- multi-round session loop --- *)
+
+type session_report = {
+  rounds_attempted : int;
+  rounds_completed : int;
+  round_outcomes : (int * round_outcome) list;
+  final_banned : int list;
+  crashes_recovered : int;
+}
+
+let run_session ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates_for
+    ~behaviours ~rounds =
+  if rounds < 1 then invalid_arg "Driver.run_session: rounds must be >= 1";
+  let outcomes = ref [] in
+  let completed = ref 0 in
+  let recovered = ref 0 in
+  for round = 1 to rounds do
+    let updates = updates_for round in
+    let crash_here =
+      match crash with Some (r, stage, at) when r = round -> Some (stage, at) | _ -> None
+    in
+    let outcome =
+      match
+        run_round_outcome ?predicate ?serialize ?transport ?reliable ?wal ?crash:crash_here
+          session ~updates ~behaviours ~round
+      with
+      | outcome -> outcome
+      | exception Server_crashed _ -> (
+          match wal with
+          | None -> raise (Server_crashed { stage = Netsim.Commit; at = Stage_start })
+          | Some w ->
+              (* replay the log we were writing and resume the round *)
+              Round_log.sync w;
+              let records, _status = Round_log.replay (Round_log.path w) in
+              incr recovered;
+              recover_round ?predicate ?transport ?reliable ~wal:w session ~records ~updates
+                ~behaviours ~round)
+    in
+    (match outcome with
+    | Completed stats ->
+        incr completed;
+        (* carry C* across rounds: convicted clients start the next round
+           banned *)
+        List.iter (Server.ban session.server) stats.flagged
+    | Aborted_insufficient_quorum _ | Aborted_decode _ -> ());
+    outcomes := (round, outcome) :: !outcomes
+  done;
+  {
+    rounds_attempted = rounds;
+    rounds_completed = !completed;
+    round_outcomes = List.rev !outcomes;
+    final_banned = Server.banned session.server;
+    crashes_recovered = !recovered;
+  }
 
 let run_iteration ?predicate ?serialize ?transport setup ~updates ~behaviours ~seed ~round =
   run_round ?predicate ?serialize ?transport (create_session setup ~seed) ~updates ~behaviours

@@ -10,7 +10,15 @@
     byte flips, replays): undecodable frames cost the sender its honesty
     bit (it joins the malicious set), late/missing frames make it a dropout, and the
     round either completes or ends with a typed {!round_outcome} — no
-    fault plan can make an exception escape. *)
+    fault plan can make an exception escape.
+
+    Durability: with a {!Round_log.t} write-ahead log armed, every
+    accepted frame is logged (and fsynced) before the server processes
+    it, and a seeded crash plan can kill the server at any stage
+    boundary or mid-stage frame index. {!recover_round} replays the log
+    and finishes the round with an aggregate and C* bit-identical to the
+    uncrashed run; {!run_session} chains rounds, carries C* forward as
+    bans, and auto-recovers in-loop. *)
 
 (** What a client does this iteration. *)
 type behaviour =
@@ -66,18 +74,53 @@ type session
     the public-key directory. Deterministic in [seed]. *)
 val create_session : Setup.t -> seed:string -> session
 
-(** [run_round ?predicate ?serialize ?transport session ~updates
-    ~behaviours ~round] — one full protocol iteration (commit → flags →
-    probabilistic check → aggregation) over the session's long-lived
-    clients. With [serialize] every message round-trips through the
-    binary wire codecs, exactly as over a network; with [transport]
-    (which implies [serialize]) the frames additionally cross the
-    fault-injected links. All stages always run; quorum loss surfaces as
+(** The session's current server (replaced on crash recovery). *)
+val session_server : session -> Server.t
+
+(** {1 Crash plan} *)
+
+(** Where in a stage the server dies: before intake ([Stage_start]),
+    immediately before accepting the i-th frame of the stage
+    ([Stage_frame i] — write-ahead, so the frame is {e not} logged), or
+    after the stage completed ([Stage_end]). *)
+type crash_point = Stage_start | Stage_frame of int | Stage_end
+
+(** The simulated server crash: raised out of the round at the planned
+    point, after fsyncing the WAL. *)
+exception Server_crashed of { stage : Netsim.stage; at : crash_point }
+
+val crash_of_string : string -> (Netsim.stage * crash_point, string) result
+(** Parse ["STAGE:STEP"] — stage ∈ commit|flag|proof|agg, step ∈
+    start|end|frame-index (e.g. ["proof:start"], ["agg:2"]). *)
+
+val crash_to_string : Netsim.stage * crash_point -> string
+
+val seeded_crashes :
+  seed:string -> n:int -> max_step:int -> (Netsim.stage * crash_point) list
+(** [seeded_crashes ~seed ~n ~max_step] — n mid-stage crash points drawn
+    from independent DRBG forks of [seed] (scheduled like Netsim faults:
+    a sweep is a pure function of the seed). *)
+
+(** [run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash
+    session ~updates ~behaviours ~round] — one full protocol iteration
+    (commit → flags → probabilistic check → aggregation) over the
+    session's long-lived clients. With [serialize] every message
+    round-trips through the binary wire codecs, exactly as over a
+    network; with [transport] (which implies [serialize]) the frames
+    additionally cross the fault-injected links; with [reliable] (which
+    wins over [transport]) unacked frames retransmit under exponential
+    backoff with receive-side dedup; with [wal] every accepted frame is
+    logged write-ahead; with [crash] the server dies at the planned
+    point ({!Server_crashed} escapes — catch it and
+    {!recover_round}). All stages always run; quorum loss surfaces as
     [failure = Some (Insufficient_quorum _)], never as an exception. *)
 val run_round :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?reliable:Reliable.t ->
+  ?wal:Round_log.t ->
+  ?crash:Netsim.stage * crash_point ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
@@ -86,16 +129,71 @@ val run_round :
 
 (** [run_round_outcome] — like {!run_round} but with the deadline/quorum
     lifecycle armed: the server abandons the round as soon as fewer than
-    t = m+1 clients survive a stage, returning the typed verdict. *)
+    t = m+1 clients survive a stage, returning the typed verdict (and
+    sealing the WAL with a [Round_end] record). *)
 val run_round_outcome :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?reliable:Reliable.t ->
+  ?wal:Round_log.t ->
+  ?crash:Netsim.stage * crash_point ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
   round:int ->
   round_outcome
+
+(** [recover_round session ~records ~updates ~behaviours ~round] —
+    finish a crashed round from its write-ahead log. Rebuilds a fresh
+    server from the session seed, restores the last snapshot at or
+    before [round], replays the round's logged frames, then re-enters
+    delivery for the unlogged senders only and runs the remaining
+    stages. The server DRBG is fast-forwarded to the snapshot position,
+    so the check string, proof verdicts, aggregate and C* are
+    bit-identical to the uncrashed run. Pass the same [wal] to keep
+    logging the recovered tail. *)
+val recover_round :
+  ?predicate:Predicate.t ->
+  ?transport:Netsim.t ->
+  ?reliable:Reliable.t ->
+  ?wal:Round_log.t ->
+  session ->
+  records:Round_log.record list ->
+  updates:int array array ->
+  behaviours:behaviour array ->
+  round:int ->
+  round_outcome
+
+(** {1 Multi-round sessions} *)
+
+type session_report = {
+  rounds_attempted : int;
+  rounds_completed : int;
+  round_outcomes : (int * round_outcome) list;  (** in round order *)
+  final_banned : int list;  (** C* accumulated across all rounds *)
+  crashes_recovered : int;
+}
+
+(** [run_session ?crash session ~updates_for ~behaviours ~rounds] — run
+    [rounds] quorum-aware rounds over one session. [updates_for r] is
+    the round-r update matrix. Clients convicted (C* membership) in a
+    completed round start every later round banned. [crash], if given, is
+    [(round, stage, point)]: the server dies there and — when a [wal] is
+    armed — the loop syncs, replays and {!recover_round}s transparently
+    (without a WAL the crash re-raises). *)
+val run_session :
+  ?predicate:Predicate.t ->
+  ?serialize:bool ->
+  ?transport:Netsim.t ->
+  ?reliable:Reliable.t ->
+  ?wal:Round_log.t ->
+  ?crash:int * Netsim.stage * crash_point ->
+  session ->
+  updates_for:(int -> int array array) ->
+  behaviours:behaviour array ->
+  rounds:int ->
+  session_report
 
 (** [run_iteration setup ~updates ~behaviours ~seed ~round] — one-shot
     convenience: a fresh session running a single round. [updates] are

@@ -1,0 +1,135 @@
+type record =
+  | Round_start of { round : int }
+  | Snapshot of Wire.server_snapshot
+  | Frame of { round : int; stage : Netsim.stage; sender : int; seq : int; frame : Bytes.t }
+  | Stage_done of { round : int; stage : Netsim.stage }
+  | Check of { round : int; s : Bytes.t }
+  | Round_end of { round : int; cstar : int list; aggregate : int array option }
+
+type t = Store.Wal.t
+
+let create ?fsync path = Store.Wal.open_ ?fsync path
+let path = Store.Wal.path
+let sync = Store.Wal.sync
+let close = Store.Wal.close
+
+let tag_round_start = 1
+let tag_snapshot = 2
+let tag_frame = 3
+let tag_stage_done = 4
+let tag_check = 5
+let tag_round_end = 6
+
+let encode = function
+  | Round_start { round } ->
+      let b = Serial.W.create () in
+      Serial.W.u32 b round;
+      (tag_round_start, Buffer.to_bytes b)
+  | Snapshot snap -> (tag_snapshot, Serial.encode_snapshot snap)
+  | Frame { round; stage; sender; seq; frame } ->
+      let b = Serial.W.create () in
+      Serial.W.u32 b round;
+      Serial.W.u8 b (Netsim.stage_index stage);
+      Serial.W.u32 b sender;
+      Serial.W.u32 b seq;
+      Serial.W.bytes b frame;
+      (tag_frame, Buffer.to_bytes b)
+  | Stage_done { round; stage } ->
+      let b = Serial.W.create () in
+      Serial.W.u32 b round;
+      Serial.W.u8 b (Netsim.stage_index stage);
+      (tag_stage_done, Buffer.to_bytes b)
+  | Check { round; s } ->
+      let b = Serial.W.create () in
+      Serial.W.u32 b round;
+      Serial.W.bytes b s;
+      (tag_check, Buffer.to_bytes b)
+  | Round_end { round; cstar; aggregate } ->
+      let b = Serial.W.create () in
+      Serial.W.u32 b round;
+      Serial.W.u32 b (List.length cstar);
+      List.iter (Serial.W.u32 b) cstar;
+      (match aggregate with
+      | None -> Serial.W.u8 b 0
+      | Some agg ->
+          Serial.W.u8 b 1;
+          Serial.W.u32 b (Array.length agg);
+          Array.iter (Serial.W.i32 b) agg);
+      (tag_round_end, Buffer.to_bytes b)
+
+let append t r =
+  let tag, payload = encode r in
+  Store.Wal.append t ~tag payload
+
+let r_stage r =
+  match Netsim.stage_of_index (Serial.R.u8 r) with
+  | Some s -> s
+  | None -> failwith "bad stage index"
+
+let decode tag payload =
+  if tag = tag_snapshot then
+    match Serial.decode_snapshot payload with
+    | Ok snap -> Ok (Snapshot snap)
+    | Error e -> Error e
+  else
+    Serial.total "wal-record"
+      (fun r ->
+        let record =
+          if tag = tag_round_start then Round_start { round = Serial.R.u32 r }
+          else if tag = tag_frame then begin
+            let round = Serial.R.u32 r in
+            let stage = r_stage r in
+            let sender = Serial.R.u32 r in
+            let seq = Serial.R.u32 r in
+            let frame = Serial.R.bytes r in
+            Frame { round; stage; sender; seq; frame }
+          end
+          else if tag = tag_stage_done then begin
+            let round = Serial.R.u32 r in
+            let stage = r_stage r in
+            Stage_done { round; stage }
+          end
+          else if tag = tag_check then begin
+            let round = Serial.R.u32 r in
+            let s = Serial.R.bytes r in
+            Check { round; s }
+          end
+          else if tag = tag_round_end then begin
+            let round = Serial.R.u32 r in
+            let nc = Serial.R.u32 r in
+            if nc > 0xFFFF then failwith "oversized C* list";
+            let cstar = List.init nc (fun _ -> Serial.R.u32 r) in
+            let aggregate =
+              match Serial.R.u8 r with
+              | 0 -> None
+              | 1 ->
+                  let d = Serial.R.u32 r in
+                  if d > 0x100000 then failwith "oversized aggregate";
+                  Some (Array.init d (fun _ -> Serial.R.i32 r))
+              | _ -> failwith "bad aggregate flag"
+            in
+            Round_end { round; cstar; aggregate }
+          end
+          else failwith (Printf.sprintf "unknown record tag %d" tag)
+        in
+        Serial.R.finish r;
+        record)
+      payload
+
+let replay file =
+  let raw, status = Store.Wal.replay file in
+  let out = ref [] in
+  let rec go status = function
+    | [] -> (List.rev !out, status)
+    | (off, tag, payload) :: rest -> (
+        match decode tag payload with
+        | Ok r ->
+            out := r :: !out;
+            go status rest
+        | Error e ->
+            (* a CRC-clean frame whose body does not decode: treat like a
+               torn tail — keep the good prefix, stop here *)
+            (List.rev !out, Store.Wal.Torn { offset = off; reason = "record: " ^ e.Serial.reason })
+        )
+  in
+  go status raw

@@ -27,6 +27,11 @@ module W = struct
       Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
     done
 
+  (* signed 32-bit, two's complement inside the u32 lane *)
+  let i32 b v =
+    if v < -0x80000000 || v > 0x7FFFFFFF then invalid_arg "Serial: i32 out of range";
+    u32 b (v land 0xFFFFFFFF)
+
   let bytes b x =
     u32 b (Bytes.length x);
     Buffer.add_bytes b x
@@ -77,6 +82,10 @@ module R = struct
     done;
     r.pos <- r.pos + 4;
     !v
+
+  let i32 r =
+    let v = u32 r in
+    if v land 0x80000000 <> 0 then v - 0x1_0000_0000 else v
 
   let raw r n =
     need r n;
@@ -387,6 +396,90 @@ let decode_broadcast_r =
       let hs = R.points r in
       R.finish r;
       (s, hs))
+
+(* --- durable-runtime codecs: transport framing and server snapshots --- *)
+
+let magic_framed = 0xC6
+let magic_snapshot = 0xC7
+
+type frame_header = { fh_round : int; fh_stage : int; fh_sender : int; fh_seq : int }
+
+let c_wire_framed = Telemetry.Counter.make "wire.framed.bytes"
+
+let encode_framed ~round ~stage ~sender ~seq payload =
+  let b = W.create () in
+  W.u8 b magic_framed;
+  W.u32 b round;
+  W.u8 b stage;
+  W.u32 b sender;
+  W.u32 b seq;
+  W.u32 b (Store.Crc32.digest payload);
+  W.bytes b payload;
+  counted c_wire_framed b
+
+let decode_framed =
+  total "framed" (fun r ->
+      expect_magic r magic_framed;
+      let fh_round = R.u32 r in
+      let fh_stage = R.u8 r in
+      let fh_sender = R.u32 r in
+      let fh_seq = R.u32 r in
+      let crc = R.u32 r in
+      let crc_off = r.R.pos - 4 in
+      let payload = R.bytes r in
+      R.finish r;
+      if Store.Crc32.digest payload <> crc then err crc_off "payload CRC mismatch";
+      ({ fh_round; fh_stage; fh_sender; fh_seq }, payload))
+
+let w_bools b xs =
+  W.u32 b (Array.length xs);
+  Array.iter (fun v -> W.u8 b (if v then 1 else 0)) xs
+
+let r_bools r =
+  R.array r ~min_elem:1 (fun r ->
+      let off = r.R.pos in
+      match R.u8 r with 0 -> false | 1 -> true | _ -> err off "bad bool")
+
+let encode_snapshot (s : Wire.server_snapshot) =
+  let b = W.create () in
+  W.u8 b magic_snapshot;
+  W.u32 b s.Wire.snap_round;
+  W.u32 b s.Wire.snap_drawn;
+  w_bools b s.Wire.snap_bad;
+  w_bools b s.Wire.snap_banned;
+  W.array b
+    (fun b c ->
+      match c with
+      | None -> W.u8 b 0
+      | Some c ->
+          W.u8 b 1;
+          W.bytes b (encode_commit_msg c))
+    s.Wire.snap_commits;
+  W.bytes b s.Wire.snap_s;
+  Buffer.to_bytes b
+
+let decode_snapshot =
+  total "snapshot" (fun r ->
+      expect_magic r magic_snapshot;
+      let snap_round = R.u32 r in
+      let snap_drawn = R.u32 r in
+      let snap_bad = r_bools r in
+      let snap_banned = r_bools r in
+      let snap_commits =
+        R.array r ~min_elem:1 (fun r ->
+            let off = r.R.pos in
+            match R.u8 r with
+            | 0 -> None
+            | 1 -> (
+                let bs = R.bytes r in
+                match decode_commit bs with
+                | Ok c -> Some c
+                | Error e -> err (off + 1 + e.offset) ("embedded commit: " ^ e.reason))
+            | _ -> err off "bad commit-option flag")
+      in
+      let snap_s = R.bytes r in
+      R.finish r;
+      { Wire.snap_round; snap_drawn; snap_bad; snap_banned; snap_commits; snap_s })
 
 (* --- legacy raising decoders (internal/test convenience) --- *)
 

@@ -31,6 +31,35 @@ type error = { offset : int; reason : string }
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+(** Low-level writer/reader, exposed for sibling record codecs (the
+    write-ahead log in [Round_log]) so they share the same primitives and
+    totality discipline as the protocol messages. *)
+module W : sig
+  val create : unit -> Buffer.t
+  val u8 : Buffer.t -> int -> unit
+  val u32 : Buffer.t -> int -> unit
+
+  val i32 : Buffer.t -> int -> unit
+  (** Signed 32-bit, two's complement in the u32 lane. *)
+
+  val bytes : Buffer.t -> Bytes.t -> unit
+  (** Length-prefixed byte string. *)
+end
+
+module R : sig
+  type t
+
+  val u8 : t -> int
+  val u32 : t -> int
+  val i32 : t -> int
+  val bytes : t -> Bytes.t
+  val finish : t -> unit
+end
+
+val total : string -> (R.t -> 'a) -> Bytes.t -> ('a, error) result
+(** [total name f buf] — run reader [f] over [buf]; any defect becomes
+    [Error] (the totality funnel every decoder in this module uses). *)
+
 val encode_commit_msg : Wire.commit_msg -> Bytes.t
 val encode_flag_msg : Wire.flag_msg -> Bytes.t
 val encode_proof_msg : Wire.proof_msg -> Bytes.t
@@ -46,6 +75,23 @@ val decode_flag : Bytes.t -> (Wire.flag_msg, error) result
 val decode_proof : Bytes.t -> (Wire.proof_msg, error) result
 val decode_agg : Bytes.t -> (Wire.agg_msg, error) result
 val decode_broadcast_r : Bytes.t -> (Bytes.t * Curve25519.Point.t array, error) result
+
+(** Reliable-transport framing: [{ round; stage; sender; seq }] plus a
+    CRC-32 over the payload. The reliability layer wraps every protocol
+    frame in this header so the receiver can ack, de-duplicate by
+    (round, stage, sender, seq) and reject cross-round replays before the
+    inner codec ever runs; a CRC mismatch reads as transient corruption
+    (retransmit), not as sender malice. *)
+
+type frame_header = { fh_round : int; fh_stage : int; fh_sender : int; fh_seq : int }
+
+val encode_framed : round:int -> stage:int -> sender:int -> seq:int -> Bytes.t -> Bytes.t
+val decode_framed : Bytes.t -> (frame_header * Bytes.t, error) result
+
+(** Server state snapshots for the write-ahead log. *)
+
+val encode_snapshot : Wire.server_snapshot -> Bytes.t
+val decode_snapshot : Bytes.t -> (Wire.server_snapshot, error) result
 
 (** Legacy raising decoders (tests and trusted round-trips).
     @raise Malformed on any decode failure. *)

@@ -10,9 +10,15 @@ type t = {
   mutable directory : Point.t array;
   mutable commits : Wire.commit_msg option array;
   mutable bad : bool array; (* C*, index i-1 *)
+  mutable banned : bool array; (* C* carried across session rounds *)
   mutable matrix : Sampling.matrix option;
   mutable s_value : Bytes.t;
   mutable hs : Point.t array;
+  mutable round : int;
+  (* bytes consumed from [drbg]: the DRBG "position" a snapshot captures.
+     All root-stream draws must go through [draw] below so a restored
+     server can fast-forward to the exact same stream offset. *)
+  mutable drawn : int;
 }
 
 let create setup drbg =
@@ -27,10 +33,17 @@ let create setup drbg =
     directory = [||];
     commits = Array.make p.Params.n_clients None;
     bad = Array.make p.Params.n_clients false;
+    banned = Array.make p.Params.n_clients false;
     matrix = None;
     s_value = Bytes.empty;
     hs = [||];
+    round = 0;
+    drawn = 0;
   }
+
+let draw t n =
+  t.drawn <- t.drawn + n;
+  Prng.Drbg.bytes t.drbg n
 
 let install_directory t pks = t.directory <- pks
 
@@ -60,11 +73,19 @@ let mark_decode_failure t i =
    invalid ones have been nulled out) — what it forwards to clients *)
 let round_commits t = Array.copy t.commits
 
-let begin_round t ~round ~commits =
-  ignore round;
-  if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
+(* session-scope bans: C* members of completed rounds start the next
+   round already malicious (the session loop carries C* forward) *)
+let ban t i = if i >= 1 && i <= n_of t then t.banned.(i - 1) <- true
 
-  t.bad <- Array.make (n_of t) false;
+let banned t =
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := (i + 1) :: !out) t.banned;
+  List.rev !out
+
+let begin_round t ~round ~commits =
+  if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
+  t.round <- round;
+  t.bad <- Array.copy t.banned;
   t.commits <- Array.copy commits;
   Array.iteri (fun i c -> if c = None then mark t (i + 1) "no commit") commits;
   (* structural validation of each commit message *)
@@ -135,7 +156,7 @@ let process_flags t ~flags ~reveal =
 
 let prepare_check t =
   let p = t.setup.Setup.params in
-  let s = Prng.Drbg.bytes t.drbg 32 in
+  let s = draw t 32 in
   let seed = Sampling.seed ~s ~pks:t.directory in
   let matrix = Sampling.sample_matrix ~seed ~d:p.Params.d ~k:p.Params.k ~m_factor:p.Params.m_factor in
   t.matrix <- Some matrix;
@@ -403,6 +424,48 @@ let verify_proofs ?(predicate = Predicate.L2) ?jobs ?(batched = true) t ~round ~
       if not (Point.is_identity total) then
         List.iter (fun idx -> mark t (idx + 1) "proof failed") (bisect_failures ?jobs cands total)
     end
+  end
+
+(* --- crash-recovery snapshots --- *)
+
+let snapshot t =
+  {
+    Wire.snap_round = t.round;
+    snap_drawn = t.drawn;
+    snap_bad = Array.copy t.bad;
+    snap_banned = Array.copy t.banned;
+    snap_commits = Array.copy t.commits;
+    snap_s = Bytes.copy t.s_value;
+  }
+
+let restore t (s : Wire.server_snapshot) =
+  if Array.length s.Wire.snap_bad <> n_of t || Array.length s.Wire.snap_commits <> n_of t then
+    invalid_arg "Server.restore: snapshot for a different parameter set";
+  if t.drawn > s.Wire.snap_drawn then
+    invalid_arg "Server.restore: DRBG already past the snapshot position";
+  (* fast-forward the root stream: the discarded bytes are exactly the
+     check strings the crashed server drew before the snapshot, so after
+     this every future draw is bit-identical to the uncrashed run *)
+  if s.Wire.snap_drawn > t.drawn then ignore (draw t (s.Wire.snap_drawn - t.drawn));
+  t.round <- s.Wire.snap_round;
+  t.bad <- Array.copy s.Wire.snap_bad;
+  t.banned <- Array.copy s.Wire.snap_banned;
+  t.commits <- Array.copy s.Wire.snap_commits;
+  t.s_value <- Bytes.copy s.Wire.snap_s;
+  if Bytes.length t.s_value > 0 then begin
+    (* re-derive the sampling matrix and check bases from the snapshotted
+       s (they are a pure function of s and the directory) *)
+    let p = t.setup.Setup.params in
+    let seed = Sampling.seed ~s:t.s_value ~pks:t.directory in
+    let matrix =
+      Sampling.sample_matrix ~seed ~d:p.Params.d ~k:p.Params.k ~m_factor:p.Params.m_factor
+    in
+    t.matrix <- Some matrix;
+    t.hs <- Sampling.compute_h t.setup matrix
+  end
+  else begin
+    t.matrix <- None;
+    t.hs <- [||]
   end
 
 type agg_error =

@@ -84,6 +84,31 @@ val verify_proofs :
 (** The honest list H = C \ C* (1-based ids). *)
 val honest : t -> int list
 
+(** [ban t i] — carry client [i]'s C* membership across rounds: every
+    subsequent {!begin_round} starts with [i] already malicious. The
+    session loop calls this with each completed round's C*. Out-of-range
+    ids are ignored. *)
+val ban : t -> int -> unit
+
+(** Clients currently banned at session scope (1-based ids). *)
+val banned : t -> int list
+
+(** [snapshot t] — everything recovery needs to resume bit-identically:
+    C* (round-scope and session-scope), the validated commits, the last
+    check string, and the root-DRBG position (bytes drawn). Written to the
+    write-ahead log at round boundaries. *)
+val snapshot : t -> Wire.server_snapshot
+
+(** [restore t snap] — restore a {e freshly created} server (same setup,
+    same seed) to the snapshot: fast-forwards the root DRBG to the
+    snapshotted position and re-derives the sampling matrix/check bases
+    from the snapshotted s. After [restore], every draw, verdict and
+    aggregate matches the uncrashed server byte for byte.
+    @raise Invalid_argument if the snapshot belongs to a different
+    parameter set or the server's DRBG has already advanced past the
+    snapshot position. *)
+val restore : t -> Wire.server_snapshot -> unit
+
 (** Why an aggregation attempt could not produce a result. Typed (rather
     than an exception) so the round lifecycle can degrade gracefully:
     losing quorum ends the round with a verdict, not a crash. *)

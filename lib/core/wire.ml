@@ -32,6 +32,20 @@ type proof_msg = {
 
 type agg_msg = { sender : int; r_sum : Scalar.t }
 
+(* Everything the server needs to resume bit-identically after a crash:
+   the malicious sets (this round's C* and the set carried across rounds),
+   the validated commits, the last broadcast check string, and how many
+   bytes the root DRBG has drawn — a fresh server fast-forwards its stream
+   by [snap_drawn] bytes and is then byte-aligned with the crashed one. *)
+type server_snapshot = {
+  snap_round : int;
+  snap_drawn : int;  (* bytes consumed from the server's root DRBG *)
+  snap_bad : bool array;  (* C* of the round in progress *)
+  snap_banned : bool array;  (* C* carried across session rounds *)
+  snap_commits : commit_msg option array;
+  snap_s : Bytes.t;  (* last broadcast check string; may be empty *)
+}
+
 let point_size = 32
 let scalar_size = 32
 let int_size = 4

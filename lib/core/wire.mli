@@ -46,6 +46,21 @@ type proof_msg = {
 (** Round 3 (Figure 2d): aggregated share over the honest set. *)
 type agg_msg = { sender : int; r_sum : Scalar.t }
 
+(** Everything crash-recovery needs to resume a server bit-identically:
+    the malicious sets (this round's C* and the session-scope bans), the
+    validated commits, the last broadcast check string, and the number of
+    bytes the root DRBG has drawn — a freshly created server fast-forwards
+    its stream by [snap_drawn] bytes and is then byte-aligned with the
+    crashed one. Written to the write-ahead log at round boundaries. *)
+type server_snapshot = {
+  snap_round : int;
+  snap_drawn : int;  (** bytes consumed from the server's root DRBG *)
+  snap_bad : bool array;  (** C* of the round in progress, index i−1 *)
+  snap_banned : bool array;  (** C* carried across session rounds *)
+  snap_commits : commit_msg option array;
+  snap_s : Bytes.t;  (** last broadcast check string; may be empty *)
+}
+
 val point_size : int
 val scalar_size : int
 val commit_msg_size : commit_msg -> int

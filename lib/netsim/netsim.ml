@@ -6,6 +6,15 @@ let stage_to_string = function
   | Proof -> "proof"
   | Agg -> "agg"
 
+let stage_index = function Commit -> 0 | Flag -> 1 | Proof -> 2 | Agg -> 3
+
+let stage_of_index = function
+  | 0 -> Some Commit
+  | 1 -> Some Flag
+  | 2 -> Some Proof
+  | 3 -> Some Agg
+  | _ -> None
+
 type fault =
   | Drop
   | Delay of int
@@ -102,6 +111,8 @@ type counters = {
   duplicated : int;
   reordered : int;
   replayed : int;
+  retransmitted : int;
+  recovered : int;
 }
 
 (* telemetry mirrors of the per-instance struct counters, so transport
@@ -114,6 +125,8 @@ let t_mutated = Telemetry.Counter.make "net.mutated"
 let t_duplicated = Telemetry.Counter.make "net.duplicated"
 let t_reordered = Telemetry.Counter.make "net.reordered"
 let t_replayed = Telemetry.Counter.make "net.replayed"
+let t_retransmitted = Telemetry.Counter.make "net.retransmitted"
+let t_recovered = Telemetry.Counter.make "net.recovered"
 
 type queued = { tick : int; seq : int; q_sender : int; frame : Bytes.t }
 
@@ -138,6 +151,8 @@ type t = {
   mutable c_duplicated : int;
   mutable c_reordered : int;
   mutable c_replayed : int;
+  mutable c_retransmitted : int;
+  mutable c_recovered : int;
 }
 
 let create ?(plan = ideal) ?(link_plans = []) ?(script = []) ?(deadline = 4) ~seed () =
@@ -164,6 +179,8 @@ let create ?(plan = ideal) ?(link_plans = []) ?(script = []) ?(deadline = 4) ~se
     c_duplicated = 0;
     c_reordered = 0;
     c_replayed = 0;
+    c_retransmitted = 0;
+    c_recovered = 0;
   }
 
 let deadline t = t.default_deadline
@@ -178,6 +195,8 @@ let counters t =
     duplicated = t.c_duplicated;
     reordered = t.c_reordered;
     replayed = t.c_replayed;
+    retransmitted = t.c_retransmitted;
+    recovered = t.c_recovered;
   }
 
 let begin_stage t ~round ~stage =
@@ -210,13 +229,23 @@ let sample_faults drbg plan frame_len =
     List.rev !fs
   end
 
-let send t ~sender frame =
+let send ?(attempt = 0) t ~sender frame =
   t.c_sent <- t.c_sent + 1;
   Telemetry.Counter.incr t_sent;
+  if attempt > 0 then begin
+    t.c_retransmitted <- t.c_retransmitted + 1;
+    Telemetry.Counter.incr t_retransmitted
+  end;
   let key = (t.stage, sender) in
+  (* attempt 0 keeps the historical label so every existing seed's fault
+     schedule is unchanged; retransmissions re-roll their faults under an
+     attempt-suffixed fork *)
   let drbg =
     Prng.Drbg.fork t.root
-      (Printf.sprintf "fault/r%d/%s/c%d" t.round (stage_to_string t.stage) sender)
+      (if attempt = 0 then
+         Printf.sprintf "fault/r%d/%s/c%d" t.round (stage_to_string t.stage) sender
+       else
+         Printf.sprintf "fault/r%d/%s/c%d/t%d" t.round (stage_to_string t.stage) sender attempt)
   in
   let faults =
     match Hashtbl.find_opt t.script (t.round, t.stage, sender) with
@@ -288,6 +317,12 @@ let send t ~sender frame =
         :: t.queue
     done
   end
+
+(* a reliability layer above us acked this frame after >= 1 retransmit:
+   the loss was transient, not a dropout *)
+let note_recovered t =
+  t.c_recovered <- t.c_recovered + 1;
+  Telemetry.Counter.incr t_recovered
 
 let deliver ?deadline:dl t =
   let dl = match dl with Some d -> d | None -> t.default_deadline in

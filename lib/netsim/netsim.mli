@@ -18,6 +18,11 @@ type stage = Commit | Flag | Proof | Agg
 
 val stage_to_string : stage -> string
 
+val stage_index : stage -> int
+(** Stable wire/WAL encoding of a stage: commit 0, flag 1, proof 2, agg 3. *)
+
+val stage_of_index : int -> stage option
+
 (** A single fault applied to one frame. Scripted faults use these
     directly; sampled faults draw the parameters from the link DRBG. *)
 type fault =
@@ -80,9 +85,20 @@ val deadline : t -> int
     queued from the previous stage are discarded (they were late). *)
 val begin_stage : t -> round:int -> stage:stage -> unit
 
-(** [send t ~sender frame] — submit one frame on [sender]'s link at tick 0
-    of the current stage. The transport applies the link's faults. *)
-val send : t -> sender:int -> Bytes.t -> unit
+(** [send ?attempt t ~sender frame] — submit one frame on [sender]'s link
+    at tick 0 of the current stage. The transport applies the link's
+    faults. [attempt] (default 0) tags a retransmission: attempt 0 draws
+    faults under the historical (round, stage, sender) fork so existing
+    schedules are unchanged, while attempt [k > 0] re-rolls faults under
+    an attempt-suffixed fork and counts as [retransmitted]. Scripted
+    faults apply to every attempt (a scripted Drop is a persistent
+    outage). *)
+val send : ?attempt:int -> t -> sender:int -> Bytes.t -> unit
+
+(** [note_recovered t] — record that a reliability layer above the
+    transport acked a frame after at least one retransmission (the
+    counterpart of a drop that stays lost past the deadline). *)
+val note_recovered : t -> unit
 
 (** [deliver ?deadline t] — everything that arrived by the deadline tick,
     in arrival order (tick, then send/reorder sequence). Duplicates are
@@ -99,6 +115,8 @@ type counters = {
   duplicated : int;
   reordered : int;
   replayed : int;
+  retransmitted : int;  (** extra send attempts submitted by a reliability layer *)
+  recovered : int;  (** frames acked only after >= 1 retransmission *)
 }
 
 val counters : t -> counters

@@ -1,0 +1,130 @@
+module Crc32 = struct
+  (* IEEE 802.3 / zlib polynomial, reflected: 0xEDB88320 *)
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let digest_sub buf ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length buf then invalid_arg "Crc32.digest_sub";
+    let tbl = Lazy.force table in
+    let c = ref 0xFFFFFFFF in
+    for i = pos to pos + len - 1 do
+      c := tbl.((!c lxor Char.code (Bytes.get buf i)) land 0xff) lxor (!c lsr 8)
+    done;
+    !c lxor 0xFFFFFFFF
+
+  let digest buf = digest_sub buf ~pos:0 ~len:(Bytes.length buf)
+end
+
+module Wal = struct
+  (* record frame: u32 len | u32 crc | u8 tag | payload
+     len = 1 + |payload| (tag byte + payload), crc = CRC-32 of those bytes;
+     u32s little-endian, matching the Serial wire convention *)
+  let header_size = 8
+
+  type t = { fd : Unix.file_descr; w_path : string; do_fsync : bool; mutable closed : bool }
+
+  let c_appends = Telemetry.Counter.make "wal.appends"
+  let c_bytes = Telemetry.Counter.make "wal.bytes"
+  let c_fsyncs = Telemetry.Counter.make "wal.fsyncs"
+  let c_torn = Telemetry.Counter.make "wal.torn"
+
+  let open_ ?(fsync = true) path =
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    { fd; w_path = path; do_fsync = fsync; closed = false }
+
+  let path t = t.w_path
+
+  let put_u32 buf off v =
+    for i = 0 to 3 do
+      Bytes.set buf (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let get_u32 buf off =
+    let v = ref 0 in
+    for i = 3 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get buf (off + i))
+    done;
+    !v
+
+  let sync t =
+    if not t.closed then begin
+      Unix.fsync t.fd;
+      Telemetry.Counter.incr c_fsyncs
+    end
+
+  let append t ~tag payload =
+    if t.closed then invalid_arg "Wal.append: closed";
+    if tag < 0 || tag > 0xff then invalid_arg "Wal.append: tag out of range";
+    let len = 1 + Bytes.length payload in
+    let frame = Bytes.create (header_size + len) in
+    put_u32 frame 0 len;
+    Bytes.set frame header_size (Char.chr tag);
+    Bytes.blit payload 0 frame (header_size + 1) (Bytes.length payload);
+    put_u32 frame 4 (Crc32.digest_sub frame ~pos:header_size ~len);
+    let n = Unix.write t.fd frame 0 (Bytes.length frame) in
+    if n <> Bytes.length frame then failwith "Wal.append: short write";
+    Telemetry.Counter.incr c_appends;
+    Telemetry.Counter.add c_bytes (Bytes.length frame);
+    if t.do_fsync then sync t
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      Unix.close t.fd
+    end
+
+  type replay_status = Complete | Torn of { offset : int; reason : string }
+
+  let read_file path =
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+    | fd ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        let buf = Bytes.create size in
+        let rec fill off =
+          if off < size then begin
+            let n = Unix.read fd buf off (size - off) in
+            if n = 0 then failwith "Wal.replay: unexpected EOF";
+            fill (off + n)
+          end
+        in
+        fill 0;
+        Unix.close fd;
+        Some buf
+
+  let replay path =
+    match read_file path with
+    | None -> ([], Complete)
+    | Some buf ->
+        let size = Bytes.length buf in
+        let out = ref [] in
+        let torn off reason =
+          Telemetry.Counter.incr c_torn;
+          (List.rev !out, Torn { offset = off; reason })
+        in
+        let rec scan off =
+          if off = size then (List.rev !out, Complete)
+          else if size - off < header_size then torn off "truncated record header"
+          else begin
+            let len = get_u32 buf off in
+            let crc = get_u32 buf (off + 4) in
+            if len < 1 then torn off "bad record length"
+            else if len > size - off - header_size then torn off "truncated record body"
+            else if Crc32.digest_sub buf ~pos:(off + header_size) ~len <> crc then
+              torn off "CRC mismatch"
+            else begin
+              let tag = Char.code (Bytes.get buf (off + header_size)) in
+              let payload = Bytes.sub buf (off + header_size + 1) (len - 1) in
+              out := (off, tag, payload) :: !out;
+              scan (off + header_size + len)
+            end
+          end
+        in
+        scan 0
+end

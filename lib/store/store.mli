@@ -1,0 +1,55 @@
+(** Durable append-only storage: the write-ahead log under the round
+    runtime.
+
+    A {!Wal.t} is a CRC-framed record log. Each record is
+    [u32 len ‖ u32 crc ‖ u8 tag ‖ payload] (little-endian), where [len]
+    covers tag byte + payload and [crc] is the CRC-32 of the same bytes.
+    Appends are written in one [write] call and optionally [fsync]ed, so
+    a crash can lose or tear at most the final record; {!Wal.replay}
+    stops cleanly at the first incomplete or corrupt frame and reports
+    how far the intact prefix reached. Nothing in here knows about the
+    protocol — typed records live in [Risefl_core.Round_log]. *)
+
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Exposed so the
+    transport framing can checksum payloads with the same primitive. *)
+module Crc32 : sig
+  val digest : Bytes.t -> int
+  (** CRC-32 of the whole buffer, in [0, 0xFFFFFFFF]. *)
+
+  val digest_sub : Bytes.t -> pos:int -> len:int -> int
+  (** CRC-32 of [len] bytes starting at [pos]. *)
+end
+
+module Wal : sig
+  type t
+
+  val open_ : ?fsync:bool -> string -> t
+  (** [open_ ?fsync path] — open (creating if needed) the log at [path]
+      for appending. With [fsync] (default [true]) every {!append} is
+      followed by an [fsync(2)], the durability the recovery invariant
+      assumes; [fsync:false] trades that for speed in benchmarks. *)
+
+  val path : t -> string
+
+  val append : t -> tag:int -> Bytes.t -> unit
+  (** Append one record ([tag] in [0, 255]). The frame is assembled in
+      memory and handed to the kernel in a single write. *)
+
+  val sync : t -> unit
+  (** Force an [fsync(2)] now (a no-op freshness-wise if every append
+      already synced). *)
+
+  val close : t -> unit
+
+  (** How replay ended: the log was intact to the end, or an incomplete /
+      corrupt tail was found at [offset] (everything before it is good —
+      the expected state after a crash mid-append). *)
+  type replay_status = Complete | Torn of { offset : int; reason : string }
+
+  val replay : string -> (int * int * Bytes.t) list * replay_status
+  (** [replay path] — decode the intact prefix of the log into
+      [(offset, tag, payload)] records, in append order. A missing file
+      replays as ([[]], [Complete]). Never raises on corrupt bytes: a bad
+      length, a CRC mismatch or a truncated frame terminates the scan
+      with [Torn]. *)
+end

@@ -342,6 +342,101 @@ let test_run_round_never_aborts () =
         (Risefl_core.Server.agg_error_to_string e)
   | _ -> fail "run_round under quorum loss should report failure, not aggregate"
 
+(* ------------------------------------------------------------------ *)
+(* retransmitting transport *)
+(* ------------------------------------------------------------------ *)
+
+module Reliable = Risefl_core.Reliable
+
+(* at a 50% per-frame drop rate the bare transport loses its quorum, but
+   the ack/retransmission layer (exponential backoff, receive-side dedup)
+   still completes the n=5, m=2 round *)
+let test_retransmit_survives_drops () =
+  let plan = { Netsim.ideal with Netsim.p_drop = 0.5 } in
+  (* bare transport: the same seeded fault schedule aborts the round *)
+  incr round_counter;
+  let round_plain = !round_counter in
+  let plain =
+    Driver.run_round_outcome session
+      ~transport:(Netsim.create ~plan ~seed:"retransmit-ladder" ())
+      ~updates ~behaviours:(Driver.honest_all n) ~round:round_plain
+  in
+  (match plain with
+  | Driver.Completed _ ->
+      fail "drop=0.5 should abort the bare transport (fault seed no longer adversarial?)"
+  | Driver.Aborted_insufficient_quorum _ | Driver.Aborted_decode _ -> ());
+  (* retransmitting transport over the identical plan: completes *)
+  incr round_counter;
+  let round = !round_counter in
+  let net = Netsim.create ~plan ~seed:"retransmit-ladder" () in
+  let rel = Reliable.create ~max_attempts:8 net in
+  (match
+     Driver.run_round_outcome session ~reliable:rel ~updates ~behaviours:(Driver.honest_all n)
+       ~round
+   with
+  | Driver.Completed stats ->
+      if stats.Driver.aggregate = None then fail "retransmitting round lost its aggregate";
+      if stats.Driver.decode_failures <> [] then
+        fail "line loss must not read as sender malice under retransmission"
+  | o ->
+      fail "retransmitting transport should survive drop=0.5, got: %s"
+        (Driver.outcome_to_string o));
+  let rc = Reliable.counters rel in
+  if rc.Reliable.retransmits = 0 then fail "a 50%% drop plan must force retransmissions";
+  if rc.Reliable.recovered = 0 then fail "some frame should be recovered by a retry";
+  (* accounting: every physical send is a first attempt or a retransmit *)
+  Alcotest.(check int) "attempts = logical + retransmits"
+    (rc.Reliable.logical + rc.Reliable.retransmits)
+    rc.Reliable.attempts;
+  (* the conservation law of the underlying transport still holds with
+     retransmissions in flight (retransmits enter through [sent]) *)
+  let c = Netsim.counters net in
+  Alcotest.(check int) "netsim conservation under retransmission"
+    (c.Netsim.sent + c.Netsim.duplicated)
+    (c.Netsim.delivered + c.Netsim.dropped + c.Netsim.late);
+  Alcotest.(check int) "retransmit counters agree" rc.Reliable.retransmits c.Netsim.retransmitted;
+  Alcotest.(check int) "recovered counters agree" rc.Reliable.recovered c.Netsim.recovered
+
+(* a cross-round replay (the link re-injects last round's frame) is
+   rejected idempotently by the frame header check: the stale commit can
+   never be double-processed into the new round *)
+let test_reliable_rejects_cross_round_replay () =
+  incr round_counter;
+  let r1 = !round_counter in
+  incr round_counter;
+  let r2 = !round_counter in
+  let script = [ ((r2, Netsim.Commit, 2), [ Netsim.Replay_previous ]) ] in
+  let net = Netsim.create ~script ~seed:"rel-replay" () in
+  let rel = Reliable.create net in
+  let run round =
+    Driver.run_round_outcome session ~reliable:rel ~updates ~behaviours:(Driver.honest_all n)
+      ~round
+  in
+  (match run r1 with
+  | Driver.Completed stats when stats.Driver.flagged = [] -> ()
+  | o -> fail "clean reliable round should complete, got %s" (Driver.outcome_to_string o));
+  (* round r2: client 2's commit link substitutes the link's previous
+     frame on every attempt. Attempt 0 therefore delivers the stale
+     round-r1 frame — rejected by the header check, never processed into
+     round r2 — and the retransmission (whose "previous" is now the fresh
+     r2 frame) recovers the client: nobody is convicted, nothing is
+     double-counted *)
+  (match run r2 with
+  | Driver.Completed stats ->
+      Alcotest.(check (list int)) "stale frame rejected without conviction" []
+        (List.sort compare stats.Driver.flagged);
+      if stats.Driver.decode_failures <> [] then
+        fail "a replayed frame must not read as an undecodable one";
+      (match stats.Driver.aggregate with
+      | Some agg ->
+          Alcotest.(check (array int)) "stale commit not smuggled into the round"
+            (sum_updates all_ids) agg
+      | None -> fail "round with one replayed link should still aggregate")
+  | o -> fail "replayed link should not abort the round, got %s" (Driver.outcome_to_string o));
+  let rc = Reliable.counters rel in
+  if rc.Reliable.rejected = 0 then fail "the stale frame must be counted as rejected";
+  if rc.Reliable.recovered = 0 then fail "the retransmission must recover the replayed link"
+
 let () =
   Alcotest.run "netsim"
     [
@@ -364,5 +459,11 @@ let () =
           Alcotest.test_case "agg stage" `Quick (test_ladder_stage Netsim.Agg);
           Alcotest.test_case "mixed late dropouts" `Quick test_mixed_late_dropouts;
           Alcotest.test_case "run_round never aborts" `Quick test_run_round_never_aborts;
+        ] );
+      ( "retransmission",
+        [
+          Alcotest.test_case "survives drop=0.5" `Quick test_retransmit_survives_drops;
+          Alcotest.test_case "cross-round replay rejected" `Quick
+            test_reliable_rejects_cross_round_replay;
         ] );
     ]
