@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke clean
 
 all: check
 
@@ -73,6 +73,18 @@ recovery-smoke:
 	dune exec bench/main.exe -- recovery --smoke --json /tmp/recovery-smoke.json
 	@grep -q '"name": "wal-bytes-per-round"' /tmp/recovery-smoke.json \
 	  || { echo "recovery-smoke: WAL overhead records missing from bench JSON" >&2; exit 1; }
+
+# Group-layer gate: the fast-path differential suite (C fe-mul stub vs
+# pure OCaml, wNAF vs double-and-add, cached vs rebuilt tables
+# bit-identical, BSGS edge cases), once more with the C stub enabled for
+# the whole suite, then the group bench smoke — the build fails if the
+# warm-cache precompute speedup falls below 2x over a cold build.
+group-smoke:
+	dune exec test/test_group_fast.exe
+	RISEFL_FE_STUB=1 dune exec test/test_group_fast.exe
+	dune exec bench/main.exe -- group --smoke --json /tmp/group-smoke.json --gate-group 2.0
+	@grep -q '"name": "precompute-speedup"' /tmp/group-smoke.json \
+	  || { echo "group-smoke: precompute records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -719,6 +719,129 @@ let run_verify () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Group-layer fast paths: persistent table cache (cold build vs warm
+   load), the --dlog-mem time/memory knob, and cached-vs-rebuilt
+   bit-identity.  The gate covers the precompute phase — the part the
+   cache eliminates — and the end-to-end cold/warm rounds cross-check
+   that caching never changes the aggregate. *)
+
+let group_gate = ref None (* --gate-group threshold on precompute speedup *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let run_group () =
+  pf "================ group: persistent table cache + dlog knobs ================\n";
+  let n = if config.smoke then 4 else 6 in
+  let m = max 1 (n / 4) in
+  let d = if config.smoke then 32 else 128 in
+  let k = if config.smoke then 4 else 8 in
+  let m_scale = 4.0 in
+  let seed = ns_seed "bench-group" in
+  let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let max_abs = Params.agg_max_abs params in
+  let g = Curve25519.Gens.derive "bench/group/g" in
+  let q = Curve25519.Gens.derive "bench/group/q" in
+  let dir = Filename.temp_file "risefl-groupcache" "" in
+  Sys.remove dir;
+  let cache = Store.Cache.open_ ~dir in
+  Fun.protect ~finally:(fun () -> Risefl_core.Group_cache.reset (); rm_rf dir)
+  @@ fun () ->
+  (* --- precompute: cold build vs warm cache load, same artifacts --- *)
+  let time_min f =
+    let s1 = snd (Telemetry.Clock.time f) in
+    let s2 = snd (Telemetry.Clock.time f) in
+    Float.min s1 s2
+  in
+  let cold_s =
+    time_min (fun () ->
+        ignore (Point.Table.make g);
+        ignore (Point.Table.make q);
+        ignore (Curve25519.Dlog.create ~m_scale ~base:g ~max_abs ()))
+  in
+  (* populate, then load twice (the timed path is pure cache hits) *)
+  let built_g = Risefl_core.Group_cache.table ~cache ~label:"bench/g" ~base:g () in
+  let built_q = Risefl_core.Group_cache.table ~cache ~label:"bench/q" ~base:q () in
+  let built_dlog = Risefl_core.Group_cache.dlog ~cache ~m_scale ~base:g ~max_abs () in
+  let warm_s =
+    time_min (fun () ->
+        ignore (Risefl_core.Group_cache.table ~cache ~label:"bench/g" ~base:g ());
+        ignore (Risefl_core.Group_cache.table ~cache ~label:"bench/q" ~base:q ());
+        ignore (Risefl_core.Group_cache.dlog ~cache ~m_scale ~base:g ~max_abs ()))
+  in
+  (* cached artifacts must be bit-identical to rebuilt ones *)
+  let loaded_g = Risefl_core.Group_cache.table ~cache ~label:"bench/g" ~base:g () in
+  let loaded_dlog = Risefl_core.Group_cache.dlog ~cache ~m_scale ~base:g ~max_abs () in
+  if Point.Table.to_bytes loaded_g <> Point.Table.to_bytes built_g then
+    failwith "group bench: cached table differs from built table";
+  if Curve25519.Dlog.to_bytes loaded_dlog <> Curve25519.Dlog.to_bytes built_dlog then
+    failwith "group bench: cached dlog table differs from built table";
+  ignore built_q;
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  pf "precompute (2 fixed-base tables + BSGS m=%d): cold %.4fs, warm %.4fs, %.1fx\n"
+    (Curve25519.Dlog.table_size built_dlog) cold_s warm_s speedup;
+  record ~target:"group" ~name:"precompute-cold" ~d ~k ~n cold_s;
+  record ~target:"group" ~name:"precompute-warm" ~d ~k ~n warm_s;
+  record ~target:"group" ~name:"precompute-speedup" ~d ~k ~n speedup;
+  (* --- end-to-end rounds: cold vs warm must agree bit-for-bit --- *)
+  let iterate label =
+    let setup, setup_s = Telemetry.Clock.time (fun () -> Setup.create ~label params) in
+    let stats =
+      Driver.run_iteration setup ~updates ~behaviours:(Driver.honest_all n) ~seed ~round:1
+    in
+    (setup_s, stats)
+  in
+  Risefl_core.Group_cache.reset ();
+  let cold_setup_s, cold = iterate "bench/group" in
+  Risefl_core.Group_cache.configure ~cache_dir:dir ();
+  ignore (iterate "bench/group") (* populate the cache *);
+  let warm_setup_s, warm = iterate "bench/group" in
+  Risefl_core.Group_cache.reset ();
+  if cold.Driver.aggregate <> warm.Driver.aggregate then
+    failwith "group bench: cached round aggregate differs from uncached";
+  if cold.Driver.flagged <> warm.Driver.flagged then
+    failwith "group bench: cached round verdicts differ from uncached";
+  pf "round (n=%d d=%d k=%d): setup cold %.4fs warm %.4fs | agg cold %.4fs warm %.4fs | proofgen %.4fs\n"
+    n d k cold_setup_s warm_setup_s cold.Driver.server_agg_s warm.Driver.server_agg_s
+    warm.Driver.client_proof_s;
+  record ~target:"group" ~name:"setup-cold" ~d ~k ~n cold_setup_s;
+  record ~target:"group" ~name:"setup-warm" ~d ~k ~n warm_setup_s;
+  record ~target:"group" ~name:"server-agg-cold" ~d ~k ~n cold.Driver.server_agg_s;
+  record ~target:"group" ~name:"server-agg-warm" ~d ~k ~n warm.Driver.server_agg_s;
+  record ~target:"group" ~name:"client-proofgen" ~d ~k ~n warm.Driver.client_proof_s;
+  (* --- the --dlog-mem knob: solve wall vs table size (all warm) --- *)
+  pf "--dlog-mem ladder (BSGS solve of %d aggregation targets, max_abs=%d):\n" d max_abs;
+  let targets =
+    (* realistic decode workload: the cold round's actual aggregate exponents *)
+    match cold.Driver.aggregate with
+    | Some agg -> Array.map (fun x -> Point.mul_small x g) (Array.sub agg 0 (min d (Array.length agg)))
+    | None -> failwith "group bench: round did not complete"
+  in
+  List.iter
+    (fun ms ->
+      let solver = Risefl_core.Group_cache.dlog ~cache ~m_scale:ms ~base:g ~max_abs () in
+      let solved, solve_s =
+        Telemetry.Clock.time (fun () -> Curve25519.Dlog.solve_many solver targets)
+      in
+      if Array.exists Option.is_none solved then failwith "group bench: dlog failed to solve";
+      pf "  m_scale %4.1f  table %7d entries  solve %.4fs\n" ms
+        (Curve25519.Dlog.table_size solver) solve_s;
+      record ~target:"group" ~name:(Printf.sprintf "dlog-solve@m=%g" ms) ~d ~k ~n solve_s)
+    [ 1.0; 4.0 ];
+  match !group_gate with
+  | Some thr when speedup < thr ->
+      pf "GATE FAIL: warm-cache precompute speedup %.2fx below threshold %.2fx\n" speedup thr;
+      exit 1
+  | Some thr -> pf "gate ok: precompute speedup %.2fx >= %.2fx\n" speedup thr
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection degradation ladder (EXPERIMENTS.md)                 *)
 
 let run_faults () =
@@ -845,7 +968,7 @@ let run_recovery () =
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "faults"; "phases"; "recovery" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -858,6 +981,7 @@ let rec run_target = function
   | "micro" -> run_micro ()
   | "ablate" -> run_ablate ()
   | "verify" -> run_verify ()
+  | "group" -> run_group ()
   | "faults" -> run_faults ()
   | "recovery" -> run_recovery ()
   | "all" -> List.iter run_target all_targets
@@ -888,6 +1012,9 @@ let () =
       ( "--gate-table1",
         Arg.Unit (fun () -> table1_gate := true),
         "fail (exit 1) if measured group-exp counts drift outside the table1 tolerance bands" );
+      ( "--gate-group",
+        Arg.Float (fun v -> group_gate := Some v),
+        "fail (exit 1) if the group target's warm-cache precompute speedup drops below this factor" );
       ( "--seed",
         Arg.String (fun v -> config.seed <- v),
         "workload seed namespace, recorded in the JSON metadata (default \"default\")" );

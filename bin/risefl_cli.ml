@@ -34,6 +34,27 @@ let jobs_arg =
     & info [ "jobs" ] ~docv:"J"
         ~doc:"Worker domains for the parallel hot paths (0 = RISEFL_JOBS or the core count).")
 
+let cache_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the expensive group-layer precomputations (BSGS baby table, fixed-base point \
+           tables) under DIR. Warm starts load them instead of rebuilding; corrupt or mismatched \
+           entries are rebuilt automatically. Results are bit-identical with or without a cache.")
+
+let dlog_mem_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "dlog-mem" ] ~docv:"F"
+        ~doc:
+          "Scale the BSGS baby-table size by F (default 1.0): the discrete-log time/memory knob. \
+           F=4 stores a 4x larger table and takes ~4x fewer giant steps per decode.")
+
+let configure_group_cache cache_dir dlog_mem =
+  if cache_dir <> None || dlog_mem <> None then
+    Risefl_core.Group_cache.configure ?cache_dir ?dlog_m_scale:dlog_mem ()
+
 let attackers_arg =
   Arg.(
     value & opt (list int) []
@@ -174,9 +195,10 @@ let round_cmd =
             "Do not recover in-process after $(b,--crash): sync the log and exit, leaving the \
              interrupted WAL for the resume subcommand (requires $(b,--rounds) 1).")
   in
-  let run n m d k bound seed attackers jobs faults deadline trace rounds crash wal_file retransmit
-      no_recover =
+  let run n m d k bound seed attackers jobs cache_dir dlog_mem faults deadline trace rounds crash
+      wal_file retransmit no_recover =
     if jobs > 0 then Parallel.set_default_jobs jobs;
+    configure_group_cache cache_dir dlog_mem;
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -277,8 +299,8 @@ let round_cmd =
     (Cmd.info "round" ~doc:"Run secure-and-verifiable aggregation rounds.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
-      $ faults_arg $ deadline_arg $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg
-      $ no_recover_arg)
+      $ cache_dir_arg $ dlog_mem_arg $ faults_arg $ deadline_arg $ trace_arg $ rounds_arg
+      $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg)
 
 (* --- resume --- *)
 
@@ -288,8 +310,9 @@ let resume_cmd =
       required & opt (some string) None
       & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log of the interrupted run.")
   in
-  let run n m d k bound seed attackers jobs wal_file =
+  let run n m d k bound seed attackers jobs cache_dir dlog_mem wal_file =
     if jobs > 0 then Parallel.set_default_jobs jobs;
+    configure_group_cache cache_dir dlog_mem;
     let records, status = Round_log.replay wal_file in
     let frames = List.length (List.filter (function Round_log.Frame _ -> true | _ -> false) records) in
     Printf.printf "wal: %d records (%d frames)%s\n" (List.length records) frames
@@ -328,7 +351,7 @@ let resume_cmd =
        ~doc:"Replay a write-ahead log and finish its interrupted round bit-identically.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
-      $ wal_req)
+      $ cache_dir_arg $ dlog_mem_arg $ wal_req)
 
 (* --- train --- *)
 

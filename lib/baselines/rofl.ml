@@ -246,7 +246,7 @@ let run setup ~updates ~bound_b ~cheat ~seed =
             in
             let r_sums = Secagg_mask.unmask_sum (Array.of_list masked) in
             let max_abs = n * (1 lsl (setup.bits - 1)) in
-            let solver = Curve25519.Dlog.create ~base:setup.key.Pedersen.g ~max_abs in
+            let solver = Curve25519.Dlog.create ~base:setup.key.Pedersen.g ~max_abs () in
             let targets =
               Array.init setup.d (fun l ->
                   let prod =

@@ -28,8 +28,8 @@ let create setup drbg =
     drbg;
     dlog =
       lazy
-        (Curve25519.Dlog.create ~base:setup.Setup.g
-           ~max_abs:(Params.agg_max_abs p));
+        (Group_cache.dlog ~base:setup.Setup.g
+           ~max_abs:(Params.agg_max_abs p) ());
     directory = [||];
     commits = Array.make p.Params.n_clients None;
     bad = Array.make p.Params.n_clients false;

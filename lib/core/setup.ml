@@ -24,7 +24,11 @@ let create ~label (params : Params.t) =
   let g = Gens.derive (label ^ "/g") in
   let q = Gens.derive (label ^ "/q") in
   let w = Gens.derive_many (label ^ "/w") params.Params.d in
-  let gq_key = Commitments.Pedersen.make_key ~g ~h:q in
+  (* the two fixed-base tables dominate cold setup; pull them through the
+     persistent cache when one is configured *)
+  let g_table = Group_cache.table ~label:(label ^ "/g") ~base:g () in
+  let q_table = Group_cache.table ~label:(label ^ "/q") ~base:q () in
+  let gq_key = Commitments.Pedersen.of_tables ~g_table ~h_table:q_table ~g ~h:q in
   {
     params;
     g;

@@ -38,16 +38,22 @@ let delta_ops f =
    catch implementation regressions. *)
 let bands =
   [
-    ("client-commit", (0.5, 2.5));
+    (* re-measured after the group-layer fast paths (wNAF mul, Niels
+       madd buckets): a calibration group-exp now costs ~299 point ops
+       instead of ~331, which inflates every ratio by ~10%; the bands
+       bracket the new measured points (1.0, 48, 1.9, 15, 4.2, 1.4) with
+       margin only for the wNAF digit-count jitter of the random
+       calibration scalars *)
+    ("client-commit", (0.7, 1.6));
     (* absolute proof-gen cost at CI scale is dominated by the range
        proofs' O(k*b_ip + b_max) committed bits (~5 ge per bit), which the
        asymptotic d/log d row drops; the marginal stage below carries the
        tight check of the d-scaling claim *)
-    ("client-proofgen", (10.0, 150.0));
-    ("proofgen-marginal", (0.2, 6.0));
-    ("server-prep", (2.0, 30.0));
-    ("server-verify", (0.5, 8.0));
-    ("comm", (0.5, 3.0));
+    ("client-proofgen", (25.0, 90.0));
+    ("proofgen-marginal", (0.8, 3.5));
+    ("server-prep", (8.0, 25.0));
+    ("server-verify", (2.0, 7.0));
+    ("comm", (1.0, 2.2));
   ]
 
 let mk_stage ?(gated = true) stage measured predicted =

@@ -3,21 +3,57 @@
     The secure-aggregation step (Eqn 7 of the paper) leaves the server
     with g^{u_l} where u_l is a sum of n fixed-point updates, so
     |u_l| < 2^(b + log2 n + 1) — around 24 bits in the paper's setting.
-    BSGS recovers it in O(2^(bits/2)) with a precomputed baby table. *)
+    BSGS recovers it in O(2^(bits/2)) with a precomputed baby table.
+
+    Giant steps run center-out: aggregates of n zero-centered updates
+    concentrate near 0, so probing the middle stride first finds typical
+    targets in a handful of rounds instead of ~sqrt(range)/2. Each hit
+    pins the exponent uniquely, so probe order never changes results. *)
 
 type t
 
-(** [create ~base ~max_abs] builds a solver for exponents in
-    [-max_abs, max_abs]. Table size ≈ sqrt(2·max_abs + 1) group elements. *)
-val create : base:Point.t -> max_abs:int -> t
+(** [create ?jobs ?m_scale ~base ~max_abs ()] builds a solver for
+    exponents in [-max_abs, max_abs]. The baby table holds
+    m = ceil(sqrt(2·max_abs + 1) · m_scale) group elements (clamped to
+    [1, range]); [m_scale] (default 1.0) is the time/memory knob —
+    larger tables mean fewer giant steps per solve. The build is chunked
+    over the worker pool; the table contents are identical at every job
+    count. *)
+val create : ?jobs:int -> ?m_scale:float -> base:Point.t -> max_abs:int -> unit -> t
 
 (** [solve t p] finds x with x·base = p, |x| <= max_abs, or [None]. *)
 val solve : t -> Point.t -> int option
 
-(** [solve_many t ps] solves all targets together, sharing one
-    Montgomery-batched compression per giant step — the aggregation
-    decoder's d coordinates cost ~30x less this way. *)
-val solve_many : t -> Point.t array -> int option array
+(** [solve_many t ps] solves all targets together: each giant-step round
+    advances every unsolved target's two frontiers and compresses all
+    probe points with per-chunk Montgomery batching over the worker
+    pool — the aggregation decoder's d coordinates cost ~30x less than
+    solving one-by-one. Results are independent of [jobs]. *)
+val solve_many : ?jobs:int -> t -> Point.t array -> int option array
 
 (** [solve_exn t p] — @raise Not_found when out of range. *)
 val solve_exn : t -> Point.t -> int
+
+(** Exponent bound the solver was built for. *)
+val max_abs : t -> int
+
+(** Number of baby-table entries m (exposed for cache keys and tests). *)
+val table_size : t -> int
+
+(** {2 Serialization (persistent table cache)}
+
+    The serialized form carries the baby-table keys — the part that costs
+    m group additions + compressions to rebuild. Everything else is
+    recomputed from [base] on load in O(log max_abs) group operations.
+    Framing integrity (CRC) and cache keying belong to the caller. *)
+
+(** Canonical bytes: identical whether the solver was freshly built or
+    loaded, for any fixed (base, max_abs, m). *)
+val to_bytes : t -> Bytes.t
+
+(** [of_bytes ~base b] — [None] on any structural mismatch (magic,
+    length, geometry) or if the table's identity entry is wrong; never
+    raises. The caller must pass the same [base] the table was built
+    for (validated via the j=0 entry only; a wrong base with a correct
+    identity entry is caught by the cache key, not here). *)
+val of_bytes : base:Point.t -> Bytes.t -> t option

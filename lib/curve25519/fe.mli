@@ -72,3 +72,23 @@ val edwards_d : t
 val edwards_d2 : t
 
 val pp : Format.formatter -> t -> unit
+
+(** Runtime selection of the multiply/square kernel.
+
+    The default is the pure-OCaml ref10 port. When the stub is enabled
+    ({!Backend.set_stub} or the [RISEFL_FE_STUB=1] environment variable,
+    read once at startup), {!mul} and {!square} route through a C stub
+    that replicates the same schoolbook product and carry chain with
+    [int64], producing bit-identical limb arrays — so proofs, verdicts
+    and C* are unchanged whichever kernel is active. *)
+module Backend : sig
+  (** [true] in this build (the stub is compiled in unconditionally;
+      the flag exists so callers can feature-test). *)
+  val stub_available : bool
+
+  (** Route {!mul}/{!square} through the C stub ([true]) or the pure
+      OCaml kernels ([false]). Takes effect immediately, process-wide. *)
+  val set_stub : bool -> unit
+
+  val using_stub : unit -> bool
+end

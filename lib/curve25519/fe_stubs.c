@@ -1,0 +1,79 @@
+/* C implementation of the ref10 10-limb field multiply/square.
+ *
+ * This mirrors fe.ml's mul/square + carry chain exactly, with int64_t in
+ * place of the 63-bit OCaml int.  Products are summed with exact integer
+ * addition, so as long as no intermediate exceeds the 63-bit range the
+ * OCaml path stays inside (the ref10 bound: largest intermediate < 2^62),
+ * the carried limb outputs are bit-identical to the pure-OCaml path.
+ *
+ * The stubs are [@@noalloc]: they only read and write immediate (tagged
+ * int) fields of pre-allocated float-free arrays, so no caml_modify and
+ * no allocation is needed.  Selection happens at runtime via the
+ * RISEFL_FE_STUB environment variable or Fe.Backend.set_stub.
+ */
+#include <stdint.h>
+#include <caml/mlvalues.h>
+
+/* ref10 carry chain (fe.ml `carry`): brings limbs back to canonical
+   26/25-bit magnitude.  >> on int64_t is an arithmetic shift on every
+   compiler we target, matching OCaml's asr. */
+static void fe_carry(int64_t h[10])
+{
+  int64_t c;
+  c = (h[0] + ((int64_t)1 << 25)) >> 26; h[1] += c; h[0] -= c << 26;
+  c = (h[4] + ((int64_t)1 << 25)) >> 26; h[5] += c; h[4] -= c << 26;
+  c = (h[1] + ((int64_t)1 << 24)) >> 25; h[2] += c; h[1] -= c << 25;
+  c = (h[5] + ((int64_t)1 << 24)) >> 25; h[6] += c; h[5] -= c << 25;
+  c = (h[2] + ((int64_t)1 << 25)) >> 26; h[3] += c; h[2] -= c << 26;
+  c = (h[6] + ((int64_t)1 << 25)) >> 26; h[7] += c; h[6] -= c << 26;
+  c = (h[3] + ((int64_t)1 << 24)) >> 25; h[4] += c; h[3] -= c << 25;
+  c = (h[7] + ((int64_t)1 << 24)) >> 25; h[8] += c; h[7] -= c << 25;
+  c = (h[4] + ((int64_t)1 << 25)) >> 26; h[5] += c; h[4] -= c << 26;
+  c = (h[8] + ((int64_t)1 << 25)) >> 26; h[9] += c; h[8] -= c << 26;
+  c = (h[9] + ((int64_t)1 << 24)) >> 25; h[0] += c * 19; h[9] -= c << 25;
+  c = (h[0] + ((int64_t)1 << 25)) >> 26; h[1] += c; h[0] -= c << 26;
+}
+
+/* Schoolbook product in radix 25.5.  Limb k of the (uncarried) result is
+   sum_{i+j=k (mod 10)} f_i g_j, scaled by 2 when both indices are odd
+   (the half-bit of the mixed radix) and by 19 on wrap-around (2^255 = 19
+   mod p).  Integer addition is exact, so this equals the hand-scheduled
+   ref10 expression in fe.ml term for term, and fe_sq in fe.ml computes
+   the very same limb sums — one inner loop serves both entry points. */
+static void fe_mul_inner(int64_t h[10], const int64_t f[10], const int64_t g[10])
+{
+  int i, j;
+  for (i = 0; i < 10; i++) h[i] = 0;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 10; j++) {
+      int64_t m = f[i] * g[j];
+      if (i & j & 1) m *= 2;
+      if (i + j >= 10) m *= 19;
+      h[(i + j) % 10] += m;
+    }
+  }
+  fe_carry(h);
+}
+
+CAMLprim value risefl_fe_mul(value vh, value vf, value vg)
+{
+  int64_t f[10], g[10], h[10];
+  int i;
+  for (i = 0; i < 10; i++) {
+    f[i] = Long_val(Field(vf, i));
+    g[i] = Long_val(Field(vg, i));
+  }
+  fe_mul_inner(h, f, g);
+  for (i = 0; i < 10; i++) Field(vh, i) = Val_long(h[i]);
+  return Val_unit;
+}
+
+CAMLprim value risefl_fe_sq(value vh, value vf)
+{
+  int64_t f[10], h[10];
+  int i;
+  for (i = 0; i < 10; i++) f[i] = Long_val(Field(vf, i));
+  fe_mul_inner(h, f, f);
+  for (i = 0; i < 10; i++) Field(vh, i) = Val_long(h[i]);
+  return Val_unit;
+}

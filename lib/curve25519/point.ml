@@ -35,6 +35,51 @@ let double p =
 let neg p = { p with x = Fe.neg p.x; t = Fe.neg p.t }
 let sub p q = add p (neg q)
 
+(* --- mixed-affine ("Niels") form ---
+
+   A point with z = 1 stored as (y+x, y−x, 2d·t).  Adding such a point to
+   an extended point costs 7 field muls instead of 9 (the z-product and
+   the d2 scaling are pre-absorbed), which is where the batched-affine
+   Pippenger win comes from: all MSM inputs and all fixed-base table
+   entries are flushed to this form through one Montgomery inversion
+   pass, and every bucket/table addition thereafter is a cheap madd. *)
+
+type niels = { yplusx : Fe.t; yminusx : Fe.t; td2 : Fe.t }
+
+let c_madd = Telemetry.Counter.make "point.madd"
+let c_niels_batches = Telemetry.Counter.make "point.niels.batches"
+let c_niels_points = Telemetry.Counter.make "point.niels.points"
+
+(* madd: same complete a=-1 formulas as [add] specialized to q.z = 1,
+   with q's (y±x) and 2d·t precomputed — bit-for-bit the same group
+   element as [add p q]. Counted under point.add (it is one) and
+   point.madd (for the fast-path breakdown). *)
+let madd p n =
+  Telemetry.Counter.incr c_add;
+  Telemetry.Counter.incr c_madd;
+  let a = Fe.mul (Fe.sub p.y p.x) n.yminusx in
+  let b = Fe.mul (Fe.add p.y p.x) n.yplusx in
+  let c = Fe.mul p.t n.td2 in
+  let d = Fe.add p.z p.z in
+  let e = Fe.sub b a in
+  let f = Fe.sub d c in
+  let g = Fe.add d c in
+  let h = Fe.add b a in
+  { x = Fe.mul e f; y = Fe.mul g h; z = Fe.mul f g; t = Fe.mul e h }
+
+let msub p n = madd p { yplusx = n.yminusx; yminusx = n.yplusx; td2 = Fe.neg n.td2 }
+
+let to_niels_batch ps =
+  Telemetry.Counter.incr c_niels_batches;
+  Telemetry.Counter.add c_niels_points (Array.length ps);
+  let zinvs = Fe.invert_batch (Array.map (fun p -> p.z) ps) in
+  Array.mapi
+    (fun i p ->
+      let x = Fe.mul p.x zinvs.(i) in
+      let y = Fe.mul p.y zinvs.(i) in
+      { yplusx = Fe.add y x; yminusx = Fe.sub y x; td2 = Fe.mul (Fe.mul x y) Fe.edwards_d2 })
+    ps
+
 let equal p q =
   (* x1/z1 = x2/z2 and y1/z1 = y2/z2 *)
   Fe.equal (Fe.mul p.x q.z) (Fe.mul q.x p.z) && Fe.equal (Fe.mul p.y q.z) (Fe.mul q.y p.z)
@@ -104,12 +149,12 @@ let decompress_unchecked b =
 
 (* --- scalar multiplication --- *)
 
-(* 4-bit signed windows would need constant-time tricks we don't require;
-   plain 4-bit unsigned windows are fine for a research prototype. *)
-
-(* little-endian 4-bit digits, one limb pass (shared with Msm via
-   Bigint.to_digits) *)
-let window_digits_of_bigint e nbits = Bigint.to_digits ~bits:4 ~count:((nbits + 3) / 4) e
+(* Variable-base multiplication uses sliding-window wNAF recoding
+   (Scalar.to_wnaf): digits are zero or odd with |d| <= 15, so the
+   precompute is the 8 odd multiples {P, 3P, ..., 15P} and the main loop
+   averages one addition per ~5 doublings — about 2/3 the additions of
+   the old 4-bit unsigned windows with half the table build.  Everything
+   is vartime; this is a research prototype, not a signing library. *)
 
 let mul_digits digits table_p =
   (* digits little-endian; process from the top *)
@@ -134,11 +179,38 @@ let small_table p =
   done;
   tbl
 
+(* odd multiples [| P; 3P; 5P; ...; 15P |]: digit d indexes (|d|-1)/2 *)
+let odd_multiples p =
+  let tbl = Array.make 8 p in
+  let p2 = double p in
+  for i = 1 to 7 do
+    tbl.(i) <- add tbl.(i - 1) p2
+  done;
+  tbl
+
+let c_wnaf_width = Telemetry.Counter.make "point.wnaf.width"
+
 let mul s p =
   Telemetry.Counter.incr c_scalarmul;
-  let e = Scalar.to_bigint s in
-  if Bigint.is_zero e then identity
-  else mul_digits (window_digits_of_bigint e (Bigint.bit_length e)) (small_table p)
+  Telemetry.Counter.add c_wnaf_width Scalar.wnaf_window;
+  let digits = Scalar.to_wnaf s in
+  let top = ref (Array.length digits - 1) in
+  while !top >= 0 && digits.(!top) = 0 do
+    decr top
+  done;
+  if !top < 0 then identity
+  else begin
+    let tbl = odd_multiples p in
+    let d0 = digits.(!top) in
+    let acc = ref (if d0 > 0 then tbl.((d0 - 1) / 2) else neg tbl.(((-d0) - 1) / 2)) in
+    for i = !top - 1 downto 0 do
+      acc := double !acc;
+      let d = digits.(i) in
+      if d > 0 then acc := add !acc tbl.((d - 1) / 2)
+      else if d < 0 then acc := sub !acc tbl.(((-d) - 1) / 2)
+    done;
+    !acc
+  end
 
 let mul_small n p =
   Telemetry.Counter.incr c_scalarmul;
@@ -158,17 +230,30 @@ let mul_small n p =
 (* --- fixed-base tables --- *)
 
 module Table = struct
-  (* tbl.(w).(d) = d * 16^w * P  for w in [0, 63], d in [0, 15].
-     A multiplication is then just <= 64 point additions. *)
-  type table = t array array
+  (* tbl.win.(w).(k) = (k+1) * 16^w * P  for w in [0, 63], k in [0, 8),
+     held in precomputed mixed-affine (Niels) form.  Scalars are recoded
+     into signed base-16 digits in [-8, 7], so one multiplication is
+     <= 64 cheap madds against an 8-entry-per-window table — half the
+     entries (and half the build work) of the old unsigned layout. *)
+  type table = { win : niels array array }
 
   let windows = 64
+  let entries = 8
 
   let make p =
-    let tbl = Array.make windows [||] in
+    (* build time is a span, not a counter: counters must be jobs-invariant *)
+    Telemetry.Span.with_ "point.table.build" @@ fun () ->
+    let ext = Array.make (windows * entries) identity in
     let base = ref p in
     for w = 0 to windows - 1 do
-      tbl.(w) <- small_table !base;
+      let e1 = !base in
+      ext.(w * entries) <- e1;
+      let acc = ref (double e1) in
+      ext.((w * entries) + 1) <- !acc;
+      for k = 2 to entries - 1 do
+        acc := add !acc e1;
+        ext.((w * entries) + k) <- !acc
+      done;
       if w < windows - 1 then begin
         let b = ref !base in
         for _ = 1 to 4 do
@@ -177,32 +262,121 @@ module Table = struct
         base := !b
       end
     done;
-    tbl
+    (* one Montgomery pass flushes all 512 entries to affine Niels form *)
+    let nls = to_niels_batch ext in
+    let win = Array.init windows (fun w -> Array.sub nls (w * entries) entries) in
+    ignore p;
+    { win }
+
+  (* signed base-16 recoding: digits in [-8, 7] with carry; scalars are
+     < 2^253 so the top window digit is at most 2 and never carries out *)
+  let signed_digits e =
+    let raw = Bigint.to_digits ~bits:4 ~count:windows e in
+    let out = Array.make windows 0 in
+    let carry = ref 0 in
+    for w = 0 to windows - 1 do
+      let d = raw.(w) + !carry in
+      if d >= 8 then begin
+        out.(w) <- d - 16;
+        carry := 1
+      end
+      else begin
+        out.(w) <- d;
+        carry := 0
+      end
+    done;
+    assert (!carry = 0);
+    out
 
   let mul tbl s =
     Telemetry.Counter.incr c_scalarmul;
-    let e = Scalar.to_bigint s in
-    let digits = window_digits_of_bigint e 256 in
+    let digits = signed_digits (Scalar.to_bigint s) in
     let acc = ref identity in
-    Array.iteri (fun w d -> if d <> 0 && w < windows then acc := add !acc tbl.(w).(d)) digits;
+    for w = 0 to windows - 1 do
+      let d = digits.(w) in
+      if d > 0 then acc := madd !acc tbl.win.(w).(d - 1)
+      else if d < 0 then acc := msub !acc tbl.win.(w).((-d) - 1)
+    done;
     !acc
 
   let mul_small tbl n =
     Telemetry.Counter.incr c_scalarmul;
     if n = 0 then identity
+    else if n = min_int then invalid_arg "Table.mul_small: exponent out of range"
     else begin
       let negp = n < 0 in
-      let n = abs n in
       let acc = ref identity in
       let w = ref 0 in
-      let v = ref n in
+      let v = ref (abs n) in
       while !v <> 0 do
-        let d = !v land 0xf in
-        if d <> 0 then acc := add !acc tbl.(!w).(d);
-        v := !v lsr 4;
+        let d0 = !v land 0xf in
+        let d = if d0 >= 8 then d0 - 16 else d0 in
+        if d > 0 then acc := madd !acc tbl.win.(!w).(d - 1)
+        else if d < 0 then acc := msub !acc tbl.win.(!w).((-d) - 1);
+        v := (!v - d) asr 4;
         incr w
       done;
       if negp then neg !acc else !acc
+    end
+
+  (* --- serialization (for the persistent table cache) ---
+
+     Layout: "RTB2" | u8 windows | u8 entries | 2 zero bytes, then
+     windows*entries Niels triples (y+x, y-x, 2d*t), each a canonical
+     32-byte field encoding.  Canonical encodings make the serialized
+     form identical whether the table was freshly built or cache-loaded.
+     Integrity (CRC) and keying (base-point compress + params) are the
+     cache layer's job; [of_bytes] validates the structure and that
+     entry (0,0) really is [base]. *)
+
+  let magic = "RTB2"
+  let serialized_size = 8 + (windows * entries * 96)
+
+  let inv_two = lazy (Fe.invert (Fe.of_int 2))
+
+  let to_bytes tbl =
+    let buf = Bytes.make serialized_size '\000' in
+    Bytes.blit_string magic 0 buf 0 4;
+    Bytes.set buf 4 (Char.chr windows);
+    Bytes.set buf 5 (Char.chr entries);
+    let off = ref 8 in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun n ->
+            Bytes.blit (Fe.to_bytes n.yplusx) 0 buf !off 32;
+            Bytes.blit (Fe.to_bytes n.yminusx) 0 buf (!off + 32) 32;
+            Bytes.blit (Fe.to_bytes n.td2) 0 buf (!off + 64) 32;
+            off := !off + 96)
+          row)
+      tbl.win;
+    buf
+
+  (* reconstruct the extended point a Niels entry denotes *)
+  let point_of_niels n =
+    let half = Lazy.force inv_two in
+    let x = Fe.mul (Fe.sub n.yplusx n.yminusx) half in
+    let y = Fe.mul (Fe.add n.yplusx n.yminusx) half in
+    { x; y; z = Fe.one; t = Fe.mul x y }
+
+  let of_bytes ~base b =
+    if Bytes.length b <> serialized_size then None
+    else if not (String.equal (Bytes.sub_string b 0 4) magic) then None
+    else if Char.code (Bytes.get b 4) <> windows || Char.code (Bytes.get b 5) <> entries then
+      None
+    else begin
+      let win =
+        Array.init windows (fun w ->
+            Array.init entries (fun k ->
+                let off = 8 + (((w * entries) + k) * 96) in
+                let fe j = Fe.of_bytes (Bytes.sub b (off + (32 * j)) 32) in
+                { yplusx = fe 0; yminusx = fe 1; td2 = fe 2 }))
+      in
+      let tbl = { win } in
+      (* the cheap semantic check: the (0,0) entry must denote the base
+         point itself (guards against a cache entry for the wrong base
+         slipping past the key) *)
+      if equal (point_of_niels win.(0).(0)) base then Some tbl else None
     end
 end
 
@@ -222,7 +396,7 @@ let base_table = Table.make base
 
 let mul_base s = Table.mul base_table s
 
-(* Strauss–Shamir interleaving: one shared doubling chain for both
+(* Strauss–Shamir interleaving: one shared wNAF doubling chain for both
    scalars, ~1.5x faster than two independent multiplications.  This is
    the hot path of every Sigma-protocol verification and every IPA fold. *)
 let double_mul s p t q =
@@ -231,21 +405,22 @@ let double_mul s p t q =
   else if Bigint.is_zero et then mul s p
   else begin
     Telemetry.Counter.add c_scalarmul 2;
-    let tp = small_table p and tq = small_table q in
-    let nbits = Stdlib.max (Bigint.bit_length es) (Bigint.bit_length et) in
-    let nd = (nbits + 3) / 4 in
-    let dss = window_digits_of_bigint es nbits and dts = window_digits_of_bigint et nbits in
+    Telemetry.Counter.add c_wnaf_width (2 * Scalar.wnaf_window);
+    let dss = Scalar.to_wnaf s and dts = Scalar.to_wnaf t in
+    let tp = odd_multiples p and tq = odd_multiples q in
+    let top = ref 255 in
+    while !top >= 0 && dss.(!top) = 0 && dts.(!top) = 0 do
+      decr top
+    done;
     let acc = ref identity in
-    for i = nd - 1 downto 0 do
-      if i < nd - 1 then begin
-        acc := double !acc;
-        acc := double !acc;
-        acc := double !acc;
-        acc := double !acc
-      end;
-      let ds = dss.(i) and dt = dts.(i) in
-      if ds <> 0 then acc := add !acc tp.(ds);
-      if dt <> 0 then acc := add !acc tq.(dt)
+    for i = !top downto 0 do
+      if i < !top then acc := double !acc;
+      let ds = dss.(i) in
+      if ds > 0 then acc := add !acc tp.((ds - 1) / 2)
+      else if ds < 0 then acc := sub !acc tp.(((-ds) - 1) / 2);
+      let dt = dts.(i) in
+      if dt > 0 then acc := add !acc tq.((dt - 1) / 2)
+      else if dt < 0 then acc := sub !acc tq.(((-dt) - 1) / 2)
     done;
     !acc
   end

@@ -28,8 +28,33 @@ val equal : t -> t -> bool
 
 val is_identity : t -> bool
 
-(** [mul s p] is the scalar multiple [s]·[p] (4-bit windowed). *)
+(** [mul s p] is the scalar multiple [s]·[p] (sliding-window wNAF:
+    signed odd digits against an 8-entry odd-multiples precompute). *)
 val mul : Scalar.t -> t -> t
+
+(** {2 Mixed-affine (Niels) fast path}
+
+    A point with z = 1 stored as (y+x, y−x, 2d·t): adding one to an
+    extended point ({!madd}) costs 7 field multiplications instead of 9.
+    The MSM bucket loop and the fixed-base tables batch-convert their
+    inputs to this form through a single Montgomery inversion
+    ({!to_niels_batch}) and do all their additions as madds. The results
+    are the same group elements as the extended-coordinates path —
+    compressed encodings, proofs and verdicts are bit-identical. *)
+
+type niels
+
+(** [madd p n] — mixed addition; the same group element as [add p q]
+    where [q] is the point [n] denotes. *)
+val madd : t -> niels -> t
+
+(** [msub p n] = [madd p (−n)] (negating a Niels point is free: swap the
+    sums and negate the t-product). *)
+val msub : t -> niels -> t
+
+(** [to_niels_batch ps] — convert many points with one shared field
+    inversion. Identity points convert fine (z is never 0). *)
+val to_niels_batch : t array -> niels array
 
 (** [mul_small n p] is [n]·[p] for a native-int scalar of either sign —
     much faster than {!mul} for short exponents (e.g. 16-bit gradient
@@ -43,7 +68,10 @@ val mul_base : Scalar.t -> t
     generation: g^x · h^r). *)
 val double_mul : Scalar.t -> t -> Scalar.t -> t -> t
 
-(** A precomputed fixed-base table for an arbitrary base point. *)
+(** A precomputed fixed-base table for an arbitrary base point: 64
+    windows of the 8 multiples (k+1)·16^w·P in Niels form, driven by a
+    signed base-16 recoding (digits in [−8, 7]), so a multiplication is
+    at most 64 {!madd}s. *)
 module Table : sig
   type table
 
@@ -54,6 +82,22 @@ module Table : sig
 
   (** [mul_small tbl n] for native-int exponents of either sign. *)
   val mul_small : table -> int -> t
+
+  (** Serialized size in bytes (fixed: a 8-byte header plus 64·8 Niels
+      triples of canonical 32-byte field encodings). *)
+  val serialized_size : int
+
+  (** Canonical serialization for the persistent table cache. The bytes
+      are identical whether the table was freshly built or loaded from
+      cache. *)
+  val to_bytes : table -> Bytes.t
+
+  (** [of_bytes ~base b] — parse a serialized table. Returns [None] on
+      any structural mismatch (length, magic, geometry) or if the first
+      entry does not denote [base]. Integrity (checksums) and cache
+      keying are the caller's job ({!Store.Cache} frames blobs with a
+      CRC); this function never raises. *)
+  val of_bytes : base:t -> Bytes.t -> table option
 end
 
 (** 32-byte compressed encoding (canonical y with sign-of-x bit). *)

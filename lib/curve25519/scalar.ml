@@ -104,4 +104,54 @@ let dot_ints a u =
   let total = Bigint.add !acc_big (Bigint.of_int !acc) in
   of_bigint total
 
+(* Sliding-window signed recoding (the ref10 "slide"): rewrite the bit
+   string into digits that are zero or odd with |digit| <= 15, preserving
+   sum digit_i * 2^i.  Nonzero digits end up >= 4 apart on average, so a
+   scalar multiplication needs ~bits/5 additions against an 8-entry
+   odd-multiples table instead of bits/4 against a 16-entry one — the
+   wNAF half of the group-layer fast paths. *)
+let wnaf_window = 5
+
+let to_wnaf x =
+  let b = to_bytes x in
+  let r = Array.make 256 0 in
+  for i = 0 to 255 do
+    r.(i) <- (Char.code (Bytes.get b (i lsr 3)) lsr (i land 7)) land 1
+  done;
+  for i = 0 to 255 do
+    if r.(i) <> 0 then begin
+      let b = ref 1 in
+      let continue_ = ref true in
+      while !continue_ && !b <= 6 && i + !b < 256 do
+        (if r.(i + !b) <> 0 then begin
+           if r.(i) + (r.(i + !b) lsl !b) <= 15 then begin
+             r.(i) <- r.(i) + (r.(i + !b) lsl !b);
+             r.(i + !b) <- 0
+           end
+           else if r.(i) - (r.(i + !b) lsl !b) >= -15 then begin
+             r.(i) <- r.(i) - (r.(i + !b) lsl !b);
+             (* propagate the borrow-turned-carry upward *)
+             let k = ref (i + !b) in
+             let carrying = ref true in
+             while !carrying && !k < 256 do
+               if r.(!k) = 0 then begin
+                 r.(!k) <- 1;
+                 carrying := false
+               end
+               else begin
+                 r.(!k) <- 0;
+                 incr k
+               end
+             done;
+             (* scalars are < 2^253, so the carry always finds a zero bit *)
+             assert (not !carrying)
+           end
+           else continue_ := false
+         end);
+        incr b
+      done
+    end
+  done;
+  r
+
 let pp fmt x = Format.pp_print_string fmt (Bigint.to_string x)

@@ -70,4 +70,15 @@ val random : Prng.Drbg.t -> t
     probabilistic check). Arrays must have equal length. *)
 val dot_ints : int array -> int array -> t
 
+(** Nominal window width of {!to_wnaf} (5: digits are odd with
+    |digit| <= 2^(w−1) − 1 = 15, needing an 8-entry odd-multiples
+    table). Exposed for telemetry and the cost model. *)
+val wnaf_window : int
+
+(** [to_wnaf x] — sliding-window signed-digit recoding of [x]: an array
+    of 256 little-endian digits, each zero or odd with |digit| ≤ 15,
+    satisfying Σ dᵢ·2^i = [x]. Used by the variable-base scalar
+    multiplication fast path. *)
+val to_wnaf : t -> int array
+
 val pp : Format.formatter -> t -> unit

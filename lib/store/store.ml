@@ -128,3 +128,94 @@ module Wal = struct
         in
         scan 0
 end
+
+module Cache = struct
+  (* keyed blob store for precomputed group tables: one file per key,
+     format "RFLC1" | u32 crc | u32 keylen | key | payload (u32s
+     little-endian, crc = CRC-32 of keylen|key|payload).  Corruption of
+     any kind — wrong magic, bad lengths, CRC mismatch, key collision in
+     the filename hash — loads as None, and the caller rebuilds. *)
+
+  type t = { dir : string }
+
+  let magic = "RFLC1"
+  let magic_len = 5
+
+  let c_hits = Telemetry.Counter.make "store.cache.hits"
+  let c_misses = Telemetry.Counter.make "store.cache.misses"
+  let c_writes = Telemetry.Counter.make "store.cache.writes"
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let open_ ~dir =
+    mkdir_p dir;
+    { dir }
+
+  let dir t = t.dir
+
+  (* filename = readable sanitized key prefix + crc of the full key, so
+     distinct keys practically never share a file and a collision is
+     caught by the embedded key check anyway *)
+  let filename t key =
+    let sane =
+      String.map (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
+        key
+    in
+    let sane = if String.length sane > 80 then String.sub sane 0 80 else sane in
+    Filename.concat t.dir
+      (Printf.sprintf "%s-%08x.cache" sane (Crc32.digest (Bytes.of_string key)))
+
+  let put_u32 = Wal.put_u32
+  let get_u32 = Wal.get_u32
+
+  let load t ~key =
+    match Wal.read_file (filename t key) with
+    | None | (exception _) ->
+        Telemetry.Counter.incr c_misses;
+        None
+    | Some buf ->
+        let klen = String.length key in
+        let header = magic_len + 8 in
+        let ok =
+          Bytes.length buf >= header + klen
+          && String.equal (Bytes.sub_string buf 0 magic_len) magic
+          && get_u32 buf (magic_len + 4) = klen
+          && String.equal (Bytes.sub_string buf (header) klen) key
+          && get_u32 buf magic_len
+             = Crc32.digest_sub buf ~pos:(magic_len + 4) ~len:(Bytes.length buf - magic_len - 4)
+        in
+        if ok then begin
+          Telemetry.Counter.incr c_hits;
+          Some (Bytes.sub buf (header + klen) (Bytes.length buf - header - klen))
+        end
+        else begin
+          Telemetry.Counter.incr c_misses;
+          None
+        end
+
+  let save t ~key payload =
+    let klen = String.length key in
+    let buf = Bytes.create (magic_len + 8 + klen + Bytes.length payload) in
+    Bytes.blit_string magic 0 buf 0 magic_len;
+    put_u32 buf (magic_len + 4) klen;
+    Bytes.blit_string key 0 buf (magic_len + 8) klen;
+    Bytes.blit payload 0 buf (magic_len + 8 + klen) (Bytes.length payload);
+    put_u32 buf magic_len
+      (Crc32.digest_sub buf ~pos:(magic_len + 4) ~len:(Bytes.length buf - magic_len - 4));
+    (* temp + rename: readers never observe a half-written file *)
+    let final = filename t key in
+    let tmp = final ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let n = Unix.write fd buf 0 (Bytes.length buf) in
+    Unix.close fd;
+    if n <> Bytes.length buf then (try Sys.remove tmp with _ -> ())
+    else begin
+      Unix.rename tmp final;
+      Telemetry.Counter.incr c_writes
+    end
+end

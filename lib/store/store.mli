@@ -53,3 +53,25 @@ module Wal : sig
       length, a CRC mismatch or a truncated frame terminates the scan
       with [Torn]. *)
 end
+
+(** Keyed blob cache for expensive precomputed artifacts (BSGS baby
+    tables, fixed-base point tables). One file per key, CRC-framed with
+    the key embedded, written atomically (temp + rename). The cache is
+    strictly best-effort: corruption, truncation, version or key
+    mismatches all read as a miss and the caller rebuilds — a bad cache
+    file can cost time but never wrong results. *)
+module Cache : sig
+  type t
+
+  val open_ : dir:string -> t
+  (** Open (creating recursively if needed) a cache directory. *)
+
+  val dir : t -> string
+
+  val load : t -> key:string -> Bytes.t option
+  (** [None] on a missing, truncated, corrupt or mismatched entry —
+      never raises, never returns partial data. *)
+
+  val save : t -> key:string -> Bytes.t -> unit
+  (** Store [key -> payload], atomically replacing any previous entry. *)
+end

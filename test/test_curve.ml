@@ -256,7 +256,7 @@ let test_msm_zero_exponents () =
 (* --- dlog --- *)
 
 let test_dlog_solves () =
-  let solver = Dlog.create ~base:Point.base ~max_abs:5000 in
+  let solver = Dlog.create ~base:Point.base ~max_abs:5000 () in
   List.iter
     (fun x ->
       let p = Point.mul_small x Point.base in
@@ -264,7 +264,7 @@ let test_dlog_solves () =
     [ 0; 1; -1; 4999; -5000; 5000; 1234; -987 ]
 
 let test_dlog_solve_many () =
-  let solver = Dlog.create ~base:Point.base ~max_abs:2000 in
+  let solver = Dlog.create ~base:Point.base ~max_abs:2000 () in
   let xs = [| 0; 17; -1999; 2000; -3; 555 |] in
   let targets = Array.map (fun x -> Point.mul_small x Point.base) xs in
   let solved = Dlog.solve_many solver targets in
@@ -296,7 +296,7 @@ let test_fe_invert_batch () =
     invs
 
 let test_dlog_out_of_range () =
-  let solver = Dlog.create ~base:Point.base ~max_abs:100 in
+  let solver = Dlog.create ~base:Point.base ~max_abs:100 () in
   let p = Point.mul_small 101 Point.base in
   Alcotest.(check bool) "out of range" true (Dlog.solve solver p = None)
 

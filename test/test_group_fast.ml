@@ -1,0 +1,358 @@
+(* Group-layer fast paths: the C field-mul stub, wNAF scalar
+   multiplication, signed fixed-base tables, batched-affine MSM, the
+   center-out BSGS solver, and the persistent table cache.  Every fast
+   path is differentially tested against a slow reference, and the cache
+   against corruption: a bad cache file must read as a miss, never as
+   wrong data. *)
+
+module Fe = Curve25519.Fe
+module Scalar = Curve25519.Scalar
+module Point = Curve25519.Point
+module Msm = Curve25519.Msm
+module Dlog = Curve25519.Dlog
+module B = Bigint
+module Cache = Store.Cache
+module Group_cache = Risefl_core.Group_cache
+
+let drbg = Prng.Drbg.create_string "test-group-fast"
+
+let rand_fe () = Fe.of_bigint (B.random ~bits:300 (Prng.Drbg.rand26 drbg))
+let rand_scalar () = Scalar.random drbg
+let rand_point () = Point.mul_base (rand_scalar ())
+
+let check_point msg p q = Alcotest.(check bool) msg true (Point.equal p q)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "risefl-test-cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* --- C field-mul stub vs the pure-OCaml kernel --- *)
+
+let test_fe_stub_differential () =
+  Alcotest.(check bool) "stub compiled in" true Fe.Backend.stub_available;
+  let was = Fe.Backend.using_stub () in
+  Fun.protect ~finally:(fun () -> Fe.Backend.set_stub was) @@ fun () ->
+  for _ = 1 to 200 do
+    let a = rand_fe () and b = rand_fe () in
+    Fe.Backend.set_stub false;
+    let mul_ml = Fe.to_bytes (Fe.mul a b) in
+    let sq_ml = Fe.to_bytes (Fe.square a) in
+    Fe.Backend.set_stub true;
+    let mul_c = Fe.to_bytes (Fe.mul a b) in
+    let sq_c = Fe.to_bytes (Fe.square a) in
+    Alcotest.(check bytes) "stub mul == ocaml mul" mul_ml mul_c;
+    Alcotest.(check bytes) "stub sq == ocaml sq" sq_ml sq_c
+  done;
+  (* a compressed point exercises the full carry/inversion tower *)
+  let p = rand_point () and s = rand_scalar () in
+  Fe.Backend.set_stub false;
+  let c_ml = Point.compress (Point.mul s p) in
+  Fe.Backend.set_stub true;
+  let c_c = Point.compress (Point.mul s p) in
+  Alcotest.(check bytes) "stub scalarmul compress identical" c_ml c_c
+
+(* --- wNAF variable-base mul vs double-and-add --- *)
+
+let mul_ref s p =
+  (* plain MSB-first double-and-add over the scalar's bits *)
+  let e = Scalar.to_bigint s in
+  let acc = ref Point.identity in
+  for i = B.bit_length e - 1 downto 0 do
+    acc := Point.double !acc;
+    if B.testbit e i then acc := Point.add !acc p
+  done;
+  !acc
+
+let test_wnaf_digits () =
+  for _ = 1 to 50 do
+    let s = rand_scalar () in
+    let digits = Scalar.to_wnaf s in
+    Alcotest.(check int) "256 digits" 256 (Array.length digits);
+    (* each digit zero or odd, |d| <= 15; the digit sum reconstructs s *)
+    let acc = ref B.zero in
+    for i = 255 downto 0 do
+      let d = digits.(i) in
+      Alcotest.(check bool) "digit odd or zero" true (d = 0 || abs d land 1 = 1);
+      Alcotest.(check bool) "digit magnitude" true (abs d <= 15);
+      acc := B.add (B.add !acc !acc) (B.of_int d)
+    done;
+    Alcotest.(check string) "digits sum to scalar"
+      (B.to_hex (Scalar.to_bigint s))
+      (B.to_hex (B.erem !acc Scalar.order))
+  done
+
+let test_wnaf_mul_matches_reference () =
+  for _ = 1 to 25 do
+    let s = rand_scalar () and p = rand_point () in
+    check_point "wNAF mul == double-and-add" (mul_ref s p) (Point.mul s p)
+  done;
+  (* edge scalars *)
+  List.iter
+    (fun s ->
+      let p = rand_point () in
+      check_point "edge scalar" (mul_ref s p) (Point.mul s p))
+    [ Scalar.zero; Scalar.one; Scalar.of_int 15; Scalar.of_int 16;
+      Scalar.neg Scalar.one; Scalar.of_bigint (B.sub Scalar.order B.one) ]
+
+let test_double_mul_matches () =
+  for _ = 1 to 15 do
+    let s = rand_scalar () and t = rand_scalar () in
+    let p = rand_point () and q = rand_point () in
+    check_point "double_mul == mul+mul"
+      (Point.add (mul_ref s p) (mul_ref t q))
+      (Point.double_mul s p t q)
+  done
+
+let test_table_matches () =
+  let p = rand_point () in
+  let tbl = Point.Table.make p in
+  for _ = 1 to 25 do
+    let s = rand_scalar () in
+    check_point "Table.mul == reference" (mul_ref s p) (Point.Table.mul tbl s)
+  done;
+  List.iter
+    (fun e ->
+      check_point
+        (Printf.sprintf "Table.mul_small %d" e)
+        (Point.mul_small e p)
+        (Point.Table.mul_small tbl e))
+    [ 0; 1; -1; 7; -8; 8; 15; 16; -16; 255; -255; 65535; -65536; max_int / 2 ]
+
+let test_msm_matches () =
+  for _ = 1 to 5 do
+    let n = 1 + Prng.Drbg.uniform_int drbg 40 in
+    let pairs = Array.init n (fun _ -> (rand_scalar (), rand_point ())) in
+    let reference =
+      Array.fold_left (fun acc (s, p) -> Point.add acc (mul_ref s p)) Point.identity pairs
+    in
+    check_point "msm == sum of muls" reference (Msm.msm pairs);
+    let small = Array.map (fun (_, p) -> (Prng.Drbg.uniform_int drbg 4000 - 2000, p)) pairs in
+    let reference_small =
+      Array.fold_left (fun acc (e, p) -> Point.add acc (Point.mul_small e p)) Point.identity small
+    in
+    check_point "msm_small == sum of mul_smalls" reference_small (Msm.msm_small small)
+  done
+
+(* --- Dlog edge cases --- *)
+
+let test_dlog_zero_range () =
+  (* max_abs = 0: only the identity is solvable *)
+  let t = Dlog.create ~base:Point.base ~max_abs:0 () in
+  Alcotest.(check (option int)) "identity solves to 0" (Some 0) (Dlog.solve t Point.identity);
+  Alcotest.(check (option int)) "base is out of range" None (Dlog.solve t Point.base)
+
+let test_dlog_extremes () =
+  let max_abs = 1000 in
+  let t = Dlog.create ~base:Point.base ~max_abs () in
+  List.iter
+    (fun x ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "solve %d" x)
+        (Some x)
+        (Dlog.solve t (Point.mul_small x Point.base)))
+    [ max_abs; -max_abs; max_abs - 1; -(max_abs - 1); 0; 1; -1 ];
+  (* just out of range on both sides *)
+  List.iter
+    (fun x ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "out of range %d" x)
+        None
+        (Dlog.solve t (Point.mul_small x Point.base)))
+    [ max_abs + 1; -(max_abs + 1) ]
+
+let test_dlog_identity_base () =
+  (* base = identity: every baby key collides on compress(identity) and
+     first-writer-wins must keep j = 0, so the identity target decodes
+     to the centered representative and everything else returns None *)
+  let t = Dlog.create ~base:Point.identity ~max_abs:50 () in
+  (match Dlog.solve t Point.identity with
+  | Some x -> Alcotest.(check bool) "identity target in range" true (abs x <= 50)
+  | None -> Alcotest.fail "identity target must solve");
+  Alcotest.(check (option int)) "non-multiple unsolvable" None (Dlog.solve t (rand_point ()))
+
+let test_dlog_m_scale () =
+  let max_abs = 2000 in
+  let small = Dlog.create ~m_scale:0.25 ~base:Point.base ~max_abs () in
+  let big = Dlog.create ~m_scale:4.0 ~base:Point.base ~max_abs () in
+  Alcotest.(check bool) "m_scale scales the table" true
+    (Dlog.table_size big > 4 * Dlog.table_size small);
+  for _ = 1 to 20 do
+    let x = Prng.Drbg.uniform_int drbg (2 * max_abs) - max_abs in
+    let p = Point.mul_small x Point.base in
+    Alcotest.(check (option int)) "small-table solve" (Some x) (Dlog.solve small p);
+    Alcotest.(check (option int)) "big-table solve" (Some x) (Dlog.solve big p)
+  done
+
+let test_dlog_solve_many_jobs_invariant () =
+  let max_abs = 3000 in
+  let t = Dlog.create ~base:Point.base ~max_abs () in
+  let xs = Array.init 64 (fun i -> ((i * 97) mod (2 * max_abs)) - max_abs) in
+  let targets = Array.map (fun x -> Point.mul_small x Point.base) xs in
+  let expected = Array.map (fun x -> Some x) xs in
+  List.iter
+    (fun jobs ->
+      let solved = Dlog.solve_many ~jobs t targets in
+      Alcotest.(check (array (option int)))
+        (Printf.sprintf "solve_many at jobs=%d" jobs)
+        expected solved)
+    [ 1; 2; 4 ]
+
+(* --- serialization + cache --- *)
+
+let test_dlog_serialization_roundtrip () =
+  let t = Dlog.create ~base:Point.base ~max_abs:500 () in
+  let b = Dlog.to_bytes t in
+  match Dlog.of_bytes ~base:Point.base b with
+  | None -> Alcotest.fail "of_bytes rejected its own to_bytes"
+  | Some t' ->
+      Alcotest.(check bytes) "bit-identical reserialization" b (Dlog.to_bytes t');
+      Alcotest.(check int) "same m" (Dlog.table_size t) (Dlog.table_size t');
+      for x = -500 to 500 do
+        if x mod 83 = 0 then
+          Alcotest.(check (option int))
+            (Printf.sprintf "loaded solver solves %d" x)
+            (Some x)
+            (Dlog.solve t' (Point.mul_small x Point.base))
+      done
+
+let test_dlog_of_bytes_rejects_garbage () =
+  let t = Dlog.create ~base:Point.base ~max_abs:100 () in
+  let good = Dlog.to_bytes t in
+  let reject msg b =
+    Alcotest.(check bool) msg true (Dlog.of_bytes ~base:Point.base b = None)
+  in
+  reject "empty" Bytes.empty;
+  reject "truncated" (Bytes.sub good 0 (Bytes.length good - 7));
+  let bad_magic = Bytes.copy good in
+  Bytes.set bad_magic 0 'X';
+  reject "bad magic" bad_magic;
+  let bad_key = Bytes.copy good in
+  (* flip a byte inside the j=0 key (the identity's compression) *)
+  Bytes.set bad_key 12 (Char.chr (Char.code (Bytes.get bad_key 12) lxor 1));
+  reject "corrupt identity entry" bad_key
+
+let test_table_serialization_roundtrip () =
+  let p = rand_point () in
+  let tbl = Point.Table.make p in
+  let b = Point.Table.to_bytes tbl in
+  Alcotest.(check int) "serialized_size" Point.Table.serialized_size (Bytes.length b);
+  (match Point.Table.of_bytes ~base:p b with
+  | None -> Alcotest.fail "of_bytes rejected its own to_bytes"
+  | Some tbl' ->
+      Alcotest.(check bytes) "bit-identical reserialization" b (Point.Table.to_bytes tbl');
+      for _ = 1 to 10 do
+        let s = rand_scalar () in
+        check_point "loaded table multiplies" (Point.Table.mul tbl s) (Point.Table.mul tbl' s)
+      done);
+  (* wrong base must be rejected even though the bytes are intact *)
+  Alcotest.(check bool) "wrong base rejected" true
+    (Point.Table.of_bytes ~base:(rand_point ()) b = None);
+  let truncated = Bytes.sub b 0 (Bytes.length b - 1) in
+  Alcotest.(check bool) "truncated rejected" true (Point.Table.of_bytes ~base:p truncated = None)
+
+let test_cache_roundtrip_and_corruption () =
+  with_temp_dir @@ fun dir ->
+  let c = Cache.open_ ~dir in
+  Alcotest.(check (option bytes)) "missing key" None (Cache.load c ~key:"nope");
+  let payload = Bytes.of_string "hello group tables" in
+  Cache.save c ~key:"k1" payload;
+  Alcotest.(check (option bytes)) "round-trip" (Some payload) (Cache.load c ~key:"k1");
+  Cache.save c ~key:"k1" (Bytes.of_string "v2");
+  Alcotest.(check (option bytes)) "overwrite" (Some (Bytes.of_string "v2")) (Cache.load c ~key:"k1");
+  (* corrupt / truncate every cache file: loads must turn into misses *)
+  Cache.save c ~key:"k2" payload;
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd (len / 2) Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+      Unix.close fd)
+    (Sys.readdir dir);
+  Alcotest.(check (option bytes)) "corrupt k1 is a miss" None (Cache.load c ~key:"k1");
+  Alcotest.(check (option bytes)) "corrupt k2 is a miss" None (Cache.load c ~key:"k2");
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (len / 3);
+      Unix.close fd)
+    (Sys.readdir dir);
+  Alcotest.(check (option bytes)) "truncated is a miss" None (Cache.load c ~key:"k1");
+  (* a save after corruption heals the entry *)
+  Cache.save c ~key:"k1" payload;
+  Alcotest.(check (option bytes)) "healed" (Some payload) (Cache.load c ~key:"k1")
+
+let test_group_cache_bit_identity () =
+  with_temp_dir @@ fun dir ->
+  let cache = Cache.open_ ~dir in
+  let base = rand_point () in
+  let max_abs = 700 in
+  (* first call builds + saves; second loads; both must serialize equal *)
+  let built = Group_cache.dlog ~cache ~base ~max_abs () in
+  let loaded = Group_cache.dlog ~cache ~base ~max_abs () in
+  Alcotest.(check bytes) "dlog cached == built" (Dlog.to_bytes built) (Dlog.to_bytes loaded);
+  let tb = Group_cache.table ~cache ~label:"t" ~base () in
+  let tl = Group_cache.table ~cache ~label:"t" ~base () in
+  Alcotest.(check bytes) "table cached == built" (Point.Table.to_bytes tb)
+    (Point.Table.to_bytes tl);
+  for x = -max_abs to max_abs do
+    if x mod 131 = 0 then
+      Alcotest.(check (option int))
+        (Printf.sprintf "loaded dlog solves %d" x)
+        (Some x)
+        (Dlog.solve loaded (Point.mul_small x base))
+  done;
+  (* corrupt every cache file: constructors must rebuild, not fail *)
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd 7;
+      Unix.close fd)
+    (Sys.readdir dir);
+  let rebuilt = Group_cache.dlog ~cache ~base ~max_abs () in
+  Alcotest.(check bytes) "rebuilt after corruption" (Dlog.to_bytes built) (Dlog.to_bytes rebuilt);
+  let trebuilt = Group_cache.table ~cache ~label:"t" ~base () in
+  Alcotest.(check bytes) "table rebuilt after corruption" (Point.Table.to_bytes tb)
+    (Point.Table.to_bytes trebuilt)
+
+let () =
+  Alcotest.run "group-fast"
+    [
+      ( "fe-stub",
+        [ Alcotest.test_case "C kernel differential" `Quick test_fe_stub_differential ] );
+      ( "wnaf",
+        [
+          Alcotest.test_case "digit invariants + reconstruction" `Quick test_wnaf_digits;
+          Alcotest.test_case "mul vs double-and-add" `Quick test_wnaf_mul_matches_reference;
+          Alcotest.test_case "double_mul" `Quick test_double_mul_matches;
+          Alcotest.test_case "fixed-base table" `Quick test_table_matches;
+          Alcotest.test_case "msm differential" `Quick test_msm_matches;
+        ] );
+      ( "dlog",
+        [
+          Alcotest.test_case "max_abs = 0" `Quick test_dlog_zero_range;
+          Alcotest.test_case "extremes and out-of-range" `Quick test_dlog_extremes;
+          Alcotest.test_case "identity base (colliding keys)" `Quick test_dlog_identity_base;
+          Alcotest.test_case "m_scale knob" `Quick test_dlog_m_scale;
+          Alcotest.test_case "solve_many jobs-invariant" `Quick test_dlog_solve_many_jobs_invariant;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "dlog serialization round-trip" `Quick test_dlog_serialization_roundtrip;
+          Alcotest.test_case "dlog rejects garbage" `Quick test_dlog_of_bytes_rejects_garbage;
+          Alcotest.test_case "table serialization round-trip" `Quick test_table_serialization_roundtrip;
+          Alcotest.test_case "cache round-trip + corruption" `Quick test_cache_roundtrip_and_corruption;
+          Alcotest.test_case "cached vs rebuilt bit-identity" `Quick test_group_cache_bit_identity;
+        ] );
+    ]
