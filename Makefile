@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke clean
 
 all: check
 
@@ -85,6 +85,48 @@ group-smoke:
 	dune exec bench/main.exe -- group --smoke --json /tmp/group-smoke.json --gate-group 2.0
 	@grep -q '"name": "precompute-speedup"' /tmp/group-smoke.json \
 	  || { echo "group-smoke: precompute records missing from bench JSON" >&2; exit 1; }
+
+# Deployment-transport gate: the transport suite (frame/proto units plus
+# forked serve/client deployments), then a real multi-process CLI
+# walkthrough on a Unix socket — kill -9 the server mid-proof with the
+# WAL armed, restart it on the same log while the clients ride through
+# under backoff, and require the server and every client to match the
+# in-process round's flagged/aggregate lines byte for byte. Finishes
+# with the serve bench smoke (socket-loopback latency + transport
+# counters into the JSON).
+serve-smoke:
+	dune exec test/test_transport.exe
+	dune build bin/risefl_cli.exe
+	@set -e; \
+	BIN=_build/default/bin/risefl_cli.exe; \
+	DIR=/tmp/risefl-serve; rm -rf $$DIR; mkdir -p $$DIR; \
+	ARGS="--clients 3 --dimension 16 --samples 4 --seed serve-smoke"; \
+	$$BIN round $$ARGS | grep -E "flagged|aggregate" > $$DIR/ref.txt; \
+	for i in 1 2 3; do \
+	  $$BIN client $$ARGS --id $$i --connect unix:$$DIR/sock \
+	    > $$DIR/client$$i.txt 2>&1 & \
+	done; \
+	$$BIN serve $$ARGS --listen unix:$$DIR/sock --wal $$DIR/wal --crash proof:1 \
+	  > $$DIR/serve1.txt 2>&1 || true; \
+	grep -q "server crashed at proof:1" $$DIR/serve1.txt \
+	  || { echo "serve-smoke: planned crash did not fire" >&2; exit 1; }; \
+	$$BIN serve $$ARGS --listen unix:$$DIR/sock --wal $$DIR/wal \
+	  > $$DIR/serve2.txt 2>&1; \
+	wait; \
+	grep -q "recovered round 1 from the write-ahead log" $$DIR/serve2.txt \
+	  || { echo "serve-smoke: restart did not resume from the WAL" >&2; exit 1; }; \
+	grep -E "flagged|aggregate" $$DIR/serve2.txt > $$DIR/srv-key.txt; \
+	diff $$DIR/ref.txt $$DIR/srv-key.txt \
+	  || { echo "serve-smoke: restarted server diverged from the in-process round" >&2; exit 1; }; \
+	for i in 1 2 3; do \
+	  grep -E "flagged|aggregate" $$DIR/client$$i.txt > $$DIR/c$$i-key.txt; \
+	  diff $$DIR/ref.txt $$DIR/c$$i-key.txt \
+	    || { echo "serve-smoke: client $$i diverged across the crash" >&2; exit 1; }; \
+	done; \
+	echo "serve-smoke: crash/restart deployment bit-identical"
+	dune exec bench/main.exe -- serve --smoke --json /tmp/serve-smoke.json
+	@grep -q '"name": "loopback-round-s"' /tmp/serve-smoke.json \
+	  || { echo "serve-smoke: transport records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

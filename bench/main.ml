@@ -12,6 +12,7 @@
      ablate  DESIGN.md ablations — naive vs optimized projection check
      faults  fault-injected transport degradation ladder (EXPERIMENTS.md)
      recovery  WAL overhead (bytes/round, fsyncs, wall-clock) + crash recovery
+     serve   deployment transport: socket-loopback round latency + counters
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -27,6 +28,7 @@ module Sampling = Risefl_core.Sampling
 module Cost_model = Risefl_core.Cost_model
 module Table1_check = Risefl_core.Table1_check
 module Round_log = Risefl_core.Round_log
+module Loopback = Risefl_transport.Loopback
 module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
 module Msm = Curve25519.Msm
@@ -965,10 +967,72 @@ let run_recovery () =
   record ~target:"recovery" ~name:"recovery-time-s" ~d ~k ~n recover_s
 
 (* ------------------------------------------------------------------ *)
+(* Deployment transport: socket-loopback round latency + counters.
+   Identical rounds over the plain Netsim endpoint and over the Loopback
+   backend (every frame through a real kernel socketpair, chunked writes,
+   capped reassembly); the delta is the cost of the socket leg. Outcomes
+   are cross-checked for bit-identity every run.                         *)
+
+let run_serve () =
+  pf "================ serve: socket-loopback round latency ================\n";
+  let n = config.n in
+  let m = max 1 (n / 4) in
+  let d = if config.smoke then 16 else 64 in
+  let k = if config.smoke then 4 else 16 in
+  let rounds = if config.smoke then 2 else 5 in
+  let drbg = Prng.Drbg.create_string (ns_seed "bench-serve" ^ "/updates") in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let setup = Setup.create ~label:"bench/serve" params in
+  let behaviours = Driver.honest_all n in
+  let seed = ns_seed "bench-serve" in
+  let run_backend (module B : Netsim.Transport_intf.S) =
+    let session = Driver.create_session setup ~seed in
+    List.init rounds (fun i ->
+        let round = i + 1 in
+        let net = B.create ~seed:(Printf.sprintf "%s/net/%d" seed round) () in
+        Driver.run_round_outcome session ~endpoint:(B.endpoint net) ~updates ~behaviours ~round)
+  in
+  let base, base_s = Telemetry.Clock.time (fun () -> run_backend (module Netsim)) in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let sock, sock_s =
+    Fun.protect ~finally:Telemetry.disable (fun () ->
+        Telemetry.Clock.time (fun () -> run_backend (module Loopback)))
+  in
+  let snap = Telemetry.snapshot () in
+  (* bit-identity across backends is the loopback contract — enforce it *)
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Driver.Completed sa, Driver.Completed sb
+        when sa.Driver.aggregate = sb.Driver.aggregate && sa.Driver.flagged = sb.Driver.flagged
+        ->
+          ()
+      | _ -> failwith "serve bench: loopback outcome diverged from the netsim backend")
+    base sock;
+  let per r = r /. float_of_int rounds in
+  let overhead_pct = if base_s > 0.0 then (sock_s -. base_s) /. base_s *. 100.0 else 0.0 in
+  pf "n=%d m=%d d=%d k=%d, %d rounds, outcomes bit-identical across backends\n\n" n m d k rounds;
+  pf "  netsim round           %10.3f s/round\n" (per base_s);
+  pf "  socket-loopback round  %10.3f s/round  (%+.1f%% wall-clock)\n" (per sock_s) overhead_pct;
+  record ~target:"serve" ~name:"netsim-round-s" ~d ~k ~n (per base_s);
+  record ~target:"serve" ~name:"loopback-round-s" ~d ~k ~n (per sock_s);
+  record ~target:"serve" ~name:"socket-overhead-pct" ~d ~k ~n overhead_pct;
+  List.iter
+    (fun (name, v) ->
+      if String.length name >= 10 && String.sub name 0 10 = "transport." then begin
+        pf "  %-22s %10.1f /round\n" name (per (float_of_int v));
+        record ~target:"serve" ~name:(name ^ "-per-round") ~d ~k ~n (per (float_of_int v))
+      end)
+    snap.Telemetry.counters
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -984,6 +1048,7 @@ let rec run_target = function
   | "group" -> run_group ()
   | "faults" -> run_faults ()
   | "recovery" -> run_recovery ()
+  | "serve" -> run_serve ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);

@@ -6,6 +6,8 @@
               (and retransmitting) transport, a write-ahead log and a
               planned server crash
      resume   replay a write-ahead log and finish its interrupted round
+     serve    run the aggregation server on a real TCP or Unix socket
+     client   drive one client process against a serve instance
      train    run a federated training simulation under attack with a
               chosen integrity checker
      params   print the derived security quantities (gamma, B0, F curve)
@@ -18,6 +20,9 @@ module Setup = Risefl_core.Setup
 module Driver = Risefl_core.Driver
 module Round_log = Risefl_core.Round_log
 module Reliable = Risefl_core.Reliable
+module Evloop = Risefl_transport.Evloop
+module Tserver = Risefl_transport.Server
+module Tclient = Risefl_transport.Client
 
 (* --- shared args --- *)
 
@@ -68,33 +73,10 @@ let wal_arg =
           "Arm the durable runtime: append every accepted frame to FILE (write-ahead, fsynced) \
            so an interrupted round can be finished with the resume subcommand.")
 
-(* the synthetic per-round updates: deterministic in (seed, round), with
-   the attackers' vectors re-scaled to 50x the bound. Round 1 keeps the
-   historical derivation so existing seeds reproduce. *)
-let make_updates ~n ~d ~bound ~seed ~attackers ~round =
-  let label =
-    if round = 1 then seed ^ "/updates" else Printf.sprintf "%s/updates/r%d" seed round
-  in
-  let drbg = Prng.Drbg.create_string label in
-  let updates =
-    Array.init n (fun _ -> Array.init d (fun _ -> Prng.Drbg.uniform_int drbg 60 - 30))
-  in
-  List.iter
-    (fun i ->
-      if i >= 1 && i <= n then begin
-        let norm = Encoding.Fixed_point.l2_norm_encoded updates.(i - 1) in
-        let factor = int_of_float (50.0 *. bound /. norm) in
-        updates.(i - 1) <- Array.map (fun x -> factor * x) updates.(i - 1)
-      end)
-    attackers;
-  updates
-
-let make_behaviours ~n ~attackers =
-  let behaviours = Driver.honest_all n in
-  List.iter
-    (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Oversized 50.0)
-    attackers;
-  behaviours
+(* the synthetic per-round updates live in Risefl_transport.Updates so the
+   serve/client processes derive bit-identical vectors from the seed *)
+let make_updates = Risefl_transport.Updates.make
+let make_behaviours = Risefl_transport.Updates.behaviours
 
 let print_stats ~d (stats : Driver.stats) =
   Printf.printf "flagged: [%s]\n" (String.concat ";" (List.map string_of_int stats.Driver.flagged));
@@ -195,8 +177,16 @@ let round_cmd =
             "Do not recover in-process after $(b,--crash): sync the log and exit, leaving the \
              interrupted WAL for the resume subcommand (requires $(b,--rounds) 1).")
   in
-  let run n m d k bound seed attackers jobs cache_dir dlog_mem faults deadline trace rounds crash
-      wal_file retransmit no_recover =
+  let dropouts_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "dropouts" ] ~docv:"IDS"
+          ~doc:
+            "1-based client ids that send nothing at all (the in-process twin of a client \
+             process that never connects or dies mid-round).")
+  in
+  let run n m d k bound seed attackers dropouts jobs cache_dir dlog_mem faults deadline trace
+      rounds crash wal_file retransmit no_recover =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     if trace <> None then begin
@@ -207,6 +197,9 @@ let round_cmd =
     let setup = Setup.create ~label:("cli/" ^ seed) params in
     let updates_for round = make_updates ~n ~d ~bound ~seed ~attackers ~round in
     let behaviours = make_behaviours ~n ~attackers in
+    List.iter
+      (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Drop_out)
+      dropouts;
     let transport =
       match faults with
       | None -> None
@@ -298,9 +291,9 @@ let round_cmd =
   Cmd.v
     (Cmd.info "round" ~doc:"Run secure-and-verifiable aggregation rounds.")
     Term.(
-      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
-      $ cache_dir_arg $ dlog_mem_arg $ faults_arg $ deadline_arg $ trace_arg $ rounds_arg
-      $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg)
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg
+      $ dropouts_arg $ jobs_arg $ cache_dir_arg $ dlog_mem_arg $ faults_arg $ deadline_arg
+      $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg)
 
 (* --- resume --- *)
 
@@ -352,6 +345,223 @@ let resume_cmd =
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
       $ cache_dir_arg $ dlog_mem_arg $ wal_req)
+
+(* --- serve / client: the socket deployment --- *)
+
+let addr_conv which =
+  let c =
+    Arg.conv
+      ( (fun s ->
+          match Evloop.addr_of_string s with
+          | Ok a -> Ok a
+          | Error e -> Error (`Msg e)),
+        fun ppf a -> Format.pp_print_string ppf (Evloop.addr_to_string a) )
+  in
+  Arg.(
+    value
+    & opt c (Evloop.Tcp ("127.0.0.1", 7154))
+    & info [ which ] ~docv:"ADDR" ~doc:"Socket address: tcp:HOST:PORT or unix:PATH.")
+
+let deadline_s_arg =
+  Arg.(
+    value & opt float 15.0
+    & info [ "stage-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline per protocol stage; clients silent past it count as dropouts \
+           and the quorum lifecycle decides the round.")
+
+let rounds_arg =
+  Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Protocol rounds to run.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the telemetry snapshot (including transport.* counters) to FILE as JSON.")
+
+let write_trace trace =
+  match trace with
+  | None -> ()
+  | Some file ->
+      Telemetry.disable ();
+      let snap = Telemetry.snapshot () in
+      Telemetry.write_json file snap;
+      Printf.printf "trace: %d counters, %d spans -> %s\n"
+        (List.length (List.filter (fun (_, v) -> v <> 0) snap.Telemetry.counters))
+        (List.length snap.Telemetry.spans) file
+
+let serve_cmd =
+  let crash_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "crash" ] ~docv:"[ROUND:]STAGE:STEP"
+          ~doc:
+            "Kill the server process (SIGKILL, after fsyncing the log) at the given point; \
+             restart serve with the same $(b,--wal) to finish the round (requires $(b,--wal)).")
+  in
+  let run n m d k bound seed jobs cache_dir dlog_mem listen rounds stage_deadline wal_file crash
+      trace verbose =
+    if jobs > 0 then Parallel.set_default_jobs jobs;
+    configure_group_cache cache_dir dlog_mem;
+    if trace <> None then begin
+      Telemetry.reset ();
+      Telemetry.enable ()
+    end;
+    let crash =
+      match crash with
+      | None -> None
+      | Some spec -> (
+          if wal_file = None then begin
+            Printf.eprintf "--crash requires --wal (recovery needs the log)\n";
+            exit 2
+          end;
+          let parts = String.split_on_char ':' spec in
+          let round, rest =
+            match parts with
+            | [ r; _; _ ] when int_of_string_opt r <> None ->
+                (int_of_string r, String.concat ":" (List.tl parts))
+            | _ -> (1, spec)
+          in
+          match Driver.crash_of_string rest with
+          | Ok (stage, at) -> Some (round, stage, at)
+          | Error e ->
+              Printf.eprintf "bad --crash spec: %s\n" e;
+              exit 2)
+    in
+    let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
+    let setup = Setup.create ~label:("cli/" ^ seed) params in
+    let log s = if verbose then Printf.eprintf "[serve] %s\n%!" s in
+    Printf.printf "serving %d client(s) on %s\n%!" n (Evloop.addr_to_string listen);
+    let report =
+      Tserver.serve ~log
+        {
+          Tserver.addr = listen;
+          setup;
+          seed;
+          rounds;
+          stage_deadline_s = stage_deadline;
+          wal_path = wal_file;
+          crash;
+        }
+    in
+    (match report.Tserver.resumed_round with
+    | Some r -> Printf.printf "recovered round %d from the write-ahead log\n" r
+    | None -> ());
+    List.iter (fun (r, outcome) -> print_outcome ~d ~round:r outcome) report.Tserver.outcomes;
+    if report.Tserver.banned <> [] then
+      Printf.printf "banned: [%s]\n"
+        (String.concat ";" (List.map string_of_int report.Tserver.banned));
+    write_trace trace
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the aggregation server on a real socket (TCP or Unix-domain).")
+    Term.(
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ jobs_arg $ cache_dir_arg
+      $ dlog_mem_arg $ addr_conv "listen" $ rounds_arg $ deadline_s_arg $ wal_arg $ crash_arg
+      $ trace_arg
+      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr."))
+
+let client_cmd =
+  let id_arg =
+    Arg.(
+      required & opt (some int) None & info [ "id" ] ~docv:"I" ~doc:"This client's 1-based id.")
+  in
+  let die_at_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "die-at" ] ~docv:"ROUND:STAGE"
+          ~doc:"Exit the process just before submitting this stage (crash testing).")
+  in
+  let loris_arg =
+    Arg.(
+      value & flag
+      & info [ "loris" ]
+          ~doc:"Write submissions one byte at a time (slow-loris; reassembly testing).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "max-retries" ] ~docv:"N" ~doc:"Connection attempts before giving up.")
+  in
+  let run n m d k bound seed attackers jobs cache_dir dlog_mem connect id rounds stage_deadline
+      die_at loris retries trace verbose =
+    if jobs > 0 then Parallel.set_default_jobs jobs;
+    configure_group_cache cache_dir dlog_mem;
+    if trace <> None then begin
+      Telemetry.reset ();
+      Telemetry.enable ()
+    end;
+    let die_at =
+      match die_at with
+      | None -> None
+      | Some spec -> (
+          match String.split_on_char ':' spec with
+          | [ r; st ] -> (
+              let stage =
+                match st with
+                | "commit" -> Some Netsim.Commit
+                | "flag" -> Some Netsim.Flag
+                | "proof" -> Some Netsim.Proof
+                | "agg" -> Some Netsim.Agg
+                | _ -> None
+              in
+              match (int_of_string_opt r, stage) with
+              | Some r, Some stage -> Some (r, stage)
+              | _ ->
+                  Printf.eprintf "bad --die-at spec (want ROUND:STAGE)\n";
+                  exit 2)
+          | _ ->
+              Printf.eprintf "bad --die-at spec (want ROUND:STAGE)\n";
+              exit 2)
+    in
+    let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
+    let setup = Setup.create ~label:("cli/" ^ seed) params in
+    let log s = if verbose then Printf.eprintf "[client %d] %s\n%!" id s in
+    let results =
+      Tclient.run ~log
+        {
+          Tclient.addr = connect;
+          setup;
+          seed;
+          id;
+          rounds;
+          d;
+          bound;
+          attackers;
+          deadline_s = stage_deadline;
+          loris;
+          die_at;
+          max_connect_attempts = retries;
+        }
+    in
+    List.iter
+      (fun (round, view) ->
+        match view with
+        | Risefl_transport.Proto.Rv_completed { cstar; aggregate } -> (
+            Printf.printf "round %d completed\n" round;
+            Printf.printf "flagged: [%s]\n" (String.concat ";" (List.map string_of_int cstar));
+            match aggregate with
+            | Some agg ->
+                Printf.printf "aggregate (first 8 coords): %s\n"
+                  (String.concat " " (List.init (min 8 d) (fun l -> string_of_int agg.(l))))
+            | None -> print_endline "aggregation failed")
+        | Risefl_transport.Proto.Rv_aborted_quorum { stage; survivors; needed } ->
+            Printf.printf "round %d aborted: insufficient quorum at %s (%d survivors, needed %d)\n"
+              round stage survivors needed
+        | Risefl_transport.Proto.Rv_aborted_decode ids ->
+            Printf.printf "round %d aborted: undecodable frames from [%s]\n" round
+              (String.concat ";" (List.map string_of_int ids)))
+      results;
+    write_trace trace
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Drive one client process against a serve instance.")
+    Term.(
+      const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
+      $ cache_dir_arg $ dlog_mem_arg $ addr_conv "connect" $ id_arg $ rounds_arg $ deadline_s_arg
+      $ die_at_arg $ loris_arg $ retries_arg $ trace_arg
+      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr."))
 
 (* --- train --- *)
 
@@ -456,4 +666,5 @@ let () =
   let doc = "RiseFL: secure and verifiable data collaboration with low-cost ZKPs (VLDB 2024 reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "risefl_cli" ~doc) [ round_cmd; resume_cmd; train_cmd; params_cmd ]))
+       (Cmd.group (Cmd.info "risefl_cli" ~doc)
+          [ round_cmd; resume_cmd; serve_cmd; client_cmd; train_cmd; params_cmd ]))

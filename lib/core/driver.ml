@@ -73,6 +73,7 @@ let create_session setup ~seed =
   { setup; seed; clients; server; outbox = Hashtbl.create 31 }
 
 let session_server t = t.server
+let session_clients t = t.clients
 
 (* --- crash plan --- *)
 
@@ -153,17 +154,59 @@ let recovery_of_records ~round records =
     records;
   { ctx with rec_s = !rec_s }
 
+(* --- remote seam: the hooks a socket transport plugs into the round --- *)
+
+(* With [remote], the driver is the *server half only*: client messages
+   are not computed in-process — [r_collect] pulls them off the wire and
+   pushes each accepted frame through the driver's write-ahead intake
+   (WAL append + fsync happen inside [push], so the transport may ack a
+   frame only after [push] returns). The [r_*] broadcast hooks fire at
+   the exact points the in-process run hands data to its local clients,
+   letting the transport fan the same bytes out to real peers. *)
+type remote = {
+  r_collect :
+    round:int ->
+    stage:Netsim.stage ->
+    already:int list ->
+    push:(int * int * Bytes.t -> unit) ->
+    unit;
+      (* gather this stage's client frames; [already] lists senders whose
+         frames were WAL-replayed (ack, don't re-collect); call [push
+         (sender, seq, frame)] per accepted frame — it may raise
+         {!Server_crashed}, in which case the frame is neither logged nor
+         acked *)
+  r_commits : round:int -> Bytes.t array -> unit;
+      (* the server's validated commit view, encoded, broadcast to all *)
+  r_cleared : round:int -> (int * int * Scalar.t) list -> unit;
+      (* (flagger, dealer, share) cleared-share deliveries *)
+  r_check : round:int -> Bytes.t -> unit;
+      (* the encoded (s, h_1..h_k) integrity-check broadcast *)
+  r_honest : round:int -> honest:int list -> malicious:int list -> unit;
+      (* the pre-aggregation membership broadcast *)
+  r_result : round:int -> round_outcome -> unit;
+      (* the round verdict; never fired on a server crash *)
+  r_reveal : dealer:int -> requests:int list -> (int * Scalar.t) list option;
+      (* synchronous share-reveal sub-exchange with a remote dealer *)
+}
+
 (* internal: the one early exit of the lifecycle; caught before
    run_round_core returns, never escapes *)
 exception Abort of round_outcome
 
-let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?reliable
-    ?wal ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round =
+module TI = Netsim.Transport_intf
+
+let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?endpoint
+    ?reliable ?remote ?wal ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round =
   (* a transport, a reliability layer or a write-ahead log implies the
      wire: bytes are the only thing they can fault, retransmit or log *)
   let serialize =
-    serialize || Option.is_some transport || Option.is_some reliable || Option.is_some wal
-    || Option.is_some recovery
+    serialize || Option.is_some transport || Option.is_some endpoint || Option.is_some reliable
+    || Option.is_some remote || Option.is_some wal || Option.is_some recovery
+  in
+  (* a Netsim transport is just one endpoint backend; unify here so the
+     exchange below speaks only the shared interface *)
+  let endpoint =
+    match endpoint with Some _ -> endpoint | None -> Option.map Netsim.endpoint transport
   in
   let setup = session.setup in
   let clients = session.clients and server = session.server in
@@ -217,37 +260,41 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     if not serialize then (compute (), [])
     else begin
       (* 1. this process's outgoing payloads, computed exactly once per
-         (round, stage) when durable *)
+         (round, stage) when durable. A remote round computes nothing
+         locally — the clients live in other processes. *)
       let key = (round, stage) in
       let outgoing =
-        match if durable then Hashtbl.find_opt session.outbox key else None with
-        | Some cached -> cached
-        | None ->
-            let msgs = compute () in
-            let bytes = Array.map (Option.map encode) msgs in
-            if durable then Hashtbl.replace session.outbox key bytes;
-            bytes
+        if Option.is_some remote then Array.make n None
+        else
+          match if durable then Hashtbl.find_opt session.outbox key else None with
+          | Some cached -> cached
+          | None ->
+              let msgs = compute () in
+              let bytes = Array.map (Option.map encode) msgs in
+              if durable then Hashtbl.replace session.outbox key bytes;
+              bytes
       in
       (* 2. frames already accepted (and logged) before the crash *)
       let logged = rec_frames_for stage in
       let already = List.map (fun (s, _, _) -> s) logged in
       let stage_done = rec_done stage in
-      (* 3. fresh deliveries for everyone else *)
+      (* 3. fresh deliveries for everyone else (remote rounds collect
+         push-side below instead, after the write-ahead intake is armed) *)
       let fresh =
-        if stage_done then []
+        if stage_done || Option.is_some remote then []
         else
-          match (reliable, transport) with
+          match (reliable, endpoint) with
           | Some rel, _ -> Reliable.exchange rel ~round ~stage ~already outgoing
-          | None, Some net ->
-              Netsim.begin_stage net ~round ~stage;
+          | None, Some ep ->
+              ep.TI.ep_begin_stage ~round ~stage;
               Array.iteri
                 (fun i payload ->
                   match payload with
                   | Some frame when not (List.mem (i + 1) already) ->
-                      Netsim.send net ~sender:(i + 1) frame
+                      ep.TI.ep_send ~attempt:0 ~sender:(i + 1) frame
                   | _ -> ())
                 outgoing;
-              List.map (fun (s, f) -> (s, 0, f)) (Netsim.deliver net)
+              List.map (fun (s, f) -> (s, 0, f)) (ep.TI.ep_deliver ~deadline:None)
           | None, None ->
               let out = ref [] in
               Array.iteri
@@ -263,11 +310,12 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       let delivered = Array.make n None in
       let poisoned = Array.make n false in
       let offenders = ref [] in
-      (* only the reliable layer stamps meaningful sequence numbers; its
-         frames de-duplicate by (sender, seq) so a duplicate straddling a
-         crash cannot be double-processed on replay. The bare transport
-         keeps its historical semantics (every copy is judged). *)
-      let dedup = Option.is_some reliable in
+      (* only the reliable layer (and the socket transport, which carries
+         its headers) stamps meaningful sequence numbers; those frames
+         de-duplicate by (sender, seq) so a duplicate straddling a crash
+         cannot be double-processed on replay. The bare transport keeps
+         its historical semantics (every copy is judged). *)
+      let dedup = Option.is_some reliable || Option.is_some remote in
       let seen = Hashtbl.create 7 in
       crash_check stage Stage_start;
       let idx = ref 0 in
@@ -294,7 +342,10 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
         end
       in
       List.iter (process ~replayed:true) logged;
-      List.iter (process ~replayed:false) fresh;
+      (match remote with
+      | Some r when not stage_done ->
+          r.r_collect ~round ~stage ~already ~push:(process ~replayed:false)
+      | _ -> List.iter (process ~replayed:false) fresh);
       if not stage_done then wal_append (Round_log.Stage_done { round; stage });
       crash_check stage Stage_end;
       (delivered, List.sort_uniq compare !offenders)
@@ -368,6 +419,9 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   let present_commits =
     Array.of_list (List.filter_map Fun.id (Array.to_list (Server.round_commits server)))
   in
+  (match remote with
+  | Some r -> r.r_commits ~round (Array.map Serial.encode_commit_msg present_commits)
+  | None -> ());
   let share_verify_time = ref 0.0 in
   let flags, flag_offenders =
     span "flag" "wire" @@ fun () ->
@@ -391,18 +445,24 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   in
   note_offenders flag_offenders;
   let reveal dealer requests =
-    if not (is_active (dealer - 1)) then None
-    else
-      match Client.reveal_shares clients.(dealer - 1) ~requests with
-      | shares -> Some shares
-      | exception Client.Server_misbehaving _ -> None
+    match remote with
+    | Some r -> r.r_reveal ~dealer ~requests
+    | None ->
+        if not (is_active (dealer - 1)) then None
+        else (
+          match Client.reveal_shares clients.(dealer - 1) ~requests with
+          | shares -> Some shares
+          | exception Client.Server_misbehaving _ -> None)
   in
   let cleared = span "flag" "server" (fun () -> Server.process_flags server ~flags ~reveal) in
-  List.iter
-    (fun (flagger, dealer, value) ->
-      if is_active (flagger - 1) then
-        Client.accept_cleared_share clients.(flagger - 1) ~from:dealer ~value)
-    cleared;
+  (match remote with
+  | Some r -> r.r_cleared ~round cleared
+  | None ->
+      List.iter
+        (fun (flagger, dealer, value) ->
+          if is_active (flagger - 1) then
+            Client.accept_cleared_share clients.(flagger - 1) ~from:dealer ~value)
+        cleared);
   check_quorum "flag";
   (* --- round 2 step 2: probabilistic integrity check --- *)
   let (s_value, hs), prep_time =
@@ -424,16 +484,21 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
      failed round-trip of our own encoding would be a codec bug *)
   let s_value, hs =
     if not serialize then (s_value, hs)
-    else
-      match Serial.decode_broadcast_r (Serial.encode_broadcast ~s:s_value ~hs) with
+    else begin
+      let bcast = Serial.encode_broadcast ~s:s_value ~hs in
+      (match remote with Some r -> r.r_check ~round bcast | None -> ());
+      match Serial.decode_broadcast_r bcast with
       | Ok (s, hs) -> (s, hs)
       | Error e -> failwith ("Driver: broadcast round-trip failed: " ^ Serial.error_to_string e)
+    end
   in
   (* The check bases h_t are shared by every client of the round: build
      their fixed-base tables once (cost ~ one table build per base,
-     repaid k+1 ladder multiplications per client). *)
+     repaid k+1 ladder multiplications per client). A remote server never
+     proves, so it skips the table build — remote clients build their own. *)
   let hs_tables =
-    span "check" "tables" (fun () -> Parallel.parallel_map Curve25519.Point.Table.make hs)
+    if Option.is_some remote then [||]
+    else span "check" "tables" (fun () -> Parallel.parallel_map Curve25519.Point.Table.make hs)
   in
   let proof_time = ref 0.0 in
   let proofs, proof_offenders =
@@ -461,6 +526,9 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   check_quorum "proof";
   (* --- round 3: secure aggregation --- *)
   let honest = Server.honest server in
+  (match remote with
+  | Some r -> r.r_honest ~round ~honest ~malicious:(Server.malicious server)
+  | None -> ());
   let agg_msgs, agg_offenders =
     span "agg" "wire" @@ fun () ->
     exchange ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
@@ -544,14 +612,14 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
 
 (* outer span covering the full round; the Abort control-flow exception
    passes through Span.with_ (the span is still recorded) *)
-let run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?recovery ~lifecycle
-    session ~updates ~behaviours ~round =
+let run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
+    ?recovery ~lifecycle session ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "round"
     (fun () ->
-      run_round_core_inner ?predicate ?serialize ?transport ?reliable ?wal ?crash ?recovery
-        ~lifecycle session ~updates ~behaviours ~round)
+      run_round_core_inner ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
+        ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round)
 
 (* a WAL-armed abort still closes the round durably *)
 let seal_abort ?wal session ~round outcome =
@@ -564,14 +632,20 @@ let seal_abort ?wal session ~round outcome =
   | None -> ());
   outcome
 
-let run_round_outcome ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates
-    ~behaviours ~round =
-  match
-    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ~lifecycle:true session
-      ~updates ~behaviours ~round
-  with
-  | outcome -> outcome
-  | exception Abort outcome -> seal_abort ?wal session ~round outcome
+let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
+    session ~updates ~behaviours ~round =
+  let outcome =
+    match
+      run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
+        ~lifecycle:true session ~updates ~behaviours ~round
+    with
+    | outcome -> outcome
+    | exception Abort outcome -> seal_abort ?wal session ~round outcome
+  in
+  (* the verdict broadcast: a Server_crashed exception above skips it, so
+     a killed server never announces a result it did not seal *)
+  (match remote with Some r -> r.r_result ~round outcome | None -> ());
+  outcome
 
 let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates ~behaviours
     ~round =
@@ -604,20 +678,24 @@ let restore_server session records ~round =
   (match snap with Some s -> Server.restore server s | None -> ());
   session.server <- server
 
-let recover_round ?predicate ?transport ?reliable ?wal session ~records ~updates ~behaviours
-    ~round =
+let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal session ~records
+    ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "recover"
     (fun () ->
       restore_server session records ~round;
       let recovery = recovery_of_records ~round records in
-      match
-        run_round_core ?predicate ?transport ?reliable ?wal ~recovery ~lifecycle:true session
-          ~updates ~behaviours ~round
-      with
-      | outcome -> outcome
-      | exception Abort outcome -> seal_abort ?wal session ~round outcome)
+      let outcome =
+        match
+          run_round_core ?predicate ?transport ?endpoint ?reliable ?remote ?wal ~recovery
+            ~lifecycle:true session ~updates ~behaviours ~round
+        with
+        | outcome -> outcome
+        | exception Abort outcome -> seal_abort ?wal session ~round outcome
+      in
+      (match remote with Some r -> r.r_result ~round outcome | None -> ());
+      outcome)
 
 (* --- multi-round session loop --- *)
 
@@ -629,8 +707,8 @@ type session_report = {
   crashes_recovered : int;
 }
 
-let run_session ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates_for
-    ~behaviours ~rounds =
+let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash session
+    ~updates_for ~behaviours ~rounds =
   if rounds < 1 then invalid_arg "Driver.run_session: rounds must be >= 1";
   let outcomes = ref [] in
   let completed = ref 0 in
@@ -642,8 +720,8 @@ let run_session ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~
     in
     let outcome =
       match
-        run_round_outcome ?predicate ?serialize ?transport ?reliable ?wal ?crash:crash_here
-          session ~updates ~behaviours ~round
+        run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
+          ?crash:crash_here session ~updates ~behaviours ~round
       with
       | outcome -> outcome
       | exception Server_crashed _ -> (
@@ -654,8 +732,8 @@ let run_session ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~
               Round_log.sync w;
               let records, _status = Round_log.replay (Round_log.path w) in
               incr recovered;
-              recover_round ?predicate ?transport ?reliable ~wal:w session ~records ~updates
-                ~behaviours ~round)
+              recover_round ?predicate ?transport ?endpoint ?reliable ?remote ~wal:w session
+                ~records ~updates ~behaviours ~round)
     in
     (match outcome with
     | Completed stats ->

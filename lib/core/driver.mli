@@ -77,6 +77,12 @@ val create_session : Setup.t -> seed:string -> session
 (** The session's current server (replaced on crash recovery). *)
 val session_server : session -> Server.t
 
+(** The session's clients (index i−1 holds client i). A remote client
+    process builds the same session from the shared seed and drives only
+    its own entry — the per-client DRBGs are independent forks, so the
+    untouched siblings never advance. *)
+val session_clients : session -> Client.t array
+
 (** {1 Crash plan} *)
 
 (** Where in a stage the server dies: before intake ([Stage_start]),
@@ -100,6 +106,33 @@ val seeded_crashes :
 (** [seeded_crashes ~seed ~n ~max_step] — n mid-stage crash points drawn
     from independent DRBG forks of [seed] (scheduled like Netsim faults:
     a sweep is a pure function of the seed). *)
+
+(** {1 Remote seam}
+
+    With [?remote], the driver runs the {e server half only} of a round:
+    no client messages are computed in-process. [r_collect] gathers each
+    stage's frames off a real transport and pushes them through the
+    driver's write-ahead intake — [push] appends (and fsyncs) to the WAL
+    before returning, so the transport may acknowledge a frame only after
+    [push] comes back (and a {!Server_crashed} raised inside [push] means
+    the frame was neither logged nor acked). The [r_*] broadcast hooks
+    fire at the exact points an in-process run hands data to its local
+    clients. Callers pass dummy [updates]/[behaviours] (they gate only
+    the skipped local-compute paths). *)
+type remote = {
+  r_collect :
+    round:int ->
+    stage:Netsim.stage ->
+    already:int list ->
+    push:(int * int * Bytes.t -> unit) ->
+    unit;
+  r_commits : round:int -> Bytes.t array -> unit;
+  r_cleared : round:int -> (int * int * Curve25519.Scalar.t) list -> unit;
+  r_check : round:int -> Bytes.t -> unit;
+  r_honest : round:int -> honest:int list -> malicious:int list -> unit;
+  r_result : round:int -> round_outcome -> unit;
+  r_reveal : dealer:int -> requests:int list -> (int * Curve25519.Scalar.t) list option;
+}
 
 (** [run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash
     session ~updates ~behaviours ~round] — one full protocol iteration
@@ -130,12 +163,17 @@ val run_round :
 (** [run_round_outcome] — like {!run_round} but with the deadline/quorum
     lifecycle armed: the server abandons the round as soon as fewer than
     t = m+1 clients survive a stage, returning the typed verdict (and
-    sealing the WAL with a [Round_end] record). *)
+    sealing the WAL with a [Round_end] record). [endpoint] is the
+    backend-agnostic form of [transport] (any
+    {!Netsim.Transport_intf.endpoint}); [remote] plugs a real transport's
+    collect/broadcast hooks into the round (see {!type-remote}). *)
 val run_round_outcome :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?endpoint:Netsim.Transport_intf.endpoint ->
   ?reliable:Reliable.t ->
+  ?remote:remote ->
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
   session ->
@@ -156,7 +194,9 @@ val run_round_outcome :
 val recover_round :
   ?predicate:Predicate.t ->
   ?transport:Netsim.t ->
+  ?endpoint:Netsim.Transport_intf.endpoint ->
   ?reliable:Reliable.t ->
+  ?remote:remote ->
   ?wal:Round_log.t ->
   session ->
   records:Round_log.record list ->
@@ -186,7 +226,9 @@ val run_session :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?endpoint:Netsim.Transport_intf.endpoint ->
   ?reliable:Reliable.t ->
+  ?remote:remote ->
   ?wal:Round_log.t ->
   ?crash:int * Netsim.stage * crash_point ->
   session ->

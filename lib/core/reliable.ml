@@ -14,8 +14,11 @@ let c_lost = Telemetry.Counter.make "rel.lost"
 let c_dup = Telemetry.Counter.make "rel.dup.suppressed"
 let c_rejected = Telemetry.Counter.make "rel.rejected"
 
+module TI = Netsim.Transport_intf
+
 type t = {
-  net : Netsim.t;
+  ep : TI.endpoint;
+  netsim : Netsim.t option;  (* kept when created over a Netsim for [net] *)
   max_attempts : int;
   base_deadline : int;
   (* receive-side dedup by (round, stage index, sender, seq): an ack is
@@ -31,12 +34,13 @@ type t = {
   mutable c_rejected : int;
 }
 
-let create ?(max_attempts = 4) ?base_deadline net =
+let create_ep ?(max_attempts = 4) ?base_deadline (ep : TI.endpoint) =
   let base_deadline =
-    match base_deadline with Some d -> max 1 d | None -> max 1 (Netsim.deadline net)
+    match base_deadline with Some d -> max 1 d | None -> max 1 (ep.TI.ep_deadline ())
   in
   {
-    net;
+    ep;
+    netsim = None;
     max_attempts = max 1 max_attempts;
     base_deadline;
     seen = Hashtbl.create 97;
@@ -49,7 +53,13 @@ let create ?(max_attempts = 4) ?base_deadline net =
     c_rejected = 0;
   }
 
-let net t = t.net
+let create ?max_attempts ?base_deadline net =
+  { (create_ep ?max_attempts ?base_deadline (Netsim.endpoint net)) with netsim = Some net }
+
+let net t =
+  match t.netsim with
+  | Some n -> n
+  | None -> invalid_arg "Reliable.net: this endpoint is not Netsim-backed"
 
 let counters t =
   {
@@ -78,7 +88,7 @@ let exchange t ~round ~stage ?(already = []) payloads =
   let accepted = ref [] in
   let attempt = ref 0 in
   while !pending > 0 && !attempt < t.max_attempts do
-    Netsim.begin_stage t.net ~round ~stage;
+    t.ep.TI.ep_begin_stage ~round ~stage;
     Array.iteri
       (fun i p ->
         match p with
@@ -88,7 +98,7 @@ let exchange t ~round ~stage ?(already = []) payloads =
               t.c_retransmits <- t.c_retransmits + 1;
               Telemetry.Counter.incr c_retransmits
             end;
-            Netsim.send ~attempt:!attempt t.net ~sender:(i + 1)
+            t.ep.TI.ep_send ~attempt:!attempt ~sender:(i + 1)
               (Serial.encode_framed ~round ~stage:stage_ix ~sender:(i + 1) ~seq:0 payload)
         | _ -> ())
       payloads;
@@ -127,13 +137,13 @@ let exchange t ~round ~stage ?(already = []) payloads =
                   if !attempt > 0 then begin
                     t.c_recovered <- t.c_recovered + 1;
                     Telemetry.Counter.incr c_recovered;
-                    Netsim.note_recovered t.net
+                    t.ep.TI.ep_note_recovered ()
                   end;
                   accepted := (hdr.Serial.fh_sender, hdr.Serial.fh_seq, payload) :: !accepted
                 end
               end
             end)
-      (Netsim.deliver ~deadline:window t.net);
+      (t.ep.TI.ep_deliver ~deadline:(Some window));
     incr attempt
   done;
   if !pending > 0 then begin

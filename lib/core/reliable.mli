@@ -24,7 +24,15 @@ val create : ?max_attempts:int -> ?base_deadline:int -> Netsim.t -> t
     [base_deadline] (default: [net]'s deadline) is the first attempt's
     delivery window in ticks, doubled each retry. *)
 
+val create_ep :
+  ?max_attempts:int -> ?base_deadline:int -> Netsim.Transport_intf.endpoint -> t
+(** [create_ep ep] — same semantics over any transport backend packed as a
+    {!Netsim.Transport_intf.endpoint} (the socket loopback harness, a real
+    wire adapter, or [Netsim.endpoint net] itself). *)
+
 val net : t -> Netsim.t
+(** The underlying simulator, when this instance was built by {!create}.
+    @raise Invalid_argument for endpoint-backed instances. *)
 
 val exchange :
   t ->

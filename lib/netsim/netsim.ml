@@ -336,3 +336,51 @@ let deliver ?deadline:dl t =
   t.c_delivered <- t.c_delivered + List.length sorted;
   Telemetry.Counter.add t_delivered (List.length sorted);
   List.map (fun q -> (q.q_sender, q.frame)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* The shared transport signature                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Transport_intf = struct
+  type endpoint = {
+    ep_begin_stage : round:int -> stage:stage -> unit;
+    ep_send : attempt:int -> sender:int -> Bytes.t -> unit;
+    ep_deliver : deadline:int option -> (int * Bytes.t) list;
+    ep_note_recovered : unit -> unit;
+    ep_deadline : unit -> int;
+    ep_counters : unit -> counters;
+  }
+
+  module type S = sig
+    type t
+
+    val create :
+      ?plan:plan ->
+      ?link_plans:(int * plan) list ->
+      ?script:((int * stage * int) * fault list) list ->
+      ?deadline:int ->
+      seed:string ->
+      unit ->
+      t
+
+    val deadline : t -> int
+    val begin_stage : t -> round:int -> stage:stage -> unit
+    val send : ?attempt:int -> t -> sender:int -> Bytes.t -> unit
+    val note_recovered : t -> unit
+    val deliver : ?deadline:int -> t -> (int * Bytes.t) list
+    val counters : t -> counters
+    val endpoint : t -> endpoint
+  end
+end
+
+let endpoint (net : t) : Transport_intf.endpoint =
+  {
+    Transport_intf.ep_begin_stage = (fun ~round ~stage -> begin_stage net ~round ~stage);
+    ep_send = (fun ~attempt ~sender frame -> send ~attempt net ~sender frame);
+    ep_deliver =
+      (fun ~deadline ->
+        match deadline with Some d -> deliver ~deadline:d net | None -> deliver net);
+    ep_note_recovered = (fun () -> note_recovered net);
+    ep_deadline = (fun () -> deadline net);
+    ep_counters = (fun () -> counters net);
+  }

@@ -120,3 +120,53 @@ type counters = {
 }
 
 val counters : t -> counters
+
+(** {1 The shared transport signature}
+
+    Netsim (the deterministic fault-injected test double) and the real
+    socket transports ({!Risefl_transport.Loopback}) implement one
+    interface, so the driver, the ARQ layer and the degradation/dropout
+    test suites run unchanged against either backend. *)
+
+module Transport_intf : sig
+  (** A first-class transport endpoint — the capability set the driver
+      and the ARQ layer consume, packed as closures so heterogeneous
+      backends flow through one optional argument. *)
+  type endpoint = {
+    ep_begin_stage : round:int -> stage:stage -> unit;
+    ep_send : attempt:int -> sender:int -> Bytes.t -> unit;
+    ep_deliver : deadline:int option -> (int * Bytes.t) list;
+    ep_note_recovered : unit -> unit;
+    ep_deadline : unit -> int;
+    ep_counters : unit -> counters;
+  }
+
+  (** What a transport backend provides. [create]'s fault plan/script
+      parameters are the Netsim vocabulary: a backend that carries real
+      bytes (sockets) applies the same seeded schedule after frame
+      reassembly, so outcomes are bit-identical across backends. *)
+  module type S = sig
+    type t
+
+    val create :
+      ?plan:plan ->
+      ?link_plans:(int * plan) list ->
+      ?script:((int * stage * int) * fault list) list ->
+      ?deadline:int ->
+      seed:string ->
+      unit ->
+      t
+
+    val deadline : t -> int
+    val begin_stage : t -> round:int -> stage:stage -> unit
+    val send : ?attempt:int -> t -> sender:int -> Bytes.t -> unit
+    val note_recovered : t -> unit
+    val deliver : ?deadline:int -> t -> (int * Bytes.t) list
+    val counters : t -> counters
+    val endpoint : t -> endpoint
+  end
+end
+
+val endpoint : t -> Transport_intf.endpoint
+(** Pack this Netsim instance for {!Driver}'s [?endpoint] argument —
+    [Netsim] itself then satisfies {!Transport_intf.S}. *)

@@ -1,0 +1,40 @@
+(** The deployment client: one process driving one {!Risefl_core.Client}
+    state machine against a {!Server} over a socket.
+
+    Bit-identity with the in-process run comes from construction: the
+    process builds the {e same} {!Risefl_core.Driver.session} from the
+    shared seed (the per-client DRBGs are independent forks, so the
+    untouched siblings never advance) and derives its per-round update
+    with {!Updates.make} — every scalar it draws matches what the
+    in-process twin would have drawn.
+
+    Robustness: connect (and reconnect after any socket error) retries
+    under jittered exponential backoff; every stage submit retransmits
+    until the server's write-ahead ack arrives; per-wait deadlines
+    degrade to the quorum path (the round's [Result] is accepted in place
+    of a missed broadcast, and a fully silent server ends the round
+    locally instead of hanging). Framed submit bytes are cached per
+    (round, stage) so a reconnect retransmits the identical frame instead
+    of recomputing. *)
+
+type config = {
+  addr : Evloop.addr;
+  setup : Risefl_core.Setup.t;
+  seed : string;  (** must equal the server's session seed *)
+  id : int;  (** this client's id, 1-based *)
+  rounds : int;
+  d : int;
+  bound : float;
+  attackers : int list;  (** the run's global attacker set (shared knowledge) *)
+  deadline_s : float;  (** per-wait deadline before degrading *)
+  loris : bool;  (** write submits one byte at a time (testing) *)
+  die_at : (int * Netsim.stage) option;
+      (** exit the process just before submitting this stage (testing) *)
+  max_connect_attempts : int;
+}
+
+val run : ?log:(string -> unit) -> config -> (int * Proto.result_view) list
+(** Participate in the configured rounds; returns the per-round results
+    the server announced (a round missing from the list timed out).
+    @raise Failure if the server rejects us or stays unreachable past
+    [max_connect_attempts]. *)

@@ -1,0 +1,80 @@
+let default_max_frame = 16 * 1024 * 1024
+
+let encode body =
+  let n = Bytes.length body in
+  let out = Bytes.create (4 + n) in
+  Bytes.set out 0 (Char.chr (n land 0xff));
+  Bytes.set out 1 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set out 2 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set out 3 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.blit body 0 out 4 n;
+  out
+
+module Reassembler = struct
+  type state =
+    | Header  (** collecting the 4 length bytes into [hdr] *)
+    | Body of Bytes.t * int  (** (buffer, filled) — buffer was cap-checked *)
+    | Poisoned of string
+
+  type t = {
+    max_frame : int;
+    hdr : Bytes.t;  (* 4-byte staging area for the length prefix *)
+    mutable hdr_fill : int;
+    mutable state : state;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; hdr = Bytes.create 4; hdr_fill = 0; state = Header }
+
+  let pending t =
+    match t.state with
+    | Header -> t.hdr_fill
+    | Body (_, filled) -> 4 + filled
+    | Poisoned _ -> 0
+
+  let feed t chunk ~off ~len =
+    match t.state with
+    | Poisoned e -> Error e
+    | _ ->
+        let out = ref [] in
+        let pos = ref off in
+        let stop = off + len in
+        let err = ref None in
+        while !err = None && !pos < stop do
+          match t.state with
+          | Poisoned e -> err := Some e
+          | Header ->
+              let want = 4 - t.hdr_fill in
+              let take = min want (stop - !pos) in
+              Bytes.blit chunk !pos t.hdr t.hdr_fill take;
+              t.hdr_fill <- t.hdr_fill + take;
+              pos := !pos + take;
+              if t.hdr_fill = 4 then begin
+                let b i = Char.code (Bytes.get t.hdr i) in
+                let n = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+                t.hdr_fill <- 0;
+                (* the cap check happens before the body allocation: a
+                   hostile prefix never costs more than these 4 bytes *)
+                if n < 0 || n > t.max_frame then begin
+                  let e =
+                    Printf.sprintf "frame length %d exceeds cap %d" n t.max_frame
+                  in
+                  t.state <- Poisoned e;
+                  err := Some e
+                end
+                else if n = 0 then out := Bytes.create 0 :: !out
+                else t.state <- Body (Bytes.create n, 0)
+              end
+          | Body (buf, filled) ->
+              let want = Bytes.length buf - filled in
+              let take = min want (stop - !pos) in
+              Bytes.blit chunk !pos buf filled take;
+              pos := !pos + take;
+              if filled + take = Bytes.length buf then begin
+                out := buf :: !out;
+                t.state <- Header
+              end
+              else t.state <- Body (buf, filled + take)
+        done;
+        (match !err with Some e -> Error e | None -> Ok (List.rev !out))
+end

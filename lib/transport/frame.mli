@@ -1,0 +1,38 @@
+(** Length-prefixed framing for the socket transport.
+
+    A wire frame is a little-endian u32 byte count followed by that many
+    body bytes. The {!Reassembler} turns an arbitrary sequence of chunks
+    (partial reads, byte-at-a-time slow-loris writes, several frames
+    coalesced into one read) back into complete bodies.
+
+    Totality/allocation invariant (the socket-path mirror of the
+    fuzz-wire guarantee): a length prefix is validated against the
+    reassembler's cap {e before} any body buffer is allocated — a hostile
+    0xFFFFFFFF count costs four header bytes of state and an [Error],
+    never a large allocation. After an [Error] the reassembler is dead:
+    every further [feed] returns the same error (the connection must be
+    closed). *)
+
+val default_max_frame : int
+(** 16 MiB — larger than any legitimate protocol message at the scales
+    this repo runs, small enough that a hostile prefix cannot balloon the
+    server. *)
+
+val encode : Bytes.t -> Bytes.t
+(** [encode body] — the wire frame: 4-byte LE length prefix ++ body. *)
+
+module Reassembler : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> Bytes.t -> off:int -> len:int -> (Bytes.t list, string) result
+  (** [feed t chunk ~off ~len] — absorb [len] bytes of [chunk] starting
+      at [off]; returns the frame bodies completed by this chunk, in wire
+      order (possibly several, possibly none). [Error] means a protocol
+      violation (oversized length prefix): no allocation happened and the
+      reassembler is poisoned. *)
+
+  val pending : t -> int
+  (** Bytes buffered towards an incomplete frame (0 between frames). *)
+end

@@ -1,0 +1,247 @@
+module Serial = Risefl_core.Serial
+module Scalar = Curve25519.Scalar
+module W = Serial.W
+module R = Serial.R
+
+type result_view =
+  | Rv_completed of { cstar : int list; aggregate : int array option }
+  | Rv_aborted_quorum of { stage : string; survivors : int; needed : int }
+  | Rv_aborted_decode of int list
+
+type msg =
+  | Hello of { client_id : int; resume_round : int }
+  | Submit of Bytes.t
+  | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
+  | Bye
+  | Hello_ok of { n : int; round : int }
+  | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
+  | Commits of { round : int; commits : Bytes.t array }
+  | Cleared of { round : int; shares : (int * int * Scalar.t) list }
+  | Check of { round : int; bcast : Bytes.t }
+  | Honest of { round : int; honest : int list; malicious : int list }
+  | Reveal_req of { dealer : int; requests : int list }
+  | Result of { round : int; view : result_view }
+  | Reject of { reason : string }
+
+let tag_name = function
+  | Hello _ -> "hello"
+  | Submit _ -> "submit"
+  | Reveal_resp _ -> "reveal-resp"
+  | Bye -> "bye"
+  | Hello_ok _ -> "hello-ok"
+  | Ack _ -> "ack"
+  | Commits _ -> "commits"
+  | Cleared _ -> "cleared"
+  | Check _ -> "check"
+  | Honest _ -> "honest"
+  | Reveal_req _ -> "reveal-req"
+  | Result _ -> "result"
+  | Reject _ -> "reject"
+
+(* counts inside an envelope are bounded before any per-element work: a
+   hostile count fails fast instead of driving a long read loop *)
+let max_count = 1_000_000
+
+let checked_count c =
+  if c < 0 || c > max_count then failwith "count out of range";
+  c
+
+let w_ints b xs =
+  W.u32 b (List.length xs);
+  List.iter (fun x -> W.u32 b x) xs
+
+let r_ints r = List.init (checked_count (R.u32 r)) (fun _ -> R.u32 r)
+
+let w_scalar b s = W.bytes b (Scalar.to_bytes s)
+
+let r_scalar r =
+  match Scalar.of_bytes_opt (R.bytes r) with
+  | Some s -> s
+  | None -> failwith "bad scalar"
+
+let w_string b s = W.bytes b (Bytes.of_string s)
+let r_string r = Bytes.to_string (R.bytes r)
+
+let encode msg =
+  let b = W.create () in
+  (match msg with
+  | Hello { client_id; resume_round } ->
+      W.u8 b 1;
+      W.u32 b client_id;
+      W.u32 b resume_round
+  | Submit framed ->
+      W.u8 b 2;
+      W.bytes b framed
+  | Reveal_resp { dealer; shares } ->
+      W.u8 b 3;
+      W.u32 b dealer;
+      (match shares with
+      | None -> W.u8 b 0
+      | Some shares ->
+          W.u8 b 1;
+          W.u32 b (List.length shares);
+          List.iter
+            (fun (recipient, s) ->
+              W.u32 b recipient;
+              w_scalar b s)
+            shares)
+  | Bye -> W.u8 b 4
+  | Hello_ok { n; round } ->
+      W.u8 b 5;
+      W.u32 b n;
+      W.u32 b round
+  | Ack { round; stage; sender; seq } ->
+      W.u8 b 6;
+      W.u32 b round;
+      W.u8 b (Netsim.stage_index stage);
+      W.u32 b sender;
+      W.u32 b seq
+  | Commits { round; commits } ->
+      W.u8 b 7;
+      W.u32 b round;
+      W.u32 b (Array.length commits);
+      Array.iter (fun c -> W.bytes b c) commits
+  | Cleared { round; shares } ->
+      W.u8 b 8;
+      W.u32 b round;
+      W.u32 b (List.length shares);
+      List.iter
+        (fun (flagger, dealer, s) ->
+          W.u32 b flagger;
+          W.u32 b dealer;
+          w_scalar b s)
+        shares
+  | Check { round; bcast } ->
+      W.u8 b 9;
+      W.u32 b round;
+      W.bytes b bcast
+  | Honest { round; honest; malicious } ->
+      W.u8 b 10;
+      W.u32 b round;
+      w_ints b honest;
+      w_ints b malicious
+  | Reveal_req { dealer; requests } ->
+      W.u8 b 11;
+      W.u32 b dealer;
+      w_ints b requests
+  | Result { round; view } -> (
+      W.u8 b 12;
+      W.u32 b round;
+      match view with
+      | Rv_completed { cstar; aggregate } ->
+          W.u8 b 0;
+          w_ints b cstar;
+          (match aggregate with
+          | None -> W.u8 b 0
+          | Some agg ->
+              W.u8 b 1;
+              W.u32 b (Array.length agg);
+              Array.iter (fun v -> W.i32 b v) agg)
+      | Rv_aborted_quorum { stage; survivors; needed } ->
+          W.u8 b 1;
+          w_string b stage;
+          W.u32 b survivors;
+          W.u32 b needed
+      | Rv_aborted_decode ids ->
+          W.u8 b 2;
+          w_ints b ids)
+  | Reject { reason } ->
+      W.u8 b 13;
+      w_string b reason);
+  Buffer.to_bytes b
+
+let decode body =
+  ( Serial.total "proto" @@ fun r ->
+  let msg =
+    match R.u8 r with
+    | 1 ->
+        let client_id = R.u32 r in
+        let resume_round = R.u32 r in
+        Hello { client_id; resume_round }
+    | 2 -> Submit (R.bytes r)
+    | 3 ->
+        let dealer = R.u32 r in
+        let shares =
+          match R.u8 r with
+          | 0 -> None
+          | 1 ->
+              let c = checked_count (R.u32 r) in
+              Some
+                (List.init c (fun _ ->
+                     let recipient = R.u32 r in
+                     let s = r_scalar r in
+                     (recipient, s)))
+          | _ -> failwith "bad option tag"
+        in
+        Reveal_resp { dealer; shares }
+    | 4 -> Bye
+    | 5 ->
+        let n = R.u32 r in
+        let round = R.u32 r in
+        Hello_ok { n; round }
+    | 6 ->
+        let round = R.u32 r in
+        let stage =
+          match Netsim.stage_of_index (R.u8 r) with
+          | Some s -> s
+          | None -> failwith "bad stage"
+        in
+        let sender = R.u32 r in
+        let seq = R.u32 r in
+        Ack { round; stage; sender; seq }
+    | 7 ->
+        let round = R.u32 r in
+        let c = checked_count (R.u32 r) in
+        let commits = Array.init c (fun _ -> R.bytes r) in
+        Commits { round; commits }
+    | 8 ->
+        let round = R.u32 r in
+        let c = checked_count (R.u32 r) in
+        let shares =
+          List.init c (fun _ ->
+              let flagger = R.u32 r in
+              let dealer = R.u32 r in
+              let s = r_scalar r in
+              (flagger, dealer, s))
+        in
+        Cleared { round; shares }
+    | 9 ->
+        let round = R.u32 r in
+        let bcast = R.bytes r in
+        Check { round; bcast }
+    | 10 ->
+        let round = R.u32 r in
+        let honest = r_ints r in
+        let malicious = r_ints r in
+        Honest { round; honest; malicious }
+    | 11 ->
+        let dealer = R.u32 r in
+        let requests = r_ints r in
+        Reveal_req { dealer; requests }
+    | 12 -> (
+        let round = R.u32 r in
+        match R.u8 r with
+        | 0 ->
+            let cstar = r_ints r in
+            let aggregate =
+              match R.u8 r with
+              | 0 -> None
+              | 1 ->
+                  let c = checked_count (R.u32 r) in
+                  Some (Array.init c (fun _ -> R.i32 r))
+              | _ -> failwith "bad option tag"
+            in
+            Result { round; view = Rv_completed { cstar; aggregate } }
+        | 1 ->
+            let stage = r_string r in
+            let survivors = R.u32 r in
+            let needed = R.u32 r in
+            Result { round; view = Rv_aborted_quorum { stage; survivors; needed } }
+        | 2 -> Result { round; view = Rv_aborted_decode (r_ints r) }
+        | _ -> failwith "bad result tag")
+    | 13 -> Reject { reason = r_string r }
+    | _ -> failwith "unknown tag"
+  in
+  R.finish r;
+  msg )
+    body

@@ -1,0 +1,51 @@
+(** Socket-protocol envelopes: everything that crosses a connection.
+
+    Each message travels as one {!Frame} body: a u8 tag followed by the
+    tag's fields, written with the same {!Risefl_core.Serial} primitives
+    (and the same totality discipline) as the protocol messages — the
+    decoder returns [Ok]/[Error] on any byte string and never allocates
+    from an unvalidated count.
+
+    Client → server: [Hello] (register/re-register a client id after
+    connect or reconnect), [Submit] (one ARQ frame — the
+    [Serial.encode_framed] bytes, exactly what the in-process reliable
+    layer puts on its links), [Reveal_resp], [Bye].
+
+    Server → client: [Hello_ok], [Ack] (write-ahead acknowledged — the
+    frame is in the WAL), the four round broadcasts ([Commits], [Cleared],
+    [Check], [Honest]), [Reveal_req], [Result], and a best-effort [Reject]
+    sent before the server closes a violating connection. *)
+
+module Scalar = Curve25519.Scalar
+
+(** A round verdict as broadcast to clients (a compact view of
+    {!Risefl_core.Driver.round_outcome} — timing stats stay server-side). *)
+type result_view =
+  | Rv_completed of { cstar : int list; aggregate : int array option }
+  | Rv_aborted_quorum of { stage : string; survivors : int; needed : int }
+  | Rv_aborted_decode of int list
+
+type msg =
+  | Hello of { client_id : int; resume_round : int }
+  | Submit of Bytes.t
+  | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
+  | Bye
+  | Hello_ok of { n : int; round : int }
+  | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
+  | Commits of { round : int; commits : Bytes.t array }
+  | Cleared of { round : int; shares : (int * int * Scalar.t) list }
+  | Check of { round : int; bcast : Bytes.t }
+  | Honest of { round : int; honest : int list; malicious : int list }
+  | Reveal_req of { dealer : int; requests : int list }
+  | Result of { round : int; view : result_view }
+  | Reject of { reason : string }
+
+val encode : msg -> Bytes.t
+(** The frame body (not yet length-prefixed — pass through
+    {!Frame.encode} to put it on the wire). *)
+
+val decode : Bytes.t -> (msg, Risefl_core.Serial.error) result
+(** Total: [Ok] or [Error] on any input, never an exception, no
+    allocation from an unvalidated count. *)
+
+val tag_name : msg -> string

@@ -1,0 +1,399 @@
+module Driver = Risefl_core.Driver
+module Serial = Risefl_core.Serial
+module Server_sm = Risefl_core.Server
+module Round_log = Risefl_core.Round_log
+module Setup = Risefl_core.Setup
+module Params = Risefl_core.Params
+module Clock = Telemetry.Clock
+
+let c_timeouts = Telemetry.Counter.make "transport.timeouts"
+let c_retransmits = Telemetry.Counter.make "transport.retransmits"
+let c_late = Telemetry.Counter.make "transport.late"
+let c_spoofed = Telemetry.Counter.make "transport.spoofed"
+
+type config = {
+  addr : Evloop.addr;
+  setup : Setup.t;
+  seed : string;
+  rounds : int;
+  stage_deadline_s : float;
+  wal_path : string option;
+  crash : (int * Netsim.stage * Driver.crash_point) option;
+}
+
+type report = {
+  outcomes : (int * Driver.round_outcome) list;
+  resumed_round : int option;
+  banned : int list;
+}
+
+(* Cleared shares are addressed: only the flagger that requested the
+   reveal sees the plaintext share. Everything else is broadcast. *)
+type target = All | One of int
+
+type st = {
+  loop : Evloop.t;
+  n : int;
+  session : Driver.session;
+  deadline_s : float;
+  log : string -> unit;
+  (* (round, stage index, sender, seq) already in the WAL: a retransmit
+     of any of these is re-acked without touching the driver *)
+  acked : (int * int * int * int, unit) Hashtbl.t;
+  (* broadcasts already emitted, oldest first, for Hello-time replay to
+     a (re)connecting client *)
+  mutable bcast_log : (int * target * Proto.msg) list;
+  (* frames that arrived before their stage's collector started *)
+  inbox : (int * int, (int * int * Bytes.t) Queue.t) Hashtbl.t;
+  reveal_box : (int, (int * Curve25519.Scalar.t) list option) Hashtbl.t;
+  (* protocol violators awaiting conviction by the next collector *)
+  mutable pending_convict : int list;
+  mutable pos : int * int;  (* last (round, stage index) a collector ran *)
+  mutable round_now : int;
+}
+
+(* an intentionally undecodable frame: pushing it through the driver's
+   intake walks the sender down the normal conviction path into C* *)
+let violation_frame = Bytes.of_string "!transport-violation"
+
+let key_of hdr =
+  (hdr.Serial.fh_round, hdr.Serial.fh_stage, hdr.Serial.fh_sender, hdr.Serial.fh_seq)
+
+let ack_of hdr stage =
+  Proto.Ack
+    {
+      round = hdr.Serial.fh_round;
+      stage;
+      sender = hdr.Serial.fh_sender;
+      seq = hdr.Serial.fh_seq;
+    }
+
+let send_bcast st ~round target msg =
+  st.bcast_log <- st.bcast_log @ [ (round, target, msg) ];
+  match target with
+  | All -> Evloop.broadcast st.loop msg
+  | One id -> (
+      match Evloop.conn_of_id st.loop id with
+      | Some c -> Evloop.send st.loop c msg
+      | None -> ())
+
+let convict st id =
+  if not (List.mem id st.pending_convict) then begin
+    st.log (Printf.sprintf "convicting client %d for a transport violation" id);
+    st.pending_convict <- st.pending_convict @ [ id ]
+  end
+
+let inbox_queue st key =
+  match Hashtbl.find_opt st.inbox key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace st.inbox key q;
+      q
+
+let handle_submit st conn framed =
+  match Serial.decode_framed framed with
+  | Error _ ->
+      (* CRC failure through a TCP stream is line noise, not protocol
+         abuse: drop without ack, the client retransmits *)
+      ()
+  | Ok (hdr, payload) -> (
+      match (Evloop.conn_id conn, Netsim.stage_of_index hdr.Serial.fh_stage) with
+      | None, _ -> Evloop.close_conn st.loop conn
+      | Some _, None ->
+          (* an unknown stage index inside a CRC-clean frame: noise *)
+          ()
+      | Some id, _ when hdr.Serial.fh_sender <> id ->
+          (* a registered client speaking with someone else's sender id *)
+          Telemetry.Counter.incr c_spoofed;
+          convict st id;
+          Evloop.close_conn st.loop conn
+      | Some _, Some stage ->
+          let key = key_of hdr in
+          if Hashtbl.mem st.acked key then begin
+            Telemetry.Counter.incr c_retransmits;
+            Evloop.send st.loop conn (ack_of hdr stage)
+          end
+          else begin
+            let r, s, _, _ = key in
+            if (r, s) <= st.pos then begin
+              (* a stage the lifecycle already left behind (quorum moved
+                 on): ack so the client stops retrying, count it late *)
+              Telemetry.Counter.incr c_late;
+              Evloop.send st.loop conn (ack_of hdr stage)
+            end
+            else
+              (* the driver's intake takes the inner payload: the frame
+                 header's job (routing, dedup key) is done here *)
+              Queue.add
+                (hdr.Serial.fh_sender, hdr.Serial.fh_seq, payload)
+                (inbox_queue st (r, s))
+          end)
+
+let handle_event st = function
+  | Evloop.Accepted _ -> ()
+  | Evloop.Msg (conn, msg) -> (
+      match msg with
+      | Proto.Hello { client_id; resume_round } ->
+          if client_id < 1 || client_id > st.n then begin
+            Evloop.send st.loop conn (Proto.Reject { reason = "unknown client id" });
+            Evloop.close_conn st.loop conn
+          end
+          else begin
+            (match Evloop.conn_of_id st.loop client_id with
+            | Some old when old != conn -> Evloop.close_conn st.loop old
+            | _ -> ());
+            Evloop.set_conn_id conn client_id;
+            Evloop.send st.loop conn (Proto.Hello_ok { n = st.n; round = st.round_now });
+            (* replay the broadcasts the client may have missed *)
+            List.iter
+              (fun (round, target, msg) ->
+                if round >= resume_round then
+                  match target with
+                  | All -> Evloop.send st.loop conn msg
+                  | One id when id = client_id -> Evloop.send st.loop conn msg
+                  | One _ -> ())
+              st.bcast_log
+          end
+      | Proto.Submit framed -> handle_submit st conn framed
+      | Proto.Reveal_resp { dealer; shares } -> (
+          match Evloop.conn_id conn with
+          | Some id when id = dealer -> Hashtbl.replace st.reveal_box dealer shares
+          | _ -> ())
+      | Proto.Bye -> Evloop.close_conn st.loop conn
+      | _ ->
+          (* server-to-client message types coming back at us *)
+          (match Evloop.conn_id conn with Some id -> convict st id | None -> ());
+          Evloop.close_conn st.loop conn)
+  | Evloop.Violation (conn, reason) -> (
+      match Evloop.conn_id conn with
+      | Some id ->
+          st.log (Printf.sprintf "client %d: %s" id reason);
+          convict st id
+      | None -> st.log (Printf.sprintf "%s: %s" (Evloop.conn_peer conn) reason))
+  | Evloop.Closed _ -> ()
+
+let pump st ~until_s =
+  let timeout = Float.max 0.0 (Float.min 0.05 (until_s -. Clock.now_s ())) in
+  List.iter (handle_event st) (Evloop.poll st.loop ~timeout_s:timeout)
+
+(* the driver's per-stage intake: drain the inbox, convict violators,
+   poll the loop for more — under the stage deadline *)
+let collect st ~round ~stage ~already ~push =
+  let stage_ix = Netsim.stage_index stage in
+  st.round_now <- round;
+  let banned = Server_sm.malicious (Driver.session_server st.session) in
+  let pending = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      if (not (List.mem i already)) && not (List.mem i banned) then
+        Hashtbl.replace pending i ())
+    (List.init st.n (fun i -> i + 1));
+  let deadline = Clock.now_s () +. st.deadline_s in
+  let accept (sender, seq, framed) =
+    (* write-ahead ack: push appends to the WAL (or raises, crashing the
+       server) before we acknowledge anything *)
+    push (sender, seq, framed);
+    Hashtbl.replace st.acked (round, stage_ix, sender, seq) ();
+    Hashtbl.remove pending sender;
+    match Evloop.conn_of_id st.loop sender with
+    | Some c ->
+        Evloop.send st.loop c
+          (Proto.Ack { round; stage; sender; seq })
+    | None -> ()
+  in
+  let step () =
+    (* violators first: their synthetic frame convicts them through the
+       driver's normal undecodable-frame path *)
+    List.iter
+      (fun id ->
+        if Hashtbl.mem pending id then begin
+          push (id, 0, violation_frame);
+          Hashtbl.remove pending id
+        end)
+      st.pending_convict;
+    st.pending_convict <-
+      List.filter (fun id -> Hashtbl.mem pending id) st.pending_convict;
+    match Hashtbl.find_opt st.inbox (round, stage_ix) with
+    | None -> ()
+    | Some q ->
+        while not (Queue.is_empty q) do
+          let (sender, seq, _) as item = Queue.pop q in
+          if Hashtbl.mem st.acked (round, stage_ix, sender, seq) then
+            Telemetry.Counter.incr c_retransmits
+          else accept item
+        done
+  in
+  step ();
+  while Hashtbl.length pending > 0 && Clock.now_s () < deadline do
+    pump st ~until_s:deadline;
+    step ()
+  done;
+  Hashtbl.remove st.inbox (round, stage_ix);
+  let missing = Hashtbl.length pending in
+  if missing > 0 then begin
+    Telemetry.Counter.add c_timeouts missing;
+    st.log
+      (Printf.sprintf "round %d %s: deadline passed with %d client(s) silent" round
+         (Netsim.stage_to_string stage) missing)
+  end;
+  st.pos <- (round, stage_ix)
+
+let reveal st ~dealer ~requests =
+  Hashtbl.remove st.reveal_box dealer;
+  (match Evloop.conn_of_id st.loop dealer with
+  | Some c -> Evloop.send st.loop c (Proto.Reveal_req { dealer; requests })
+  | None -> ());
+  let deadline = Clock.now_s () +. st.deadline_s in
+  while (not (Hashtbl.mem st.reveal_box dealer)) && Clock.now_s () < deadline do
+    pump st ~until_s:deadline
+  done;
+  match Hashtbl.find_opt st.reveal_box dealer with
+  | Some shares -> shares
+  | None ->
+      Telemetry.Counter.incr c_timeouts;
+      None
+
+let view_of_outcome = function
+  | Driver.Completed stats ->
+      Proto.Rv_completed { cstar = stats.Driver.flagged; aggregate = stats.Driver.aggregate }
+  | Driver.Aborted_insufficient_quorum { stage; survivors; needed } ->
+      Proto.Rv_aborted_quorum { stage; survivors; needed }
+  | Driver.Aborted_decode ids -> Proto.Rv_aborted_decode ids
+
+let remote_of st : Driver.remote =
+  {
+    Driver.r_collect = (fun ~round ~stage ~already ~push -> collect st ~round ~stage ~already ~push);
+    r_commits =
+      (fun ~round commits -> send_bcast st ~round All (Proto.Commits { round; commits }));
+    r_cleared =
+      (fun ~round shares ->
+        (* group by flagger: each flagger sees only its own reveals *)
+        let flaggers = List.sort_uniq compare (List.map (fun (f, _, _) -> f) shares) in
+        List.iter
+          (fun f ->
+            let own = List.filter (fun (f', _, _) -> f' = f) shares in
+            send_bcast st ~round (One f) (Proto.Cleared { round; shares = own }))
+          flaggers);
+    r_check = (fun ~round bcast -> send_bcast st ~round All (Proto.Check { round; bcast }));
+    r_honest =
+      (fun ~round ~honest ~malicious ->
+        send_bcast st ~round All (Proto.Honest { round; honest; malicious }));
+    r_result =
+      (fun ~round outcome ->
+        send_bcast st ~round All (Proto.Result { round; view = view_of_outcome outcome }));
+    r_reveal = (fun ~dealer ~requests -> reveal st ~dealer ~requests);
+  }
+
+(* Planned crash: the WAL is already synced (the driver fsyncs before
+   raising); push queued acks/broadcasts out briefly, print the resume
+   hint, then deliver genuine kill -9 semantics to our own process. *)
+let die_crashed st wal stage at =
+  let wal_path = match wal with Some w -> Round_log.path w | None -> "?" in
+  Evloop.drain st.loop ~deadline_s:(Clock.now_s () +. 0.5);
+  Printf.printf "server crashed at %s (wal synced); finish the round with: serve --wal %s\n"
+    (Driver.crash_to_string (stage, at))
+    wal_path;
+  flush stdout;
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  assert false
+
+let serve ?(log = fun _ -> ()) cfg =
+  (* a peer vanishing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let n = cfg.setup.Setup.params.Params.n_clients in
+  let session = Driver.create_session cfg.setup ~seed:cfg.seed in
+  let loop = Evloop.listen cfg.addr in
+  let st =
+    {
+      loop;
+      n;
+      session;
+      deadline_s = cfg.stage_deadline_s;
+      log;
+      acked = Hashtbl.create 64;
+      bcast_log = [];
+      inbox = Hashtbl.create 8;
+      reveal_box = Hashtbl.create 4;
+      pending_convict = [];
+      pos = (0, -1);
+      round_now = 1;
+    }
+  in
+  (* WAL replay: the log decides where this process picks up *)
+  let records, wal =
+    match cfg.wal_path with
+    | None -> ([], None)
+    | Some path ->
+        let records =
+          if Sys.file_exists path then fst (Round_log.replay path) else []
+        in
+        (records, Some (Round_log.create path))
+  in
+  let sealed = Hashtbl.create 4 in
+  let started = ref 0 in
+  List.iter
+    (function
+      | Round_log.Frame { round; stage; sender; seq; _ } ->
+          Hashtbl.replace st.acked (round, Netsim.stage_index stage, sender, seq) ()
+      | Round_log.Round_start { round } -> started := max !started round
+      | Round_log.Round_end { round; cstar; aggregate } ->
+          Hashtbl.replace sealed round (cstar, aggregate)
+      | _ -> ())
+    records;
+  (* completed rounds carry their C* forward as bans, like run_session *)
+  let server = Driver.session_server session in
+  for r = 1 to !started do
+    match Hashtbl.find_opt sealed r with
+    | Some (cstar, Some _) -> List.iter (Server_sm.ban server) cstar
+    | _ -> ()
+  done;
+  let resumed_round =
+    if !started > 0 && not (Hashtbl.mem sealed !started) then Some !started else None
+  in
+  let start_round =
+    match resumed_round with Some r -> r | None -> !started + 1
+  in
+  (* remote rounds never compute client work: dummies gate nothing *)
+  let updates = Array.make n [||] in
+  let behaviours = Driver.honest_all n in
+  let remote = remote_of st in
+  let outcomes = ref [] in
+  (try
+     for round = start_round to cfg.rounds do
+       st.round_now <- round;
+       log (Printf.sprintf "round %d: waiting for %d client(s)" round n);
+       let crash_here =
+         match cfg.crash with
+         | Some (r, stage, at) when r = round -> Some (stage, at)
+         | _ -> None
+       in
+       let outcome =
+         try
+           if resumed_round = Some round then
+             Driver.recover_round ~remote ?wal session ~records ~updates ~behaviours
+               ~round
+           else
+             Driver.run_round_outcome ~remote ?wal ?crash:crash_here session ~updates
+               ~behaviours ~round
+         with Driver.Server_crashed { stage; at } -> die_crashed st wal stage at
+       in
+       outcomes := (round, outcome) :: !outcomes;
+       (match outcome with
+       | Driver.Completed stats when stats.Driver.aggregate <> None ->
+           List.iter (Server_sm.ban server) stats.Driver.flagged
+       | _ -> ())
+     done
+   with e ->
+     Evloop.shutdown loop;
+     (match wal with Some w -> Round_log.close w | None -> ());
+     raise e);
+  (* let the final Result broadcasts reach the clients before closing *)
+  Evloop.drain loop ~deadline_s:(Clock.now_s () +. 1.0);
+  Evloop.shutdown loop;
+  (match wal with Some w -> Round_log.close w | None -> ());
+  {
+    outcomes = List.rev !outcomes;
+    resumed_round;
+    banned = Server_sm.banned server;
+  }

@@ -1,0 +1,43 @@
+(** The deployment server: drives {!Risefl_core.Driver}'s round lifecycle
+    over real sockets via the driver's [?remote] seam, with the
+    write-ahead log as the source of truth.
+
+    One {!serve} call runs the configured rounds against whatever clients
+    connect. Per stage the server collects frames under a wall-clock
+    deadline ({!Telemetry.Clock} is the timing authority) and then lets
+    the quorum lifecycle decide; write-ahead ack discipline: a Submit is
+    acknowledged only after the driver has appended it to the WAL, so an
+    acked frame is never lost to a crash. A framing/envelope violation
+    convicts the sender into C* (a synthetic undecodable frame walks the
+    driver's normal conviction path) and closes the connection.
+
+    Crash/restart: with a crash plan armed the server fsyncs the log and
+    SIGKILLs its own process at the planned point — genuine kill -9
+    semantics. A new [serve] on the same WAL replays the log, re-applies
+    session bans, rebuilds the (round, stage, sender, seq) ack table
+    (retransmits of already-logged frames re-ack instead of reprocessing)
+    and finishes the interrupted round via {!Driver.recover_round} —
+    bit-identical to an uncrashed run on the same seed. *)
+
+module Driver = Risefl_core.Driver
+
+type config = {
+  addr : Evloop.addr;
+  setup : Risefl_core.Setup.t;
+  seed : string;  (** the session seed — clients must use the same *)
+  rounds : int;
+  stage_deadline_s : float;  (** per-stage collection deadline *)
+  wal_path : string option;
+  crash : (int * Netsim.stage * Driver.crash_point) option;
+      (** die (SIGKILL) at this point; requires [wal_path] *)
+}
+
+type report = {
+  outcomes : (int * Driver.round_outcome) list;  (** rounds run by this process *)
+  resumed_round : int option;  (** the WAL round this process recovered *)
+  banned : int list;
+}
+
+val serve : ?log:(string -> unit) -> config -> report
+(** Runs to completion (never returns on a planned crash — the process is
+    killed). [log] receives progress lines (default: dropped). *)

@@ -1,0 +1,26 @@
+module Driver = Risefl_core.Driver
+
+let make ~n ~d ~bound ~seed ~attackers ~round =
+  let label =
+    if round = 1 then seed ^ "/updates" else Printf.sprintf "%s/updates/r%d" seed round
+  in
+  let drbg = Prng.Drbg.create_string label in
+  let updates =
+    Array.init n (fun _ -> Array.init d (fun _ -> Prng.Drbg.uniform_int drbg 60 - 30))
+  in
+  List.iter
+    (fun i ->
+      if i >= 1 && i <= n then begin
+        let norm = Encoding.Fixed_point.l2_norm_encoded updates.(i - 1) in
+        let factor = int_of_float (50.0 *. bound /. norm) in
+        updates.(i - 1) <- Array.map (fun x -> factor * x) updates.(i - 1)
+      end)
+    attackers;
+  updates
+
+let behaviours ~n ~attackers =
+  let behaviours = Driver.honest_all n in
+  List.iter
+    (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Oversized 50.0)
+    attackers;
+  behaviours

@@ -1,0 +1,14 @@
+(** The CLI's synthetic per-round update derivation, shared between the
+    in-process [round] subcommand and the [serve]/[client] processes so a
+    remote run is bit-identical to its in-process twin on the same seed.
+
+    Deterministic in (seed, round); round 1 keeps the historical
+    [seed ^ "/updates"] label so existing seeds reproduce. Attackers'
+    vectors are re-scaled to 50× the bound (the §5.1 scaling attack). *)
+
+val make :
+  n:int -> d:int -> bound:float -> seed:string -> attackers:int list -> round:int ->
+  int array array
+
+val behaviours : n:int -> attackers:int list -> Risefl_core.Driver.behaviour array
+(** Honest everywhere except [Oversized 50.0] for the attackers. *)

@@ -247,6 +247,17 @@ let run_with_drops ~stage ~drops =
   Driver.run_round_outcome session ~transport:net ~updates ~behaviours:(Driver.honest_all n)
     ~round
 
+(* the same ladder step through the backend-agnostic endpoint seam: any
+   Transport_intf.S backend (Netsim itself, the socketpair loopback, ...)
+   must produce the identical verdicts *)
+let run_with_drops_on (module B : Netsim.Transport_intf.S) ~stage ~drops =
+  incr round_counter;
+  let round = !round_counter in
+  let script = List.map (fun c -> ((round, stage, c), [ Netsim.Drop ])) drops in
+  let ep = B.endpoint (B.create ~script ~seed:"ladder" ()) in
+  Driver.run_round_outcome session ~endpoint:ep ~updates ~behaviours:(Driver.honest_all n)
+    ~round
+
 let all_ids = List.init n (fun i -> i + 1)
 
 let check_completed ~stage ~drops outcome =
@@ -297,6 +308,19 @@ let test_ladder_stage stage () =
   | o ->
       fail "%s with 3 drops should abort on quorum, got: %s" (Netsim.stage_to_string stage)
         (Driver.outcome_to_string o)
+
+(* one completion at the quorum edge and one quorum abort, through any
+   Transport_intf.S backend: the seeded fault schedule (and therefore the
+   verdict) must not depend on which backend carried the bytes *)
+let test_backend_ladder (module B : Netsim.Transport_intf.S) () =
+  let stage = Netsim.Flag in
+  let drops = [ 1; 2 ] in
+  check_completed ~stage ~drops (run_with_drops_on (module B) ~stage ~drops);
+  match run_with_drops_on (module B) ~stage ~drops:[ 1; 2; 3 ] with
+  | Driver.Aborted_insufficient_quorum { survivors; needed; _ } ->
+      Alcotest.(check int) "needed = t" (m + 1) needed;
+      if survivors >= needed then fail "abort with %d survivors >= %d" survivors needed
+  | o -> fail "3 drops should abort on quorum, got: %s" (Driver.outcome_to_string o)
 
 (* Dropouts after the flags are processed (proof and aggregation stages)
    must behave exactly like earlier ones — covered by the ladder above,
@@ -459,6 +483,12 @@ let () =
           Alcotest.test_case "agg stage" `Quick (test_ladder_stage Netsim.Agg);
           Alcotest.test_case "mixed late dropouts" `Quick test_mixed_late_dropouts;
           Alcotest.test_case "run_round never aborts" `Quick test_run_round_never_aborts;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "netsim endpoint" `Quick (test_backend_ladder (module Netsim));
+          Alcotest.test_case "socketpair loopback" `Quick
+            (test_backend_ladder (module Risefl_transport.Loopback));
         ] );
       ( "retransmission",
         [

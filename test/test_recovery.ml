@@ -140,6 +140,36 @@ let test_fresh_session_resume () =
   if got <> want then fail "fresh-session resume differs from the uncrashed run";
   Sys.remove wal_path
 
+(* the same crash/resume flow with the frames carried by an alternate
+   Transport_intf.S backend (the socketpair loopback): frame reassembly
+   from partial reads must not disturb the recovery bit-identity *)
+let test_fresh_session_resume_loopback () =
+  let module Loopback = Risefl_transport.Loopback in
+  let updates = updates_for 1 in
+  let behaviours = Driver.honest_all n in
+  let reference = Driver.create_session setup ~seed:"resume-lb" in
+  let want =
+    agg_and_cstar (Driver.run_round_outcome reference ~serialize:true ~updates ~behaviours ~round:1)
+  in
+  let ep () = Loopback.endpoint (Loopback.create ~seed:"resume-lb" ()) in
+  let wal_path = fresh_wal () in
+  let crashed = Driver.create_session setup ~seed:"resume-lb" in
+  let wal = Round_log.create ~fsync:false wal_path in
+  (try
+     ignore
+       (Driver.run_round_outcome crashed ~endpoint:(ep ()) ~wal
+          ~crash:(Netsim.Proof, Driver.Stage_frame 2) ~updates ~behaviours ~round:1)
+   with Driver.Server_crashed _ -> ());
+  Round_log.close wal;
+  let resumed = Driver.create_session setup ~seed:"resume-lb" in
+  let records, _ = Round_log.replay wal_path in
+  let got =
+    agg_and_cstar
+      (Driver.recover_round resumed ~endpoint:(ep ()) ~records ~updates ~behaviours ~round:1)
+  in
+  if got <> want then fail "loopback-backend resume differs from the uncrashed run";
+  Sys.remove wal_path
+
 (* ------------------------------------------------------------------ *)
 (* duplicated agg share across a crash must not double-count *)
 
@@ -303,6 +333,8 @@ let () =
           Alcotest.test_case "differential sweep" `Slow test_crash_sweep;
           Alcotest.test_case "unfired crash plan" `Quick test_crash_point_not_reached;
           Alcotest.test_case "fresh-session resume" `Quick test_fresh_session_resume;
+          Alcotest.test_case "fresh-session resume (loopback)" `Quick
+            test_fresh_session_resume_loopback;
           Alcotest.test_case "crash without WAL raises" `Quick test_crash_without_wal_raises;
           Alcotest.test_case "duplicate agg share" `Quick test_duplicate_agg_share_no_double_count;
         ] );
