@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke stream-smoke clean
 
 all: check
 
@@ -127,6 +127,32 @@ serve-smoke:
 	dune exec bench/main.exe -- serve --smoke --json /tmp/serve-smoke.json
 	@grep -q '"name": "loopback-round-s"' /tmp/serve-smoke.json \
 	  || { echo "serve-smoke: transport records missing from bench JSON" >&2; exit 1; }
+
+# Streaming-verification gate: the quick differential suite (Acc
+# flush/capacity units, streamed-vs-barrier bit-identity across the
+# jobs x shards matrix, batch-boundary edges, late agg-stage conviction,
+# stream counters), a CLI round diffed barrier-vs-streamed, then the
+# stream bench smoke — the build fails if the streamed path's peak
+# resident memory grows more than 1.25x across the client ladder while
+# the barrier path's doubles.
+stream-smoke:
+	STREAM_STRIDE=2 dune exec test/test_stream.exe -- -q
+	dune build bin/risefl_cli.exe
+	@set -e; \
+	BIN=_build/default/bin/risefl_cli.exe; \
+	DIR=/tmp/risefl-stream; rm -rf $$DIR; mkdir -p $$DIR; \
+	ARGS="--clients 6 --dimension 16 --samples 4 --seed stream-smoke"; \
+	$$BIN round $$ARGS | grep -E "flagged|aggregate" > $$DIR/barrier.txt; \
+	$$BIN round $$ARGS --stream --shards 2 --stream-batch 2 \
+	  | tee $$DIR/stream-full.txt | grep -E "flagged|aggregate" > $$DIR/stream.txt; \
+	diff $$DIR/barrier.txt $$DIR/stream.txt \
+	  || { echo "stream-smoke: streamed round diverged from the barrier round" >&2; exit 1; }; \
+	grep -q "stream: 6 folded, 6 evicted" $$DIR/stream-full.txt \
+	  || { echo "stream-smoke: stream counters missing from CLI output" >&2; exit 1; }; \
+	echo "stream-smoke: barrier/streamed CLI rounds bit-identical"
+	dune exec bench/main.exe -- stream --smoke --json /tmp/stream-smoke.json --gate-stream 1.25
+	@grep -q '"name": "stream-peak-growth"' /tmp/stream-smoke.json \
+	  || { echo "stream-smoke: peak-memory records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -13,6 +13,7 @@
      faults  fault-injected transport degradation ladder (EXPERIMENTS.md)
      recovery  WAL overhead (bytes/round, fsyncs, wall-clock) + crash recovery
      serve   deployment transport: socket-loopback round latency + counters
+     stream  streaming verification: barrier vs arrival-ordered fold, time + memory
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -1029,10 +1030,132 @@ let run_serve () =
     snap.Telemetry.counters
 
 (* ------------------------------------------------------------------ *)
+(* Streaming verification: barrier vs arrival-ordered fold, wall time
+   and resident memory.  Both paths start from the identical committed
+   round; [peak] is the max live-words delta over the post-commit
+   baseline while the proof stage holds its inputs.  The barrier path
+   must retain every proof frame (and the un-evicted commit records)
+   until the batch verify; the streamed path folds each frame on
+   arrival and evicts, so its delta stays bounded by the flush batch
+   plus the compressed per-client spill — near-flat in n.              *)
+
+let stream_gate = ref None (* --gate-stream cap on streamed peak growth across the ladder *)
+
+let live_peak () =
+  Gc.full_major ();
+  Telemetry.live_words ()
+
+let run_stream () =
+  pf "================ stream: barrier vs streaming verification ================\n";
+  let d = if config.smoke then 16 else 64 in
+  let k = if config.smoke then 4 else 16 in
+  let ladder =
+    if config.smoke then [ 6; 12 ]
+    else if config.full then [ 8; 16; 32; 64 ]
+    else [ 8; 16; 32 ]
+  in
+  let shards = 2 and batch = 4 in
+  pf "d=%d k=%d, streaming cfg: shards=%d batch=%d\n" d k shards batch;
+  pf "peak = max live-words delta over the post-commit baseline during the proof stage\n\n";
+  pf "%-6s | %12s %14s | %12s %14s | %8s\n" "n" "barrier(s)" "peak(words)" "stream(s)"
+    "peak(words)" "ratio";
+  let stream_peaks = ref [] in
+  List.iter
+    (fun n ->
+      let m = max 1 (n / 4) in
+      let seed = ns_seed (Printf.sprintf "bench-stream-%d" n) in
+      let run ~streamed =
+        let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
+        let updates = mk_updates drbg ~n ~d ~amp:40 in
+        let bound = 1.25 *. max_norm updates in
+        let params = risefl_params ~n ~m ~d ~k ~bound in
+        let setup = Setup.create ~label:(Printf.sprintf "bench/stream/%d" n) params in
+        let root = Prng.Drbg.create_string seed in
+        let clients =
+          Array.init n (fun i ->
+              Client.create setup ~id:(i + 1) (Prng.Drbg.fork root (string_of_int i)))
+        in
+        let server = Server.create setup (Prng.Drbg.fork root "server") in
+        let pks = Array.map Client.public_key clients in
+        Array.iter (fun c -> Client.install_directory c pks) clients;
+        Server.install_directory server pks;
+        let commits =
+          Array.mapi (fun i c -> Client.commit_round c ~round:1 ~update:updates.(i)) clients
+        in
+        Array.iter (fun c -> ignore (Client.receive_shares c ~round:1 ~msgs:commits)) clients;
+        Server.begin_round server ~round:1 ~commits:(Array.map Option.some commits);
+        let s, hs = Server.prepare_check server in
+        let hs_tables = Parallel.parallel_map Point.Table.make hs in
+        (* the committed round is the shared baseline for both paths *)
+        let l0 = live_peak () in
+        let peak = ref 0 in
+        let observe () =
+          let dl = live_peak () - l0 in
+          if dl > !peak then peak := dl
+        in
+        let (), stage_s =
+          Telemetry.Clock.time (fun () ->
+              if streamed then begin
+                let st =
+                  Server.stream_begin server ~round:1 ~cfg:(Server.stream_cfg ~shards ~batch ())
+                in
+                Array.iteri
+                  (fun i c ->
+                    let pr = Client.proof_round ~hs_tables c ~round:1 ~s ~hs in
+                    Server.stream_feed st ~sender:(i + 1) pr;
+                    observe ())
+                  clients;
+                Server.stream_finish st
+              end
+              else begin
+                let proofs =
+                  Array.map (fun c -> Some (Client.proof_round ~hs_tables c ~round:1 ~s ~hs)) clients
+                in
+                observe ();
+                Server.verify_proofs server ~round:1 ~proofs;
+                ignore (Sys.opaque_identity proofs)
+              end)
+        in
+        if Server.malicious server <> [] then failwith "stream bench: honest round rejected";
+        (stage_s, !peak)
+      in
+      let barrier_s, barrier_w = run ~streamed:false in
+      let stream_s, stream_w = run ~streamed:true in
+      let ratio =
+        if barrier_w > 0 then float_of_int stream_w /. float_of_int barrier_w else 0.0
+      in
+      stream_peaks := stream_w :: !stream_peaks;
+      pf "%-6d | %12.3f %14d | %12.3f %14d | %7.2f\n" n barrier_s barrier_w stream_s stream_w
+        ratio;
+      record ~target:"stream" ~name:"barrier-proof-stage-s" ~d ~k ~n barrier_s;
+      record ~target:"stream" ~name:"stream-proof-stage-s" ~d ~k ~n stream_s;
+      record ~target:"stream" ~name:"barrier-peak-words" ~d ~k ~n (float_of_int barrier_w);
+      record ~target:"stream" ~name:"stream-peak-words" ~d ~k ~n (float_of_int stream_w);
+      record ~target:"stream" ~name:"stream-peak-ratio" ~d ~k ~n ratio)
+    ladder;
+  (* flat-memory gate: the streamed peak at the top of the ladder must stay
+     within [thr]x of the smallest point's, while n itself grows by the
+     ladder factor (the barrier column is the contrast, not the gate) *)
+  let growth =
+    match List.rev !stream_peaks with
+    | first :: (_ :: _ as rest) when first > 0 ->
+        float_of_int (List.fold_left max 0 rest) /. float_of_int first
+    | _ -> 1.0
+  in
+  record ~target:"stream" ~name:"stream-peak-growth" ~d ~k growth;
+  match !stream_gate with
+  | Some thr when growth > thr ->
+      pf "GATE FAIL: streamed peak-memory growth %.2fx across the n-ladder exceeds %.2fx\n" growth
+        thr;
+      exit 1
+  | Some thr -> pf "gate ok: streamed peak-memory growth %.2fx across the n-ladder <= %.2fx\n" growth thr
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve"; "stream" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -1049,6 +1172,7 @@ let rec run_target = function
   | "faults" -> run_faults ()
   | "recovery" -> run_recovery ()
   | "serve" -> run_serve ()
+  | "stream" -> run_stream ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);
@@ -1080,6 +1204,9 @@ let () =
       ( "--gate-group",
         Arg.Float (fun v -> group_gate := Some v),
         "fail (exit 1) if the group target's warm-cache precompute speedup drops below this factor" );
+      ( "--gate-stream",
+        Arg.Float (fun v -> stream_gate := Some v),
+        "fail (exit 1) if the stream target's streamed peak-memory growth across the n-ladder exceeds this factor" );
       ( "--seed",
         Arg.String (fun v -> config.seed <- v),
         "workload seed namespace, recorded in the JSON metadata (default \"default\")" );

@@ -73,6 +73,44 @@ let wal_arg =
           "Arm the durable runtime: append every accepted frame to FILE (write-ahead, fsynced) \
            so an interrupted round can be finished with the resume subcommand.")
 
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Verify proofs through the streaming pipeline: each arrived frame is folded into the \
+           round's sharded RLC accumulators and its decoded bulk evicted, bounding resident \
+           memory; verdicts and the aggregate are bit-identical to the barrier path.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Independent streaming-accumulator shards (client i lands in shard (i-1) mod S); \
+           implies $(b,--stream) when > 1.")
+
+let stream_batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "stream-batch" ] ~docv:"B"
+        ~doc:"Frames buffered per shard before a partial-MSM flush (streaming mode).")
+
+let make_stream_cfg ~stream ~shards ~batch =
+  if shards < 1 || batch < 1 then begin
+    Printf.eprintf "--shards and --stream-batch must be >= 1\n";
+    exit 2
+  end;
+  if stream || shards > 1 then Some (Risefl_core.Server.stream_cfg ~shards ~batch ()) else None
+
+let print_stream_stats server =
+  match Risefl_core.Server.stream_stats server with
+  | None -> ()
+  | Some st ->
+      Printf.printf "stream: %d folded, %d evicted, %d flushes, peak batch %d\n"
+        st.Risefl_core.Server.folded st.Risefl_core.Server.evicted st.Risefl_core.Server.flushes
+        st.Risefl_core.Server.peak_batch
+
 (* the synthetic per-round updates live in Risefl_transport.Updates so the
    serve/client processes derive bit-identical vectors from the seed *)
 let make_updates = Risefl_transport.Updates.make
@@ -186,9 +224,10 @@ let round_cmd =
              process that never connects or dies mid-round).")
   in
   let run n m d k bound seed attackers dropouts jobs cache_dir dlog_mem faults deadline trace
-      rounds crash wal_file retransmit no_recover =
+      rounds crash wal_file retransmit no_recover stream_flag shards stream_batch =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
+    let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -249,7 +288,7 @@ let round_cmd =
        end;
        let crash = Option.map (fun (_, stage, at) -> (stage, at)) crash in
        match
-         Driver.run_round_outcome ?transport ?reliable ?wal ?crash session
+         Driver.run_round_outcome ?transport ?reliable ?wal ?crash ?stream session
            ~updates:(updates_for 1) ~behaviours ~round:1
        with
        | outcome -> print_outcome ~d ~round:1 outcome
@@ -260,8 +299,8 @@ let round_cmd =
      end
      else begin
        let report =
-         Driver.run_session ?transport ?reliable ?wal ?crash session ~updates_for ~behaviours
-           ~rounds
+         Driver.run_session ?transport ?reliable ?wal ?crash ?stream session ~updates_for
+           ~behaviours ~rounds
        in
        List.iter
          (fun (r, outcome) -> print_outcome ~d ~round:r outcome)
@@ -272,6 +311,7 @@ let round_cmd =
            report.Driver.crashes_recovered
            (String.concat ";" (List.map string_of_int report.Driver.final_banned))
      end);
+    if stream <> None then print_stream_stats (Driver.session_server session);
     (match reliable with
     | Some rel ->
         print_reliable_counters rel;
@@ -293,7 +333,8 @@ let round_cmd =
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg
       $ dropouts_arg $ jobs_arg $ cache_dir_arg $ dlog_mem_arg $ faults_arg $ deadline_arg
-      $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg)
+      $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg
+      $ stream_arg $ shards_arg $ stream_batch_arg)
 
 (* --- resume --- *)
 
@@ -303,9 +344,11 @@ let resume_cmd =
       required & opt (some string) None
       & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log of the interrupted run.")
   in
-  let run n m d k bound seed attackers jobs cache_dir dlog_mem wal_file =
+  let run n m d k bound seed attackers jobs cache_dir dlog_mem wal_file stream_flag shards
+      stream_batch =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
+    let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
     let records, status = Round_log.replay wal_file in
     let frames = List.length (List.filter (function Round_log.Frame _ -> true | _ -> false) records) in
     Printf.printf "wal: %d records (%d frames)%s\n" (List.length records) frames
@@ -335,8 +378,11 @@ let resume_cmd =
         let updates = make_updates ~n ~d ~bound ~seed ~attackers ~round in
         let behaviours = make_behaviours ~n ~attackers in
         let wal = Round_log.create wal_file in
-        let outcome = Driver.recover_round ~wal session ~records ~updates ~behaviours ~round in
+        let outcome =
+          Driver.recover_round ~wal ?stream session ~records ~updates ~behaviours ~round
+        in
         Round_log.close wal;
+        if stream <> None then print_stream_stats (Driver.session_server session);
         print_outcome ~d ~round outcome
   in
   Cmd.v
@@ -344,7 +390,7 @@ let resume_cmd =
        ~doc:"Replay a write-ahead log and finish its interrupted round bit-identically.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
-      $ cache_dir_arg $ dlog_mem_arg $ wal_req)
+      $ cache_dir_arg $ dlog_mem_arg $ wal_req $ stream_arg $ shards_arg $ stream_batch_arg)
 
 (* --- serve / client: the socket deployment --- *)
 
@@ -400,9 +446,10 @@ let serve_cmd =
              restart serve with the same $(b,--wal) to finish the round (requires $(b,--wal)).")
   in
   let run n m d k bound seed jobs cache_dir dlog_mem listen rounds stage_deadline wal_file crash
-      trace verbose =
+      trace verbose stream_flag shards stream_batch =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
+    let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -442,6 +489,7 @@ let serve_cmd =
           stage_deadline_s = stage_deadline;
           wal_path = wal_file;
           crash;
+          stream;
         }
     in
     (match report.Tserver.resumed_round with
@@ -451,6 +499,12 @@ let serve_cmd =
     if report.Tserver.banned <> [] then
       Printf.printf "banned: [%s]\n"
         (String.concat ";" (List.map string_of_int report.Tserver.banned));
+    (match report.Tserver.stream_stats with
+    | Some st ->
+        Printf.printf "stream: %d folded, %d evicted, %d flushes, peak batch %d\n"
+          st.Risefl_core.Server.folded st.Risefl_core.Server.evicted
+          st.Risefl_core.Server.flushes st.Risefl_core.Server.peak_batch
+    | None -> ());
     write_trace trace
   in
   Cmd.v
@@ -460,7 +514,8 @@ let serve_cmd =
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ dlog_mem_arg $ addr_conv "listen" $ rounds_arg $ deadline_s_arg $ wal_arg $ crash_arg
       $ trace_arg
-      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr."))
+      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr.")
+      $ stream_arg $ shards_arg $ stream_batch_arg)
 
 let client_cmd =
   let id_arg =

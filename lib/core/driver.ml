@@ -195,8 +195,16 @@ exception Abort of round_outcome
 
 module TI = Netsim.Transport_intf
 
+(* stage-boundary memory watermark: [Gc.stat] walks the heap, so it is
+   sampled only when telemetry is on, and only between stages *)
+let g_live = Telemetry.Gauge.make "mem.live_words.peak"
+
+let observe_live () =
+  if Telemetry.enabled () then Telemetry.Gauge.observe g_live (Telemetry.live_words ())
+
 let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?endpoint
-    ?reliable ?remote ?wal ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round =
+    ?reliable ?remote ?wal ?crash ?recovery ?stream ~lifecycle session ~updates ~behaviours
+    ~round =
   (* a transport, a reliability layer or a write-ahead log implies the
      wire: bytes are the only thing they can fault, retransmit or log *)
   let serialize =
@@ -252,12 +260,21 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
      the sender in C*. Under a write-ahead log every accepted frame is
      appended (and fsynced) before the server processes it; under
      recovery, the logged frames replay first and only the unlogged
-     senders re-enter delivery. *)
-  let exchange : 'a. stage:Netsim.stage -> encode:('a -> Bytes.t) ->
-      decode:(Bytes.t -> ('a, Serial.error) result) -> sender_of:('a -> int) ->
-      compute:(unit -> 'a option array) -> 'a option array * int list =
-    fun ~stage ~encode ~decode ~sender_of ~compute ->
-    if not serialize then (compute (), [])
+     senders re-enter delivery. With [consume], each accepted first frame
+     is handed to the callback instead of being retained in the returned
+     array (which stays all-[None]) — the streaming intake. *)
+  let exchange : 'a. consume:(sender:int -> 'a -> unit) option -> stage:Netsim.stage ->
+      encode:('a -> Bytes.t) -> decode:(Bytes.t -> ('a, Serial.error) result) ->
+      sender_of:('a -> int) -> compute:(unit -> 'a option array) -> 'a option array * int list =
+    fun ~consume ~stage ~encode ~decode ~sender_of ~compute ->
+    if not serialize then begin
+      match consume with
+      | None -> (compute (), [])
+      | Some f ->
+          let msgs = compute () in
+          Array.iteri (fun i m -> match m with Some m -> f ~sender:(i + 1) m | None -> ()) msgs;
+          (Array.make n None, [])
+    end
     else begin
       (* 1. this process's outgoing payloads, computed exactly once per
          (round, stage) when durable. A remote round computes nothing
@@ -308,6 +325,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       in
       (* 4. server intake: WAL append (write-ahead), dedup, decode *)
       let delivered = Array.make n None in
+      let taken = Array.make n false in
       let poisoned = Array.make n false in
       let offenders = ref [] in
       (* only the reliable layer (and the socket transport, which carries
@@ -331,7 +349,12 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
             if not poisoned.(sender - 1) then begin
               match decode frame with
               | Ok m when sender_of m = sender ->
-                  if delivered.(sender - 1) = None then delivered.(sender - 1) <- Some m
+                  if not taken.(sender - 1) then begin
+                    taken.(sender - 1) <- true;
+                    match consume with
+                    | Some f -> f ~sender m
+                    | None -> delivered.(sender - 1) <- Some m
+                  end
               | Ok _ | Error _ ->
                   (* wrong inner sender id counts as undecodable too *)
                   poisoned.(sender - 1) <- true;
@@ -382,7 +405,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   let commit_time = ref 0.0 in
   let commits, commit_offenders =
     span "commit" "wire" @@ fun () ->
-    exchange ~stage:Netsim.Commit ~encode:Serial.encode_commit_msg ~decode:Serial.decode_commit
+    exchange ~consume:None ~stage:Netsim.Commit ~encode:Serial.encode_commit_msg ~decode:Serial.decode_commit
       ~sender_of:(fun (m : Wire.commit_msg) -> m.Wire.sender)
       ~compute:(fun () ->
         span "commit" "client" @@ fun () ->
@@ -413,6 +436,32 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   (* begin_round reset C*, so decode offenders are marked after it *)
   note_offenders commit_offenders;
   check_quorum "commit";
+  observe_live ();
+  (* communication accounting that reads the commit bulk is settled here —
+     once, eagerly — so [commits] is syntactically dead beyond this point
+     and the streaming pipeline's evictions actually free the round's
+     O(n²) share ciphertexts and O(n·d) commitment points *)
+  let acct_commit_up, acct_shares_down =
+    match List.rev !honest_ids with
+    | [] -> (0, 0)
+    | i :: _ ->
+        let commit = match commits.(i) with Some c -> Wire.commit_msg_size c | None -> 0 in
+        (* downloads: forwarded shares + check strings from every peer *)
+        let shares_down =
+          Array.fold_left
+            (fun acc c ->
+              match c with
+              | None -> acc
+              | Some (cm : Wire.commit_msg) ->
+                  if cm.Wire.sender = i + 1 then acc
+                  else
+                    acc
+                    + Channel.sealed_size cm.Wire.enc_shares.(i)
+                    + (Wire.point_size * Array.length cm.Wire.check))
+            0 commits
+        in
+        (commit, shares_down)
+  in
   (* --- round 2 step 1: share verification and flags --- *)
   (* clients receive the server's *validated* view of the commits: a
      structurally invalid commit never reaches a client *)
@@ -425,7 +474,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   let share_verify_time = ref 0.0 in
   let flags, flag_offenders =
     span "flag" "wire" @@ fun () ->
-    exchange ~stage:Netsim.Flag ~encode:Serial.encode_flag_msg ~decode:Serial.decode_flag
+    exchange ~consume:None ~stage:Netsim.Flag ~encode:Serial.encode_flag_msg ~decode:Serial.decode_flag
       ~sender_of:(fun (m : Wire.flag_msg) -> m.Wire.sender)
       ~compute:(fun () ->
         span "flag" "client" @@ fun () ->
@@ -464,6 +513,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
             Client.accept_cleared_share clients.(flagger - 1) ~from:dealer ~value)
         cleared);
   check_quorum "flag";
+  observe_live ();
   (* --- round 2 step 2: probabilistic integrity check --- *)
   let (s_value, hs), prep_time =
     span "check" "server" (fun () -> time (fun () -> Server.prepare_check server))
@@ -501,9 +551,26 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     else span "check" "tables" (fun () -> Parallel.parallel_map Curve25519.Point.Table.make hs)
   in
   let proof_time = ref 0.0 in
+  (* streamed rounds fold each arrived proof straight into the server's
+     per-shard accumulators instead of holding the stage's frames for a
+     post-barrier verify; the first honest client's frame size is captured
+     on the way through (the frame itself is not retained) *)
+  let stream_st =
+    Option.map (fun cfg -> Server.stream_begin ~predicate server ~round ~cfg) stream
+  in
+  let acct_proof_up = ref 0 in
+  let first_honest = match List.rev !honest_ids with [] -> 0 | i :: _ -> i + 1 in
+  let consume =
+    Option.map
+      (fun st ~sender (m : Wire.proof_msg) ->
+        if sender = first_honest then acct_proof_up := Wire.proof_msg_size m;
+        Server.stream_feed st ~sender m)
+      stream_st
+  in
   let proofs, proof_offenders =
     span "proof" "wire" @@ fun () ->
-    exchange ~stage:Netsim.Proof ~encode:Serial.encode_proof_msg ~decode:Serial.decode_proof
+    exchange ~consume ~stage:Netsim.Proof ~encode:Serial.encode_proof_msg
+      ~decode:Serial.decode_proof
       ~sender_of:(fun (m : Wire.proof_msg) -> m.Wire.sender)
       ~compute:(fun () ->
         span "proof" "client" @@ fun () ->
@@ -520,10 +587,16 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   in
   note_offenders proof_offenders;
   let (), verify_time =
-    span "proof" "server" (fun () ->
-        time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs))
+    match stream_st with
+    | Some st ->
+        span "proof" "server" (fun () -> Server.stream_finish st);
+        ((), Server.stream_elapsed_s st)
+    | None ->
+        span "proof" "server" (fun () ->
+            time (fun () -> Server.verify_proofs ~predicate server ~round ~proofs))
   in
   check_quorum "proof";
+  observe_live ();
   (* --- round 3: secure aggregation --- *)
   let honest = Server.honest server in
   (match remote with
@@ -531,7 +604,7 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   | None -> ());
   let agg_msgs, agg_offenders =
     span "agg" "wire" @@ fun () ->
-    exchange ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
+    exchange ~consume:None ~stage:Netsim.Agg ~encode:Serial.encode_agg_msg ~decode:Serial.decode_agg
       ~sender_of:(fun (m : Wire.agg_msg) -> m.Wire.sender)
       ~compute:(fun () ->
         span "agg" "client" @@ fun () ->
@@ -566,32 +639,21 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     match agg_result with Ok v -> (Some v, None) | Error e -> (None, Some e)
   in
   wal_append (Round_log.Round_end { round; cstar = Server.malicious server; aggregate });
+  observe_live ();
   (* --- communication accounting (per honest client) --- *)
   let up, down =
     match List.rev !honest_ids with
     | [] -> (0, 0)
     | i :: _ ->
-        let commit = match commits.(i) with Some c -> Wire.commit_msg_size c | None -> 0 in
         let flag = match flags.(i) with Some f -> Wire.flag_msg_size f | None -> 0 in
-        let proof = match proofs.(i) with Some pr -> Wire.proof_msg_size pr | None -> 0 in
-        let agg = match agg_msgs.(i) with Some a -> Wire.agg_msg_size a | None -> 0 in
-        let up = commit + flag + proof + agg in
-        (* downloads: forwarded shares + check strings from every peer,
-           the (s, h) broadcast, and the C* list *)
-        let shares_down =
-          Array.fold_left
-            (fun acc c ->
-              match c with
-              | None -> acc
-              | Some (cm : Wire.commit_msg) ->
-                  if cm.Wire.sender = i + 1 then acc
-                  else
-                    acc
-                    + Channel.sealed_size cm.Wire.enc_shares.(i)
-                    + (Wire.point_size * Array.length cm.Wire.check))
-            0 commits
+        let proof =
+          match proofs.(i) with Some pr -> Wire.proof_msg_size pr | None -> !acct_proof_up
         in
-        let down = shares_down + Wire.broadcast_size ~k:p.Params.k + (4 * n) in
+        let agg = match agg_msgs.(i) with Some a -> Wire.agg_msg_size a | None -> 0 in
+        let up = acct_commit_up + flag + proof + agg in
+        (* downloads: the eagerly-settled shares+checks total, the (s, h)
+           broadcast, and the C* list *)
+        let down = acct_shares_down + Wire.broadcast_size ~k:p.Params.k + (4 * n) in
         (up, down)
   in
   Completed
@@ -613,13 +675,13 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
 (* outer span covering the full round; the Abort control-flow exception
    passes through Span.with_ (the span is still recorded) *)
 let run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    ?recovery ~lifecycle session ~updates ~behaviours ~round =
+    ?recovery ?stream ~lifecycle session ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "round"
     (fun () ->
       run_round_core_inner ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-        ?crash ?recovery ~lifecycle session ~updates ~behaviours ~round)
+        ?crash ?recovery ?stream ~lifecycle session ~updates ~behaviours ~round)
 
 (* a WAL-armed abort still closes the round durably *)
 let seal_abort ?wal session ~round outcome =
@@ -633,11 +695,11 @@ let seal_abort ?wal session ~round outcome =
   outcome
 
 let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    session ~updates ~behaviours ~round =
+    ?stream session ~updates ~behaviours ~round =
   let outcome =
     match
       run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-        ~lifecycle:true session ~updates ~behaviours ~round
+        ?stream ~lifecycle:true session ~updates ~behaviours ~round
     with
     | outcome -> outcome
     | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -647,11 +709,11 @@ let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remo
   (match remote with Some r -> r.r_result ~round outcome | None -> ());
   outcome
 
-let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash session ~updates ~behaviours
-    ~round =
+let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream session ~updates
+    ~behaviours ~round =
   match
-    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ~lifecycle:false session
-      ~updates ~behaviours ~round
+    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream
+      ~lifecycle:false session ~updates ~behaviours ~round
   with
   | Completed stats -> stats
   | Aborted_insufficient_quorum _ | Aborted_decode _ ->
@@ -678,8 +740,8 @@ let restore_server session records ~round =
   (match snap with Some s -> Server.restore server s | None -> ());
   session.server <- server
 
-let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal session ~records
-    ~updates ~behaviours ~round =
+let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream session
+    ~records ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "recover"
@@ -689,7 +751,7 @@ let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal session
       let outcome =
         match
           run_round_core ?predicate ?transport ?endpoint ?reliable ?remote ?wal ~recovery
-            ~lifecycle:true session ~updates ~behaviours ~round
+            ?stream ~lifecycle:true session ~updates ~behaviours ~round
         with
         | outcome -> outcome
         | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -707,8 +769,8 @@ type session_report = {
   crashes_recovered : int;
 }
 
-let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash session
-    ~updates_for ~behaviours ~rounds =
+let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash ?stream
+    session ~updates_for ~behaviours ~rounds =
   if rounds < 1 then invalid_arg "Driver.run_session: rounds must be >= 1";
   let outcomes = ref [] in
   let completed = ref 0 in
@@ -721,7 +783,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
     let outcome =
       match
         run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-          ?crash:crash_here session ~updates ~behaviours ~round
+          ?crash:crash_here ?stream session ~updates ~behaviours ~round
       with
       | outcome -> outcome
       | exception Server_crashed _ -> (
@@ -732,8 +794,8 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
               Round_log.sync w;
               let records, _status = Round_log.replay (Round_log.path w) in
               incr recovered;
-              recover_round ?predicate ?transport ?endpoint ?reliable ?remote ~wal:w session
-                ~records ~updates ~behaviours ~round)
+              recover_round ?predicate ?transport ?endpoint ?reliable ?remote ~wal:w ?stream
+                session ~records ~updates ~behaviours ~round)
     in
     (match outcome with
     | Completed stats ->
@@ -752,6 +814,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
     crashes_recovered = !recovered;
   }
 
-let run_iteration ?predicate ?serialize ?transport setup ~updates ~behaviours ~seed ~round =
-  run_round ?predicate ?serialize ?transport (create_session setup ~seed) ~updates ~behaviours
-    ~round
+let run_iteration ?predicate ?serialize ?transport ?stream setup ~updates ~behaviours ~seed
+    ~round =
+  run_round ?predicate ?serialize ?transport ?stream (create_session setup ~seed) ~updates
+    ~behaviours ~round

@@ -146,7 +146,16 @@ type remote = {
     logged write-ahead; with [crash] the server dies at the planned
     point ({!Server_crashed} escapes — catch it and
     {!recover_round}). All stages always run; quorum loss surfaces as
-    [failure = Some (Insufficient_quorum _)], never as an exception. *)
+    [failure = Some (Insufficient_quorum _)], never as an exception.
+
+    With [stream] the proof stage runs the server's streaming
+    verification pipeline ({!Server.stream_begin}): each arrived frame
+    is folded into the round's sharded RLC accumulators and its decoded
+    bulk evicted, instead of the whole stage being retained for one
+    post-barrier {!Server.verify_proofs}. Verdicts, C* and the aggregate
+    are bit-identical to the barrier path for every (jobs, shards,
+    arrival-order) combination; resident decoded state drops from
+    O(n·d + n²) to O(d + batch·d). *)
 val run_round :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
@@ -154,6 +163,7 @@ val run_round :
   ?reliable:Reliable.t ->
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
+  ?stream:Server.stream_cfg ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
@@ -176,6 +186,7 @@ val run_round_outcome :
   ?remote:remote ->
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
+  ?stream:Server.stream_cfg ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
@@ -190,7 +201,9 @@ val run_round_outcome :
     stages. The server DRBG is fast-forwarded to the snapshot position,
     so the check string, proof verdicts, aggregate and C* are
     bit-identical to the uncrashed run. Pass the same [wal] to keep
-    logging the recovered tail. *)
+    logging the recovered tail, and the same [stream] config to resume a
+    streamed round — the logged proof frames replay straight through the
+    streaming intake, so a crash mid-stream resumes the fold. *)
 val recover_round :
   ?predicate:Predicate.t ->
   ?transport:Netsim.t ->
@@ -198,6 +211,7 @@ val recover_round :
   ?reliable:Reliable.t ->
   ?remote:remote ->
   ?wal:Round_log.t ->
+  ?stream:Server.stream_cfg ->
   session ->
   records:Round_log.record list ->
   updates:int array array ->
@@ -231,6 +245,7 @@ val run_session :
   ?remote:remote ->
   ?wal:Round_log.t ->
   ?crash:int * Netsim.stage * crash_point ->
+  ?stream:Server.stream_cfg ->
   session ->
   updates_for:(int -> int array array) ->
   behaviours:behaviour array ->
@@ -245,6 +260,7 @@ val run_iteration :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?stream:Server.stream_cfg ->
   Setup.t ->
   updates:int array array ->
   behaviours:behaviour array ->

@@ -3,6 +3,22 @@ module Point = Curve25519.Point
 module Sigma = Zkp.Sigma
 module Range_proof = Zkp.Range_proof
 
+(* Result of a finished verification stream, carried to [aggregate]: the
+   running Σ y_i over folded survivors, the running combined check string,
+   which clients are in those sums, and each included client's compressed
+   y (the spill) so a late conviction — a client folded during the stream
+   but convicted before aggregation, e.g. an undecodable agg frame — can
+   be subtracted exactly. *)
+type stream_agg = {
+  sa_round : int;
+  sa_aggy : Point.t array; (* [||] if no client survived the stream *)
+  sa_check : Vsss.check option;
+  sa_included : bool array; (* index i-1: folded into sa_aggy/sa_check *)
+  sa_spill : Bytes.t option array; (* compressed y of included clients *)
+}
+
+type stream_stats = { folded : int; evicted : int; flushes : int; peak_batch : int }
+
 type t = {
   setup : Setup.t;
   drbg : Prng.Drbg.t;
@@ -19,6 +35,8 @@ type t = {
      All root-stream draws must go through [draw] below so a restored
      server can fast-forward to the exact same stream offset. *)
   mutable drawn : int;
+  mutable stream_agg : stream_agg option; (* set by stream_finish, round-scoped *)
+  mutable stream_last : stream_stats option; (* last finished stream, for reporting *)
 }
 
 let create setup drbg =
@@ -39,6 +57,8 @@ let create setup drbg =
     hs = [||];
     round = 0;
     drawn = 0;
+    stream_agg = None;
+    stream_last = None;
   }
 
 let draw t n =
@@ -86,6 +106,7 @@ let begin_round t ~round ~commits =
   if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
   t.round <- round;
   t.bad <- Array.copy t.banned;
+  t.stream_agg <- None;
   t.commits <- Array.copy commits;
   Array.iteri (fun i c -> if c = None then mark t (i + 1) "no commit") commits;
   (* structural validation of each commit message *)
@@ -426,6 +447,275 @@ let verify_proofs ?(predicate = Predicate.L2) ?jobs ?(batched = true) t ~round ~
     end
   end
 
+(* --- streaming verification pipeline --- *)
+
+type stream_cfg = { shards : int; batch : int }
+
+let stream_cfg ?(shards = 1) ?(batch = 64) () =
+  if shards < 1 then invalid_arg "Server.stream_cfg: shards must be >= 1";
+  if batch < 1 then invalid_arg "Server.stream_cfg: batch must be >= 1";
+  { shards; batch }
+
+(* One shard: an independent RLC accumulator plus partial aggregate and
+   partial combined check over the client subset [(i-1) mod shards]. *)
+type stream_shard = {
+  sh_acc : Curve25519.Msm.Acc.t;
+  mutable sh_batch : (int * Wire.proof_msg) list; (* (sender, msg), newest first *)
+  mutable sh_batch_n : int;
+  mutable sh_aggy : Point.t array; (* [||] until the first survivor *)
+  mutable sh_check : Vsss.check option;
+}
+
+type stream = {
+  sv : t;
+  sround : int;
+  sctx : predicate_ctx;
+  sshift : Point.t;
+  sjobs : int option;
+  scfg : stream_cfg;
+  sshards : stream_shard array;
+  sfed : bool array; (* a frame was accepted for this client (first wins) *)
+  sincluded : bool array; (* folded into a shard aggregate *)
+  sspill : Bytes.t option array;
+  mutable sfolded : int;
+  mutable sevicted : int;
+  mutable sflushes : int;
+  mutable speak : int;
+  mutable selapsed : float;
+  mutable sfinished : bool;
+}
+
+let c_stream_folded = Telemetry.Counter.make "stream.folded"
+let c_stream_evicted = Telemetry.Counter.make "stream.evicted"
+let c_stream_flushes = Telemetry.Counter.make "stream.flushes"
+let g_stream_peak_batch = Telemetry.Gauge.make "stream.peak_batch"
+let g_heap_peak = Telemetry.Gauge.make "mem.heap_words.peak"
+
+let stream_begin ?(predicate = Predicate.L2) ?jobs t ~round ~cfg =
+  Predicate.validate t.setup.Setup.params predicate;
+  let n = n_of t in
+  t.stream_agg <- None;
+  {
+    sv = t;
+    sround = round;
+    sctx = make_predicate_ctx t predicate;
+    sshift = shift_point t;
+    sjobs = jobs;
+    scfg = cfg;
+    sshards =
+      Array.init cfg.shards (fun _ ->
+          {
+            sh_acc =
+              Curve25519.Msm.Acc.create ~coalesce:[| t.setup.Setup.g; t.setup.Setup.q |] ();
+            sh_batch = [];
+            sh_batch_n = 0;
+            sh_aggy = [||];
+            sh_check = None;
+          });
+    sfed = Array.make n false;
+    sincluded = Array.make n false;
+    sspill = Array.make n None;
+    sfolded = 0;
+    sevicted = 0;
+    sflushes = 0;
+    speak = 0;
+    selapsed = 0.0;
+    sfinished = false;
+  }
+
+(* compact per-client residual: one 32-byte compressed encoding per
+   coordinate, ~10x smaller than the decoded extended-coordinate points it
+   replaces; only ever decoded again for a late conviction *)
+let spill_encode y =
+  let out = Bytes.create (32 * Array.length y) in
+  Array.iteri (fun l b -> Bytes.blit b 0 out (32 * l) 32) (Point.compress_batch y);
+  out
+
+let spill_decode bytes =
+  Array.init
+    (Bytes.length bytes / 32)
+    (fun l ->
+      match Point.decompress_unchecked (Bytes.sub bytes (32 * l) 32) with
+      | Some p -> p
+      | None -> assert false (* we compressed a valid point ourselves *))
+
+(* Fold one shard's buffered batch: accumulate each client's equations in
+   parallel (pure scalar work), run ONE partial-MSM flush over the batch,
+   and on a non-identity contribution bisect the batch — while its term
+   blocks are still resident — for exact per-client blame. Honest blocks
+   sum to the identity individually, so any batch of complete blocks can
+   be judged independently of arrival order or batch boundaries; survivors
+   then fold their y into the shard's running aggregate and their check
+   string into the shard's running combined check, after which their
+   decoded material is evicted (y spilled compressed). *)
+let flush_shard st sh =
+  if sh.sh_batch_n > 0 then begin
+    let t = st.sv in
+    let batch = Array.of_list (List.rev sh.sh_batch) in
+    let bn = sh.sh_batch_n in
+    sh.sh_batch <- [];
+    sh.sh_batch_n <- 0;
+    if bn > st.speak then st.speak <- bn;
+    Telemetry.Gauge.observe g_stream_peak_batch bn;
+    st.sflushes <- st.sflushes + 1;
+    Telemetry.Counter.incr c_stream_flushes;
+    (* same per-client forks as the barrier path: (round, id) alone, so
+       verdicts cannot depend on arrival order, batching or job count *)
+    let checks =
+      Parallel.parallel_map ?jobs:st.sjobs
+        (fun (sender, (msg : Wire.proof_msg)) ->
+          if msg.Wire.sender <> sender then Error "proof sender mismatch"
+          else begin
+            let drbg = Prng.Drbg.fork t.drbg (Printf.sprintf "vercrt/r%d/c%d" st.sround sender) in
+            let rlc = Prng.Drbg.fork t.drbg (Printf.sprintf "rlc/r%d/c%d" st.sround sender) in
+            match accumulate_one t ~round:st.sround ~ctx:st.sctx ~drbg ~rlc st.sshift msg with
+            | None -> Error "proof failed"
+            | Some terms -> Ok terms
+          end)
+        batch
+    in
+    let cands = ref [] in
+    Array.iteri
+      (fun bi r ->
+        let sender, _ = batch.(bi) in
+        match r with
+        | Error reason -> mark t sender reason
+        | Ok terms -> cands := (sender - 1, terms) :: !cands)
+      checks;
+    let cands = Array.of_list (List.rev !cands) in
+    st.sfolded <- st.sfolded + Array.length cands;
+    Telemetry.Counter.add c_stream_folded (Array.length cands);
+    let failed =
+      if Array.length cands = 0 then []
+      else begin
+        Array.iter
+          (fun (_, terms) ->
+            Array.iter (fun (s, p) -> Curve25519.Msm.Acc.push sh.sh_acc s p) terms)
+          cands;
+        let before = Curve25519.Msm.Acc.carry sh.sh_acc in
+        let after = Curve25519.Msm.Acc.flush ?jobs:st.sjobs sh.sh_acc in
+        let contribution = Point.sub after before in
+        if Point.is_identity contribution then []
+        else bisect_failures ?jobs:st.sjobs cands contribution
+      end
+    in
+    List.iter (fun idx -> mark t (idx + 1) "proof failed") failed;
+    (* cancel convicted blocks out of the running carry by pushing their
+       negation: the next flush (or the final merged eval) restores the
+       invariant that the accumulator holds exactly the surviving —
+       individually identity — blocks *)
+    Array.iter
+      (fun (idx, terms) ->
+        if List.mem idx failed then
+          Array.iter (fun (s, p) -> Curve25519.Msm.Acc.push sh.sh_acc (Scalar.neg s) p) terms)
+      cands;
+    (* survivors: fold aggregate contribution, then evict *)
+    Array.iter
+      (fun (idx, _) ->
+        if not t.bad.(idx) then begin
+          match t.commits.(idx) with
+          | Some c when Array.length c.Wire.y > 0 ->
+              if Array.length sh.sh_aggy = 0 then sh.sh_aggy <- Array.copy c.Wire.y
+              else
+                Array.iteri (fun l y -> sh.sh_aggy.(l) <- Point.add sh.sh_aggy.(l) y) c.Wire.y;
+              sh.sh_check <-
+                (match sh.sh_check with
+                | None -> Some c.Wire.check
+                | Some a -> Some (Vsss.add_checks a c.Wire.check));
+              st.sincluded.(idx) <- true;
+              st.sspill.(idx) <- Some (spill_encode c.Wire.y)
+          | _ -> ()
+        end)
+      cands;
+    (* evict every batch member's decoded bulk: survivors are summarized
+       above (y retrievable from the spill), convicted clients are out of
+       every later computation *)
+    Array.iter
+      (fun (sender, _) ->
+        match t.commits.(sender - 1) with
+        | Some c when Array.length c.Wire.y > 0 || Array.length c.Wire.enc_shares > 0 ->
+            t.commits.(sender - 1) <- Some { c with Wire.y = [||]; enc_shares = [||] };
+            st.sevicted <- st.sevicted + 1;
+            Telemetry.Counter.incr c_stream_evicted
+        | _ -> ())
+      batch;
+    Telemetry.Gauge.observe g_heap_peak (Telemetry.heap_words ())
+  end
+
+let stream_feed st ~sender msg =
+  if st.sfinished then invalid_arg "Server.stream_feed: stream already finished";
+  let t = st.sv in
+  if sender >= 1 && sender <= n_of t && not st.sfed.(sender - 1) then begin
+    st.sfed.(sender - 1) <- true;
+    if not t.bad.(sender - 1) then begin
+      let sh = st.sshards.((sender - 1) mod st.scfg.shards) in
+      sh.sh_batch <- (sender, msg) :: sh.sh_batch;
+      sh.sh_batch_n <- sh.sh_batch_n + 1;
+      if sh.sh_batch_n >= st.scfg.batch then begin
+        let (), dt = Telemetry.Clock.time (fun () -> flush_shard st sh) in
+        st.selapsed <- st.selapsed +. dt
+      end
+    end
+  end
+
+let stream_finish st =
+  if not st.sfinished then begin
+    st.sfinished <- true;
+    let t = st.sv in
+    let (), dt =
+      Telemetry.Clock.time (fun () ->
+          (* drain the partial batches, in shard order *)
+          Array.iter (fun sh -> flush_shard st sh) st.sshards;
+          (* clients that never produced an accepted frame *)
+          Array.iteri
+            (fun idx fed -> if (not fed) && not t.bad.(idx) then mark t (idx + 1) "no proof")
+            st.sfed;
+          (* deterministic shard merge (ascending shard index), then the
+             final small eval: every surviving block was checked identity
+             at its flush, so the merged accumulator must evaluate to the
+             identity — this is an internal soundness invariant, not a
+             per-client check *)
+          let merged =
+            Curve25519.Msm.Acc.create ~coalesce:[| t.setup.Setup.g; t.setup.Setup.q |] ()
+          in
+          Array.iter (fun sh -> Curve25519.Msm.Acc.merge merged sh.sh_acc) st.sshards;
+          if not (Curve25519.Msm.Acc.is_identity ?jobs:st.sjobs merged) then
+            failwith "Server.stream_finish: merged accumulator is not the identity";
+          let aggy = ref [||] and check = ref None in
+          Array.iter
+            (fun sh ->
+              if Array.length sh.sh_aggy > 0 then
+                if Array.length !aggy = 0 then aggy := sh.sh_aggy
+                else Array.iteri (fun l y -> !aggy.(l) <- Point.add !aggy.(l) y) sh.sh_aggy;
+              match sh.sh_check with
+              | None -> ()
+              | Some c ->
+                  check := Some (match !check with None -> c | Some a -> Vsss.add_checks a c))
+            st.sshards;
+          t.stream_agg <-
+            Some
+              {
+                sa_round = st.sround;
+                sa_aggy = !aggy;
+                sa_check = !check;
+                sa_included = st.sincluded;
+                sa_spill = st.sspill;
+              };
+          t.stream_last <-
+            Some
+              {
+                folded = st.sfolded;
+                evicted = st.sevicted;
+                flushes = st.sflushes;
+                peak_batch = st.speak;
+              })
+    in
+    st.selapsed <- st.selapsed +. dt
+  end
+
+let stream_elapsed_s st = st.selapsed
+let stream_stats t = t.stream_last
+
 (* --- crash-recovery snapshots --- *)
 
 let snapshot t =
@@ -481,74 +771,120 @@ let agg_error_to_string = function
 
 let pp_agg_error fmt e = Format.pp_print_string fmt (agg_error_to_string e)
 
-let aggregate t ~agg_msgs =
+(* Shared aggregation tail: verify each aggregated share against
+   [combined_check], recover the blind r, peel it from the per-coordinate
+   products [prod l] = Π_{i∈H} y_il, and BSGS-decode every coordinate. *)
+let finish_aggregate t ~combined_check ~prod ~agg_msgs =
   let threshold = Params.shamir_t t.setup.Setup.params in
-  let hs = honest t in
-  if hs = [] then Error (Insufficient_quorum { valid = 0; needed = threshold })
+  (* collect valid aggregated shares; each VSSS check is an independent
+     MSM against the combined check string, so fan them out *)
+  let checked =
+    Parallel.parallel_mapi
+      (fun idx msg ->
+        let i = idx + 1 in
+        if t.bad.(idx) then None
+        else
+          match msg with
+          | None -> None
+          | Some (am : Wire.agg_msg) ->
+              let share = { Vsss.idx = i; value = am.Wire.r_sum } in
+              if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then Some share
+              else None)
+      agg_msgs
+  in
+  let valid_shares = ref [] in
+  Array.iter (function Some s -> valid_shares := s :: !valid_shares | None -> ()) checked;
+  let shares = !valid_shares in
+  if List.length shares < threshold then
+    Error (Insufficient_quorum { valid = List.length shares; needed = threshold })
   else begin
-    (* combined check string over the honest dealers *)
+    (* take exactly threshold shares for interpolation *)
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    let r = Vsss.recover (take threshold shares) in
+    (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
+    let p = t.setup.Setup.params in
+    let neg_r = Scalar.neg r in
+    let solver = Lazy.force t.dlog in
+    (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
+       peeling parallelize over coordinate chunks *)
+    let targets =
+      Parallel.parallel_init p.Params.d (fun l ->
+          Point.add (prod l) (Point.mul neg_r t.setup.Setup.w.(l)))
+    in
+    let solved = Curve25519.Dlog.solve_many solver targets in
+    let bad_coord = ref None in
+    Array.iteri (fun l v -> if v = None && !bad_coord = None then bad_coord := Some l) solved;
+    match !bad_coord with
+    | Some l -> Error (Coordinate_out_of_range l)
+    | None -> Ok (Array.map (function Some v -> v | None -> assert false) solved)
+  end
+
+let sub_check a b = Array.mapi (fun i ai -> Point.sub ai b.(i)) a
+
+(* Streaming aggregation: the running sums already cover every included
+   client; the honest set at this point is exactly included minus the
+   late convictions (a client folded during the stream is convicted
+   afterwards only by an agg-stage decode failure), so subtracting each
+   late client's spilled y and check yields the same group elements the
+   barrier path folds over [honest t] directly. *)
+let aggregate_streamed t sa ~agg_msgs =
+  let threshold = Params.shamir_t t.setup.Setup.params in
+  if honest t = [] then Error (Insufficient_quorum { valid = 0; needed = threshold })
+  else begin
+    let late = ref [] in
+    Array.iteri (fun idx inc -> if inc && t.bad.(idx) then late := idx :: !late) sa.sa_included;
+    let late = List.rev !late in
     let combined_check =
       List.fold_left
-        (fun acc i ->
-          match t.commits.(i - 1) with
-          | None -> acc
-          | Some c -> ( match acc with None -> Some c.Wire.check | Some a -> Some (Vsss.add_checks a c.Wire.check)))
-        None hs
+        (fun acc idx ->
+          match (acc, t.commits.(idx)) with
+          | Some a, Some c -> Some (sub_check a c.Wire.check)
+          | _ -> acc)
+        sa.sa_check late
     in
     match combined_check with
     | None -> Error No_check_string
     | Some combined_check ->
-        (* collect valid aggregated shares; each VSSS check is an independent
-           MSM against the combined check string, so fan them out *)
-        let checked =
-          Parallel.parallel_mapi
-            (fun idx msg ->
-              let i = idx + 1 in
-              if t.bad.(idx) then None
-              else
-                match msg with
-                | None -> None
-                | Some (am : Wire.agg_msg) ->
-                    let share = { Vsss.idx = i; value = am.Wire.r_sum } in
-                    if Vsss.verify ~g:t.setup.Setup.g ~check:combined_check share then Some share
-                    else None)
-            agg_msgs
+        let late_y = List.filter_map (fun idx -> Option.map spill_decode sa.sa_spill.(idx)) late in
+        let prod l =
+          List.fold_left (fun acc y -> Point.sub acc y.(l)) sa.sa_aggy.(l) late_y
         in
-        let valid_shares = ref [] in
-        Array.iter (function Some s -> valid_shares := s :: !valid_shares | None -> ()) checked;
-        let shares = !valid_shares in
-        if List.length shares < threshold then
-          Error (Insufficient_quorum { valid = List.length shares; needed = threshold })
-        else begin
-          (* take exactly threshold shares for interpolation *)
-          let rec take n = function
-            | [] -> []
-            | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
-          in
-          let r = Vsss.recover (take threshold shares) in
-          (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
-          let p = t.setup.Setup.params in
-          let neg_r = Scalar.neg r in
-          let solver = Lazy.force t.dlog in
-          (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
-             peeling parallelize over coordinate chunks *)
-          let targets =
-            Parallel.parallel_init p.Params.d (fun l ->
-                let prod =
-                  List.fold_left
-                    (fun acc i ->
-                      match t.commits.(i - 1) with
-                      | None -> acc
-                      | Some c -> Point.add acc c.Wire.y.(l))
-                    Point.identity hs
-                in
-                Point.add prod (Point.mul neg_r t.setup.Setup.w.(l)))
-          in
-          let solved = Curve25519.Dlog.solve_many solver targets in
-          let bad_coord = ref None in
-          Array.iteri (fun l v -> if v = None && !bad_coord = None then bad_coord := Some l) solved;
-          match !bad_coord with
-          | Some l -> Error (Coordinate_out_of_range l)
-          | None -> Ok (Array.map (function Some v -> v | None -> assert false) solved)
-        end
+        finish_aggregate t ~combined_check ~prod ~agg_msgs
   end
+
+let aggregate t ~agg_msgs =
+  match t.stream_agg with
+  | Some sa when sa.sa_round = t.round -> aggregate_streamed t sa ~agg_msgs
+  | _ ->
+      let threshold = Params.shamir_t t.setup.Setup.params in
+      let hs = honest t in
+      if hs = [] then Error (Insufficient_quorum { valid = 0; needed = threshold })
+      else begin
+        (* combined check string over the honest dealers *)
+        let combined_check =
+          List.fold_left
+            (fun acc i ->
+              match t.commits.(i - 1) with
+              | None -> acc
+              | Some c -> (
+                  match acc with
+                  | None -> Some c.Wire.check
+                  | Some a -> Some (Vsss.add_checks a c.Wire.check)))
+            None hs
+        in
+        match combined_check with
+        | None -> Error No_check_string
+        | Some combined_check ->
+            let prod l =
+              List.fold_left
+                (fun acc i ->
+                  match t.commits.(i - 1) with
+                  | None -> acc
+                  | Some c -> Point.add acc c.Wire.y.(l))
+                Point.identity hs
+            in
+            finish_aggregate t ~combined_check ~prod ~agg_msgs
+      end

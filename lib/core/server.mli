@@ -84,6 +84,78 @@ val verify_proofs :
 (** The honest list H = C \ C* (1-based ids). *)
 val honest : t -> int list
 
+(** {2 Streaming verification pipeline}
+
+    The barrier path above ({!verify_proofs}) needs every proof frame —
+    and every commit's decoded y vector — resident at once: O(n·d) points
+    plus O(n²) share ciphertexts. The streaming pipeline instead folds
+    each proof into the round's RLC accumulator {e as it arrives}, checks
+    complete per-client term blocks batch-by-batch (honest blocks sum to
+    the identity individually, so any batch of complete blocks is
+    independently checkable), folds each survivor's y into a running
+    aggregate and its check string into a running combined check, spills
+    the survivor's y compressed (32 B/point) for possible late-conviction
+    subtraction, and then {e evicts} the decoded bulk — bounding resident
+    decoded state to O(d + batch·d) regardless of n.
+
+    Sharding splits clients across [shards] independent accumulators
+    (client i lands in shard (i−1) mod shards); {!stream_finish} merges
+    them in ascending shard order, so results are deterministic in
+    (jobs, shards, arrival order): all per-client randomness is forked by
+    (round, id) and the group arithmetic is exact and commutative, making
+    verdicts, C* and the final aggregate bit-identical to the barrier
+    path. (Sole caveat, shared in kind with batched-vs-naive: two
+    dishonest blocks cancelling {e exactly} across different batches —
+    probability ≈ 2⁻²⁵² per pair — would be accepted by the one-shot
+    barrier eval but convicted by the per-batch checks.) *)
+
+(** Streaming knobs: [shards] independent accumulators, flush a shard
+    after [batch] buffered frames. *)
+type stream_cfg = { shards : int; batch : int }
+
+(** [stream_cfg ?shards ?batch ()] — validated constructor (both >= 1);
+    defaults [shards:1] [batch:64]. *)
+val stream_cfg : ?shards:int -> ?batch:int -> unit -> stream_cfg
+
+(** In-progress streaming verification for one round. *)
+type stream
+
+(** Counters from the last streamed round (see {!stream_stats}). *)
+type stream_stats = {
+  folded : int;  (** proof frames folded into an accumulator *)
+  evicted : int;  (** commit records whose decoded bulk was dropped *)
+  flushes : int;  (** partial-MSM evaluations *)
+  peak_batch : int;  (** largest batch at any flush *)
+}
+
+(** [stream_begin ?predicate ?jobs t ~round ~cfg] — start streaming the
+    round's proofs. Must be called after {!begin_round} (and the check
+    preparation); feeds then arrive in any order via {!stream_feed}. *)
+val stream_begin :
+  ?predicate:Predicate.t -> ?jobs:int -> t -> round:int -> cfg:stream_cfg -> stream
+
+(** [stream_feed st ~sender msg] — fold one arrived proof frame. First
+    frame per sender wins (duplicates ignored, matching the transport's
+    dedup); frames from clients already in C* are dropped. Flushes the
+    sender's shard when its batch fills.
+    @raise Invalid_argument after {!stream_finish}. *)
+val stream_feed : stream -> sender:int -> Wire.proof_msg -> unit
+
+(** [stream_finish st] — drain partial batches (shard order), mark
+    clients that never fed as malicious ("no proof"), merge the shard
+    accumulators and install the streamed aggregate so the next
+    {!aggregate} call uses the running sums. Idempotent.
+    @raise Failure if the merged accumulator violates the internal
+    identity invariant (cannot happen absent a soundness bug). *)
+val stream_finish : stream -> unit
+
+(** Cumulative seconds spent folding/flushing/finishing (the streamed
+    round's analogue of the barrier verify-stage wall time). *)
+val stream_elapsed_s : stream -> float
+
+(** Stats from the last {!stream_finish} on this server, if any. *)
+val stream_stats : t -> stream_stats option
+
 (** [ban t i] — carry client [i]'s C* membership across rounds: every
     subsequent {!begin_round} starts with [i] already malicious. The
     session loop calls this with each completed round's C*. Out-of-range

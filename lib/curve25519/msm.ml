@@ -138,15 +138,23 @@ module Acc = struct
     mutable scalars : Scalar.t array;
     mutable points : Point.t array;
     mutable n : int;
+    mutable carry : Point.t;
     cbases : Point.t array;
     csums : Scalar.t array;
   }
 
+  (* Term buffers start small and double on demand; [reset]/[flush] return
+     them to this capacity so a long-lived accumulator (one per shard per
+     session in the streaming verifier) doesn't ratchet up to the largest
+     batch it ever saw. *)
+  let initial_capacity = 64
+
   let create ?(coalesce = [||]) () =
     {
-      scalars = Array.make 64 Scalar.zero;
-      points = Array.make 64 Point.identity;
+      scalars = Array.make initial_capacity Scalar.zero;
+      points = Array.make initial_capacity Point.identity;
       n = 0;
+      carry = Point.identity;
       cbases = coalesce;
       csums = Array.make (Array.length coalesce) Scalar.zero;
     }
@@ -183,6 +191,34 @@ module Acc = struct
       t.csums;
     Array.append (Array.init t.n (fun i -> (t.scalars.(i), t.points.(i)))) (Array.of_list !extra)
 
-  let eval ?jobs t = msm ?jobs (terms t)
+  let capacity t = Array.length t.scalars
+
+  let clear_terms t =
+    t.n <- 0;
+    Array.fill t.csums 0 (Array.length t.csums) Scalar.zero;
+    if Array.length t.scalars > initial_capacity then begin
+      t.scalars <- Array.make initial_capacity Scalar.zero;
+      t.points <- Array.make initial_capacity Point.identity
+    end
+
+  let reset t =
+    clear_terms t;
+    t.carry <- Point.identity
+
+  let flush ?jobs t =
+    if size t > 0 then t.carry <- Point.add t.carry (msm ?jobs (terms t));
+    clear_terms t;
+    t.carry
+
+  let carry t = t.carry
+
+  let merge dst src =
+    if not (Point.is_identity src.carry) then dst.carry <- Point.add dst.carry src.carry;
+    Array.iter (fun (s, p) -> push dst s p) (terms src)
+
+  let eval ?jobs t =
+    let m = msm ?jobs (terms t) in
+    if Point.is_identity t.carry then m else Point.add t.carry m
+
   let is_identity ?jobs t = Point.is_identity (eval ?jobs t)
 end

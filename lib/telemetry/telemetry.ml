@@ -106,6 +106,70 @@ module Counter = struct
     !sum
 end
 
+(* Gauges: named max-observed watermarks (peak live words, largest batch
+   in flight, ...). Unlike counters they are not additive across domains,
+   so they live in a single lock-protected table — observations happen at
+   stage boundaries and flush points, never in per-element hot loops. *)
+let gauges_lock = Mutex.create ()
+let gauge_names : string array ref = ref (Array.make 16 "")
+let gauge_values : int array ref = ref (Array.make 16 0)
+let gauge_count = ref 0
+let gauge_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+
+type gauge = int
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    Mutex.lock gauges_lock;
+    let id =
+      match Hashtbl.find_opt gauge_ids name with
+      | Some id -> id
+      | None ->
+          let id = !gauge_count in
+          if id >= Array.length !gauge_names then begin
+            let bigger_n = Array.make (2 * Array.length !gauge_names) "" in
+            let bigger_v = Array.make (2 * Array.length !gauge_values) 0 in
+            Array.blit !gauge_names 0 bigger_n 0 id;
+            Array.blit !gauge_values 0 bigger_v 0 id;
+            gauge_names := bigger_n;
+            gauge_values := bigger_v
+          end;
+          !gauge_names.(id) <- name;
+          incr gauge_count;
+          Hashtbl.add gauge_ids name id;
+          id
+    in
+    Mutex.unlock gauges_lock;
+    id
+
+  let observe t v =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock gauges_lock;
+      if v > !gauge_values.(t) then !gauge_values.(t) <- v;
+      Mutex.unlock gauges_lock
+    end
+
+  let value t =
+    Mutex.lock gauges_lock;
+    let v = !gauge_values.(t) in
+    Mutex.unlock gauges_lock;
+    v
+end
+
+(* Live major-heap words right now: precise (walks the heap) — sample at
+   stage boundaries only. *)
+let live_words () =
+  let st = Gc.stat () in
+  st.Gc.live_words
+
+(* Total heap words (allocated chunks, live or free): O(1) to read, the
+   closer proxy for resident set size — safe to sample at flush points. *)
+let heap_words () =
+  let st = Gc.quick_stat () in
+  st.Gc.heap_words
+
 type span = {
   path : string list;
   attrs : (string * string) list;
@@ -150,11 +214,21 @@ let reset () =
   Mutex.lock registry_lock;
   Array.iter (fun inner -> Array.fill inner 0 (Array.length inner) 0) !shards;
   Mutex.unlock registry_lock;
+  Mutex.lock gauges_lock;
+  Array.fill !gauge_values 0 (Array.length !gauge_values) 0;
+  Mutex.unlock gauges_lock;
   Mutex.lock spans_lock;
   completed_spans := [];
   Mutex.unlock spans_lock
 
-type snapshot = { counters : (string * int) list; spans : span list }
+(* Gauges are kept out of [counters] on purpose: counter sums are
+   bit-identical across job counts (and asserted so by the tests), while
+   a live-words watermark legitimately varies run to run. *)
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  spans : span list;
+}
 
 let snapshot () =
   Mutex.lock registry_lock;
@@ -173,10 +247,19 @@ let snapshot () =
     Array.to_list (Array.mapi (fun id name -> (name, sums.(id))) names)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  Mutex.lock gauges_lock;
+  let ng = !gauge_count in
+  let gnames = Array.sub !gauge_names 0 ng in
+  let gvals = Array.sub !gauge_values 0 ng in
+  Mutex.unlock gauges_lock;
+  let gauges =
+    Array.to_list (Array.mapi (fun id name -> (name, gvals.(id))) gnames)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   Mutex.lock spans_lock;
   let spans = List.rev !completed_spans in
   Mutex.unlock spans_lock;
-  { counters; spans }
+  { counters; gauges; spans }
 
 (* ------------------------------------------------------------------ *)
 (* Minimal self-contained JSON                                         *)
@@ -412,8 +495,9 @@ let span_to_json sp =
 let snapshot_to_json snap =
   Json.Obj
     [
-      ("schema", Json.Num 1.0);
+      ("schema", Json.Num 1.1);
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) snap.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) snap.gauges));
       ("spans", Json.Arr (List.map span_to_json snap.spans));
     ]
 
@@ -466,6 +550,20 @@ let snapshot_of_json j =
           kvs (Ok [])
     | _ -> Error "snapshot: missing counters"
   in
+  (* [gauges] is absent from schema-1.0 snapshots; treat missing as empty *)
+  let* gauges =
+    match Json.member "gauges" j with
+    | Some (Json.Obj kvs) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* acc = acc in
+            match v with
+            | Json.Num f -> Ok ((k, int_of_float f) :: acc)
+            | _ -> Error ("gauge " ^ k ^ ": expected number"))
+          kvs (Ok [])
+    | None -> Ok []
+    | _ -> Error "snapshot: bad gauges"
+  in
   let* spans =
     match Json.member "spans" j with
     | Some (Json.Arr xs) ->
@@ -478,7 +576,7 @@ let snapshot_of_json j =
     | None -> Ok []
     | _ -> Error "snapshot: bad spans"
   in
-  Ok { counters; spans }
+  Ok { counters; gauges; spans }
 
 let write_json path snap =
   let oc = open_out path in
@@ -503,6 +601,19 @@ let to_table snap =
     List.iter
       (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s  %14d\n" wname k v))
       nonzero
+  end;
+  let gnonzero = List.filter (fun (_, v) -> v <> 0) snap.gauges in
+  if gnonzero <> [] then begin
+    if nonzero <> [] then Buffer.add_char buf '\n';
+    let wname =
+      List.fold_left (fun acc (k, _) -> max acc (String.length k)) 11 gnonzero
+    in
+    Buffer.add_string buf (Printf.sprintf "%-*s  %14s\n" wname "gauge (max)" "value");
+    Buffer.add_string buf (String.make (wname + 16) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s  %14d\n" wname k v))
+      gnonzero
   end;
   if snap.spans <> [] then begin
     if nonzero <> [] then Buffer.add_char buf '\n';

@@ -48,6 +48,33 @@ module Counter : sig
   (** Sum across all domain shards. *)
 end
 
+(** Named max-observed watermarks (peak live words, largest in-flight
+    batch, ...).  Unlike counters, gauges merge by [max] rather than sum
+    and are {e not} expected to be bit-identical across job counts — they
+    are reported in a separate snapshot section.  Observations go through
+    one lock; sample at stage boundaries and flush points, not per
+    element. *)
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Idempotent per name, like {!Counter.make}. *)
+
+  val observe : t -> int -> unit
+  (** Raise the watermark to [v] if larger.  No-op while disabled. *)
+
+  val value : t -> int
+  (** The maximum observed since the last {!reset} (0 if never). *)
+end
+
+val live_words : unit -> int
+(** Live words on the major heap right now, via [Gc.stat] — precise but
+    walks the heap; sample at stage boundaries only. *)
+
+val heap_words : unit -> int
+(** Total heap words (live + free chunks) via [Gc.quick_stat] — O(1), the
+    closer RSS proxy; safe to sample at per-batch flush points. *)
+
 type span = {
   path : string list;  (** Root-to-leaf span names, e.g. [["round"; "proof.server"]]. *)
   attrs : (string * string) list;
@@ -83,6 +110,10 @@ end
 
 type snapshot = {
   counters : (string * int) list;  (** Every registered counter, sorted by name. *)
+  gauges : (string * int) list;
+      (** Every registered gauge (max-observed), sorted by name.  Kept
+          separate from [counters] because watermark values legitimately
+          vary run to run, while counter sums are jobs-invariant. *)
   spans : span list;  (** In completion order. *)
 }
 

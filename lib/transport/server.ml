@@ -19,12 +19,14 @@ type config = {
   stage_deadline_s : float;
   wal_path : string option;
   crash : (int * Netsim.stage * Driver.crash_point) option;
+  stream : Risefl_core.Server.stream_cfg option;
 }
 
 type report = {
   outcomes : (int * Driver.round_outcome) list;
   resumed_round : int option;
   banned : int list;
+  stream_stats : Risefl_core.Server.stream_stats option;
 }
 
 (* Cleared shares are addressed: only the flagger that requested the
@@ -371,11 +373,11 @@ let serve ?(log = fun _ -> ()) cfg =
        let outcome =
          try
            if resumed_round = Some round then
-             Driver.recover_round ~remote ?wal session ~records ~updates ~behaviours
-               ~round
-           else
-             Driver.run_round_outcome ~remote ?wal ?crash:crash_here session ~updates
+             Driver.recover_round ~remote ?wal ?stream:cfg.stream session ~records ~updates
                ~behaviours ~round
+           else
+             Driver.run_round_outcome ~remote ?wal ?crash:crash_here ?stream:cfg.stream session
+               ~updates ~behaviours ~round
          with Driver.Server_crashed { stage; at } -> die_crashed st wal stage at
        in
        outcomes := (round, outcome) :: !outcomes;
@@ -396,4 +398,5 @@ let serve ?(log = fun _ -> ()) cfg =
     outcomes = List.rev !outcomes;
     resumed_round;
     banned = Server_sm.banned server;
+    stream_stats = Server_sm.stream_stats server;
   }

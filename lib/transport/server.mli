@@ -30,12 +30,18 @@ type config = {
   wal_path : string option;
   crash : (int * Netsim.stage * Driver.crash_point) option;
       (** die (SIGKILL) at this point; requires [wal_path] *)
+  stream : Risefl_core.Server.stream_cfg option;
+      (** verify proofs through the streaming pipeline (arrival-ordered
+          folding + eviction) instead of the post-barrier batch; recovery
+          replays logged proof frames through the same intake *)
 }
 
 type report = {
   outcomes : (int * Driver.round_outcome) list;  (** rounds run by this process *)
   resumed_round : int option;  (** the WAL round this process recovered *)
   banned : int list;
+  stream_stats : Risefl_core.Server.stream_stats option;
+      (** fold/evict/flush counters from the last streamed round, if any *)
 }
 
 val serve : ?log:(string -> unit) -> config -> report

@@ -209,7 +209,7 @@ let client_cfg ?(setup = setup) ~addr ~seed ~id ~rounds ?die_at ?(loris = false)
     max_connect_attempts = 200;
   }
 
-let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?(deadline = 60.0) () =
+let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?(deadline = 60.0) () =
   {
     Tserver.addr;
     setup;
@@ -218,6 +218,7 @@ let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?(deadline = 60.
     stage_deadline_s = deadline;
     wal_path = wal;
     crash;
+    stream;
   }
 
 let wait_pid pid = ignore (Unix.waitpid [] pid)
