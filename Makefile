@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke stream-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke stream-smoke topology-smoke clean
 
 all: check
 
@@ -153,6 +153,41 @@ stream-smoke:
 	dune exec bench/main.exe -- stream --smoke --json /tmp/stream-smoke.json --gate-stream 1.25
 	@grep -q '"name": "stream-peak-growth"' /tmp/stream-smoke.json \
 	  || { echo "stream-smoke: peak-memory records missing from bench JSON" >&2; exit 1; }
+
+# Share-topology gate: the quick graph/VSSS/wire-v2 suites (the slow
+# e2e differentials run under `make check`), then CLI differentials —
+# k = n-1 must normalize to the all-to-all path and match its
+# flagged/aggregate lines byte for byte, and a seeded agg-stage
+# dropout ladder at small k must recover every dropout's blind through
+# its neighborhood so the aggregate still matches the honest full
+# round. Finishes with the topology bench smoke — the build fails if
+# per-client commit bytes at fixed degree grow more than 1.1x while n
+# doubles.
+topology-smoke:
+	dune exec test/test_topology.exe -- -q
+	dune build bin/risefl_cli.exe
+	@set -e; \
+	BIN=_build/default/bin/risefl_cli.exe; \
+	DIR=/tmp/risefl-topology; rm -rf $$DIR; mkdir -p $$DIR; \
+	ARGS="--clients 8 --dimension 16 --samples 4 --seed topology-smoke"; \
+	$$BIN round $$ARGS | grep -E "flagged|aggregate" > $$DIR/full.txt; \
+	$$BIN round $$ARGS --topology kregular --degree 7 \
+	  | tee $$DIR/maxdeg-full.txt | grep -E "flagged|aggregate" > $$DIR/maxdeg.txt; \
+	grep -q "normalizes to full" $$DIR/maxdeg-full.txt \
+	  || { echo "topology-smoke: k = n-1 did not normalize to all-to-all" >&2; exit 1; }; \
+	diff $$DIR/full.txt $$DIR/maxdeg.txt \
+	  || { echo "topology-smoke: k = n-1 round diverged from the all-to-all round" >&2; exit 1; }; \
+	for drops in 3 8 2,6; do \
+	  $$BIN round $$ARGS --topology kregular --degree 4 --agg-dropouts $$drops \
+	    | grep -E "aggregate" > $$DIR/drop-$$drops.txt; \
+	  grep -E "aggregate" $$DIR/full.txt > $$DIR/full-agg.txt; \
+	  diff $$DIR/full-agg.txt $$DIR/drop-$$drops.txt \
+	    || { echo "topology-smoke: dropout set {$$drops} not recovered by the neighborhood" >&2; exit 1; }; \
+	done; \
+	echo "topology-smoke: k=n-1 bit-identical, dropout ladder recovered"
+	dune exec bench/main.exe -- topology --smoke --json /tmp/topology-smoke.json --gate-topology 1.1
+	@grep -q '"name": "kregular-bytes-growth"' /tmp/topology-smoke.json \
+	  || { echo "topology-smoke: commit-bytes records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

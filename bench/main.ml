@@ -14,6 +14,7 @@
      recovery  WAL overhead (bytes/round, fsyncs, wall-clock) + crash recovery
      serve   deployment transport: socket-loopback round latency + counters
      stream  streaming verification: barrier vs arrival-ordered fold, time + memory
+     topology commit-stage bytes per client, all-to-all vs k-regular sharing
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -33,6 +34,8 @@ module Loopback = Risefl_transport.Loopback
 module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
 module Msm = Curve25519.Msm
+module Topology = Risefl_topology.Topology
+module Serial = Risefl_core.Serial
 
 let pf = Printf.printf
 
@@ -84,6 +87,10 @@ let record ~target ~name ?(jobs = Parallel.default_jobs ()) ?(d = 0) ?(k = 0) ?(
 (* snapshot captured by the phases target, embedded in the JSON output *)
 let telemetry_snapshot : Telemetry.snapshot option ref = ref None
 
+(* (degree, threshold, round-1 hex digest) chosen by the topology target,
+   recorded in the JSON metadata so a result file pins the exact graph *)
+let topo_meta : (int * int * string) option ref = ref None
+
 let git_commit () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
   | exception _ -> "unknown"
@@ -110,6 +117,13 @@ let write_json path =
       Buffer.add_string buf "  \"telemetry\": ";
       Buffer.add_string buf (Telemetry.Json.to_string (Telemetry.snapshot_to_json snap));
       Buffer.add_string buf ",\n");
+  (match !topo_meta with
+  | None -> ()
+  | Some (degree, threshold, digest) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"topology\": {\"degree\": %d, \"threshold\": %d, \"digest\": %S},\n" degree
+           threshold digest));
   Buffer.add_string buf "  \"results\": [";
   List.iteri
     (fun i r ->
@@ -1152,10 +1166,110 @@ let run_stream () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* topology: commit-stage wire bytes per client, all-to-all vs the
+   k-regular neighborhood sharing of lib/topology. All-to-all commits
+   carry n sealed shares, so per-client commit bytes grow linearly in n
+   and the stage total quadratically; at fixed degree k the k-regular
+   commit carries exactly k sealed shares plus a 32-byte topology
+   digest, so per-client bytes must stay flat as n doubles — that
+   flatness is the gate. Sizes are real encoded frames
+   (Serial.encode_commit_msg), not estimates, and every k-regular
+   commit set is validated by Server.begin_round before being counted. *)
+
+let topology_gate = ref None
+(* --gate-topology cap on kregular commit bytes-per-client growth across the n-ladder *)
+
+let run_topology () =
+  pf "================ topology: commit bytes per client, full vs k-regular ================\n";
+  let d = if config.smoke then 16 else 32 in
+  let k = if config.smoke then 4 else 8 in
+  let kdeg = 4 in
+  let ladder =
+    if config.smoke then [ 8; 16 ]
+    else if config.full then [ 8; 16; 32; 64 ]
+    else [ 8; 16; 32 ]
+  in
+  pf "d=%d k=%d, k-regular degree=%d\n" d k kdeg;
+  pf "bytes = encoded commit frame per client (averaged over the cohort)\n\n";
+  pf "%-6s | %14s %12s | %14s %12s | %8s\n" "n" "full(B/client)" "commit(s)" "kreg(B/client)"
+    "commit(s)" "ratio";
+  let kreg_bytes = ref [] in
+  List.iter
+    (fun n ->
+      let m = max 1 (n / 4) in
+      let seed = ns_seed (Printf.sprintf "bench-topology-%d" n) in
+      let run ~topo =
+        let drbg = Prng.Drbg.create_string (seed ^ "/updates") in
+        let updates = mk_updates drbg ~n ~d ~amp:40 in
+        let bound = 1.25 *. max_norm updates in
+        let params = risefl_params ~n ~m ~d ~k ~bound in
+        let setup = Setup.create ~label:(Printf.sprintf "bench/topology/%d" n) params in
+        let root = Prng.Drbg.create_string seed in
+        let clients =
+          Array.init n (fun i ->
+              Client.create setup ~id:(i + 1) (Prng.Drbg.fork root (string_of_int i)))
+        in
+        let server = Server.create setup (Prng.Drbg.fork root "server") in
+        let pks = Array.map Client.public_key clients in
+        Array.iter (fun c -> Client.install_directory c pks) clients;
+        Server.install_directory server pks;
+        let commits, stage_s =
+          Telemetry.Clock.time (fun () ->
+              Array.mapi
+                (fun i c -> Client.commit_round ?topo c ~round:1 ~update:updates.(i))
+                clients)
+        in
+        Server.begin_round ?topo server ~round:1 ~commits:(Array.map Option.some commits);
+        if Server.malicious server <> [] then failwith "topology bench: honest commit rejected";
+        let total =
+          Array.fold_left
+            (fun acc msg -> acc + Bytes.length (Serial.encode_commit_msg msg))
+            0 commits
+        in
+        (float_of_int total /. float_of_int n, stage_s)
+      in
+      let topo =
+        Topology.plan ~mode:(Topology.Kregular kdeg) ~seed:(ns_seed "bench-topology") ~round:1
+          ~cohort:(Array.init n (fun i -> i + 1))
+      in
+      (match (topo, !topo_meta) with
+      | Some t, None ->
+          topo_meta := Some (Topology.degree t, Topology.threshold t, Topology.hex_digest t)
+      | _ -> ());
+      let full_b, full_s = run ~topo:None in
+      let kreg_b, kreg_s = run ~topo in
+      let ratio = if full_b > 0.0 then kreg_b /. full_b else 0.0 in
+      kreg_bytes := kreg_b :: !kreg_bytes;
+      pf "%-6d | %14.0f %12.3f | %14.0f %12.3f | %7.2f\n" n full_b full_s kreg_b kreg_s ratio;
+      record ~target:"topology" ~name:"full-commit-bytes-per-client" ~d ~k ~n full_b;
+      record ~target:"topology" ~name:"kregular-commit-bytes-per-client" ~d ~k ~n kreg_b;
+      record ~target:"topology" ~name:"full-commit-stage-s" ~d ~k ~n full_s;
+      record ~target:"topology" ~name:"kregular-commit-stage-s" ~d ~k ~n kreg_s)
+    ladder;
+  (* flat-bytes gate: per-client k-regular commit bytes at the top of the
+     ladder must stay within [thr]x of the smallest point's while n
+     itself doubles (the full column is the contrast, not the gate) *)
+  let growth =
+    match List.rev !kreg_bytes with
+    | first :: (_ :: _ as rest) when first > 0.0 -> List.fold_left Float.max 0.0 rest /. first
+    | _ -> 1.0
+  in
+  record ~target:"topology" ~name:"kregular-bytes-growth" ~d ~k growth;
+  match !topology_gate with
+  | Some thr when growth > thr ->
+      pf "GATE FAIL: k-regular commit bytes-per-client growth %.3fx across the n-ladder exceeds %.2fx\n"
+        growth thr;
+      exit 1
+  | Some thr ->
+      pf "gate ok: k-regular commit bytes-per-client growth %.3fx across the n-ladder <= %.2fx\n"
+        growth thr
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve"; "stream" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve"; "stream"; "topology" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -1173,6 +1287,7 @@ let rec run_target = function
   | "recovery" -> run_recovery ()
   | "serve" -> run_serve ()
   | "stream" -> run_stream ()
+  | "topology" -> run_topology ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);
@@ -1207,6 +1322,9 @@ let () =
       ( "--gate-stream",
         Arg.Float (fun v -> stream_gate := Some v),
         "fail (exit 1) if the stream target's streamed peak-memory growth across the n-ladder exceeds this factor" );
+      ( "--gate-topology",
+        Arg.Float (fun v -> topology_gate := Some v),
+        "fail (exit 1) if the topology target's k-regular commit bytes-per-client growth across the n-ladder exceeds this factor" );
       ( "--seed",
         Arg.String (fun v -> config.seed <- v),
         "workload seed namespace, recorded in the JSON metadata (default \"default\")" );

@@ -20,6 +20,7 @@ module Setup = Risefl_core.Setup
 module Driver = Risefl_core.Driver
 module Round_log = Risefl_core.Round_log
 module Reliable = Risefl_core.Reliable
+module Topology = Risefl_topology.Topology
 module Evloop = Risefl_transport.Evloop
 module Tserver = Risefl_transport.Server
 module Tclient = Risefl_transport.Client
@@ -64,6 +65,47 @@ let attackers_arg =
   Arg.(
     value & opt (list int) []
     & info [ "attackers" ] ~docv:"IDS" ~doc:"1-based client ids mounting a 50x scaling attack.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (enum [ ("full", `Full); ("kregular", `Kregular) ]) `Full
+    & info [ "topology" ] ~docv:"MODE"
+        ~doc:
+          "Share topology. 'full' (default): every blind is VSSS-shared to all n clients.            'kregular': each round derives a seeded k-regular neighborhood graph and shares only            to graph neighbors, cutting the commit stage from O(n^2) to O(n.k) sealed shares;            agg-stage dropouts are recovered from their neighborhood. k = n-1 is bit-identical            to full.")
+
+let degree_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "degree" ] ~docv:"K"
+        ~doc:
+          "Neighborhood degree under $(b,--topology) kregular. 0 (default) picks the smallest k            whose neighborhood-majority recovery and privacy bounds both hold with probability            1 - 2^-40 under 5% dropouts and the parameter set's corruption fraction.")
+
+(* resolve the topology mode; auto-degree from the security calculation *)
+let make_topology ~n ~m ~topology ~degree =
+  match topology with
+  | `Full -> Topology.Full
+  | `Kregular ->
+      let k =
+        if degree > 0 then degree
+        else
+          Topology.recommend_degree ~n ~dropout:0.05
+            ~corruption:(float_of_int m /. float_of_int n)
+            ~sigma:40
+      in
+      Topology.Kregular k
+
+let print_topology ~seed ~n mode =
+  match mode with
+  | Topology.Full -> ()
+  | Topology.Kregular k -> (
+      match
+        Topology.plan ~mode ~seed ~round:1 ~cohort:(Array.init n (fun i -> i + 1))
+      with
+      | None -> Printf.printf "topology: kregular k=%d normalizes to full (all-to-all)\n" k
+      | Some t ->
+          Printf.printf "topology: kregular k=%d t=%d digest=%s (round 1)\n" (Topology.degree t)
+            (Topology.threshold t) (Topology.hex_digest t))
 
 let wal_arg =
   Arg.(
@@ -223,11 +265,22 @@ let round_cmd =
             "1-based client ids that send nothing at all (the in-process twin of a client \
              process that never connects or dies mid-round).")
   in
-  let run n m d k bound seed attackers dropouts jobs cache_dir dlog_mem faults deadline trace
-      rounds crash wal_file retransmit no_recover stream_flag shards stream_batch =
+  let agg_dropouts_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "agg-dropouts" ] ~docv:"IDS"
+          ~doc:
+            "1-based client ids that participate honestly through the proof stage and then go \
+             silent at aggregation — the dropout class the kregular topology recovers from the \
+             dropout's neighborhood.")
+  in
+  let run n m d k bound seed attackers dropouts agg_dropouts jobs cache_dir dlog_mem faults
+      deadline trace rounds crash wal_file retransmit no_recover stream_flag shards stream_batch
+      topology_mode degree =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
+    let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -239,6 +292,10 @@ let round_cmd =
     List.iter
       (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Drop_out)
       dropouts;
+    List.iter
+      (fun i -> if i >= 1 && i <= n then behaviours.(i - 1) <- Driver.Agg_silent)
+      agg_dropouts;
+    print_topology ~seed ~n topology;
     let transport =
       match faults with
       | None -> None
@@ -288,7 +345,7 @@ let round_cmd =
        end;
        let crash = Option.map (fun (_, stage, at) -> (stage, at)) crash in
        match
-         Driver.run_round_outcome ?transport ?reliable ?wal ?crash ?stream session
+         Driver.run_round_outcome ?transport ?reliable ?wal ?crash ?stream ~topology session
            ~updates:(updates_for 1) ~behaviours ~round:1
        with
        | outcome -> print_outcome ~d ~round:1 outcome
@@ -299,8 +356,8 @@ let round_cmd =
      end
      else begin
        let report =
-         Driver.run_session ?transport ?reliable ?wal ?crash ?stream session ~updates_for
-           ~behaviours ~rounds
+         Driver.run_session ?transport ?reliable ?wal ?crash ?stream ~topology session
+           ~updates_for ~behaviours ~rounds
        in
        List.iter
          (fun (r, outcome) -> print_outcome ~d ~round:r outcome)
@@ -332,9 +389,9 @@ let round_cmd =
     (Cmd.info "round" ~doc:"Run secure-and-verifiable aggregation rounds.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg
-      $ dropouts_arg $ jobs_arg $ cache_dir_arg $ dlog_mem_arg $ faults_arg $ deadline_arg
-      $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg $ no_recover_arg
-      $ stream_arg $ shards_arg $ stream_batch_arg)
+      $ dropouts_arg $ agg_dropouts_arg $ jobs_arg $ cache_dir_arg $ dlog_mem_arg $ faults_arg
+      $ deadline_arg $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg
+      $ no_recover_arg $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg)
 
 (* --- resume --- *)
 
@@ -345,10 +402,11 @@ let resume_cmd =
       & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log of the interrupted run.")
   in
   let run n m d k bound seed attackers jobs cache_dir dlog_mem wal_file stream_flag shards
-      stream_batch =
+      stream_batch topology_mode degree =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
+    let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
     let records, status = Round_log.replay wal_file in
     let frames = List.length (List.filter (function Round_log.Frame _ -> true | _ -> false) records) in
     Printf.printf "wal: %d records (%d frames)%s\n" (List.length records) frames
@@ -378,8 +436,10 @@ let resume_cmd =
         let updates = make_updates ~n ~d ~bound ~seed ~attackers ~round in
         let behaviours = make_behaviours ~n ~attackers in
         let wal = Round_log.create wal_file in
+        print_topology ~seed ~n topology;
         let outcome =
-          Driver.recover_round ~wal ?stream session ~records ~updates ~behaviours ~round
+          Driver.recover_round ~wal ?stream ~topology session ~records ~updates ~behaviours
+            ~round
         in
         Round_log.close wal;
         if stream <> None then print_stream_stats (Driver.session_server session);
@@ -390,7 +450,8 @@ let resume_cmd =
        ~doc:"Replay a write-ahead log and finish its interrupted round bit-identically.")
     Term.(
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
-      $ cache_dir_arg $ dlog_mem_arg $ wal_req $ stream_arg $ shards_arg $ stream_batch_arg)
+      $ cache_dir_arg $ dlog_mem_arg $ wal_req $ stream_arg $ shards_arg $ stream_batch_arg
+      $ topology_arg $ degree_arg)
 
 (* --- serve / client: the socket deployment --- *)
 
@@ -446,10 +507,11 @@ let serve_cmd =
              restart serve with the same $(b,--wal) to finish the round (requires $(b,--wal)).")
   in
   let run n m d k bound seed jobs cache_dir dlog_mem listen rounds stage_deadline wal_file crash
-      trace verbose stream_flag shards stream_batch =
+      trace verbose stream_flag shards stream_batch topology_mode degree =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
+    let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -479,6 +541,7 @@ let serve_cmd =
     let setup = Setup.create ~label:("cli/" ^ seed) params in
     let log s = if verbose then Printf.eprintf "[serve] %s\n%!" s in
     Printf.printf "serving %d client(s) on %s\n%!" n (Evloop.addr_to_string listen);
+    print_topology ~seed ~n topology;
     let report =
       Tserver.serve ~log
         {
@@ -490,6 +553,7 @@ let serve_cmd =
           wal_path = wal_file;
           crash;
           stream;
+          topology;
         }
     in
     (match report.Tserver.resumed_round with
@@ -515,7 +579,7 @@ let serve_cmd =
       $ dlog_mem_arg $ addr_conv "listen" $ rounds_arg $ deadline_s_arg $ wal_arg $ crash_arg
       $ trace_arg
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr.")
-      $ stream_arg $ shards_arg $ stream_batch_arg)
+      $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg)
 
 let client_cmd =
   let id_arg =
@@ -540,7 +604,7 @@ let client_cmd =
       & info [ "max-retries" ] ~docv:"N" ~doc:"Connection attempts before giving up.")
   in
   let run n m d k bound seed attackers jobs cache_dir dlog_mem connect id rounds stage_deadline
-      die_at loris retries trace verbose =
+      die_at loris retries trace verbose topology_mode degree =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     if trace <> None then begin
@@ -573,6 +637,7 @@ let client_cmd =
     let params = Params.make ~n_clients:n ~max_malicious:m ~d ~k ~m_factor:128.0 ~bound_b:bound () in
     let setup = Setup.create ~label:("cli/" ^ seed) params in
     let log s = if verbose then Printf.eprintf "[client %d] %s\n%!" id s in
+    let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
     let results =
       Tclient.run ~log
         {
@@ -588,6 +653,7 @@ let client_cmd =
           loris;
           die_at;
           max_connect_attempts = retries;
+          topology;
         }
     in
     List.iter
@@ -616,7 +682,8 @@ let client_cmd =
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg $ jobs_arg
       $ cache_dir_arg $ dlog_mem_arg $ addr_conv "connect" $ id_arg $ rounds_arg $ deadline_s_arg
       $ die_at_arg $ loris_arg $ retries_arg $ trace_arg
-      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr."))
+      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr.")
+      $ topology_arg $ degree_arg)
 
 (* --- train --- *)
 

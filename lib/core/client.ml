@@ -48,7 +48,7 @@ let key_for t j = Channel.shared_key ~my:t.keys ~their_pk:t.directory.(j - 1)
 
 let share_nonce ~round ~sender ~receiver = Printf.sprintf "share/r%d/%d->%d" round sender receiver
 
-let commit_round_unchecked t ~round ~update =
+let commit_round_unchecked ?topo t ~round ~update =
   let p = t.setup.Setup.params in
   if Array.length update <> p.Params.d then invalid_arg "Client.commit_round: dimension mismatch";
   t.u <- Array.copy update;
@@ -57,8 +57,20 @@ let commit_round_unchecked t ~round ~update =
     Pedersen.commit_vec ~g_table:t.setup.Setup.g_table ~bases:t.setup.Setup.w ~values:update
       ~blind:t.r
   in
+  (* all-to-all: shares at 1..n, threshold shamir_t. k-regular: shares
+     only at this client's sorted neighbor ids (their own evaluation
+     points, so recovery interpolates the same polynomial), threshold
+     a neighborhood majority. *)
   let shares, check =
-    Vsss.share t.drbg ~secret:t.r ~n:p.Params.n_clients ~t:(Params.shamir_t p) ~g:t.setup.Setup.g
+    match topo with
+    | None ->
+        Vsss.share t.drbg ~secret:t.r ~n:p.Params.n_clients ~t:(Params.shamir_t p)
+          ~g:t.setup.Setup.g
+    | Some topo ->
+        Vsss.share_at t.drbg ~secret:t.r
+          ~xs:(Risefl_topology.Topology.neighbors topo t.id)
+          ~t:(Risefl_topology.Topology.threshold topo)
+          ~g:t.setup.Setup.g
   in
   t.out_shares <- shares;
   t.my_check <- check;
@@ -72,38 +84,76 @@ let commit_round_unchecked t ~round ~update =
           (Scalar.to_bytes s.Vsss.value))
       shares
   in
-  { Wire.sender = t.id; y; check; enc_shares }
+  let topo_digest = Option.map Risefl_topology.Topology.digest topo in
+  { Wire.sender = t.id; y; check; enc_shares; topo_digest }
 
-let commit_round t ~round ~update =
+let commit_round ?topo t ~round ~update =
   if not (Params.check_update_norm t.setup.Setup.params update) then
     invalid_arg "Client.commit_round: update exceeds the L2 bound";
-  commit_round_unchecked t ~round ~update
+  commit_round_unchecked ?topo t ~round ~update
 
-let receive_shares t ~round ~msgs =
+(* rank of this client inside a dealer's sorted neighbor list, i.e. the
+   position of our sealed share inside its v2 commit *)
+let share_rank topo t ~dealer =
+  let ns = Risefl_topology.Topology.neighbors topo dealer in
+  let rank = ref (-1) in
+  Array.iteri (fun i x -> if x = t.id then rank := i) ns;
+  (!rank, Array.length ns)
+
+let receive_shares ?topo t ~round ~msgs =
   let g = t.setup.Setup.g in
+  let my_digest = Option.map Risefl_topology.Topology.digest topo in
   (* decrypt + VSSS-verify each dealer's share independently (one MSM
      per dealer), in parallel; mutate round state sequentially after *)
   let opened =
     Parallel.parallel_map
       (fun (m : Wire.commit_msg) ->
         let j = m.Wire.sender in
-        let sealed = m.Wire.enc_shares.(t.id - 1) in
-        match Channel.open_ ~key:(key_for t j) sealed with
-        | None -> (j, None)
-        | Some plain -> (
-            match Scalar.of_bytes_opt plain with
-            | None -> (j, None)
-            | Some value ->
-                let share = { Vsss.idx = t.id; value } in
-                if Vsss.verify ~g ~check:m.Wire.check share then (j, Some value) else (j, None)))
+        match topo with
+        | None -> (
+            let sealed = m.Wire.enc_shares.(t.id - 1) in
+            match Channel.open_ ~key:(key_for t j) sealed with
+            | None -> (j, `Bad)
+            | Some plain -> (
+                match Scalar.of_bytes_opt plain with
+                | None -> (j, `Bad)
+                | Some value ->
+                    let share = { Vsss.idx = t.id; value } in
+                    if Vsss.verify ~g ~check:m.Wire.check share then (j, `Ok value) else (j, `Bad)))
+        | Some topo -> (
+            (* a dealer we are not a neighbor of holds no share for us:
+               nothing to verify, nothing to flag (we could not tell a
+               good share from a bad one anyway). Our own commit carries
+               no share to self — r_i enters the aggregate directly. *)
+            let rank, deg = share_rank topo t ~dealer:j in
+            if j = t.id || rank < 0 then (j, `Skip)
+            else if
+              Array.length m.Wire.enc_shares <> deg
+              || not
+                   (match m.Wire.topo_digest with
+                   | Some d -> ( match my_digest with Some d' -> Bytes.equal d d' | None -> false)
+                   | None -> false)
+            then (j, `Bad)
+            else
+              let sealed = m.Wire.enc_shares.(rank) in
+              match Channel.open_ ~key:(key_for t j) sealed with
+              | None -> (j, `Bad)
+              | Some plain -> (
+                  match Scalar.of_bytes_opt plain with
+                  | None -> (j, `Bad)
+                  | Some value ->
+                      let share = { Vsss.idx = t.id; value } in
+                      if Vsss.verify ~g ~check:m.Wire.check share then (j, `Ok value)
+                      else (j, `Bad))))
       msgs
   in
   let suspects = ref [] in
   Array.iter
     (fun (j, v) ->
       match v with
-      | Some value -> t.in_shares.(j - 1) <- Some value
-      | None -> suspects := j :: !suspects)
+      | `Ok value -> t.in_shares.(j - 1) <- Some value
+      | `Bad -> suspects := j :: !suspects
+      | `Skip -> ())
     opened;
   ignore round;
   { Wire.sender = t.id; suspects = List.rev !suspects }
@@ -112,10 +162,13 @@ let reveal_shares t ~requests =
   let m = t.setup.Setup.params.Params.max_malicious in
   if List.length requests > m then
     raise (Server_misbehaving "server requested more than m clear shares");
+  (* look the share up by evaluation point, not position: under a
+     k-regular topology out_shares holds only the k neighbor shares *)
   List.map
     (fun j ->
-      if j < 1 || j > Array.length t.out_shares then invalid_arg "Client.reveal_shares: bad index";
-      (j, t.out_shares.(j - 1).Vsss.value))
+      match Array.to_list t.out_shares |> List.find_opt (fun s -> s.Vsss.idx = j) with
+      | Some s -> (j, s.Vsss.value)
+      | None -> invalid_arg "Client.reveal_shares: bad index")
     requests
 
 let accept_cleared_share t ~from ~value = t.in_shares.(from - 1) <- Some value
@@ -289,3 +342,36 @@ let agg_round t ~honest =
       Scalar.zero honest
   in
   { Wire.sender = t.id; r_sum }
+
+(* the pairwise one-time mask of the k-regular aggregation round: both
+   endpoints derive the same scalar from their ECDH shared key, keyed by
+   the round and the unordered pair, so masks cancel in the sum without
+   any extra communication *)
+let pair_mask t ~round ~peer =
+  let lo = min t.id peer and hi = max t.id peer in
+  let d =
+    Prng.Drbg.fork
+      (Prng.Drbg.create (key_for t peer))
+      (Printf.sprintf "aggmask/r%d/%d-%d" round lo hi)
+  in
+  Scalar.random d
+
+let agg_round_masked t ~round ~topo ~honest =
+  let r_sum =
+    List.fold_left
+      (fun acc j ->
+        if j = t.id || not (Risefl_topology.Topology.is_neighbor topo t.id j) then acc
+        else
+          let mask = pair_mask t ~round ~peer:j in
+          (* ε_ij = +1 for i < j, −1 for i > j: the two sides cancel *)
+          if t.id < j then Scalar.add acc mask else Scalar.sub acc mask)
+      t.r honest
+  in
+  { Wire.sender = t.id; r_sum }
+
+let recovery_response t ~round ~topo ~dropout =
+  if dropout = t.id then
+    raise (Server_misbehaving "server asked this client to recover itself");
+  if not (Risefl_topology.Topology.is_neighbor topo t.id dropout) then
+    raise (Server_misbehaving "recovery request for a non-neighbor");
+  (t.in_shares.(dropout - 1), pair_mask t ~round ~peer:dropout)

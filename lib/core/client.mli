@@ -24,25 +24,37 @@ val public_key : t -> Point.t
     client j's key). Must be called before any round. *)
 val install_directory : t -> Point.t array -> unit
 
-(** [commit_round t ~round ~update] — the encoded update must satisfy the
-    L2 bound; returns the round-1 message.
+(** [commit_round ?topo t ~round ~update] — the encoded update must
+    satisfy the L2 bound; returns the round-1 message. Without [topo]
+    the blind is VSSS-shared to all n clients (wire v1). With [topo] it
+    is shared only to this client's k graph neighbors, at their own
+    evaluation points with a neighborhood-majority threshold, and the
+    commit carries the topology digest (wire v2).
     @raise Invalid_argument if ‖update‖₂ > B or dimension mismatch. *)
-val commit_round : t -> round:int -> update:int array -> Wire.commit_msg
+val commit_round :
+  ?topo:Risefl_topology.Topology.t -> t -> round:int -> update:int array -> Wire.commit_msg
 
 (** [commit_round_unchecked] skips the local norm check — what a
     malicious client does when mounting a scaling attack. Only the
     probabilistic check stands between such an update and the aggregate. *)
-val commit_round_unchecked : t -> round:int -> update:int array -> Wire.commit_msg
+val commit_round_unchecked :
+  ?topo:Risefl_topology.Topology.t -> t -> round:int -> update:int array -> Wire.commit_msg
 
-(** [receive_shares t ~round ~msgs] — decrypt and verify the share
+(** [receive_shares ?topo t ~round ~msgs] — decrypt and verify the share
     addressed to this client inside each peer's commit message; returns
     the flag list (step 1 of §4.4.1). Stores valid shares for
-    aggregation. *)
-val receive_shares : t -> round:int -> msgs:Wire.commit_msg array -> Wire.flag_msg
+    aggregation. Under [topo], commits from non-neighbor dealers hold no
+    share for this client and are skipped (neither stored nor flagged —
+    this client could not verify them anyway), and a dealer whose commit
+    pins a different topology digest is flagged. *)
+val receive_shares :
+  ?topo:Risefl_topology.Topology.t -> t -> round:int -> msgs:Wire.commit_msg array -> Wire.flag_msg
 
 (** [reveal_shares t ~requests] — rule-2 cooperation: return the clear
-    shares this client generated for the given recipients.
-    @raise Server_misbehaving if more than m shares are requested. *)
+    shares this client generated for the given recipients (looked up by
+    evaluation point, so it works for both topologies).
+    @raise Server_misbehaving if more than m shares are requested.
+    @raise Invalid_argument for a recipient this client never dealt to. *)
 val reveal_shares : t -> requests:int list -> (int * Scalar.t) list
 
 (** [accept_cleared_share t ~from ~value] — install a share that the
@@ -90,3 +102,26 @@ val make_transcript : round:int -> client_id:int -> s:Bytes.t -> Zkp.Transcript.
     @raise Invalid_argument if a share from an honest peer is missing
     (cannot happen when the server follows the protocol). *)
 val agg_round : t -> honest:int list -> Wire.agg_msg
+
+(** [agg_round_masked t ~round ~topo ~honest] — the k-regular
+    aggregation message: this client's own blind r_i plus the signed
+    pairwise masks toward every honest graph neighbor
+    (ε_ij = +1 for i < j, −1 otherwise). Summed over all alive honest
+    clients the masks cancel and Σ r_i remains; a dropout's dangling
+    masks are unwound during neighborhood recovery. *)
+val agg_round_masked :
+  t -> round:int -> topo:Risefl_topology.Topology.t -> honest:int list -> Wire.agg_msg
+
+(** [recovery_response t ~round ~topo ~dropout] — this client's
+    contribution to recovering an agg-stage dropout d: the stored VSSS
+    share of r_d (None if d's share never verified) and the pairwise
+    mask m_{i,d}, which the server uses to unwind the dangling
+    ε_id·m_id left in this client's masked sum.
+    @raise Server_misbehaving if [dropout] is this client itself or not
+    one of its graph neighbors. *)
+val recovery_response :
+  t ->
+  round:int ->
+  topo:Risefl_topology.Topology.t ->
+  dropout:int ->
+  Scalar.t option * Scalar.t

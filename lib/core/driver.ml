@@ -7,6 +7,7 @@ type behaviour =
   | False_flags of int list
   | Bad_agg_share
   | Drop_out
+  | Agg_silent
 
 type stats = {
   aggregate : int array option;
@@ -187,6 +188,11 @@ type remote = {
       (* the round verdict; never fired on a server crash *)
   r_reveal : dealer:int -> requests:int list -> (int * Scalar.t) list option;
       (* synchronous share-reveal sub-exchange with a remote dealer *)
+  r_recover :
+    round:int -> dropout:int -> responders:int list -> (int * (Scalar.t option * Scalar.t)) list;
+      (* k-regular dropout recovery: ask each responder (an alive graph
+         neighbor of [dropout]) for its share of the dropout's blind and
+         the pairwise mask; (responder, (share, mask)) per answer *)
 }
 
 (* internal: the one early exit of the lifecycle; caught before
@@ -203,8 +209,8 @@ let observe_live () =
   if Telemetry.enabled () then Telemetry.Gauge.observe g_live (Telemetry.live_words ())
 
 let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?endpoint
-    ?reliable ?remote ?wal ?crash ?recovery ?stream ~lifecycle session ~updates ~behaviours
-    ~round =
+    ?reliable ?remote ?wal ?crash ?recovery ?stream
+    ?(topology = Risefl_topology.Topology.Full) ~lifecycle session ~updates ~behaviours ~round =
   (* a transport, a reliability layer or a write-ahead log implies the
      wire: bytes are the only thing they can fault, retransmit or log *)
   let serialize =
@@ -230,6 +236,14 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       (stage ^ "." ^ role) f
   in
   let needed = Params.shamir_t p in
+  (* the round's share topology: a pure function of (session seed, round,
+     cohort), never logged — recovery re-derives the identical graph
+     here. [plan] normalizes Full / tiny cohorts / degree >= n-1 to None,
+     which runs the unchanged all-to-all path (bit-identical bytes). *)
+  let topo =
+    Risefl_topology.Topology.plan ~mode:topology ~seed:session.seed ~round
+      ~cohort:(Array.init n (fun i -> i + 1))
+  in
   let decode_failures = ref [] in
   let wal_append r = match wal with Some w -> Round_log.append w r | None -> () in
   (* in-process recovery replays the outbox; only the durable runtime
@@ -417,22 +431,30 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
                     match behaviours.(i) with
                     | Oversized _ ->
                         (* updates.(i) is already the scaled malicious vector *)
-                        Client.commit_round_unchecked clients.(i) ~round ~update:updates.(i)
-                    | _ -> Client.commit_round clients.(i) ~round ~update:updates.(i))
+                        Client.commit_round_unchecked ?topo clients.(i) ~round ~update:updates.(i)
+                    | _ -> Client.commit_round ?topo clients.(i) ~round ~update:updates.(i))
               in
               if behaviours.(i) = Honest then commit_time := !commit_time +. dt;
               match behaviours.(i) with
               | Bad_share_to targets ->
+                  (* positions are recipient ids only on the all-to-all
+                     path; under a topology they are ranks in the sorted
+                     neighbor list (a non-neighbor target is a no-op) *)
+                  let recips =
+                    match topo with
+                    | None -> Array.init n (fun j -> j + 1)
+                    | Some tp -> Risefl_topology.Topology.neighbors tp (i + 1)
+                  in
                   let enc_shares =
                     Array.mapi
-                      (fun j s -> if List.mem (j + 1) targets then corrupt_sealed s else s)
+                      (fun j s -> if List.mem recips.(j) targets then corrupt_sealed s else s)
                       msg.Wire.enc_shares
                   in
                   Some { msg with Wire.enc_shares }
               | _ -> Some msg
             end))
   in
-  span "commit" "server" (fun () -> Server.begin_round server ~round ~commits);
+  span "commit" "server" (fun () -> Server.begin_round ?topo server ~round ~commits);
   (* begin_round reset C*, so decode offenders are marked after it *)
   note_offenders commit_offenders;
   check_quorum "commit";
@@ -446,7 +468,11 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
     | [] -> (0, 0)
     | i :: _ ->
         let commit = match commits.(i) with Some c -> Wire.commit_msg_size c | None -> 0 in
-        (* downloads: forwarded shares + check strings from every peer *)
+        (* downloads: forwarded shares + check strings. All-to-all: one
+           sealed share from every peer. k-regular: a share only from the
+           k neighbor dealers (located by this client's rank in their
+           sorted neighbor lists); check strings still arrive from every
+           dealer with the commit broadcast. *)
         let shares_down =
           Array.fold_left
             (fun acc c ->
@@ -455,9 +481,17 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
               | Some (cm : Wire.commit_msg) ->
                   if cm.Wire.sender = i + 1 then acc
                   else
-                    acc
-                    + Channel.sealed_size cm.Wire.enc_shares.(i)
-                    + (Wire.point_size * Array.length cm.Wire.check))
+                    let share_bytes =
+                      match topo with
+                      | None -> Channel.sealed_size cm.Wire.enc_shares.(i)
+                      | Some tp ->
+                          let ns = Risefl_topology.Topology.neighbors tp cm.Wire.sender in
+                          let rank = ref (-1) in
+                          Array.iteri (fun j x -> if x = i + 1 then rank := j) ns;
+                          if !rank < 0 then 0
+                          else Channel.sealed_size cm.Wire.enc_shares.(!rank)
+                    in
+                    acc + share_bytes + (Wire.point_size * Array.length cm.Wire.check))
             0 commits
         in
         (commit, shares_down)
@@ -482,7 +516,8 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
             if not (is_active i) then None
             else begin
               let base, dt =
-                time (fun () -> Client.receive_shares clients.(i) ~round ~msgs:present_commits)
+                time (fun () ->
+                    Client.receive_shares ?topo clients.(i) ~round ~msgs:present_commits)
               in
               if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
               match behaviours.(i) with
@@ -609,15 +644,24 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       ~compute:(fun () ->
         span "agg" "client" @@ fun () ->
         Array.init n (fun i ->
-            if (not (is_active i)) || Server.malicious server |> List.mem (i + 1) then None
+            if
+              (not (is_active i))
+              || behaviours.(i) = Agg_silent
+              || Server.malicious server |> List.mem (i + 1)
+            then None
             else
-              match Client.agg_round clients.(i) ~honest with
+              match
+                match topo with
+                | None -> Client.agg_round clients.(i) ~honest
+                | Some tp -> Client.agg_round_masked clients.(i) ~round ~topo:tp ~honest
+              with
               | msg ->
                   let msg =
                     match behaviours.(i) with
                     | Bad_agg_share ->
                         (* a garbage aggregated share: SS.Verify against the
-                           combined check string must reject it *)
+                           combined check string must reject it (k-regular:
+                           the global g^R check catches it instead) *)
                         { msg with Wire.r_sum = Scalar.add msg.Wire.r_sum Scalar.one }
                     | _ -> msg
                   in
@@ -626,7 +670,32 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
   in
   note_offenders agg_offenders;
   let agg_result, agg_time =
-    span "agg" "server" (fun () -> time (fun () -> Server.aggregate server ~agg_msgs))
+    span "agg" "server" (fun () ->
+        time (fun () ->
+            match topo with
+            | None -> Server.aggregate server ~agg_msgs
+            | Some tp ->
+                (* neighborhood recovery sub-exchange: in-process it asks
+                   the dropout's alive neighbors directly (responses are
+                   pure functions of client state — no DRBG draws — so
+                   WAL replay reproduces them bit-identically); a remote
+                   round goes through the transport hook *)
+                let recover ~dropout ~responders =
+                  match remote with
+                  | Some r -> r.r_recover ~round ~dropout ~responders
+                  | None ->
+                      List.filter_map
+                        (fun i ->
+                          if not (is_active (i - 1)) then None
+                          else
+                            match
+                              Client.recovery_response clients.(i - 1) ~round ~topo:tp ~dropout
+                            with
+                            | resp -> Some (i, resp)
+                            | exception Client.Server_misbehaving _ -> None)
+                        responders
+                in
+                Server.aggregate_kregular server ~topo:tp ~honest ~recover ~agg_msgs))
   in
   (if lifecycle then
      match agg_result with
@@ -675,13 +744,13 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
 (* outer span covering the full round; the Abort control-flow exception
    passes through Span.with_ (the span is still recorded) *)
 let run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    ?recovery ?stream ~lifecycle session ~updates ~behaviours ~round =
+    ?recovery ?stream ?topology ~lifecycle session ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "round"
     (fun () ->
       run_round_core_inner ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-        ?crash ?recovery ?stream ~lifecycle session ~updates ~behaviours ~round)
+        ?crash ?recovery ?stream ?topology ~lifecycle session ~updates ~behaviours ~round)
 
 (* a WAL-armed abort still closes the round durably *)
 let seal_abort ?wal session ~round outcome =
@@ -695,11 +764,11 @@ let seal_abort ?wal session ~round outcome =
   outcome
 
 let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    ?stream session ~updates ~behaviours ~round =
+    ?stream ?topology session ~updates ~behaviours ~round =
   let outcome =
     match
       run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-        ?stream ~lifecycle:true session ~updates ~behaviours ~round
+        ?stream ?topology ~lifecycle:true session ~updates ~behaviours ~round
     with
     | outcome -> outcome
     | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -709,10 +778,10 @@ let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remo
   (match remote with Some r -> r.r_result ~round outcome | None -> ());
   outcome
 
-let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream session ~updates
-    ~behaviours ~round =
+let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream ?topology session
+    ~updates ~behaviours ~round =
   match
-    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream
+    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream ?topology
       ~lifecycle:false session ~updates ~behaviours ~round
   with
   | Completed stats -> stats
@@ -740,8 +809,8 @@ let restore_server session records ~round =
   (match snap with Some s -> Server.restore server s | None -> ());
   session.server <- server
 
-let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream session
-    ~records ~updates ~behaviours ~round =
+let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream ?topology
+    session ~records ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "recover"
@@ -751,7 +820,7 @@ let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream
       let outcome =
         match
           run_round_core ?predicate ?transport ?endpoint ?reliable ?remote ?wal ~recovery
-            ?stream ~lifecycle:true session ~updates ~behaviours ~round
+            ?stream ?topology ~lifecycle:true session ~updates ~behaviours ~round
         with
         | outcome -> outcome
         | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -770,7 +839,7 @@ type session_report = {
 }
 
 let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash ?stream
-    session ~updates_for ~behaviours ~rounds =
+    ?topology session ~updates_for ~behaviours ~rounds =
   if rounds < 1 then invalid_arg "Driver.run_session: rounds must be >= 1";
   let outcomes = ref [] in
   let completed = ref 0 in
@@ -783,7 +852,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
     let outcome =
       match
         run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-          ?crash:crash_here ?stream session ~updates ~behaviours ~round
+          ?crash:crash_here ?stream ?topology session ~updates ~behaviours ~round
       with
       | outcome -> outcome
       | exception Server_crashed _ -> (
@@ -795,7 +864,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
               let records, _status = Round_log.replay (Round_log.path w) in
               incr recovered;
               recover_round ?predicate ?transport ?endpoint ?reliable ?remote ~wal:w ?stream
-                session ~records ~updates ~behaviours ~round)
+                ?topology session ~records ~updates ~behaviours ~round)
     in
     (match outcome with
     | Completed stats ->
@@ -814,7 +883,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
     crashes_recovered = !recovered;
   }
 
-let run_iteration ?predicate ?serialize ?transport ?stream setup ~updates ~behaviours ~seed
-    ~round =
-  run_round ?predicate ?serialize ?transport ?stream (create_session setup ~seed) ~updates
-    ~behaviours ~round
+let run_iteration ?predicate ?serialize ?transport ?stream ?topology setup ~updates ~behaviours
+    ~seed ~round =
+  run_round ?predicate ?serialize ?transport ?stream ?topology (create_session setup ~seed)
+    ~updates ~behaviours ~round

@@ -31,6 +31,10 @@ type behaviour =
   | False_flags of int list  (** flag these (honest) clients in round 2 *)
   | Bad_agg_share  (** send a corrupted aggregated share in round 3 *)
   | Drop_out  (** send no messages at all *)
+  | Agg_silent
+      (** participate honestly through the proof stage, then send no
+          aggregation frame — the agg-stage dropout whose blind the
+          k-regular neighborhood recovery re-interpolates *)
 
 type stats = {
   aggregate : int array option;  (** Σ_{i∈H} u_i, or None if aggregation failed *)
@@ -132,6 +136,14 @@ type remote = {
   r_honest : round:int -> honest:int list -> malicious:int list -> unit;
   r_result : round:int -> round_outcome -> unit;
   r_reveal : dealer:int -> requests:int list -> (int * Curve25519.Scalar.t) list option;
+  r_recover :
+    round:int ->
+    dropout:int ->
+    responders:int list ->
+    (int * (Curve25519.Scalar.t option * Curve25519.Scalar.t)) list;
+      (** k-regular dropout recovery sub-exchange: ask each alive graph
+          neighbor of [dropout] for (its VSSS share of the dropout's
+          blind if held, the pairwise agg mask toward the dropout) *)
 }
 
 (** [run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash
@@ -155,7 +167,16 @@ type remote = {
     post-barrier {!Server.verify_proofs}. Verdicts, C* and the aggregate
     are bit-identical to the barrier path for every (jobs, shards,
     arrival-order) combination; resident decoded state drops from
-    O(n·d + n²) to O(d + batch·d). *)
+    O(n·d + n²) to O(d + batch·d).
+
+    With [topology] (default [Full]) the round's share graph is selected:
+    [Kregular k] derives a seeded k-regular neighborhood graph from
+    (session seed, round, cohort) via {!Risefl_topology.Topology.plan},
+    shares each blind only to graph neighbors (wire v2 commits carrying
+    the topology digest), masks the agg stage pairwise, and recovers
+    agg-stage dropouts from their neighborhoods. [Kregular (n-1)] (or
+    more) normalizes to the all-to-all path and is bit-identical to
+    [Full]. *)
 val run_round :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
@@ -164,6 +185,7 @@ val run_round :
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
@@ -187,6 +209,7 @@ val run_round_outcome :
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates:int array array ->
   behaviours:behaviour array ->
@@ -212,6 +235,7 @@ val recover_round :
   ?remote:remote ->
   ?wal:Round_log.t ->
   ?stream:Server.stream_cfg ->
+  ?topology:Risefl_topology.Topology.mode ->
   session ->
   records:Round_log.record list ->
   updates:int array array ->
@@ -246,6 +270,7 @@ val run_session :
   ?wal:Round_log.t ->
   ?crash:int * Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates_for:(int -> int array array) ->
   behaviours:behaviour array ->
@@ -261,6 +286,7 @@ val run_iteration :
   ?serialize:bool ->
   ?transport:Netsim.t ->
   ?stream:Server.stream_cfg ->
+  ?topology:Risefl_topology.Topology.mode ->
   Setup.t ->
   updates:int array array ->
   behaviours:behaviour array ->

@@ -221,6 +221,10 @@ let magic_proof = 0xC3
 let magic_agg = 0xC4
 let magic_broadcast = 0xC5
 
+(* 0xC6 = framed, 0xC7 = snapshot (below); v2 commit carries a topology
+   digest for the k-regular share path *)
+let magic_commit_v2 = 0xC8
+
 let expect_magic r m =
   let off = r.R.pos in
   if R.u8 r <> m then err off "wrong message type"
@@ -260,9 +264,19 @@ let counted counter b =
   Telemetry.Counter.add counter (Bytes.length out);
   out
 
+(* two commit encodings share one codec: the all-to-all path emits the
+   historical v1 bytes (magic 0xC1, no digest — so the k = n−1 degenerate
+   topology is bit-identical to the legacy path), the k-regular path
+   prefixes the 32-byte topology digest under magic 0xC8. The decoder
+   dispatches on the magic; v1 frames keep decoding forever. *)
 let encode_commit_msg (m : Wire.commit_msg) =
   let b = W.create () in
-  W.u8 b magic_commit;
+  (match m.Wire.topo_digest with
+  | None -> W.u8 b magic_commit
+  | Some d ->
+      if Bytes.length d <> 32 then invalid_arg "Serial.encode_commit_msg: digest must be 32 bytes";
+      W.u8 b magic_commit_v2;
+      W.raw b d);
   W.u32 b m.Wire.sender;
   W.points b m.Wire.y;
   W.points b m.Wire.check;
@@ -271,13 +285,19 @@ let encode_commit_msg (m : Wire.commit_msg) =
 
 let decode_commit =
   total "commit" (fun r ->
-      expect_magic r magic_commit;
+      let off = r.R.pos in
+      let magic = R.u8 r in
+      let topo_digest =
+        if magic = magic_commit then None
+        else if magic = magic_commit_v2 then Some (R.raw r 32)
+        else err off "wrong message type"
+      in
       let sender = R.u32 r in
       let y = R.points r in
       let check = R.points r in
       let enc_shares = R.array r ~min_elem:sealed_min_size r_sealed in
       R.finish r;
-      { Wire.sender; y; check; enc_shares })
+      { Wire.sender; y; check; enc_shares; topo_digest })
 
 let encode_flag_msg (m : Wire.flag_msg) =
   let b = W.create () in

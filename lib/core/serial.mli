@@ -53,6 +53,12 @@ module R : sig
   val u32 : t -> int
   val i32 : t -> int
   val bytes : t -> Bytes.t
+
+  val remaining : t -> int
+  (** Bytes left unread — lets a decoder accept an optional trailing
+      extension (e.g. a protocol-version tail) without breaking old
+      frames. *)
+
   val finish : t -> unit
 end
 

@@ -37,6 +37,10 @@ type t = {
   mutable drawn : int;
   mutable stream_agg : stream_agg option; (* set by stream_finish, round-scoped *)
   mutable stream_last : stream_stats option; (* last finished stream, for reporting *)
+  mutable topo : Risefl_topology.Topology.t option;
+      (* this round's share topology; None = all-to-all. Never logged or
+         snapshotted: it is a pure function of (seed, round, cohort), so
+         WAL replay re-derives it through [begin_round]. *)
 }
 
 let create setup drbg =
@@ -59,6 +63,7 @@ let create setup drbg =
     drawn = 0;
     stream_agg = None;
     stream_last = None;
+    topo = None;
   }
 
 let draw t n =
@@ -102,25 +107,41 @@ let banned t =
   Array.iteri (fun i b -> if b then out := (i + 1) :: !out) t.banned;
   List.rev !out
 
-let begin_round t ~round ~commits =
+let begin_round ?topo t ~round ~commits =
   if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
   t.round <- round;
   t.bad <- Array.copy t.banned;
   t.stream_agg <- None;
+  t.topo <- topo;
   t.commits <- Array.copy commits;
   Array.iteri (fun i c -> if c = None then mark t (i + 1) "no commit") commits;
-  (* structural validation of each commit message *)
+  (* structural validation of each commit message. The two topologies
+     accept disjoint shapes: all-to-all wants n shares at threshold
+     shamir_t and no digest (v1); k-regular wants exactly the sender's
+     neighbor count at the neighborhood threshold, pinned to this
+     round's topology digest (v2). A client on the wrong branch is
+     malformed, not ambiguous. *)
   let p = t.setup.Setup.params in
   Array.iteri
     (fun i c ->
       match c with
       | None -> ()
       | Some (m : Wire.commit_msg) ->
-          if
-            m.Wire.sender <> i + 1
-            || Array.length m.Wire.y <> p.Params.d
-            || Array.length m.Wire.check <> Params.shamir_t p
-            || Array.length m.Wire.enc_shares <> p.Params.n_clients
+          let shape_ok =
+            match topo with
+            | None ->
+                Array.length m.Wire.check = Params.shamir_t p
+                && Array.length m.Wire.enc_shares = p.Params.n_clients
+                && m.Wire.topo_digest = None
+            | Some tp ->
+                Array.length m.Wire.check = Risefl_topology.Topology.threshold tp
+                && Array.length m.Wire.enc_shares
+                   = Array.length (Risefl_topology.Topology.neighbors tp (i + 1))
+                && (match m.Wire.topo_digest with
+                   | Some d -> Bytes.equal d (Risefl_topology.Topology.digest tp)
+                   | None -> false)
+          in
+          if m.Wire.sender <> i + 1 || Array.length m.Wire.y <> p.Params.d || not shape_ok
           then begin
             mark t (i + 1) "malformed commit";
             t.commits.(i) <- None
@@ -140,6 +161,20 @@ let process_flags t ~flags ~reveal =
           let suspects = List.sort_uniq compare fm.Wire.suspects in
           (* rule 1a: flagging more than m clients is self-incriminating *)
           if List.length suspects > m then mark t j "flagged more than m clients"
+          else if
+            (* under a k-regular topology a client holds shares only from
+               its graph neighbors, so flagging a non-neighbor dealer is
+               equally self-incriminating — the flagger cannot have
+               verified a share it never received, and the dealer could
+               never answer a rule-2 reveal for it *)
+            match t.topo with
+            | Some tp ->
+                List.exists
+                  (fun i ->
+                    i >= 1 && i <= n && not (Risefl_topology.Topology.is_neighbor tp j i))
+                  suspects
+            | None -> false
+          then mark t j "flagged a non-neighbor dealer"
           else
             List.iter
               (fun i -> if i >= 1 && i <= n then flagged_by.(i - 1) <- j :: flagged_by.(i - 1))
@@ -762,18 +797,41 @@ type agg_error =
   | Insufficient_quorum of { valid : int; needed : int }
   | No_check_string
   | Coordinate_out_of_range of int
+  | Aggregate_mismatch
 
 let agg_error_to_string = function
   | Insufficient_quorum { valid; needed } ->
       Printf.sprintf "insufficient quorum: %d valid aggregated shares (< t = %d)" valid needed
   | No_check_string -> "no combined check string (no honest commit survived)"
   | Coordinate_out_of_range l -> Printf.sprintf "coordinate %d out of BSGS decoding range" l
+  | Aggregate_mismatch -> "recovered blind fails the combined commitment check (g^R <> prod z_i)"
 
 let pp_agg_error fmt e = Format.pp_print_string fmt (agg_error_to_string e)
 
-(* Shared aggregation tail: verify each aggregated share against
-   [combined_check], recover the blind r, peel it from the per-coordinate
-   products [prod l] = Π_{i∈H} y_il, and BSGS-decode every coordinate. *)
+(* take exactly [n] elements for interpolation *)
+let rec take n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+
+(* Shared decode tail: peel the recovered blind r from the per-coordinate
+   products [prod l] = Π_{i∈H} y_il and BSGS-decode every coordinate. *)
+let decode_with_r t ~prod ~r =
+  let p = t.setup.Setup.params in
+  let neg_r = Scalar.neg r in
+  let solver = Lazy.force t.dlog in
+  (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
+     peeling parallelize over coordinate chunks *)
+  let targets =
+    Parallel.parallel_init p.Params.d (fun l ->
+        Point.add (prod l) (Point.mul neg_r t.setup.Setup.w.(l)))
+  in
+  let solved = Curve25519.Dlog.solve_many solver targets in
+  let bad_coord = ref None in
+  Array.iteri (fun l v -> if v = None && !bad_coord = None then bad_coord := Some l) solved;
+  match !bad_coord with
+  | Some l -> Error (Coordinate_out_of_range l)
+  | None -> Ok (Array.map (function Some v -> v | None -> assert false) solved)
+
+(* Shared aggregation tail of the all-to-all path: verify each aggregated
+   share against [combined_check], recover the blind r, then decode. *)
 let finish_aggregate t ~combined_check ~prod ~agg_msgs =
   let threshold = Params.shamir_t t.setup.Setup.params in
   (* collect valid aggregated shares; each VSSS check is an independent
@@ -797,30 +855,9 @@ let finish_aggregate t ~combined_check ~prod ~agg_msgs =
   let shares = !valid_shares in
   if List.length shares < threshold then
     Error (Insufficient_quorum { valid = List.length shares; needed = threshold })
-  else begin
-    (* take exactly threshold shares for interpolation *)
-    let rec take n = function
-      | [] -> []
-      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
-    in
+  else
     let r = Vsss.recover (take threshold shares) in
-    (* aggregate commitments and peel the blind: g^{u_l} = (prod y_il) w_l^{-r} *)
-    let p = t.setup.Setup.params in
-    let neg_r = Scalar.neg r in
-    let solver = Lazy.force t.dlog in
-    (* O(d · (n + log ℓ)) point work: the per-coordinate products and blind
-       peeling parallelize over coordinate chunks *)
-    let targets =
-      Parallel.parallel_init p.Params.d (fun l ->
-          Point.add (prod l) (Point.mul neg_r t.setup.Setup.w.(l)))
-    in
-    let solved = Curve25519.Dlog.solve_many solver targets in
-    let bad_coord = ref None in
-    Array.iteri (fun l v -> if v = None && !bad_coord = None then bad_coord := Some l) solved;
-    match !bad_coord with
-    | Some l -> Error (Coordinate_out_of_range l)
-    | None -> Ok (Array.map (function Some v -> v | None -> assert false) solved)
-  end
+    decode_with_r t ~prod ~r
 
 let sub_check a b = Array.mapi (fun i ai -> Point.sub ai b.(i)) a
 
@@ -888,3 +925,143 @@ let aggregate t ~agg_msgs =
             in
             finish_aggregate t ~combined_check ~prod ~agg_msgs
       end
+
+(* --- k-regular aggregation ------------------------------------------ *)
+
+let c_topo_recovered = Telemetry.Counter.make "topo.recovered"
+let c_topo_excluded = Telemetry.Counter.make "topo.excluded"
+
+(* The k-regular round replaces n VSSS share-sums with one masked scalar
+   per client: m_i = r_i + Σ_{j∈N(i)∩H, j≠i} ε_ij·mask_ij. Summed over
+   the alive clients the masks cancel; each dropout d leaves (a) its own
+   r_d missing and (b) one dangling ε_id·mask_id inside every alive
+   neighbor's m_i. [recover ~dropout ~responders] runs the neighborhood
+   sub-exchange and returns, per responder, d's VSSS share (if that
+   responder holds a verified one) and the pairwise mask. Masks are
+   {e always} unwound; r_d is interpolated back when ≥ threshold shares
+   verify against d's retained check string, otherwise d's update is
+   excluded from the aggregate (removed from the product and the
+   combined check — excluded, not convicted: an honest dropout is not
+   malicious). A client convicted {e during} the agg exchange (e.g. an
+   undecodable frame) is excluded the same way but never recovered.
+   Finally g^R is checked against Π z_i over the survivors — any
+   tampered masked sum surfaces here as [Aggregate_mismatch] (individual
+   masked sums are not per-client attributable, unlike share sums). *)
+let aggregate_kregular t ~topo ~honest ~recover ~agg_msgs =
+  let module T = Risefl_topology.Topology in
+  let tk = T.threshold topo in
+  if Array.length agg_msgs <> n_of t then invalid_arg "Server.aggregate_kregular: wrong size";
+  let alive_set = Array.make (n_of t) false in
+  List.iter
+    (fun i -> if (not t.bad.(i - 1)) && agg_msgs.(i - 1) <> None then alive_set.(i - 1) <- true)
+    honest;
+  let alive = List.filter (fun i -> alive_set.(i - 1)) honest in
+  if alive = [] then Error (Insufficient_quorum { valid = 0; needed = tk })
+  else begin
+    let msum = ref Scalar.zero in
+    List.iter
+      (fun i ->
+        match agg_msgs.(i - 1) with
+        | Some (am : Wire.agg_msg) -> msum := Scalar.add !msum am.Wire.r_sum
+        | None -> ())
+      alive;
+    let excluded = ref [] in
+    List.iter
+      (fun d ->
+        if not alive_set.(d - 1) then begin
+          let responders =
+            Array.to_list (T.neighbors topo d) |> List.filter (fun i -> alive_set.(i - 1))
+          in
+          let resp = recover ~dropout:d ~responders in
+          (* unwind every responder's dangling mask toward d, recovered
+             or not — the masks are in the alive sums either way *)
+          List.iter
+            (fun (i, ((_ : Scalar.t option), mask)) ->
+              msum := (if i < d then Scalar.sub !msum mask else Scalar.add !msum mask))
+            resp;
+          let valid =
+            match t.commits.(d - 1) with
+            | None -> []
+            | Some c ->
+                List.filter_map
+                  (fun (i, (share, _)) ->
+                    match share with
+                    | Some value
+                      when Vsss.verify ~g:t.setup.Setup.g ~check:c.Wire.check
+                             { Vsss.idx = i; value } ->
+                        Some { Vsss.idx = i; value }
+                    | _ -> None)
+                  resp
+          in
+          if (not t.bad.(d - 1)) && List.length valid >= tk then begin
+            let r_d = Vsss.recover (take tk valid) in
+            msum := Scalar.add !msum r_d;
+            Telemetry.Counter.incr c_topo_recovered
+          end
+          else begin
+            excluded := d :: !excluded;
+            Telemetry.Counter.incr c_topo_excluded
+          end
+        end)
+      honest;
+    let excluded = List.rev !excluded in
+    let is_excluded i = List.mem i excluded in
+    let combined_check, prod =
+      match t.stream_agg with
+      | Some sa when sa.sa_round = t.round ->
+          (* streamed round: subtract late convictions and excluded
+             dropouts from the running sums; eviction kept each included
+             client's check string (in commits) and compressed y (in the
+             spill), so both removals are exact *)
+          let late = ref [] in
+          Array.iteri
+            (fun idx inc ->
+              if inc && (t.bad.(idx) || is_excluded (idx + 1)) then late := idx :: !late)
+            sa.sa_included;
+          let late = List.rev !late in
+          let cc =
+            List.fold_left
+              (fun acc idx ->
+                match (acc, t.commits.(idx)) with
+                | Some a, Some c -> Some (sub_check a c.Wire.check)
+                | _ -> acc)
+              sa.sa_check late
+          in
+          let late_y =
+            List.filter_map (fun idx -> Option.map spill_decode sa.sa_spill.(idx)) late
+          in
+          (cc, fun l -> List.fold_left (fun acc y -> Point.sub acc y.(l)) sa.sa_aggy.(l) late_y)
+      | _ ->
+          let hs' = List.filter (fun i -> (not t.bad.(i - 1)) && not (is_excluded i)) honest in
+          let cc =
+            List.fold_left
+              (fun acc i ->
+                match t.commits.(i - 1) with
+                | None -> acc
+                | Some c -> (
+                    match acc with
+                    | None -> Some c.Wire.check
+                    | Some a -> Some (Vsss.add_checks a c.Wire.check)))
+              None hs'
+          in
+          ( cc,
+            fun l ->
+              List.fold_left
+                (fun acc i ->
+                  match t.commits.(i - 1) with
+                  | None -> acc
+                  | Some c -> Point.add acc c.Wire.y.(l))
+                Point.identity hs' )
+    in
+    match combined_check with
+    | None -> Error No_check_string
+    | Some combined_check ->
+        let r = !msum in
+        if
+          not
+            (Point.equal
+               (Point.Table.mul t.setup.Setup.g_table r)
+               (Vsss.commitment_of_check combined_check))
+        then Error Aggregate_mismatch
+        else decode_with_r t ~prod ~r
+  end

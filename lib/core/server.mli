@@ -30,9 +30,19 @@ val mark_decode_failure : t -> int -> unit
     clients for share verification. *)
 val round_commits : t -> Wire.commit_msg option array
 
-(** [begin_round t ~round ~commits] — store the round's commit messages.
-    Clients that sent nothing (None) are marked malicious immediately. *)
-val begin_round : t -> round:int -> commits:Wire.commit_msg option array -> unit
+(** [begin_round ?topo t ~round ~commits] — store the round's commit
+    messages. Clients that sent nothing (None) are marked malicious
+    immediately. [topo] selects the round's share topology and changes
+    the accepted commit shape: without it a commit must carry n sealed
+    shares at threshold shamir_t and no digest; with it exactly the
+    sender's neighbor count at the neighborhood threshold, pinned to the
+    round's topology digest. *)
+val begin_round :
+  ?topo:Risefl_topology.Topology.t ->
+  t ->
+  round:int ->
+  commits:Wire.commit_msg option array ->
+  unit
 
 (** [process_flags t ~flags ~reveal] — §4.4.1: apply flag rules 1 and 2.
     [reveal i js] asks client i for its clear shares to recipients [js]
@@ -190,6 +200,10 @@ type agg_error =
   | No_check_string  (** no honest dealer's commit survived to check against *)
   | Coordinate_out_of_range of int
       (** BSGS could not solve this coordinate (sum outside ± n·2^(b-1)) *)
+  | Aggregate_mismatch
+      (** k-regular path only: the recovered blind R fails the global
+          commitment check g^R = Π z_i — some masked sum was tampered
+          with (not per-client attributable, unlike VSSS share sums) *)
 
 val agg_error_to_string : agg_error -> string
 val pp_agg_error : Format.formatter -> agg_error -> unit
@@ -199,3 +213,27 @@ val pp_agg_error : Format.formatter -> agg_error -> unit
     with BSGS. Returns the aggregated encoded update Σ_{i∈H} u_i, or a
     typed error; never raises on hostile input. *)
 val aggregate : t -> agg_msgs:Wire.agg_msg option array -> (int array, agg_error) result
+
+(** [aggregate_kregular t ~topo ~honest ~recover ~agg_msgs] — the
+    k-regular aggregation round. [honest] is the honest list the server
+    broadcast before the agg exchange (the set clients masked toward);
+    [agg_msgs] holds each client's masked sum
+    m_i = r_i + Σ_{j∈N(i)∩honest} ε_ij·mask_ij. For every honest client
+    whose frame is missing, [recover ~dropout ~responders] runs the
+    neighborhood sub-exchange over the dropout's alive neighbors and
+    returns (responder, (share of r_d if held, pairwise mask)) pairs —
+    masks are always unwound from the sum; r_d is re-interpolated when
+    at least the neighborhood threshold of shares verify against the
+    dropout's retained check string, otherwise the dropout's update is
+    excluded (removed from the product and the combined check — not
+    convicted). Streamed rounds subtract excluded/late clients from the
+    running sums via the spill. The recovered R is checked against the
+    combined commitment (Π z_i) before decoding; a mismatch — any
+    tampered masked sum — yields [Aggregate_mismatch]. *)
+val aggregate_kregular :
+  t ->
+  topo:Risefl_topology.Topology.t ->
+  honest:int list ->
+  recover:(dropout:int -> responders:int list -> (int * (Scalar.t option * Scalar.t)) list) ->
+  agg_msgs:Wire.agg_msg option array ->
+  (int array, agg_error) result

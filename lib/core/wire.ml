@@ -6,6 +6,7 @@ type commit_msg = {
   y : Point.t array;
   check : Vsss.check;
   enc_shares : Channel.sealed array;
+  topo_digest : Bytes.t option;
 }
 
 type flag_msg = { sender : int; suspects : int list }
@@ -55,6 +56,7 @@ let commit_msg_size m =
   + (point_size * Array.length m.y)
   + (point_size * Array.length m.check)
   + Array.fold_left (fun acc s -> acc + Channel.sealed_size s) 0 m.enc_shares
+  + (match m.topo_digest with None -> 0 | Some d -> Bytes.length d)
 
 let flag_msg_size m = int_size + (int_size * List.length m.suspects)
 

@@ -6,12 +6,24 @@ module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
 
 (** Round 1 (Figure 2b): commitment y_i, VSSS check string Ψ_i, and the
-    encrypted shares Enc(r_ij) — one per recipient. *)
+    encrypted shares Enc(r_ij) — one per recipient.
+
+    Two share topologies exist on the wire. Under the all-to-all path
+    ([topo_digest = None], wire v1) [enc_shares] holds n sealed shares,
+    position j−1 sealed to client j. Under a k-regular topology
+    ([topo_digest = Some _], wire v2) it holds exactly k shares, one per
+    graph neighbor of [sender] in {e ascending neighbor-id order}, each
+    share evaluated at the recipient's own id; the digest pins the graph
+    the sender computed. Positions are no longer ids — recipients locate
+    their share by rank in the sorted neighbor list. *)
 type commit_msg = {
   sender : int;  (** 1-based client index *)
   y : Point.t array;  (** d coordinate commitments *)
-  check : Vsss.check;  (** m+1 points; element 0 is z_i = g^{r_i} *)
-  enc_shares : Channel.sealed array;  (** n sealed shares, index j−1 → client j *)
+  check : Vsss.check;  (** element 0 is z_i = g^{r_i}; length = the sharing threshold *)
+  enc_shares : Channel.sealed array;  (** sealed shares; layout depends on [topo_digest] *)
+  topo_digest : Bytes.t option;
+      (** [None] = all-to-all (v1 bytes); [Some d] = 32-byte topology
+          digest of the k-regular graph this round's shares follow. *)
 }
 
 (** Round 2 step 1: the candidate-malicious list from share verification. *)

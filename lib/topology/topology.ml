@@ -1,0 +1,168 @@
+(* Seeded k-regular neighborhood graph for the commit stage. See the
+   .mli for the construction; everything here is a pure function of
+   (seed, round, cohort, degree) so all parties agree without
+   communication and WAL replay re-derives the same graph. *)
+
+type mode = Full | Kregular of int
+
+let mode_to_string = function
+  | Full -> "full"
+  | Kregular k -> Printf.sprintf "kregular:%d" k
+
+let mode_of_string s =
+  match s with
+  | "full" -> Some Full
+  | "kregular" -> Some (Kregular 0)
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "kregular" -> (
+          let tail = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt tail with
+          | Some k when k >= 0 -> Some (Kregular k)
+          | _ -> None)
+      | _ -> None)
+
+type t = {
+  n : int;
+  round : int;
+  degree : int; (* effective: clamped, odd-bumped *)
+  ids : int array; (* cohort ids, ascending *)
+  adj : (int, int array) Hashtbl.t; (* id -> sorted neighbor ids *)
+  digest : Bytes.t;
+}
+
+let degree t = t.degree
+let threshold t = (t.degree / 2) + 1
+let n t = t.n
+let round t = t.round
+let cohort t = Array.copy t.ids
+let digest t = Bytes.copy t.digest
+
+let hex_digest t =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.init 32 (Bytes.get_uint8 t.digest)))
+
+let neighbors t id =
+  match Hashtbl.find_opt t.adj id with
+  | Some a -> Array.copy a
+  | None -> invalid_arg (Printf.sprintf "Topology.neighbors: id %d not in cohort" id)
+
+let is_neighbor t a b =
+  a <> b
+  &&
+  match Hashtbl.find_opt t.adj a with
+  | Some ns -> Array.exists (fun x -> x = b) ns
+  | None -> false
+
+(* little-endian u32, matching the wire convention in core.Serial *)
+let buf_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let compute_digest ~n ~round ~degree ~ids ~adj =
+  let b = Buffer.create (64 + (n * (degree + 2) * 4)) in
+  Buffer.add_string b "risefl/topo/v1";
+  buf_u32 b n;
+  buf_u32 b round;
+  buf_u32 b degree;
+  Array.iter
+    (fun id ->
+      let ns : int array = Hashtbl.find adj id in
+      buf_u32 b id;
+      buf_u32 b (Array.length ns);
+      Array.iter (buf_u32 b) ns)
+    ids;
+  Hashfn.Sha256.digest (Buffer.to_bytes b)
+
+let make ~seed ~round ~cohort ~degree =
+  let n = Array.length cohort in
+  if n < 3 then invalid_arg "Topology.make: need a cohort of >= 3";
+  let ids = Array.copy cohort in
+  Array.sort compare ids;
+  Array.iter (fun id -> if id < 1 then invalid_arg "Topology.make: ids must be >= 1") ids;
+  for i = 0 to n - 2 do
+    if ids.(i) = ids.(i + 1) then invalid_arg "Topology.make: duplicate id in cohort"
+  done;
+  (* clamp to [2, n-1]; no k-regular graph on odd n with odd k exists,
+     so bump such a request to k+1 (stays <= n-1: n-1 is even there) *)
+  let k = max 2 (min degree (n - 1)) in
+  let k = if k land 1 = 1 && n land 1 = 1 then k + 1 else k in
+  (* seeded ring: Fisher–Yates over the sorted cohort *)
+  let drbg = Prng.Drbg.create_string (Printf.sprintf "%s/topo/r%d" seed round) in
+  let ring = Array.copy ids in
+  for i = n - 1 downto 1 do
+    let j = Prng.Drbg.uniform_int drbg (i + 1) in
+    let tmp = ring.(i) in
+    ring.(i) <- ring.(j);
+    ring.(j) <- tmp
+  done;
+  (* Harary H_{k,n}: circulant offsets 1..⌊k/2⌋ on the ring, plus the
+     diametric offset n/2 when k is odd (then n is even). Offsets stay
+     strictly below n/2 (or equal it exactly once), so every edge is
+     distinct and the graph is exactly k-regular and k-connected. *)
+  let h = k / 2 in
+  let adj = Hashtbl.create n in
+  let buckets = Array.make n [] in
+  for p = 0 to n - 1 do
+    for o = 1 to h do
+      buckets.(p) <- ring.((p + o) mod n) :: ring.((p - o + n) mod n) :: buckets.(p)
+    done;
+    if k land 1 = 1 then buckets.(p) <- ring.((p + (n / 2)) mod n) :: buckets.(p)
+  done;
+  for p = 0 to n - 1 do
+    let ns = Array.of_list buckets.(p) in
+    Array.sort compare ns;
+    Hashtbl.replace adj ring.(p) ns
+  done;
+  let digest = compute_digest ~n ~round ~degree:k ~ids ~adj in
+  { n; round; degree = k; ids; adj; digest }
+
+let plan ~mode ~seed ~round ~cohort =
+  match mode with
+  | Full -> None
+  | Kregular degree ->
+      let n = Array.length cohort in
+      (* normalize on the RAW degree, before the odd bump, so both ends
+         of a connection pick the same branch *)
+      if n <= 2 || max 2 degree >= n - 1 then None
+      else Some (make ~seed ~round ~cohort ~degree)
+
+(* --- security calculation ------------------------------------------- *)
+
+let ln_choose k j =
+  Stats.Special.ln_gamma (float_of_int (k + 1))
+  -. Stats.Special.ln_gamma (float_of_int (j + 1))
+  -. Stats.Special.ln_gamma (float_of_int (k - j + 1))
+
+(* ln P[X = j] for X ~ Binom(k, p) *)
+let ln_pmf k p j =
+  if p <= 0.0 then if j = 0 then 0.0 else neg_infinity
+  else if p >= 1.0 then if j = k then 0.0 else neg_infinity
+  else ln_choose k j +. (float_of_int j *. log p) +. (float_of_int (k - j) *. log (1.0 -. p))
+
+let ln_sum_exp = function
+  | [] -> neg_infinity
+  | xs ->
+      let m = List.fold_left max neg_infinity xs in
+      if m = neg_infinity then neg_infinity
+      else m +. log (List.fold_left (fun acc x -> acc +. exp (x -. m)) 0.0 xs)
+
+(* ln P[X < t] and ln P[X >= t] *)
+let ln_tail_lt k p t = ln_sum_exp (List.init (max 0 t) (ln_pmf k p))
+let ln_tail_ge k p t = ln_sum_exp (List.init (max 0 (k - t + 1)) (fun i -> ln_pmf k p (t + i)))
+
+let recommend_degree ~n ~dropout ~corruption ~sigma =
+  if n < 2 then invalid_arg "Topology.recommend_degree: n >= 2";
+  if dropout < 0.0 || dropout >= 1.0 then invalid_arg "Topology.recommend_degree: 0 <= dropout < 1";
+  if corruption < 0.0 || corruption >= 1.0 then
+    invalid_arg "Topology.recommend_degree: 0 <= corruption < 1";
+  if sigma <= 0 then invalid_arg "Topology.recommend_degree: sigma > 0";
+  let target = -.(float_of_int sigma *. log 2.0) in
+  let p_alive_honest = (1.0 -. dropout) *. (1.0 -. corruption) in
+  let ok k =
+    let t = (k / 2) + 1 in
+    ln_tail_lt k p_alive_honest t <= target && ln_tail_ge k corruption t <= target
+  in
+  let rec search k = if k >= n - 1 then n - 1 else if ok k then k else search (k + 1) in
+  search 2

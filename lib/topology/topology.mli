@@ -1,0 +1,90 @@
+(** Seeded k-regular share topology (Bell et al.-style neighborhood
+    secret sharing).
+
+    The all-to-all commit stage seals one VSSS share per peer into every
+    commit message, making commit traffic O(n²) per round. This module
+    replaces the complete graph with a k-regular neighborhood graph,
+    derived {e purely} from the round's shared seed and the active
+    cohort, so every party computes the same graph independently —
+    nothing about the topology is ever transmitted or logged (WAL replay
+    re-derives it bit-identically).
+
+    Construction is a Harary-style union of seeded cycles: the cohort is
+    shuffled by a seeded Fisher–Yates permutation into a ring, and each
+    vertex is connected to the ⌊k/2⌋ nearest ring positions on each side
+    (plus the diametric vertex when k is odd and n even). The result is
+    exactly k-regular (k bumped to k+1 when both k and n are odd, where
+    no k-regular graph exists) and k-connected, hence connected — both
+    properties are proved by the property tests, not assumed. *)
+
+(** Which share topology a round runs under. [Kregular k] with k ≥ n−1
+    (or n ≤ 2) normalizes to the full graph — see {!plan}. *)
+type mode = Full | Kregular of int
+
+val mode_to_string : mode -> string
+
+(** [mode_of_string s] parses ["full"] / ["kregular"] / ["kregular:k"].
+    Returns [None] on anything else. *)
+val mode_of_string : string -> mode option
+
+type t
+
+(** [make ~seed ~round ~cohort ~degree] builds the round's graph over
+    [cohort] (client ids, each ≥ 1, duplicate-free). [degree] is clamped
+    to [2, n−1] and bumped to [degree+1] when [degree] and [n] are both
+    odd. Deterministic in (seed, round, cohort, degree).
+    @raise Invalid_argument if the cohort has < 3 ids or repeats one. *)
+val make : seed:string -> round:int -> cohort:int array -> degree:int -> t
+
+(** [plan ~mode ~seed ~round ~cohort] — the single normalization point:
+    [Full], a cohort of ≤ 2, or a {e raw} degree ≥ n−1 yield [None]
+    (callers then run the unchanged all-to-all path, which is what makes
+    [--degree (n−1)] bit-identical to [--topology full] by construction);
+    otherwise [Some (make ...)]. Normalization inspects the raw degree
+    {e before} the odd-degree bump so both endpoints of a connection
+    agree on the branch. *)
+val plan : mode:mode -> seed:string -> round:int -> cohort:int array -> t option
+
+(** Effective degree (after clamping and the odd-degree bump). *)
+val degree : t -> int
+
+(** Recovery threshold for this graph's VSSS sharing:
+    ⌊degree/2⌋ + 1 — a majority of each client's neighborhood. *)
+val threshold : t -> int
+
+val n : t -> int
+val round : t -> int
+
+(** The cohort ids, ascending. *)
+val cohort : t -> int array
+
+(** [neighbors t id] — the sorted ids adjacent to [id].
+    @raise Invalid_argument if [id] is not in the cohort. *)
+val neighbors : t -> int -> int array
+
+(** [is_neighbor t a b] — adjacency test ([false] when [a = b]). *)
+val is_neighbor : t -> int -> int -> bool
+
+(** 32-byte SHA-256 over a canonical adjacency encoding (header, n,
+    round, degree, then each id ascending with its sorted neighbor
+    list). Commit messages carry it so the server can reject a client
+    that computed a different graph. *)
+val digest : t -> Bytes.t
+
+val hex_digest : t -> string
+
+(** [recommend_degree ~n ~dropout ~corruption ~sigma] — the security
+    calculation of Bell et al. adapted to this recovery rule: the
+    smallest k such that, with per-neighbor dropout rate δ = [dropout]
+    and corruption rate γ = [corruption], both
+    {ul
+    {- P[Binom(k, (1−δ)(1−γ)) < ⌊k/2⌋+1] ≤ 2⁻ˢ — enough alive honest
+       neighbors survive to recover a dropout's seed, and}
+    {- P[Binom(k, γ) ≥ ⌊k/2⌋+1] ≤ 2⁻ˢ — the corrupt coalition cannot
+       reach the threshold inside any one neighborhood}}
+    hold, computed with log-space binomial tails (no underflow out to
+    σ = 128). Returns n−1 (all-to-all) when no smaller k satisfies
+    both — e.g. when γ ≥ 1/2 no majority threshold can be safe.
+    @raise Invalid_argument unless n ≥ 2, 0 ≤ δ < 1, 0 ≤ γ < 1,
+    σ > 0. *)
+val recommend_degree : n:int -> dropout:float -> corruption:float -> sigma:int -> int

@@ -3,6 +3,7 @@ module Driver = Risefl_core.Driver
 module Serial = Risefl_core.Serial
 module Setup = Risefl_core.Setup
 module Params = Risefl_core.Params
+module Topology = Risefl_topology.Topology
 module Clock = Telemetry.Clock
 
 let c_retransmits = Telemetry.Counter.make "transport.retransmits"
@@ -24,6 +25,7 @@ type config = {
   loris : bool;
   die_at : (int * Netsim.stage) option;
   max_connect_attempts : int;
+  topology : Topology.mode;
 }
 
 type st = {
@@ -46,6 +48,13 @@ type st = {
      server restart must answer identically without re-deriving *)
   reveals : (int list, (int * Curve25519.Scalar.t) list option) Hashtbl.t;
   outbox : (int * int, Bytes.t) Hashtbl.t;  (* cached framed submit bytes *)
+  (* the share topology in force — the server's Hello_ok announcement
+     wins over the locally configured mode, so a client started with the
+     wrong flag still derives the graph the cohort agreed on *)
+  mutable topo_mode : Topology.mode;
+  (* recovery answers cached by (round, dropout): a re-request after a
+     server restart must answer identically *)
+  recoveries : (int * int, (Curve25519.Scalar.t option * Curve25519.Scalar.t) option) Hashtbl.t;
 }
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
@@ -98,7 +107,13 @@ let rec connect st ~attempt =
       if attempt > 0 then Telemetry.Counter.incr c_reconnects;
       st.fd <- Some fd;
       st.reasm <- Frame.Reassembler.create ();
-      send_msg st (Proto.Hello { client_id = st.cfg.id; resume_round = st.cur_round });
+      send_msg st
+        (Proto.Hello
+           {
+             client_id = st.cfg.id;
+             resume_round = st.cur_round;
+             version = Proto.proto_version;
+           });
       (* the write-ahead ack may have been lost with the old connection:
          retransmit the in-flight frame, the server re-acks or collects *)
       (match st.pending with
@@ -114,6 +129,28 @@ let rec connect st ~attempt =
       connect st ~attempt:(attempt + 1)
 
 let ensure_connected st = if st.fd = None then connect st ~attempt:0
+
+(* the round's share graph under the adopted mode (None = all-to-all) *)
+let topo_for st ~round =
+  Topology.plan ~mode:st.topo_mode ~seed:st.cfg.seed ~round
+    ~cohort:(Array.init st.n (fun i -> i + 1))
+
+let recovery_answer st ~round ~dropout =
+  match Hashtbl.find_opt st.recoveries (round, dropout) with
+  | Some ans -> ans
+  | None ->
+      let ans =
+        match topo_for st ~round with
+        | None -> None (* all-to-all rounds have no neighborhood recovery *)
+        | Some topo -> (
+            match Client_sm.recovery_response st.client ~round ~topo ~dropout with
+            | resp -> Some resp
+            | exception Client_sm.Server_misbehaving reason ->
+                st.log (Printf.sprintf "refusing recovery: %s" reason);
+                None)
+      in
+      Hashtbl.replace st.recoveries (round, dropout) ans;
+      ans
 
 let reveal_response st ~requests =
   let key = List.sort_uniq compare requests in
@@ -132,7 +169,9 @@ let reveal_response st ~requests =
 
 let dispatch st msg =
   match msg with
-  | Proto.Hello_ok _ -> ()
+  | Proto.Hello_ok { version; degree; _ } ->
+      if version >= 2 then
+        st.topo_mode <- (if degree > 0 then Topology.Kregular degree else Topology.Full)
   | Proto.Ack { round; stage; sender; seq = _ } ->
       if sender = st.cfg.id then begin
         Hashtbl.replace st.acked (round, Netsim.stage_index stage) ();
@@ -160,8 +199,12 @@ let dispatch st msg =
   | Proto.Reveal_req { dealer; requests } ->
       if dealer = st.cfg.id then
         send_msg st (Proto.Reveal_resp { dealer; shares = reveal_response st ~requests })
+  | Proto.Recover_req { round; dropout } -> (
+      match recovery_answer st ~round ~dropout with
+      | Some (share, mask) -> send_msg st (Proto.Recover_resp { round; dropout; share; mask })
+      | None -> ())
   | Proto.Reject { reason } -> failwith (Printf.sprintf "client %d rejected: %s" st.cfg.id reason)
-  | Proto.Hello _ | Proto.Submit _ | Proto.Reveal_resp _ | Proto.Bye ->
+  | Proto.Hello _ | Proto.Submit _ | Proto.Reveal_resp _ | Proto.Recover_resp _ | Proto.Bye ->
       (* client-to-server traffic echoed back: ignore *)
       ()
 
@@ -269,10 +312,11 @@ let run_round st ~round =
   in
   let update = updates.(cfg.id - 1) in
   let attacker = List.mem cfg.id cfg.attackers in
+  let topo = topo_for st ~round in
   (* --- commit --- *)
   let commit =
-    if attacker then Client_sm.commit_round_unchecked st.client ~round ~update
-    else Client_sm.commit_round st.client ~round ~update
+    if attacker then Client_sm.commit_round_unchecked ?topo st.client ~round ~update
+    else Client_sm.commit_round ?topo st.client ~round ~update
   in
   submit st ~round ~stage:Netsim.Commit (Serial.encode_commit_msg commit);
   (* --- flags (needs the server's validated commit set) --- *)
@@ -281,7 +325,7 @@ let run_round st ~round =
       let msgs =
         Array.map Serial.decode_commit_msg (Hashtbl.find st.commits round)
       in
-      let flag = Client_sm.receive_shares st.client ~round ~msgs in
+      let flag = Client_sm.receive_shares ?topo st.client ~round ~msgs in
       submit st ~round ~stage:Netsim.Flag (Serial.encode_flag_msg flag)
   | `Resolved | `Timeout -> ());
   (* --- probabilistic check + proof --- *)
@@ -306,7 +350,12 @@ let run_round st ~round =
   | `Got -> (
       let honest, malicious = Hashtbl.find st.honests round in
       if not (List.mem cfg.id malicious) then
-        match Client_sm.agg_round st.client ~honest with
+        let agg () =
+          match topo with
+          | None -> Client_sm.agg_round st.client ~honest
+          | Some topo -> Client_sm.agg_round_masked st.client ~round ~topo ~honest
+        in
+        match agg () with
         | msg -> submit st ~round ~stage:Netsim.Agg (Serial.encode_agg_msg msg)
         | exception Invalid_argument _ -> ())
   | `Resolved | `Timeout -> ());
@@ -344,6 +393,8 @@ let run ?(log = fun _ -> ()) cfg =
       cleared_done = Hashtbl.create 4;
       reveals = Hashtbl.create 4;
       outbox = Hashtbl.create 16;
+      topo_mode = cfg.topology;
+      recoveries = Hashtbl.create 4;
     }
   in
   connect st ~attempt:0;

@@ -31,6 +31,12 @@ type config = {
   die_at : (int * Netsim.stage) option;
       (** exit the process just before submitting this stage (testing) *)
   max_connect_attempts : int;
+  topology : Risefl_topology.Topology.mode;
+      (** locally configured share topology; the server's [Hello_ok]
+          announcement (version >= 2) overrides it, so the cohort always
+          derives one graph. Under a k-regular round the client commits
+          wire-v2 (neighbor shares + digest), masks its agg sum pairwise,
+          and answers [Recover_req] for its dropped-out neighbors. *)
 }
 
 val run : ?log:(string -> unit) -> config -> (int * Proto.result_view) list

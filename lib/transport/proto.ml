@@ -3,17 +3,23 @@ module Scalar = Curve25519.Scalar
 module W = Serial.W
 module R = Serial.R
 
+(* The transport protocol revision this build speaks. v0 (unversioned)
+   frames carry no version tail; v2 adds the tails below plus the
+   k-regular recovery sub-exchange (tags 14/15). Bumped with any change
+   an old peer cannot safely ignore. *)
+let proto_version = 2
+
 type result_view =
   | Rv_completed of { cstar : int list; aggregate : int array option }
   | Rv_aborted_quorum of { stage : string; survivors : int; needed : int }
   | Rv_aborted_decode of int list
 
 type msg =
-  | Hello of { client_id : int; resume_round : int }
+  | Hello of { client_id : int; resume_round : int; version : int }
   | Submit of Bytes.t
   | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
   | Bye
-  | Hello_ok of { n : int; round : int }
+  | Hello_ok of { n : int; round : int; version : int; degree : int }
   | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
   | Commits of { round : int; commits : Bytes.t array }
   | Cleared of { round : int; shares : (int * int * Scalar.t) list }
@@ -22,6 +28,8 @@ type msg =
   | Reveal_req of { dealer : int; requests : int list }
   | Result of { round : int; view : result_view }
   | Reject of { reason : string }
+  | Recover_req of { round : int; dropout : int }
+  | Recover_resp of { round : int; dropout : int; share : Scalar.t option; mask : Scalar.t }
 
 let tag_name = function
   | Hello _ -> "hello"
@@ -37,6 +45,8 @@ let tag_name = function
   | Reveal_req _ -> "reveal-req"
   | Result _ -> "result"
   | Reject _ -> "reject"
+  | Recover_req _ -> "recover-req"
+  | Recover_resp _ -> "recover-resp"
 
 (* counts inside an envelope are bounded before any per-element work: a
    hostile count fails fast instead of driving a long read loop *)
@@ -65,10 +75,12 @@ let r_string r = Bytes.to_string (R.bytes r)
 let encode msg =
   let b = W.create () in
   (match msg with
-  | Hello { client_id; resume_round } ->
+  | Hello { client_id; resume_round; version } ->
       W.u8 b 1;
       W.u32 b client_id;
-      W.u32 b resume_round
+      W.u32 b resume_round;
+      (* optional tail: a v0 peer stops reading here *)
+      W.u32 b version
   | Submit framed ->
       W.u8 b 2;
       W.bytes b framed
@@ -86,10 +98,14 @@ let encode msg =
               w_scalar b s)
             shares)
   | Bye -> W.u8 b 4
-  | Hello_ok { n; round } ->
+  | Hello_ok { n; round; version; degree } ->
       W.u8 b 5;
       W.u32 b n;
-      W.u32 b round
+      W.u32 b round;
+      (* optional tail: version, then the round topology degree (0 =
+         all-to-all) — a v0 peer stops reading before it *)
+      W.u32 b version;
+      W.u32 b degree
   | Ack { round; stage; sender; seq } ->
       W.u8 b 6;
       W.u32 b round;
@@ -147,7 +163,21 @@ let encode msg =
           w_ints b ids)
   | Reject { reason } ->
       W.u8 b 13;
-      w_string b reason);
+      w_string b reason
+  | Recover_req { round; dropout } ->
+      W.u8 b 14;
+      W.u32 b round;
+      W.u32 b dropout
+  | Recover_resp { round; dropout; share; mask } ->
+      W.u8 b 15;
+      W.u32 b round;
+      W.u32 b dropout;
+      (match share with
+      | None -> W.u8 b 0
+      | Some s ->
+          W.u8 b 1;
+          w_scalar b s);
+      w_scalar b mask);
   Buffer.to_bytes b
 
 let decode body =
@@ -157,7 +187,9 @@ let decode body =
     | 1 ->
         let client_id = R.u32 r in
         let resume_round = R.u32 r in
-        Hello { client_id; resume_round }
+        (* a 9-byte body is a valid legacy v0 hello *)
+        let version = if R.remaining r > 0 then R.u32 r else 0 in
+        Hello { client_id; resume_round; version }
     | 2 -> Submit (R.bytes r)
     | 3 ->
         let dealer = R.u32 r in
@@ -178,7 +210,14 @@ let decode body =
     | 5 ->
         let n = R.u32 r in
         let round = R.u32 r in
-        Hello_ok { n; round }
+        let version, degree =
+          if R.remaining r > 0 then
+            let v = R.u32 r in
+            let d = R.u32 r in
+            (v, d)
+          else (0, 0)
+        in
+        Hello_ok { n; round; version; degree }
     | 6 ->
         let round = R.u32 r in
         let stage =
@@ -240,6 +279,21 @@ let decode body =
         | 2 -> Result { round; view = Rv_aborted_decode (r_ints r) }
         | _ -> failwith "bad result tag")
     | 13 -> Reject { reason = r_string r }
+    | 14 ->
+        let round = R.u32 r in
+        let dropout = R.u32 r in
+        Recover_req { round; dropout }
+    | 15 ->
+        let round = R.u32 r in
+        let dropout = R.u32 r in
+        let share =
+          match R.u8 r with
+          | 0 -> None
+          | 1 -> Some (r_scalar r)
+          | _ -> failwith "bad option tag"
+        in
+        let mask = r_scalar r in
+        Recover_resp { round; dropout; share; mask }
     | _ -> failwith "unknown tag"
   in
   R.finish r;

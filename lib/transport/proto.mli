@@ -14,7 +14,25 @@
     Server → client: [Hello_ok], [Ack] (write-ahead acknowledged — the
     frame is in the WAL), the four round broadcasts ([Commits], [Cleared],
     [Check], [Honest]), [Reveal_req], [Result], and a best-effort [Reject]
-    sent before the server closes a violating connection. *)
+    sent before the server closes a violating connection.
+
+    Versioning: [Hello] and [Hello_ok] end in an {e optional} tail that a
+    v0 (pre-versioning) peer simply never reads or writes — a 9-byte
+    Hello body is a valid legacy v0 hello ([version = 0]). A server
+    running a k-regular share topology requires [version >= 2] (the
+    revision that understands wire-v2 commits and the recovery
+    sub-exchange) and cleanly [Reject]s older clients. The [Hello_ok]
+    tail also announces the session's topology degree (0 = all-to-all)
+    so the client derives the identical graph.
+
+    The k-regular recovery sub-exchange: when an agg-stage dropout's
+    blind must be re-interpolated, the server sends [Recover_req] to each
+    alive graph neighbor, which answers [Recover_resp] with its stored
+    VSSS share of the dropout's blind (None if it never verified) and the
+    pairwise aggregation mask toward the dropout. *)
+
+(** The protocol revision this build speaks. *)
+val proto_version : int
 
 module Scalar = Curve25519.Scalar
 
@@ -26,11 +44,11 @@ type result_view =
   | Rv_aborted_decode of int list
 
 type msg =
-  | Hello of { client_id : int; resume_round : int }
+  | Hello of { client_id : int; resume_round : int; version : int }
   | Submit of Bytes.t
   | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
   | Bye
-  | Hello_ok of { n : int; round : int }
+  | Hello_ok of { n : int; round : int; version : int; degree : int }
   | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
   | Commits of { round : int; commits : Bytes.t array }
   | Cleared of { round : int; shares : (int * int * Scalar.t) list }
@@ -39,6 +57,8 @@ type msg =
   | Reveal_req of { dealer : int; requests : int list }
   | Result of { round : int; view : result_view }
   | Reject of { reason : string }
+  | Recover_req of { round : int; dropout : int }
+  | Recover_resp of { round : int; dropout : int; share : Scalar.t option; mask : Scalar.t }
 
 val encode : msg -> Bytes.t
 (** The frame body (not yet length-prefixed — pass through

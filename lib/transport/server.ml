@@ -4,6 +4,7 @@ module Server_sm = Risefl_core.Server
 module Round_log = Risefl_core.Round_log
 module Setup = Risefl_core.Setup
 module Params = Risefl_core.Params
+module Topology = Risefl_topology.Topology
 module Clock = Telemetry.Clock
 
 let c_timeouts = Telemetry.Counter.make "transport.timeouts"
@@ -20,6 +21,7 @@ type config = {
   wal_path : string option;
   crash : (int * Netsim.stage * Driver.crash_point) option;
   stream : Risefl_core.Server.stream_cfg option;
+  topology : Topology.mode;
 }
 
 type report = {
@@ -48,6 +50,10 @@ type st = {
   (* frames that arrived before their stage's collector started *)
   inbox : (int * int, (int * int * Bytes.t) Queue.t) Hashtbl.t;
   reveal_box : (int, (int * Curve25519.Scalar.t) list option) Hashtbl.t;
+  (* (round, dropout, responder) -> the responder's recovery answer *)
+  recover_box :
+    (int * int * int, Curve25519.Scalar.t option * Curve25519.Scalar.t) Hashtbl.t;
+  topo_mode : Topology.mode;
   (* protocol violators awaiting conviction by the next collector *)
   mutable pending_convict : int list;
   mutable pos : int * int;  (* last (round, stage index) a collector ran *)
@@ -136,9 +142,24 @@ let handle_event st = function
   | Evloop.Accepted _ -> ()
   | Evloop.Msg (conn, msg) -> (
       match msg with
-      | Proto.Hello { client_id; resume_round } ->
+      | Proto.Hello { client_id; resume_round; version } ->
           if client_id < 1 || client_id > st.n then begin
             Evloop.send st.loop conn (Proto.Reject { reason = "unknown client id" });
+            Evloop.close_conn st.loop conn
+          end
+          else if st.topo_mode <> Topology.Full && version < Proto.proto_version then begin
+            (* a k-regular session needs wire-v2 commits and the recovery
+               sub-exchange; an old client cannot follow — turn it away
+               cleanly instead of convicting it mid-round *)
+            Evloop.send st.loop conn
+              (Proto.Reject
+                 {
+                   reason =
+                     Printf.sprintf
+                       "protocol version %d too old: this session runs a k-regular share \
+                        topology and needs version >= %d"
+                       version Proto.proto_version;
+                 });
             Evloop.close_conn st.loop conn
           end
           else begin
@@ -146,7 +167,10 @@ let handle_event st = function
             | Some old when old != conn -> Evloop.close_conn st.loop old
             | _ -> ());
             Evloop.set_conn_id conn client_id;
-            Evloop.send st.loop conn (Proto.Hello_ok { n = st.n; round = st.round_now });
+            let degree = match st.topo_mode with Topology.Full -> 0 | Topology.Kregular k -> k in
+            Evloop.send st.loop conn
+              (Proto.Hello_ok
+                 { n = st.n; round = st.round_now; version = Proto.proto_version; degree });
             (* replay the broadcasts the client may have missed *)
             List.iter
               (fun (round, target, msg) ->
@@ -162,6 +186,10 @@ let handle_event st = function
           match Evloop.conn_id conn with
           | Some id when id = dealer -> Hashtbl.replace st.reveal_box dealer shares
           | _ -> ())
+      | Proto.Recover_resp { round; dropout; share; mask } -> (
+          match Evloop.conn_id conn with
+          | Some id -> Hashtbl.replace st.recover_box (round, dropout, id) (share, mask)
+          | None -> ())
       | Proto.Bye -> Evloop.close_conn st.loop conn
       | _ ->
           (* server-to-client message types coming back at us *)
@@ -256,6 +284,36 @@ let reveal st ~dealer ~requests =
       Telemetry.Counter.incr c_timeouts;
       None
 
+(* the k-regular recovery sub-exchange: ask each alive neighbor of
+   [dropout] for its share of the dropout's blind and the pairwise mask,
+   under the stage deadline — same pump discipline as [reveal] *)
+let recover st ~round ~dropout ~responders =
+  List.iter (fun id -> Hashtbl.remove st.recover_box (round, dropout, id)) responders;
+  List.iter
+    (fun id ->
+      match Evloop.conn_of_id st.loop id with
+      | Some c -> Evloop.send st.loop c (Proto.Recover_req { round; dropout })
+      | None -> ())
+    responders;
+  let outstanding () =
+    List.filter (fun id -> not (Hashtbl.mem st.recover_box (round, dropout, id))) responders
+  in
+  let deadline = Clock.now_s () +. st.deadline_s in
+  while outstanding () <> [] && Clock.now_s () < deadline do
+    pump st ~until_s:deadline
+  done;
+  (match outstanding () with
+  | [] -> ()
+  | silent ->
+      Telemetry.Counter.add c_timeouts (List.length silent);
+      st.log
+        (Printf.sprintf "round %d: recovery of client %d: %d responder(s) silent" round dropout
+           (List.length silent)));
+  List.filter_map
+    (fun id ->
+      Option.map (fun r -> (id, r)) (Hashtbl.find_opt st.recover_box (round, dropout, id)))
+    responders
+
 let view_of_outcome = function
   | Driver.Completed stats ->
       Proto.Rv_completed { cstar = stats.Driver.flagged; aggregate = stats.Driver.aggregate }
@@ -285,6 +343,8 @@ let remote_of st : Driver.remote =
       (fun ~round outcome ->
         send_bcast st ~round All (Proto.Result { round; view = view_of_outcome outcome }));
     r_reveal = (fun ~dealer ~requests -> reveal st ~dealer ~requests);
+    r_recover =
+      (fun ~round ~dropout ~responders -> recover st ~round ~dropout ~responders);
   }
 
 (* Planned crash: the WAL is already synced (the driver fsyncs before
@@ -317,6 +377,8 @@ let serve ?(log = fun _ -> ()) cfg =
       bcast_log = [];
       inbox = Hashtbl.create 8;
       reveal_box = Hashtbl.create 4;
+      recover_box = Hashtbl.create 4;
+      topo_mode = cfg.topology;
       pending_convict = [];
       pos = (0, -1);
       round_now = 1;
@@ -373,11 +435,11 @@ let serve ?(log = fun _ -> ()) cfg =
        let outcome =
          try
            if resumed_round = Some round then
-             Driver.recover_round ~remote ?wal ?stream:cfg.stream session ~records ~updates
-               ~behaviours ~round
+             Driver.recover_round ~remote ?wal ?stream:cfg.stream ~topology:cfg.topology
+               session ~records ~updates ~behaviours ~round
            else
-             Driver.run_round_outcome ~remote ?wal ?crash:crash_here ?stream:cfg.stream session
-               ~updates ~behaviours ~round
+             Driver.run_round_outcome ~remote ?wal ?crash:crash_here ?stream:cfg.stream
+               ~topology:cfg.topology session ~updates ~behaviours ~round
          with Driver.Server_crashed { stage; at } -> die_crashed st wal stage at
        in
        outcomes := (round, outcome) :: !outcomes;

@@ -34,6 +34,12 @@ type config = {
       (** verify proofs through the streaming pipeline (arrival-ordered
           folding + eviction) instead of the post-barrier batch; recovery
           replays logged proof frames through the same intake *)
+  topology : Risefl_topology.Topology.mode;
+      (** the session's share topology. Under [Kregular k] the server
+          requires {!Proto.proto_version} from every client (old clients
+          get a clean [Reject]), announces the degree in [Hello_ok], and
+          recovers agg-stage dropouts through the [Recover_req]/
+          [Recover_resp] neighborhood sub-exchange. *)
 }
 
 type report = {

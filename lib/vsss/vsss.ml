@@ -13,12 +13,26 @@ let eval_poly coeffs x =
   done;
   !acc
 
-let share drbg ~secret ~n ~t ~g =
-  if t <= 0 || t > n then invalid_arg "Vsss.share: need 0 < t <= n";
+let share_at drbg ~secret ~xs ~t ~g =
+  let n = Array.length xs in
+  if t <= 0 || t > n then invalid_arg "Vsss.share_at: need 0 < t <= |xs|";
+  Array.iter (fun x -> if x < 1 then invalid_arg "Vsss.share_at: points must be >= 1") xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  for i = 0 to n - 2 do
+    if sorted.(i) = sorted.(i + 1) then invalid_arg "Vsss.share_at: duplicate evaluation point"
+  done;
+  (* all coefficients are drawn before any evaluation, so for
+     xs = [|1..n|] the DRBG stream — and hence every byte of the output —
+     is identical to the historical [share] below *)
   let coeffs = Array.init t (fun j -> if j = 0 then secret else Scalar.random drbg) in
-  let shares = Array.init n (fun i -> { idx = i + 1; value = eval_poly coeffs (i + 1) }) in
+  let shares = Array.map (fun x -> { idx = x; value = eval_poly coeffs x }) xs in
   let check = Array.map (fun c -> Point.mul c g) coeffs in
   (shares, check)
+
+let share drbg ~secret ~n ~t ~g =
+  if t <= 0 || t > n then invalid_arg "Vsss.share: need 0 < t <= n";
+  share_at drbg ~secret ~xs:(Array.init n (fun i -> i + 1)) ~t ~g
 
 let verify ~g ~check s =
   if s.idx <= 0 || Array.length check = 0 then false

@@ -24,6 +24,18 @@ type check = Point.t array
     @raise Invalid_argument unless 0 < t <= n. *)
 val share : Prng.Drbg.t -> secret:Scalar.t -> n:int -> t:int -> g:Point.t -> share array * check
 
+(** [share_at drbg ~secret ~xs ~t ~g] — like {!share} but evaluates the
+    polynomial only at the given points [xs] (each ≥ 1, duplicate-free):
+    the neighborhood-topology commit path shares a seed to a client's
+    k graph neighbors at {e their own ids}, so shares stay
+    interpolation-compatible with the all-to-all path. All [t]
+    coefficients are drawn before any evaluation, so
+    [share_at ~xs:[|1..n|]] is bit-identical to [share ~n].
+    @raise Invalid_argument unless 0 < t ≤ |xs| and [xs] is duplicate-free
+    with every point ≥ 1. *)
+val share_at :
+  Prng.Drbg.t -> secret:Scalar.t -> xs:int array -> t:int -> g:Point.t -> share array * check
+
 (** [verify ~g ~check s] — SS.Verify: g^{s.value} = Π_j Ψ_j^{idx^j}. *)
 val verify : g:Point.t -> check:check -> share -> bool
 

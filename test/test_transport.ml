@@ -89,13 +89,13 @@ let test_frame_cap_boundary () =
 let test_proto_roundtrip () =
   let msgs =
     [
-      Proto.Hello { client_id = 3; resume_round = 7 };
+      Proto.Hello { client_id = 3; resume_round = 7; version = Proto.proto_version };
       Proto.Submit (Bytes.of_string "framed-bytes");
       Proto.Reveal_resp { dealer = 2; shares = None };
       Proto.Reveal_resp
         { dealer = 2; shares = Some [ (1, Scalar.of_int 42); (4, Scalar.of_int 7) ] };
       Proto.Bye;
-      Proto.Hello_ok { n = 5; round = 2 };
+      Proto.Hello_ok { n = 5; round = 2; version = Proto.proto_version; degree = 4 };
       Proto.Ack { round = 1; stage = Netsim.Proof; sender = 4; seq = 0 };
       Proto.Commits { round = 1; commits = [| Bytes.of_string "c1"; Bytes.of_string "c2" |] };
       Proto.Cleared { round = 2; shares = [ (1, 3, Scalar.of_int 9) ] };
@@ -111,6 +111,10 @@ let test_proto_roundtrip () =
         };
       Proto.Result { round = 3; view = Proto.Rv_aborted_decode [ 2; 5 ] };
       Proto.Reject { reason = "unknown client id" };
+      Proto.Recover_req { round = 2; dropout = 3 };
+      Proto.Recover_resp { round = 2; dropout = 3; share = None; mask = Scalar.of_int 11 };
+      Proto.Recover_resp
+        { round = 2; dropout = 3; share = Some (Scalar.of_int 5); mask = Scalar.of_int 11 };
     ]
   in
   List.iter
@@ -122,14 +126,28 @@ let test_proto_roundtrip () =
           fail "%s failed to decode: %s" (Proto.tag_name msg)
             (Risefl_core.Serial.error_to_string e))
     msgs;
-  (* trailing garbage and truncations must be rejected, not crash *)
-  let b = Proto.encode (Proto.Hello { client_id = 1; resume_round = 1 }) in
+  (* trailing garbage and truncations must be rejected, not crash —
+     except the one legal truncation: dropping the 4-byte version tail
+     yields a valid legacy v0 hello (the compatibility point) *)
+  let b = Proto.encode (Proto.Hello { client_id = 1; resume_round = 1; version = 2 }) in
   (match Proto.decode (Bytes.cat b (Bytes.of_string "x")) with
   | Ok _ -> fail "trailing garbage accepted"
   | Error _ -> ());
+  if Bytes.length b <> 13 then fail "v2 hello should be 13 bytes, got %d" (Bytes.length b);
   for cut = 0 to Bytes.length b - 1 do
     match Proto.decode (Bytes.sub b 0 cut) with
+    | Ok (Proto.Hello { client_id = 1; resume_round = 1; version = 0 }) when cut = 9 ->
+        () (* the legacy v0 frame *)
     | Ok _ -> fail "truncation at %d accepted" cut
+    | Error _ -> ()
+  done;
+  (* same ladder for Hello_ok: 9-byte legacy body, 17-byte v2 body *)
+  let b = Proto.encode (Proto.Hello_ok { n = 5; round = 2; version = 2; degree = 4 }) in
+  if Bytes.length b <> 17 then fail "v2 hello-ok should be 17 bytes, got %d" (Bytes.length b);
+  for cut = 0 to Bytes.length b - 1 do
+    match Proto.decode (Bytes.sub b 0 cut) with
+    | Ok (Proto.Hello_ok { n = 5; round = 2; version = 0; degree = 0 }) when cut = 9 -> ()
+    | Ok _ -> fail "hello-ok truncation at %d accepted" cut
     | Error _ -> ()
   done
 
@@ -207,6 +225,7 @@ let client_cfg ?(setup = setup) ~addr ~seed ~id ~rounds ?die_at ?(loris = false)
     loris;
     die_at;
     max_connect_attempts = 200;
+    topology = Risefl_topology.Topology.Full;
   }
 
 let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?(deadline = 60.0) () =
@@ -219,6 +238,7 @@ let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?(deadli
     wal_path = wal;
     crash;
     stream;
+    topology = Risefl_topology.Topology.Full;
   }
 
 let wait_pid pid = ignore (Unix.waitpid [] pid)
