@@ -1,6 +1,6 @@
 # Convenience entry points; everything is ordinary dune underneath.
 
-.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke stream-smoke topology-smoke clean
+.PHONY: all check test bench bench-smoke fuzz-smoke verify-smoke telemetry-smoke recovery-smoke group-smoke serve-smoke stream-smoke topology-smoke churn-smoke clean
 
 all: check
 
@@ -188,6 +188,70 @@ topology-smoke:
 	dune exec bench/main.exe -- topology --smoke --json /tmp/topology-smoke.json --gate-topology 1.1
 	@grep -q '"name": "kregular-bytes-growth"' /tmp/topology-smoke.json \
 	  || { echo "topology-smoke: commit-bytes records missing from bench JSON" >&2; exit 1; }
+
+# Elastic-membership gate: the quick churn suites (seeded schedules,
+# rotation proofs, the Epoch WAL corruption ladder — the slow
+# elastic-vs-scripted-twin differential runs under `make check`), then
+# CLI differentials: a seeded 5-round churn session must be bit-identical
+# across jobs {1,2,4} and under a k-regular topology (with the shrunken
+# rounds' degree clamp), a crash at an epoch boundary must resume from
+# the WAL onto the identical transcript, and a serve/client deployment —
+# one client enrolling late with --rejoin — must match the in-process
+# session line for line. Finishes with the churn bench smoke (per-epoch
+# enrollment/rotation costs into the JSON).
+churn-smoke:
+	dune exec test/test_churn.exe -- -q
+	dune build bin/risefl_cli.exe
+	@set -e; \
+	BIN=_build/default/bin/risefl_cli.exe; \
+	DIR=/tmp/risefl-churn; rm -rf $$DIR; mkdir -p $$DIR; \
+	ARGS="--clients 6 --dimension 16 --samples 4 --seed churn-smoke --rounds 5 \
+	  --churn leave=0.35,rejoin=0.6,rotate=0.25,min=4"; \
+	$$BIN round $$ARGS | grep -E "flagged|aggregate|cohorts|churn:" > $$DIR/ref.txt; \
+	if grep -q "cohorts: r1=6 r2=6 r3=6 r4=6 r5=6" $$DIR/ref.txt; then \
+	  echo "churn-smoke: the seeded schedule never churned" >&2; exit 1; fi; \
+	for J in 2 4; do \
+	  $$BIN round $$ARGS --jobs $$J | grep -E "flagged|aggregate|cohorts|churn:" > $$DIR/j$$J.txt; \
+	  diff $$DIR/ref.txt $$DIR/j$$J.txt \
+	    || { echo "churn-smoke: jobs=$$J diverged from jobs=1" >&2; exit 1; }; \
+	done; \
+	$$BIN round $$ARGS --topology kregular --degree 3 \
+	  | grep -E "flagged|cohorts|churn:" > $$DIR/kreg.txt; \
+	$$BIN round $$ARGS --topology kregular --degree 3 --jobs 2 \
+	  | grep -E "flagged|cohorts|churn:" > $$DIR/kreg-j2.txt; \
+	diff $$DIR/kreg.txt $$DIR/kreg-j2.txt \
+	  || { echo "churn-smoke: k-regular churn diverged across jobs" >&2; exit 1; }; \
+	rm -f $$DIR/wal; \
+	$$BIN round $$ARGS --wal $$DIR/wal --crash 3:commit:start \
+	  | grep -E "flagged|aggregate|cohorts|churn:|recovered" > $$DIR/crash.txt; \
+	grep -q "1 crash(es) recovered" $$DIR/crash.txt \
+	  || { echo "churn-smoke: the epoch-boundary crash did not recover" >&2; exit 1; }; \
+	grep -vE "recovered" $$DIR/crash.txt > $$DIR/crash-key.txt; \
+	diff $$DIR/ref.txt $$DIR/crash-key.txt \
+	  || { echo "churn-smoke: epoch-boundary resume diverged from the uncrashed run" >&2; exit 1; }; \
+	SARGS="--clients 5 --dimension 16 --samples 4 --seed churn-serve --rounds 3 \
+	  --churn leave=0.4,rejoin=0.6,rotate=0.3,min=3"; \
+	$$BIN round $$SARGS | grep -E "flagged|aggregate|cohorts" > $$DIR/sref.txt; \
+	for i in 1 2 3 5; do \
+	  $$BIN client $$SARGS --id $$i --connect unix:$$DIR/sock \
+	    > $$DIR/client$$i.txt 2>&1 & \
+	done; \
+	( sleep 1; $$BIN client $$SARGS --id 4 --rejoin --connect unix:$$DIR/sock \
+	    > $$DIR/client4.txt 2>&1 ) & \
+	$$BIN serve $$SARGS --verbose --listen unix:$$DIR/sock > $$DIR/serve.txt 2>&1; \
+	wait; \
+	grep -q "client 4 re-enrolling" $$DIR/serve.txt \
+	  || { echo "churn-smoke: the late client never re-enrolled" >&2; exit 1; }; \
+	grep -E "flagged|aggregate|cohorts" $$DIR/serve.txt > $$DIR/srv-key.txt; \
+	diff $$DIR/sref.txt $$DIR/srv-key.txt \
+	  || { echo "churn-smoke: elastic deployment diverged from the in-process session" >&2; exit 1; }; \
+	grep -E "flagged|aggregate" $$DIR/client4.txt > $$DIR/c4-key.txt; \
+	test -s $$DIR/c4-key.txt \
+	  || { echo "churn-smoke: the rejoin client reported no results" >&2; exit 1; }; \
+	echo "churn-smoke: elastic session jobs/topology/crash/deployment bit-identical"
+	dune exec bench/main.exe -- churn --smoke --json /tmp/churn-smoke.json
+	@grep -q '"name": "epoch-advance-s"' /tmp/churn-smoke.json \
+	  || { echo "churn-smoke: per-epoch records missing from bench JSON" >&2; exit 1; }
 
 # Reduced-iteration run of the wire-decoder fuzz suite: every mutated
 # frame must produce a typed verdict (never an exception) and verdicts

@@ -15,6 +15,7 @@
      serve   deployment transport: socket-loopback round latency + counters
      stream  streaming verification: barrier vs arrival-ordered fold, time + memory
      topology commit-stage bytes per client, all-to-all vs k-regular sharing
+     churn   elastic membership: per-epoch enrollment/rotation costs + overhead
      all     everything above
 
    Absolute numbers differ from the paper's C/libsodium testbed; the
@@ -30,6 +31,7 @@ module Sampling = Risefl_core.Sampling
 module Cost_model = Risefl_core.Cost_model
 module Table1_check = Risefl_core.Table1_check
 module Round_log = Risefl_core.Round_log
+module Membership = Risefl_core.Membership
 module Loopback = Risefl_transport.Loopback
 module Scalar = Curve25519.Scalar
 module Point = Curve25519.Point
@@ -1266,10 +1268,100 @@ let run_topology () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Elastic membership: per-epoch enrollment/rotation costs and the
+   wall-clock overhead of a churned session over a static one.          *)
+
+let run_churn () =
+  pf "================ churn: per-epoch enrollment and rotation costs ================\n";
+  let n = if config.smoke then 6 else 12 in
+  let m = max 1 (n / 4) in
+  let d = if config.smoke then 16 else 64 in
+  let k = if config.smoke then 4 else 8 in
+  let rounds = if config.smoke then 4 else 8 in
+  let drbg = Prng.Drbg.create_string "bench-churn/updates" in
+  let updates = mk_updates drbg ~n ~d ~amp:40 in
+  let bound = 1.25 *. max_norm updates in
+  let params = risefl_params ~n ~m ~d ~k ~bound in
+  let setup = Setup.create ~label:"bench/churn" params in
+  let behaviours = Driver.honest_all n in
+  let updates_for _ = updates in
+  let seed = ns_seed "bench-churn" in
+  let spec =
+    { Membership.p_leave = 0.3; p_rejoin = 0.6; p_rotate = 0.25; min_cohort = max 3 (m + 1) }
+  in
+  (* rotation continuity proof: sign + verify microcosts *)
+  let probe = Driver.create_session setup ~seed in
+  let probe_c = (Driver.session_clients probe).(0) in
+  let pk0 = Client.public_key probe_c in
+  let iters = if config.smoke then 20 else 200 in
+  let rot = ref (Client.rotation_proof probe_c) in
+  let (), sign_s =
+    Telemetry.Clock.time (fun () ->
+        for _ = 1 to iters do
+          rot := Client.rotation_proof probe_c
+        done)
+  in
+  let ok = ref true in
+  let (), verify_s =
+    Telemetry.Clock.time (fun () ->
+        for _ = 1 to iters do
+          ok := !ok && Membership.verify_rotation !rot ~pk_old:pk0
+        done)
+  in
+  if not !ok then failwith "churn bench: rotation proof rejected";
+  pf "n=%d m=%d d=%d k=%d, %d rounds, spec %s\n\n" n m d k rounds
+    (Membership.spec_to_string spec);
+  pf "  rotation sign      %10.6f s\n" (sign_s /. float_of_int iters);
+  pf "  rotation verify    %10.6f s\n" (verify_s /. float_of_int iters);
+  record ~target:"churn" ~name:"rotation-sign-s" ~d ~k ~n (sign_s /. float_of_int iters);
+  record ~target:"churn" ~name:"rotation-verify-s" ~d ~k ~n (verify_s /. float_of_int iters);
+  (* baseline: the same session with a static full cohort *)
+  let static = Driver.create_session setup ~seed in
+  let (), static_s =
+    Telemetry.Clock.time (fun () ->
+        ignore (Driver.run_session static ~updates_for ~behaviours ~rounds))
+  in
+  (* elastic: epoch materialization (advance + rotation proofs + key
+     catch-up) timed separately from the rounds themselves *)
+  let elastic = Driver.create_session setup ~seed in
+  let cohort_for = Driver.churn_cohort_for elastic ~spec ~rounds in
+  let advance_total = ref 0.0 in
+  let elastic_round_total = ref 0.0 in
+  pf "\n%-8s | %6s | %14s | %12s\n" "round" "cohort" "epoch-advance(s)" "round(s)";
+  for r = 1 to rounds do
+    let ep, adv_s = Telemetry.Clock.time (fun () -> cohort_for r) in
+    let nc = match ep with Some e -> Array.length e.Membership.ep_cohort | None -> n in
+    let outcome, round_s =
+      Telemetry.Clock.time (fun () ->
+          Driver.run_round_outcome ?epoch:ep elastic ~updates ~behaviours ~round:r)
+    in
+    (match outcome with
+    | Driver.Completed _ -> ()
+    | o -> failwith ("churn bench: elastic round aborted: " ^ Driver.outcome_to_string o));
+    advance_total := !advance_total +. adv_s;
+    elastic_round_total := !elastic_round_total +. round_s;
+    pf "%-8d | %6d | %14.6f | %12.3f\n" r nc adv_s round_s;
+    record ~target:"churn" ~name:"epoch-advance-s" ~d ~k ~n:nc adv_s;
+    record ~target:"churn" ~name:"elastic-round-s" ~d ~k ~n:nc round_s
+  done;
+  let elastic_s = !advance_total +. !elastic_round_total in
+  let overhead_pct =
+    if static_s > 0.0 then (elastic_s -. static_s) /. static_s *. 100.0 else 0.0
+  in
+  pf "\n  static session     %10.3f s/round\n" (static_s /. float_of_int rounds);
+  pf "  elastic session    %10.3f s/round  (%+.1f%% wall-clock; epochs %.4f s total)\n"
+    (elastic_s /. float_of_int rounds)
+    overhead_pct !advance_total;
+  record ~target:"churn" ~name:"static-round-s" ~d ~k ~n (static_s /. float_of_int rounds);
+  record ~target:"churn" ~name:"elastic-session-round-s" ~d ~k ~n
+    (elastic_s /. float_of_int rounds);
+  record ~target:"churn" ~name:"elastic-overhead-pct" ~d ~k ~n overhead_pct
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 
 let all_targets =
-  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve"; "stream"; "topology" ]
+  [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "micro"; "ablate"; "verify"; "group"; "faults"; "phases"; "recovery"; "serve"; "stream"; "topology"; "churn" ]
 
 let rec run_target = function
   | "table1" -> run_table1 ()
@@ -1288,6 +1380,7 @@ let rec run_target = function
   | "serve" -> run_serve ()
   | "stream" -> run_stream ()
   | "topology" -> run_topology ()
+  | "churn" -> run_churn ()
   | "all" -> List.iter run_target all_targets
   | t ->
       pf "unknown target %S; available: %s, all\n" t (String.concat ", " all_targets);

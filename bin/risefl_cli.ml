@@ -81,6 +81,27 @@ let degree_arg =
         ~doc:
           "Neighborhood degree under $(b,--topology) kregular. 0 (default) picks the smallest k            whose neighborhood-majority recovery and privacy bounds both hold with probability            1 - 2^-40 under 5% dropouts and the parameter set's corruption fraction.")
 
+let churn_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "churn" ] ~docv:"SPEC"
+        ~doc:
+          "Elastic membership: drive per-round enrollment from a seeded churn schedule (a pure \
+           function of the session seed, so server and clients derive identical cohorts with no \
+           membership bytes on the wire). SPEC is \
+           'leave=P,rejoin=P,rotate=P,min=N' (any subset; defaults leave=0.2 rejoin=0.5 \
+           rotate=0.1 min=3). Membership epochs are WAL-logged before each round, so crash \
+           recovery re-enters the round under the exact cohort.")
+
+let make_churn = function
+  | None -> None
+  | Some spec -> (
+      match Risefl_core.Membership.spec_of_string spec with
+      | Ok s -> Some s
+      | Error e ->
+          Printf.eprintf "bad --churn spec: %s\n" e;
+          exit 2)
+
 (* resolve the topology mode; auto-degree from the security calculation *)
 let make_topology ~n ~m ~topology ~degree =
   match topology with
@@ -276,11 +297,16 @@ let round_cmd =
   in
   let run n m d k bound seed attackers dropouts agg_dropouts jobs cache_dir dlog_mem faults
       deadline trace rounds crash wal_file retransmit no_recover stream_flag shards stream_batch
-      topology_mode degree =
+      topology_mode degree churn_spec =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
     let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
+    let churn = make_churn churn_spec in
+    if churn <> None && no_recover then begin
+      Printf.eprintf "--churn is a session feature; it does not combine with --no-recover\n";
+      exit 2
+    end;
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -355,13 +381,26 @@ let round_cmd =
              (Option.value ~default:"<file>" wal_file)
      end
      else begin
+       let cohort_for =
+         Option.map (fun spec -> Driver.churn_cohort_for session ~spec ~rounds) churn
+       in
        let report =
-         Driver.run_session ?transport ?reliable ?wal ?crash ?stream ~topology session
-           ~updates_for ~behaviours ~rounds
+         Driver.run_session ?transport ?reliable ?wal ?crash ?stream ?cohort_for ~topology
+           session ~updates_for ~behaviours ~rounds
        in
        List.iter
          (fun (r, outcome) -> print_outcome ~d ~round:r outcome)
          report.Driver.round_outcomes;
+       if churn <> None then begin
+         Printf.printf "cohorts: %s\n"
+           (String.concat " "
+              (List.map
+                 (fun (r, size) -> Printf.sprintf "r%d=%d" r size)
+                 report.Driver.cohort_sizes));
+         let c = report.Driver.churn in
+         Printf.printf "churn: %d joined, %d left, %d rejoined, %d rotated\n" c.Driver.joined
+           c.Driver.left c.Driver.rejoined c.Driver.rotated
+       end;
        if rounds > 1 || report.Driver.crashes_recovered > 0 then
          Printf.printf "session: %d/%d rounds completed, %d crash(es) recovered, banned [%s]\n"
            report.Driver.rounds_completed report.Driver.rounds_attempted
@@ -391,7 +430,8 @@ let round_cmd =
       const run $ n_arg $ m_arg $ d_arg $ k_arg $ bound_arg $ seed_arg $ attackers_arg
       $ dropouts_arg $ agg_dropouts_arg $ jobs_arg $ cache_dir_arg $ dlog_mem_arg $ faults_arg
       $ deadline_arg $ trace_arg $ rounds_arg $ crash_arg $ wal_arg $ retransmit_arg
-      $ no_recover_arg $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg)
+      $ no_recover_arg $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg
+      $ churn_arg)
 
 (* --- resume --- *)
 
@@ -507,11 +547,12 @@ let serve_cmd =
              restart serve with the same $(b,--wal) to finish the round (requires $(b,--wal)).")
   in
   let run n m d k bound seed jobs cache_dir dlog_mem listen rounds stage_deadline wal_file crash
-      trace verbose stream_flag shards stream_batch topology_mode degree =
+      trace verbose stream_flag shards stream_batch topology_mode degree churn_spec =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     let stream = make_stream_cfg ~stream:stream_flag ~shards ~batch:stream_batch in
     let topology = make_topology ~n ~m ~topology:topology_mode ~degree in
+    let churn = make_churn churn_spec in
     if trace <> None then begin
       Telemetry.reset ();
       Telemetry.enable ()
@@ -554,12 +595,19 @@ let serve_cmd =
           crash;
           stream;
           topology;
+          churn;
         }
     in
     (match report.Tserver.resumed_round with
     | Some r -> Printf.printf "recovered round %d from the write-ahead log\n" r
     | None -> ());
     List.iter (fun (r, outcome) -> print_outcome ~d ~round:r outcome) report.Tserver.outcomes;
+    if report.Tserver.cohort_sizes <> [] then
+      Printf.printf "cohorts: %s\n"
+        (String.concat " "
+           (List.map
+              (fun (r, size) -> Printf.sprintf "r%d=%d" r size)
+              report.Tserver.cohort_sizes));
     if report.Tserver.banned <> [] then
       Printf.printf "banned: [%s]\n"
         (String.concat ";" (List.map string_of_int report.Tserver.banned));
@@ -579,7 +627,7 @@ let serve_cmd =
       $ dlog_mem_arg $ addr_conv "listen" $ rounds_arg $ deadline_s_arg $ wal_arg $ crash_arg
       $ trace_arg
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr.")
-      $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg)
+      $ stream_arg $ shards_arg $ stream_batch_arg $ topology_arg $ degree_arg $ churn_arg)
 
 let client_cmd =
   let id_arg =
@@ -604,7 +652,7 @@ let client_cmd =
       & info [ "max-retries" ] ~docv:"N" ~doc:"Connection attempts before giving up.")
   in
   let run n m d k bound seed attackers jobs cache_dir dlog_mem connect id rounds stage_deadline
-      die_at loris retries trace verbose topology_mode degree =
+      die_at loris retries trace verbose topology_mode degree churn_spec rejoin =
     if jobs > 0 then Parallel.set_default_jobs jobs;
     configure_group_cache cache_dir dlog_mem;
     if trace <> None then begin
@@ -654,6 +702,8 @@ let client_cmd =
           die_at;
           max_connect_attempts = retries;
           topology;
+          churn = make_churn churn_spec;
+          rejoin;
         }
     in
     List.iter
@@ -683,7 +733,14 @@ let client_cmd =
       $ cache_dir_arg $ dlog_mem_arg $ addr_conv "connect" $ id_arg $ rounds_arg $ deadline_s_arg
       $ die_at_arg $ loris_arg $ retries_arg $ trace_arg
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log transport events to stderr.")
-      $ topology_arg $ degree_arg)
+      $ topology_arg $ degree_arg $ churn_arg
+      $ Arg.(
+          value & flag
+          & info [ "rejoin" ]
+              ~doc:
+                "Re-enroll into a session already in flight: learn the current round from the \
+                 server, fast-forward the locally derivable membership epochs, and participate \
+                 from the current round on (standing carries over)."))
 
 (* --- train --- *)
 

@@ -11,7 +11,8 @@ type t = {
   setup : Setup.t;
   id : int;
   drbg : Prng.Drbg.t;
-  keys : Channel.keypair;
+  mutable keys : Channel.keypair;
+  mutable gen : int;  (* key generation: 0 = the enrollment key *)
   mutable directory : Point.t array;
   (* round state *)
   mutable r : Scalar.t;  (* this round's Pedersen blind *)
@@ -28,6 +29,7 @@ let create setup ~id drbg =
     id;
     drbg;
     keys = Channel.gen_keypair drbg;
+    gen = 0;
     directory = [||];
     r = Scalar.zero;
     u = [||];
@@ -46,9 +48,39 @@ let install_directory t pks =
 
 let key_for t j = Channel.shared_key ~my:t.keys ~their_pk:t.directory.(j - 1)
 
+(* --- key rotation ----------------------------------------------------
+
+   Generation g >= 1 keys derive from a key-only fork of the client's
+   root DRBG: independent of how far the sequential stream has advanced,
+   so any process (the client itself, a crash-recovered twin rebuilding
+   the session from the shared seed) re-derives the same key pair at any
+   time. The continuity proof signs the new pk under the OUTGOING secret
+   key (see {!Membership.sign_rotation}); adopting the generation is a
+   separate step so a rejected rotation never desyncs honest state. *)
+
+let keypair_at t ~gen =
+  if gen < 1 then invalid_arg "Client.keypair_at: generation must be >= 1";
+  Channel.gen_keypair (Prng.Drbg.fork t.drbg (Printf.sprintf "rotate/g%d" gen))
+
+let key_generation t = t.gen
+
+let rotation_proof t =
+  let gen = t.gen + 1 in
+  let next = keypair_at t ~gen in
+  let nonce = Scalar.random (Prng.Drbg.fork t.drbg (Printf.sprintf "rotate/g%d/nonce" gen)) in
+  Membership.sign_rotation ~id:t.id ~gen ~sk_old:t.keys.Channel.sk ~pk_old:t.keys.Channel.pk
+    ~new_pk:next.Channel.pk ~nonce
+
+let rotate_to t ~gen =
+  if gen < t.gen then invalid_arg "Client.rotate_to: cannot rotate backwards";
+  if gen > t.gen then begin
+    t.keys <- keypair_at t ~gen;
+    t.gen <- gen
+  end
+
 let share_nonce ~round ~sender ~receiver = Printf.sprintf "share/r%d/%d->%d" round sender receiver
 
-let commit_round_unchecked ?topo t ~round ~update =
+let commit_round_unchecked ?topo ?cohort t ~round ~update =
   let p = t.setup.Setup.params in
   if Array.length update <> p.Params.d then invalid_arg "Client.commit_round: dimension mismatch";
   t.u <- Array.copy update;
@@ -57,19 +89,22 @@ let commit_round_unchecked ?topo t ~round ~update =
     Pedersen.commit_vec ~g_table:t.setup.Setup.g_table ~bases:t.setup.Setup.w ~values:update
       ~blind:t.r
   in
-  (* all-to-all: shares at 1..n, threshold shamir_t. k-regular: shares
-     only at this client's sorted neighbor ids (their own evaluation
-     points, so recovery interpolates the same polynomial), threshold
-     a neighborhood majority. *)
+  (* all-to-all: shares at every cohort member's own evaluation point
+     (the full universe 1..n when no cohort is given — bit-identical to
+     the fixed-set path), threshold shamir_t. k-regular: shares only at
+     this client's sorted neighbor ids, threshold a neighborhood
+     majority. Either way recovery interpolates the same polynomial. *)
   let shares, check =
-    match topo with
-    | None ->
-        Vsss.share t.drbg ~secret:t.r ~n:p.Params.n_clients ~t:(Params.shamir_t p)
-          ~g:t.setup.Setup.g
-    | Some topo ->
+    match (topo, cohort) with
+    | Some topo, _ ->
         Vsss.share_at t.drbg ~secret:t.r
           ~xs:(Risefl_topology.Topology.neighbors topo t.id)
           ~t:(Risefl_topology.Topology.threshold topo)
+          ~g:t.setup.Setup.g
+    | None, Some xs ->
+        Vsss.share_at t.drbg ~secret:t.r ~xs ~t:(Params.shamir_t p) ~g:t.setup.Setup.g
+    | None, None ->
+        Vsss.share t.drbg ~secret:t.r ~n:p.Params.n_clients ~t:(Params.shamir_t p)
           ~g:t.setup.Setup.g
   in
   t.out_shares <- shares;
@@ -87,10 +122,10 @@ let commit_round_unchecked ?topo t ~round ~update =
   let topo_digest = Option.map Risefl_topology.Topology.digest topo in
   { Wire.sender = t.id; y; check; enc_shares; topo_digest }
 
-let commit_round ?topo t ~round ~update =
+let commit_round ?topo ?cohort t ~round ~update =
   if not (Params.check_update_norm t.setup.Setup.params update) then
     invalid_arg "Client.commit_round: update exceeds the L2 bound";
-  commit_round_unchecked ?topo t ~round ~update
+  commit_round_unchecked ?topo ?cohort t ~round ~update
 
 (* rank of this client inside a dealer's sorted neighbor list, i.e. the
    position of our sealed share inside its v2 commit *)
@@ -100,9 +135,20 @@ let share_rank topo t ~dealer =
   Array.iteri (fun i x -> if x = t.id then rank := i) ns;
   (!rank, Array.length ns)
 
-let receive_shares ?topo t ~round ~msgs =
+let receive_shares ?topo ?cohort t ~round ~msgs =
   let g = t.setup.Setup.g in
   let my_digest = Option.map Risefl_topology.Topology.digest topo in
+  (* under a partial cohort the all-to-all commit carries one sealed
+     share per cohort member, positioned by rank in the sorted cohort *)
+  let my_cohort_rank =
+    match cohort with
+    | None -> t.id - 1
+    | Some xs ->
+        let rank = ref (-1) in
+        Array.iteri (fun i x -> if x = t.id then rank := i) xs;
+        !rank
+  in
+  let cohort_size = match cohort with None -> Array.length t.directory | Some xs -> Array.length xs in
   (* decrypt + VSSS-verify each dealer's share independently (one MSM
      per dealer), in parallel; mutate round state sequentially after *)
   let opened =
@@ -111,7 +157,9 @@ let receive_shares ?topo t ~round ~msgs =
         let j = m.Wire.sender in
         match topo with
         | None -> (
-            let sealed = m.Wire.enc_shares.(t.id - 1) in
+            if my_cohort_rank < 0 || Array.length m.Wire.enc_shares <> cohort_size then (j, `Bad)
+            else
+            let sealed = m.Wire.enc_shares.(my_cohort_rank) in
             match Channel.open_ ~key:(key_for t j) sealed with
             | None -> (j, `Bad)
             | Some plain -> (
@@ -183,12 +231,20 @@ let make_transcript ~round ~client_id ~s =
   Transcript.append_bytes tr ~label:"s" s;
   tr
 
-let try_proof_round ?(predicate = Predicate.L2) ?hs_tables t ~round ~s ~hs =
+let try_proof_round ?(predicate = Predicate.L2) ?hs_tables ?cohort t ~round ~s ~hs =
   Predicate.validate t.setup.Setup.params predicate;
   let p = t.setup.Setup.params in
   let setup = t.setup
   and d = t.setup.Setup.params.Params.d in
-  let seed = Sampling.seed ~s ~pks:t.directory in
+  (* the shared seed binds exactly the round's active cohort: H(s,
+     pk_{i1}..pk_{ic}) over the sorted cohort ids (the full directory
+     when no cohort is given — the fixed-set bytes, unchanged) *)
+  let seed_pks =
+    match cohort with
+    | None -> t.directory
+    | Some xs -> Array.map (fun j -> t.directory.(j - 1)) xs
+  in
+  let seed = Sampling.seed ~s ~pks:seed_pks in
   let matrix = Sampling.sample_matrix ~seed ~d ~k:p.Params.k ~m_factor:p.Params.m_factor in
   (* Algorithm 3: never trust h from the server *)
   if not (Sampling.ver_crt t.drbg ~bases:setup.Setup.w ~targets:hs ~matrix) then
@@ -324,8 +380,8 @@ let try_proof_round ?(predicate = Predicate.L2) ?hs_tables t ~round ~s ~hs =
   in
   { Wire.sender = t.id; es; os; os'; wf; squares; cosine; sigma_range; mu_range })
 
-let proof_round ?(predicate = Predicate.L2) ?hs_tables t ~round ~s ~hs =
-  match try_proof_round ~predicate ?hs_tables t ~round ~s ~hs with
+let proof_round ?(predicate = Predicate.L2) ?hs_tables ?cohort t ~round ~s ~hs =
+  match try_proof_round ~predicate ?hs_tables ?cohort t ~round ~s ~hs with
   | Some msg -> msg
   | None ->
       failwith

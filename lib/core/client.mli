@@ -21,34 +21,76 @@ val id : t -> int
 val public_key : t -> Point.t
 
 (** [install_directory t pks] — the public-key bulletin (index j−1 holds
-    client j's key). Must be called before any round. *)
+    client j's key). Must be called before any round, and again whenever
+    a membership epoch rotates any key. *)
 val install_directory : t -> Point.t array -> unit
 
-(** [commit_round ?topo t ~round ~update] — the encoded update must
-    satisfy the L2 bound; returns the round-1 message. Without [topo]
-    the blind is VSSS-shared to all n clients (wire v1). With [topo] it
+(** {1 Key rotation}
+
+    Generation g ≥ 1 key pairs derive from a {e key-only} DRBG fork of
+    the client's root ([fork "rotate/g<g>"]): re-derivable at any stream
+    position, in any process, so crash recovery and remote twins agree
+    on rotated keys without them ever crossing the wire. *)
+
+(** The client's current key generation (0 = the enrollment key). *)
+val key_generation : t -> int
+
+(** [rotation_proof t] — the continuity proof for rotating to generation
+    [key_generation t + 1]: the next public key signed under the current
+    (outgoing) secret key. Does {e not} adopt the new key — call
+    {!rotate_to} once the rotation is accepted, so a rejected rotation
+    never desyncs honest state. *)
+val rotation_proof : t -> Membership.rotation
+
+(** [rotate_to t ~gen] — adopt generation [gen] (idempotent; derives the
+    key pair directly, so recovery can jump multiple generations).
+    @raise Invalid_argument if [gen] is below the current generation. *)
+val rotate_to : t -> gen:int -> unit
+
+(** [commit_round ?topo ?cohort t ~round ~update] — the encoded update
+    must satisfy the L2 bound; returns the round-1 message. Without
+    [topo] the blind is VSSS-shared to every member of the round's
+    cohort at its own evaluation point (wire v1; [cohort] defaults to
+    all n clients, bit-identical to the fixed-set path). With [topo] it
     is shared only to this client's k graph neighbors, at their own
     evaluation points with a neighborhood-majority threshold, and the
     commit carries the topology digest (wire v2).
     @raise Invalid_argument if ‖update‖₂ > B or dimension mismatch. *)
 val commit_round :
-  ?topo:Risefl_topology.Topology.t -> t -> round:int -> update:int array -> Wire.commit_msg
+  ?topo:Risefl_topology.Topology.t ->
+  ?cohort:int array ->
+  t ->
+  round:int ->
+  update:int array ->
+  Wire.commit_msg
 
 (** [commit_round_unchecked] skips the local norm check — what a
     malicious client does when mounting a scaling attack. Only the
     probabilistic check stands between such an update and the aggregate. *)
 val commit_round_unchecked :
-  ?topo:Risefl_topology.Topology.t -> t -> round:int -> update:int array -> Wire.commit_msg
+  ?topo:Risefl_topology.Topology.t ->
+  ?cohort:int array ->
+  t ->
+  round:int ->
+  update:int array ->
+  Wire.commit_msg
 
-(** [receive_shares ?topo t ~round ~msgs] — decrypt and verify the share
-    addressed to this client inside each peer's commit message; returns
-    the flag list (step 1 of §4.4.1). Stores valid shares for
-    aggregation. Under [topo], commits from non-neighbor dealers hold no
-    share for this client and are skipped (neither stored nor flagged —
-    this client could not verify them anyway), and a dealer whose commit
+(** [receive_shares ?topo ?cohort t ~round ~msgs] — decrypt and verify
+    the share addressed to this client inside each peer's commit
+    message; returns the flag list (step 1 of §4.4.1). Stores valid
+    shares for aggregation. Under a partial [cohort] (all-to-all wire
+    v1) the share sits at this client's rank in the sorted cohort.
+    Under [topo], commits from non-neighbor dealers hold no share for
+    this client and are skipped (neither stored nor flagged — this
+    client could not verify them anyway), and a dealer whose commit
     pins a different topology digest is flagged. *)
 val receive_shares :
-  ?topo:Risefl_topology.Topology.t -> t -> round:int -> msgs:Wire.commit_msg array -> Wire.flag_msg
+  ?topo:Risefl_topology.Topology.t ->
+  ?cohort:int array ->
+  t ->
+  round:int ->
+  msgs:Wire.commit_msg array ->
+  Wire.flag_msg
 
 (** [reveal_shares t ~requests] — rule-2 cooperation: return the clear
     shares this client generated for the given recipients (looked up by
@@ -75,6 +117,7 @@ val accept_cleared_share : t -> from:int -> value:Scalar.t -> unit
 val proof_round :
   ?predicate:Predicate.t ->
   ?hs_tables:Curve25519.Point.Table.table array ->
+  ?cohort:int array ->
   t ->
   round:int ->
   s:Bytes.t ->
@@ -84,10 +127,14 @@ val proof_round :
 (** [try_proof_round] — like {!proof_round} but returns [None] when the
     update cannot pass the check: the best a rational malicious client
     with an oversized update can do is attempt the proof and stay silent
-    when the sampled projections betray it. *)
+    when the sampled projections betray it. [cohort] restricts the
+    shared-seed derivation H(s, pk..) to the round's active cohort — it
+    must match the server's epoch or the sampled matrix (and with it
+    every verdict) diverges. *)
 val try_proof_round :
   ?predicate:Predicate.t ->
   ?hs_tables:Curve25519.Point.Table.table array ->
+  ?cohort:int array ->
   t ->
   round:int ->
   s:Bytes.t ->

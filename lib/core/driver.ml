@@ -208,8 +208,65 @@ let g_live = Telemetry.Gauge.make "mem.live_words.peak"
 let observe_live () =
   if Telemetry.enabled () then Telemetry.Gauge.observe g_live (Telemetry.live_words ())
 
+(* audit trail for the elastic layer: bumped whenever a shrunken cohort
+   forces the round's k-regular degree below the requested one *)
+let c_degree_clamped = Telemetry.Counter.make "topology.degree_clamped"
+
+exception Epoch_mismatch of string
+(* a decoded-valid epoch that contradicts the session — wrong universe
+   size, a directory entry no client key derivation reaches: recovery
+   must fail loudly rather than run the round under a wrong cohort *)
+
+(* Bring the session up to the epoch's directory: rotate each client to
+   its epoch generation (generation keys are key-only DRBG forks, so any
+   process reaches them at any time), check the derived public keys
+   against the epoch's directory, and install it everywhere. Idempotent —
+   recovery re-applies the epoch it crashed under. *)
+let apply_epoch session ep =
+  let n = Array.length session.clients in
+  if Array.length ep.Membership.ep_pks <> n || Array.length ep.Membership.ep_gens <> n then
+    raise (Epoch_mismatch "epoch directory size does not match the session universe");
+  Array.iteri
+    (fun i g ->
+      if g > Client.key_generation session.clients.(i) then
+        Client.rotate_to session.clients.(i) ~gen:g)
+    ep.Membership.ep_gens;
+  Array.iteri
+    (fun i pk ->
+      if not (Curve25519.Point.equal (Client.public_key session.clients.(i)) pk) then
+        raise
+          (Epoch_mismatch
+             (Printf.sprintf "epoch directory entry for client %d does not match its derived key"
+                (i + 1))))
+    ep.Membership.ep_pks;
+  Array.iter (fun c -> Client.install_directory c ep.Membership.ep_pks) session.clients;
+  Server.install_directory session.server ep.Membership.ep_pks
+
+(* A shrunken cohort can undercut the requested k-regular degree:
+   re-derive the recommendation for the cohort that actually showed up
+   (letting [Topology.plan] normalize an all-to-all recommendation) and
+   leave an audit counter behind. Shared by the in-process driver and
+   the socket client so both sides derive the same graph. *)
+let effective_topology setup ~cohort mode =
+  let p = setup.Setup.params in
+  let n = p.Params.n_clients in
+  match mode with
+  | Risefl_topology.Topology.Kregular k
+    when Array.length cohort >= 4 && Array.length cohort < n && k >= Array.length cohort - 1 ->
+      let nc = Array.length cohort in
+      let gamma = float_of_int p.Params.max_malicious /. float_of_int n in
+      let k' =
+        min
+          (Risefl_topology.Topology.recommend_degree ~n:nc ~dropout:0.05 ~corruption:gamma
+             ~sigma:40)
+          (nc - 1)
+      in
+      Telemetry.Counter.incr c_degree_clamped;
+      Risefl_topology.Topology.Kregular (max 2 k')
+  | t -> t
+
 let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?transport ?endpoint
-    ?reliable ?remote ?wal ?crash ?recovery ?stream
+    ?reliable ?remote ?wal ?crash ?recovery ?stream ?epoch
     ?(topology = Risefl_topology.Topology.Full) ~lifecycle session ~updates ~behaviours ~round =
   (* a transport, a reliability layer or a write-ahead log implies the
      wire: bytes are the only thing they can fault, retransmit or log *)
@@ -236,14 +293,32 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       (stage ^ "." ^ role) f
   in
   let needed = Params.shamir_t p in
+  (* the round's membership: an epoch freezes the cohort and the
+     post-rotation directory before any frame moves. The fixed-set path
+     (no epoch) is the full universe, and a full-cohort epoch selects
+     every legacy branch ([cohort_opt = None]) so its bytes are identical
+     to the fixed-set run by construction. *)
+  (match epoch with Some ep -> apply_epoch session ep | None -> ());
+  let cohort =
+    match epoch with
+    | Some ep -> ep.Membership.ep_cohort
+    | None -> Array.init n (fun i -> i + 1)
+  in
+  let cohort_opt = if Array.length cohort = n then None else Some cohort in
+  let in_cohort =
+    match cohort_opt with
+    | None -> Array.make n true
+    | Some xs ->
+        let a = Array.make n false in
+        Array.iter (fun id -> if id >= 1 && id <= n then a.(id - 1) <- true) xs;
+        a
+  in
+  let topology = effective_topology setup ~cohort topology in
   (* the round's share topology: a pure function of (session seed, round,
      cohort), never logged — recovery re-derives the identical graph
      here. [plan] normalizes Full / tiny cohorts / degree >= n-1 to None,
      which runs the unchanged all-to-all path (bit-identical bytes). *)
-  let topo =
-    Risefl_topology.Topology.plan ~mode:topology ~seed:session.seed ~round
-      ~cohort:(Array.init n (fun i -> i + 1))
-  in
+  let topo = Risefl_topology.Topology.plan ~mode:topology ~seed:session.seed ~round ~cohort in
   let decode_failures = ref [] in
   let wal_append r = match wal with Some w -> Round_log.append w r | None -> () in
   (* in-process recovery replays the outbox; only the durable runtime
@@ -402,14 +477,20 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
       end
     end
   in
-  let is_active i = behaviours.(i) <> Drop_out in
+  let is_active i = in_cohort.(i) && behaviours.(i) <> Drop_out in
   let honest_ids = ref [] in
-  Array.iteri (fun i b -> if b = Honest then honest_ids := i :: !honest_ids) behaviours;
+  Array.iteri
+    (fun i b -> if b = Honest && in_cohort.(i) then honest_ids := i :: !honest_ids)
+    behaviours;
   let n_honest = List.length !honest_ids in
   let avg_over_honest total = if n_honest = 0 then 0.0 else total /. float_of_int n_honest in
   (* a fresh durable round opens with its boundary snapshot — the restore
      point recovery rolls the server back to before replaying frames *)
   if Option.is_none recovery then begin
+    (* the epoch precedes Round_start: replay that finds a Round_start
+       is guaranteed to know its round's exact cohort, and a torn epoch
+       means the round never started (it simply re-runs fresh) *)
+    (match epoch with Some ep -> wal_append (Round_log.Epoch ep) | None -> ());
     wal_append (Round_log.Round_start { round });
     match wal with
     | Some w -> Round_log.append w (Round_log.Snapshot (Server.snapshot server))
@@ -431,8 +512,11 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
                     match behaviours.(i) with
                     | Oversized _ ->
                         (* updates.(i) is already the scaled malicious vector *)
-                        Client.commit_round_unchecked ?topo clients.(i) ~round ~update:updates.(i)
-                    | _ -> Client.commit_round ?topo clients.(i) ~round ~update:updates.(i))
+                        Client.commit_round_unchecked ?topo ?cohort:cohort_opt clients.(i) ~round
+                          ~update:updates.(i)
+                    | _ ->
+                        Client.commit_round ?topo ?cohort:cohort_opt clients.(i) ~round
+                          ~update:updates.(i))
               in
               if behaviours.(i) = Honest then commit_time := !commit_time +. dt;
               match behaviours.(i) with
@@ -454,9 +538,18 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
               | _ -> Some msg
             end))
   in
-  span "commit" "server" (fun () -> Server.begin_round ?topo server ~round ~commits);
+  span "commit" "server"
+    (fun () -> Server.begin_round ?topo ?cohort:cohort_opt server ~round ~commits);
   (* begin_round reset C*, so decode offenders are marked after it *)
   note_offenders commit_offenders;
+  (* epoch-level convictions: a rejected rotation proof is an
+     identity-level offence, applied at the same point bans are *)
+  (match epoch with
+  | Some ep ->
+      List.iter
+        (fun i -> Server.convict server i ~reason:"rotation proof rejected")
+        ep.Membership.ep_convicts
+  | None -> ());
   check_quorum "commit";
   observe_live ();
   (* communication accounting that reads the commit bulk is settled here —
@@ -483,7 +576,16 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
                   else
                     let share_bytes =
                       match topo with
-                      | None -> Channel.sealed_size cm.Wire.enc_shares.(i)
+                      | None -> (
+                          (* all-to-all shares are indexed by cohort rank
+                             (= id−1 only for the full cohort) *)
+                          match cohort_opt with
+                          | None -> Channel.sealed_size cm.Wire.enc_shares.(i)
+                          | Some xs ->
+                              let rank = ref (-1) in
+                              Array.iteri (fun j x -> if x = i + 1 then rank := j) xs;
+                              if !rank < 0 then 0
+                              else Channel.sealed_size cm.Wire.enc_shares.(!rank))
                       | Some tp ->
                           let ns = Risefl_topology.Topology.neighbors tp cm.Wire.sender in
                           let rank = ref (-1) in
@@ -517,7 +619,8 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
             else begin
               let base, dt =
                 time (fun () ->
-                    Client.receive_shares ?topo clients.(i) ~round ~msgs:present_commits)
+                    Client.receive_shares ?topo ?cohort:cohort_opt clients.(i) ~round
+                      ~msgs:present_commits)
               in
               if behaviours.(i) = Honest then share_verify_time := !share_verify_time +. dt;
               match behaviours.(i) with
@@ -614,7 +717,8 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
             else begin
               let result, dt =
                 time (fun () ->
-                    Client.try_proof_round ~predicate ~hs_tables clients.(i) ~round ~s:s_value ~hs)
+                    Client.try_proof_round ~predicate ~hs_tables ?cohort:cohort_opt clients.(i)
+                      ~round ~s:s_value ~hs)
               in
               if behaviours.(i) = Honest then proof_time := !proof_time +. dt;
               result
@@ -744,13 +848,13 @@ let run_round_core_inner ?(predicate = Predicate.L2) ?(serialize = false) ?trans
 (* outer span covering the full round; the Abort control-flow exception
    passes through Span.with_ (the span is still recorded) *)
 let run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    ?recovery ?stream ?topology ~lifecycle session ~updates ~behaviours ~round =
+    ?recovery ?stream ?epoch ?topology ~lifecycle session ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "round"
     (fun () ->
       run_round_core_inner ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-        ?crash ?recovery ?stream ?topology ~lifecycle session ~updates ~behaviours ~round)
+        ?crash ?recovery ?stream ?epoch ?topology ~lifecycle session ~updates ~behaviours ~round)
 
 (* a WAL-armed abort still closes the round durably *)
 let seal_abort ?wal session ~round outcome =
@@ -764,11 +868,11 @@ let seal_abort ?wal session ~round outcome =
   outcome
 
 let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-    ?stream ?topology session ~updates ~behaviours ~round =
+    ?stream ?epoch ?topology session ~updates ~behaviours ~round =
   let outcome =
     match
       run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash
-        ?stream ?topology ~lifecycle:true session ~updates ~behaviours ~round
+        ?stream ?epoch ?topology ~lifecycle:true session ~updates ~behaviours ~round
     with
     | outcome -> outcome
     | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -778,11 +882,11 @@ let run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remo
   (match remote with Some r -> r.r_result ~round outcome | None -> ());
   outcome
 
-let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream ?topology session
-    ~updates ~behaviours ~round =
+let run_round ?predicate ?serialize ?transport ?endpoint ?reliable ?wal ?crash ?stream ?epoch
+    ?topology session ~updates ~behaviours ~round =
   match
-    run_round_core ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream ?topology
-      ~lifecycle:false session ~updates ~behaviours ~round
+    run_round_core ?predicate ?serialize ?transport ?endpoint ?reliable ?wal ?crash ?stream
+      ?epoch ?topology ~lifecycle:false session ~updates ~behaviours ~round
   with
   | Completed stats -> stats
   | Aborted_insufficient_quorum _ | Aborted_decode _ ->
@@ -791,13 +895,34 @@ let run_round ?predicate ?serialize ?transport ?reliable ?wal ?crash ?stream ?to
 
 (* --- crash recovery --- *)
 
-let restore_server session records ~round =
+let restore_server ?epoch session records ~round =
   (* the crashed server's in-memory state is gone: rebuild one from the
      session seed (create_session's fork label) and roll it forward to the
      last snapshot at or before the crashed round *)
+  let epoch =
+    match epoch with
+    | Some _ as e -> e
+    | None ->
+        (* the latest logged epoch at or before the crashed round: a
+           cross-process resume knows the membership only from the log *)
+        List.fold_left
+          (fun acc r ->
+            match r with
+            | Round_log.Epoch e when e.Membership.ep_round <= round -> Some e
+            | _ -> acc)
+          None records
+  in
   let root = Prng.Drbg.create_string session.seed in
   let server = Server.create session.setup (Prng.Drbg.fork root "server") in
-  Server.install_directory server (Array.map Client.public_key session.clients);
+  session.server <- server;
+  (* membership must be live BEFORE restore: [Server.restore] re-derives
+     the sampling matrix from the snapshotted s over the ACTIVE directory
+     entries, so the rotated keys and the cohort go in first *)
+  (match epoch with
+  | Some ep ->
+      apply_epoch session ep;
+      Server.set_active server (Some ep.Membership.ep_cohort)
+  | None -> Server.install_directory server (Array.map Client.public_key session.clients));
   let snap =
     List.fold_left
       (fun acc r ->
@@ -806,21 +931,34 @@ let restore_server session records ~round =
         | _ -> acc)
       None records
   in
-  (match snap with Some s -> Server.restore server s | None -> ());
-  session.server <- server
+  (match snap with Some s -> Server.restore server s | None -> ())
 
-let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream ?topology
-    session ~records ~updates ~behaviours ~round =
+let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream ?epoch
+    ?topology session ~records ~updates ~behaviours ~round =
   Telemetry.Span.with_
     ~attrs:[ ("round", string_of_int round) ]
     "recover"
     (fun () ->
-      restore_server session records ~round;
+      (* prefer the caller's epoch; fall back to the crashed round's
+         logged one (written before its Round_start, so any round that
+         began has it on disk) *)
+      let epoch =
+        match epoch with
+        | Some _ as e -> e
+        | None ->
+            List.fold_left
+              (fun acc r ->
+                match r with
+                | Round_log.Epoch e when e.Membership.ep_round = round -> Some e
+                | _ -> acc)
+              None records
+      in
+      restore_server ?epoch session records ~round;
       let recovery = recovery_of_records ~round records in
       let outcome =
         match
           run_round_core ?predicate ?transport ?endpoint ?reliable ?remote ?wal ~recovery
-            ?stream ?topology ~lifecycle:true session ~updates ~behaviours ~round
+            ?stream ?epoch ?topology ~lifecycle:true session ~updates ~behaviours ~round
         with
         | outcome -> outcome
         | exception Abort outcome -> seal_abort ?wal session ~round outcome
@@ -830,29 +968,55 @@ let recover_round ?predicate ?transport ?endpoint ?reliable ?remote ?wal ?stream
 
 (* --- multi-round session loop --- *)
 
+(* totals over every epoch's standing deltas (satellite of the elastic
+   layer: the report shows how much the membership actually moved) *)
+type churn_counts = { joined : int; left : int; rejoined : int; rotated : int }
+
 type session_report = {
   rounds_attempted : int;
   rounds_completed : int;
   round_outcomes : (int * round_outcome) list;
   final_banned : int list;
   crashes_recovered : int;
+  cohort_sizes : (int * int) list;
+  churn : churn_counts;
 }
 
 let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal ?crash ?stream
-    ?topology session ~updates_for ~behaviours ~rounds =
+    ?cohort_for ?topology session ~updates_for ~behaviours ~rounds =
   if rounds < 1 then invalid_arg "Driver.run_session: rounds must be >= 1";
+  let n = Array.length session.clients in
   let outcomes = ref [] in
   let completed = ref 0 in
   let recovered = ref 0 in
+  let sizes = ref [] in
+  let joined = ref 0 and left = ref 0 and rejoined = ref 0 and rotated = ref 0 in
   for round = 1 to rounds do
     let updates = updates_for round in
+    (* freeze this round's membership before any frame moves; the same
+       epoch re-enters the round after a crash so recovery replays under
+       the identical cohort *)
+    let epoch = match cohort_for with Some f -> f round | None -> None in
+    (match epoch with
+    | Some ep ->
+        sizes := (round, Membership.epoch_cohort_size ep) :: !sizes;
+        List.iter
+          (fun d ->
+            match d with
+            | Membership.D_joined _ -> incr joined
+            | Membership.D_left _ -> incr left
+            | Membership.D_rejoined _ -> incr rejoined
+            | Membership.D_rotated _ -> incr rotated
+            | Membership.D_rotation_rejected _ -> ())
+          ep.Membership.ep_deltas
+    | None -> sizes := (round, n) :: !sizes);
     let crash_here =
       match crash with Some (r, stage, at) when r = round -> Some (stage, at) | _ -> None
     in
     let outcome =
       match
         run_round_outcome ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wal
-          ?crash:crash_here ?stream ?topology session ~updates ~behaviours ~round
+          ?crash:crash_here ?stream ?epoch ?topology session ~updates ~behaviours ~round
       with
       | outcome -> outcome
       | exception Server_crashed _ -> (
@@ -864,7 +1028,7 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
               let records, _status = Round_log.replay (Round_log.path w) in
               incr recovered;
               recover_round ?predicate ?transport ?endpoint ?reliable ?remote ~wal:w ?stream
-                ?topology session ~records ~updates ~behaviours ~round)
+                ?epoch ?topology session ~records ~updates ~behaviours ~round)
     in
     (match outcome with
     | Completed stats ->
@@ -881,9 +1045,50 @@ let run_session ?predicate ?serialize ?transport ?endpoint ?reliable ?remote ?wa
     round_outcomes = List.rev !outcomes;
     final_banned = Server.banned session.server;
     crashes_recovered = !recovered;
+    cohort_sizes = List.rev !sizes;
+    churn = { joined = !joined; left = !left; rejoined = !rejoined; rotated = !rotated };
   }
 
-let run_iteration ?predicate ?serialize ?transport ?stream ?topology setup ~updates ~behaviours
-    ~seed ~round =
-  run_round ?predicate ?serialize ?transport ?stream ?topology (create_session setup ~seed)
-    ~updates ~behaviours ~round
+(* The seeded-churn cohort hook: one Membership state advanced through
+   the schedule, memoized per round (recovery re-asks for the crashed
+   round and must get the identical epoch back, not a double-advanced
+   one). Epochs materialize lazily in round order; rotation proofs are
+   signed by the session's own clients with their current keys, so the
+   hook composes with {!run_session}'s round-by-round application. *)
+let churn_cohort_for session ~spec ~rounds =
+  let n = Array.length session.clients in
+  let mem = Membership.create (Array.map Client.public_key session.clients) in
+  let sched = Membership.schedule ~seed:session.seed spec ~n ~rounds in
+  let cache = Hashtbl.create 7 in
+  let next = ref 1 in
+  fun round ->
+    if round < 1 || round > rounds then None
+    else begin
+      while !next <= round do
+        let r = !next in
+        let ep =
+          Membership.advance mem ~round:r ~events:sched.(r - 1)
+            ~rotation_for:(fun ~id ~gen:_ ->
+              Some (Client.rotation_proof session.clients.(id - 1)))
+        in
+        (* adopt accepted rotations eagerly: the next epoch's rotation
+           proof must be signed with the post-rotation key even when
+           epochs materialize ahead of round execution (fast-forward
+           after a restart or a rejoin). [rotate_to] touches no
+           sequential DRBG state, so this cannot desync the stream. *)
+        List.iter
+          (function
+            | Membership.D_rotated i ->
+                Client.rotate_to session.clients.(i - 1) ~gen:ep.Membership.ep_gens.(i - 1)
+            | _ -> ())
+          ep.Membership.ep_deltas;
+        Hashtbl.replace cache r ep;
+        incr next
+      done;
+      Hashtbl.find_opt cache round
+    end
+
+let run_iteration ?predicate ?serialize ?transport ?endpoint ?reliable ?wal ?stream ?topology
+    setup ~updates ~behaviours ~seed ~round =
+  run_round ?predicate ?serialize ?transport ?endpoint ?reliable ?wal ?stream ?topology
+    (create_session setup ~seed) ~updates ~behaviours ~round

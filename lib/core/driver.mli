@@ -111,6 +111,40 @@ val seeded_crashes :
     from independent DRBG forks of [seed] (scheduled like Netsim faults:
     a sweep is a pure function of the seed). *)
 
+(** {1 Elastic membership}
+
+    With [?epoch] a round runs over that epoch's cohort instead of the
+    full universe: the epoch is applied first (clients catch up to their
+    rotated key generations, the post-rotation directory is installed
+    everywhere, rotation convicts join the malicious set), the share
+    graph and the
+    shared seed bind exactly the active cohort, absent clients owe
+    nothing and convict nothing, and — under a WAL — the epoch record is
+    logged {e before} [Round_start] so recovery re-enters the round under
+    the identical cohort. A full-cohort epoch takes the legacy code paths
+    bit for bit. *)
+
+exception Epoch_mismatch of string
+(** A decoded-valid epoch that contradicts the session: wrong universe
+    size, or a directory entry the session's key derivations cannot
+    reach. Raised rather than running a round under a wrong cohort. *)
+
+val apply_epoch : session -> Membership.epoch -> unit
+(** Bring the session up to [epoch]'s directory: rotate each client to
+    its epoch key generation (generation keys are key-only DRBG forks,
+    reachable by any process at any time), check the derived public keys
+    against the epoch directory (raising {!Epoch_mismatch} on any
+    contradiction) and install it in every client and the server.
+    Idempotent — recovery re-applies the epoch it crashed under. *)
+
+val effective_topology :
+  Setup.t -> cohort:int array -> Risefl_topology.Topology.mode -> Risefl_topology.Topology.mode
+(** The topology a round actually runs under: a k-regular request whose
+    degree a shrunken cohort cannot sustain is re-derived for the cohort
+    that showed up (clamped to [cohort-1], floor 2) and the
+    ["topology.degree_clamped"] counter is bumped. Shared by the driver
+    and the socket client so both sides derive the same share graph. *)
+
 (** {1 Remote seam}
 
     With [?remote], the driver runs the {e server half only} of a round:
@@ -181,10 +215,12 @@ val run_round :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?endpoint:Netsim.Transport_intf.endpoint ->
   ?reliable:Reliable.t ->
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?epoch:Membership.epoch ->
   ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates:int array array ->
@@ -209,6 +245,7 @@ val run_round_outcome :
   ?wal:Round_log.t ->
   ?crash:Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?epoch:Membership.epoch ->
   ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates:int array array ->
@@ -226,7 +263,10 @@ val run_round_outcome :
     bit-identical to the uncrashed run. Pass the same [wal] to keep
     logging the recovered tail, and the same [stream] config to resume a
     streamed round — the logged proof frames replay straight through the
-    streaming intake, so a crash mid-stream resumes the fold. *)
+    streaming intake, so a crash mid-stream resumes the fold. An elastic
+    round recovers under its [epoch]: pass the same one, or leave it out
+    and the crashed round's logged [Epoch] record (written before its
+    [Round_start]) is used. *)
 val recover_round :
   ?predicate:Predicate.t ->
   ?transport:Netsim.t ->
@@ -235,6 +275,7 @@ val recover_round :
   ?remote:remote ->
   ?wal:Round_log.t ->
   ?stream:Server.stream_cfg ->
+  ?epoch:Membership.epoch ->
   ?topology:Risefl_topology.Topology.mode ->
   session ->
   records:Round_log.record list ->
@@ -245,12 +286,18 @@ val recover_round :
 
 (** {1 Multi-round sessions} *)
 
+(** Totals over every epoch's standing deltas. *)
+type churn_counts = { joined : int; left : int; rejoined : int; rotated : int }
+
 type session_report = {
   rounds_attempted : int;
   rounds_completed : int;
   round_outcomes : (int * round_outcome) list;  (** in round order *)
   final_banned : int list;  (** C* accumulated across all rounds *)
   crashes_recovered : int;
+  cohort_sizes : (int * int) list;
+      (** per round, the active cohort size (n for epoch-less rounds) *)
+  churn : churn_counts;
 }
 
 (** [run_session ?crash session ~updates_for ~behaviours ~rounds] — run
@@ -259,7 +306,10 @@ type session_report = {
     completed round start every later round banned. [crash], if given, is
     [(round, stage, point)]: the server dies there and — when a [wal] is
     armed — the loop syncs, replays and {!recover_round}s transparently
-    (without a WAL the crash re-raises). *)
+    (without a WAL the crash re-raises). [cohort_for r], if given,
+    freezes round r's membership epoch before the round starts
+    ({!churn_cohort_for} derives one from a seeded schedule); a crashed
+    elastic round recovers under the same epoch. *)
 val run_session :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
@@ -270,6 +320,7 @@ val run_session :
   ?wal:Round_log.t ->
   ?crash:int * Netsim.stage * crash_point ->
   ?stream:Server.stream_cfg ->
+  ?cohort_for:(int -> Membership.epoch option) ->
   ?topology:Risefl_topology.Topology.mode ->
   session ->
   updates_for:(int -> int array array) ->
@@ -277,14 +328,29 @@ val run_session :
   rounds:int ->
   session_report
 
+(** [churn_cohort_for session ~spec ~rounds] — the seeded-churn cohort
+    hook for {!run_session}: one {!Membership.t} advanced through
+    [Membership.schedule ~seed:(session seed) spec], memoized per round
+    (crash recovery re-asks for the crashed round and gets the identical
+    epoch back). Rotation proofs are signed by the session's own clients
+    with their current keys, so epochs must be consumed in round order
+    interleaved with the rounds — exactly what {!run_session} does. *)
+val churn_cohort_for :
+  session -> spec:Membership.spec -> rounds:int -> int -> Membership.epoch option
+
 (** [run_iteration setup ~updates ~behaviours ~seed ~round] — one-shot
     convenience: a fresh session running a single round. [updates] are
     encoded (fixed-point) vectors, one per client; [behaviours] selects
-    the adversary model per client. Deterministic in [seed]. *)
+    the adversary model per client. Deterministic in [seed]. Accepts the
+    same wire/durability optionals as {!run_round} ([endpoint],
+    [reliable], [wal]) so one-shot harnesses exercise the full stack. *)
 val run_iteration :
   ?predicate:Predicate.t ->
   ?serialize:bool ->
   ?transport:Netsim.t ->
+  ?endpoint:Netsim.Transport_intf.endpoint ->
+  ?reliable:Reliable.t ->
+  ?wal:Round_log.t ->
   ?stream:Server.stream_cfg ->
   ?topology:Risefl_topology.Topology.mode ->
   Setup.t ->

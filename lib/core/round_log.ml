@@ -5,6 +5,10 @@ type record =
   | Stage_done of { round : int; stage : Netsim.stage }
   | Check of { round : int; s : Bytes.t }
   | Round_end of { round : int; cstar : int list; aggregate : int array option }
+  | Epoch of Membership.epoch
+      (** the round's frozen membership — cohort, post-rotation
+          directory, standing deltas — written before [Round_start] so
+          recovery re-enters the round under the exact cohort *)
 
 type t = Store.Wal.t
 
@@ -19,6 +23,29 @@ let tag_frame = 3
 let tag_stage_done = 4
 let tag_check = 5
 let tag_round_end = 6
+let tag_epoch = 7
+
+(* membership deltas, tagged for the epoch record *)
+let delta_kind = function
+  | Membership.D_joined _ -> 1
+  | Membership.D_left _ -> 2
+  | Membership.D_rejoined _ -> 3
+  | Membership.D_rotated _ -> 4
+  | Membership.D_rotation_rejected _ -> 5
+
+let delta_id = function
+  | Membership.D_joined i | Membership.D_left i | Membership.D_rejoined i
+  | Membership.D_rotated i | Membership.D_rotation_rejected i ->
+      i
+
+let delta_of ~kind ~id =
+  match kind with
+  | 1 -> Membership.D_joined id
+  | 2 -> Membership.D_left id
+  | 3 -> Membership.D_rejoined id
+  | 4 -> Membership.D_rotated id
+  | 5 -> Membership.D_rotation_rejected id
+  | _ -> failwith "bad delta kind"
 
 let encode = function
   | Round_start { round } ->
@@ -56,6 +83,24 @@ let encode = function
           Serial.W.u32 b (Array.length agg);
           Array.iter (Serial.W.i32 b) agg);
       (tag_round_end, Buffer.to_bytes b)
+  | Epoch ep ->
+      let open Membership in
+      let b = Serial.W.create () in
+      Serial.W.u32 b ep.ep_round;
+      Serial.W.u32 b (Array.length ep.ep_pks);
+      Array.iter (fun pk -> Serial.W.bytes b (Curve25519.Point.compress pk)) ep.ep_pks;
+      Array.iter (Serial.W.u32 b) ep.ep_gens;
+      Serial.W.u32 b (Array.length ep.ep_cohort);
+      Array.iter (Serial.W.u32 b) ep.ep_cohort;
+      Serial.W.u32 b (List.length ep.ep_deltas);
+      List.iter
+        (fun d ->
+          Serial.W.u8 b (delta_kind d);
+          Serial.W.u32 b (delta_id d))
+        ep.ep_deltas;
+      Serial.W.u32 b (List.length ep.ep_convicts);
+      List.iter (Serial.W.u32 b) ep.ep_convicts;
+      (tag_epoch, Buffer.to_bytes b)
 
 let append t r =
   let tag, payload = encode r in
@@ -109,6 +154,46 @@ let decode tag payload =
               | _ -> failwith "bad aggregate flag"
             in
             Round_end { round; cstar; aggregate }
+          end
+          else if tag = tag_epoch then begin
+            let ep_round = Serial.R.u32 r in
+            let n = Serial.R.u32 r in
+            if n = 0 || n > 0xFFFF then failwith "bad epoch universe size";
+            let ep_pks =
+              Array.init n (fun _ ->
+                  let raw = Serial.R.bytes r in
+                  match Curve25519.Point.decompress raw with
+                  | Some p -> p
+                  | None -> failwith "bad epoch pk")
+            in
+            let ep_gens = Array.init n (fun _ -> Serial.R.u32 r) in
+            let nc = Serial.R.u32 r in
+            if nc > n then failwith "oversized epoch cohort";
+            let ep_cohort =
+              Array.init nc (fun _ ->
+                  let id = Serial.R.u32 r in
+                  if id < 1 || id > n then failwith "epoch cohort id out of range";
+                  id)
+            in
+            let nd = Serial.R.u32 r in
+            if nd > 0xFFFF then failwith "oversized epoch delta list";
+            let ep_deltas =
+              List.init nd (fun _ ->
+                  let kind = Serial.R.u8 r in
+                  let id = Serial.R.u32 r in
+                  if id < 1 || id > n then failwith "epoch delta id out of range";
+                  delta_of ~kind ~id)
+            in
+            let nv = Serial.R.u32 r in
+            if nv > n then failwith "oversized epoch convict list";
+            let ep_convicts =
+              List.init nv (fun _ ->
+                  let id = Serial.R.u32 r in
+                  if id < 1 || id > n then failwith "epoch convict id out of range";
+                  id)
+            in
+            Epoch
+              Membership.{ ep_round; ep_cohort; ep_pks; ep_gens; ep_deltas; ep_convicts }
           end
           else failwith (Printf.sprintf "unknown record tag %d" tag)
         in

@@ -23,6 +23,10 @@ type record =
       (** the drawn check string (audit record: recovery re-derives it
           from the DRBG position and asserts equality) *)
   | Round_end of { round : int; cstar : int list; aggregate : int array option }
+  | Epoch of Membership.epoch
+      (** the round's frozen membership — cohort, post-rotation
+          directory, standing deltas — written before [Round_start] so
+          recovery re-enters the round under the exact cohort *)
 
 type t
 

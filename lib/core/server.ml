@@ -27,6 +27,11 @@ type t = {
   mutable commits : Wire.commit_msg option array;
   mutable bad : bool array; (* C*, index i-1 *)
   mutable banned : bool array; (* C* carried across session rounds *)
+  mutable active : bool array;
+      (* this round's cohort, index i-1. An inactive client is absent,
+         not guilty: it owes no frames, appears in no honest list, and
+         the shared seed binds only the active directory entries. The
+         fixed-set path keeps every client active (all-true). *)
   mutable matrix : Sampling.matrix option;
   mutable s_value : Bytes.t;
   mutable hs : Point.t array;
@@ -56,6 +61,7 @@ let create setup drbg =
     commits = Array.make p.Params.n_clients None;
     bad = Array.make p.Params.n_clients false;
     banned = Array.make p.Params.n_clients false;
+    active = Array.make p.Params.n_clients true;
     matrix = None;
     s_value = Bytes.empty;
     hs = [||];
@@ -82,7 +88,7 @@ let malicious t =
 
 let honest t =
   let out = ref [] in
-  Array.iteri (fun i b -> if not b then out := (i + 1) :: !out) t.bad;
+  Array.iteri (fun i b -> if (not b) && t.active.(i) then out := (i + 1) :: !out) t.bad;
   List.rev !out
 
 let mark t i reason =
@@ -93,6 +99,34 @@ let mark t i reason =
    honesty bit, never the server its round *)
 let mark_decode_failure t i =
   if i >= 1 && i <= n_of t then mark t i "undecodable frame"
+
+(* a rejected key rotation is an identity-level offence: whoever sent it
+   could not prove continuity with the enrolled key *)
+let convict t i ~reason = if i >= 1 && i <= n_of t then mark t i reason
+
+(* [set_active t cohort] — install the round's cohort before [restore]
+   or [begin_round]-equivalent replay paths need it; [None] = everyone.
+   [begin_round ?cohort] calls this itself on the normal path. *)
+let set_active t cohort =
+  let act = Array.make (n_of t) (cohort = None) in
+  (match cohort with
+  | None -> ()
+  | Some c -> Array.iter (fun i -> if i >= 1 && i <= n_of t then act.(i - 1) <- true) c);
+  t.active <- act
+
+let is_active t i = i >= 1 && i <= n_of t && t.active.(i - 1)
+
+(* the directory restricted to the active cohort, in id order: the pk
+   list the shared seed H(s, pk..) binds this round *)
+let active_pks t =
+  if Array.for_all Fun.id t.active then t.directory
+  else begin
+    let out = ref [] in
+    for i = n_of t downto 1 do
+      if t.active.(i - 1) then out := t.directory.(i - 1) :: !out
+    done;
+    Array.of_list !out
+  end
 
 (* the server's validated view of this round's commits (structurally
    invalid ones have been nulled out) — what it forwards to clients *)
@@ -107,14 +141,23 @@ let banned t =
   Array.iteri (fun i b -> if b then out := (i + 1) :: !out) t.banned;
   List.rev !out
 
-let begin_round ?topo t ~round ~commits =
+let begin_round ?topo ?cohort t ~round ~commits =
   if Array.length commits <> n_of t then invalid_arg "Server.begin_round: wrong size";
   t.round <- round;
   t.bad <- Array.copy t.banned;
   t.stream_agg <- None;
   t.topo <- topo;
+  set_active t cohort;
   t.commits <- Array.copy commits;
-  Array.iteri (fun i c -> if c = None then mark t (i + 1) "no commit") commits;
+  (* absence is only an offence for cohort members; a commit from outside
+     the cohort (a stale-epoch straggler) is dropped, not convicted *)
+  Array.iteri
+    (fun i c ->
+      if t.active.(i) then begin
+        if c = None then mark t (i + 1) "no commit"
+      end
+      else t.commits.(i) <- None)
+    commits;
   (* structural validation of each commit message. The two topologies
      accept disjoint shapes: all-to-all wants n shares at threshold
      shamir_t and no digest (v1); k-regular wants exactly the sender's
@@ -122,16 +165,18 @@ let begin_round ?topo t ~round ~commits =
      round's topology digest (v2). A client on the wrong branch is
      malformed, not ambiguous. *)
   let p = t.setup.Setup.params in
+  let cohort_size = match cohort with None -> p.Params.n_clients | Some c -> Array.length c in
   Array.iteri
     (fun i c ->
       match c with
+      | _ when not t.active.(i) -> ()
       | None -> ()
       | Some (m : Wire.commit_msg) ->
           let shape_ok =
             match topo with
             | None ->
                 Array.length m.Wire.check = Params.shamir_t p
-                && Array.length m.Wire.enc_shares = p.Params.n_clients
+                && Array.length m.Wire.enc_shares = cohort_size
                 && m.Wire.topo_digest = None
             | Some tp ->
                 Array.length m.Wire.check = Risefl_topology.Topology.threshold tp
@@ -156,6 +201,7 @@ let process_flags t ~flags ~reveal =
     (fun j f ->
       let j = j + 1 in
       match f with
+      | _ when not t.active.(j - 1) -> ()
       | None -> mark t j "no flag message"
       | Some (fm : Wire.flag_msg) ->
           let suspects = List.sort_uniq compare fm.Wire.suspects in
@@ -180,16 +226,18 @@ let process_flags t ~flags ~reveal =
               (fun i -> if i >= 1 && i <= n then flagged_by.(i - 1) <- j :: flagged_by.(i - 1))
               suspects)
     flags;
-  (* rule 1b: flagged by more than m clients *)
+  (* rule 1b: flagged by more than m clients (an absent client cannot be
+     convicted in absentia — flags against non-cohort ids are noise) *)
   Array.iteri
-    (fun i fl -> if List.length fl > m then mark t (i + 1) "flagged by more than m clients")
+    (fun i fl ->
+      if t.active.(i) && List.length fl > m then mark t (i + 1) "flagged by more than m clients")
     flagged_by;
   (* rule 2: flagged by 1..m clients -> request clear shares from dealer *)
   let cleared = ref [] in
   Array.iteri
     (fun i fl ->
       let dealer = i + 1 in
-      if (not t.bad.(i)) && fl <> [] && List.length fl <= m then begin
+      if t.active.(i) && (not t.bad.(i)) && fl <> [] && List.length fl <= m then begin
         match reveal dealer fl with
         | None -> mark t dealer "refused rule-2 request"
         | Some pairs ->
@@ -213,7 +261,10 @@ let process_flags t ~flags ~reveal =
 let prepare_check t =
   let p = t.setup.Setup.params in
   let s = draw t 32 in
-  let seed = Sampling.seed ~s ~pks:t.directory in
+  (* the shared seed binds exactly this round's cohort: with everyone
+     active this is the full directory, byte-identical to the fixed-set
+     derivation *)
+  let seed = Sampling.seed ~s ~pks:(active_pks t) in
   let matrix = Sampling.sample_matrix ~seed ~d:p.Params.d ~k:p.Params.k ~m_factor:p.Params.m_factor in
   t.matrix <- Some matrix;
   t.s_value <- s;
@@ -424,7 +475,7 @@ let verify_proofs ?(predicate = Predicate.L2) ?jobs ?(batched = true) t ~round ~
       Parallel.parallel_mapi ?jobs
         (fun idx pr ->
           let i = idx + 1 in
-          if t.bad.(idx) then None
+          if t.bad.(idx) || not t.active.(idx) then None
           else
             match pr with
             | None -> Some "no proof"
@@ -451,7 +502,7 @@ let verify_proofs ?(predicate = Predicate.L2) ?jobs ?(batched = true) t ~round ~
       Parallel.parallel_mapi ?jobs
         (fun idx pr ->
           let i = idx + 1 in
-          if t.bad.(idx) then None
+          if t.bad.(idx) || not t.active.(idx) then None
           else
             match pr with
             | None -> Some (Error "no proof")
@@ -682,7 +733,7 @@ let stream_feed st ~sender msg =
   let t = st.sv in
   if sender >= 1 && sender <= n_of t && not st.sfed.(sender - 1) then begin
     st.sfed.(sender - 1) <- true;
-    if not t.bad.(sender - 1) then begin
+    if (not t.bad.(sender - 1)) && t.active.(sender - 1) then begin
       let sh = st.sshards.((sender - 1) mod st.scfg.shards) in
       sh.sh_batch <- (sender, msg) :: sh.sh_batch;
       sh.sh_batch_n <- sh.sh_batch_n + 1;
@@ -703,7 +754,9 @@ let stream_finish st =
           Array.iter (fun sh -> flush_shard st sh) st.sshards;
           (* clients that never produced an accepted frame *)
           Array.iteri
-            (fun idx fed -> if (not fed) && not t.bad.(idx) then mark t (idx + 1) "no proof")
+            (fun idx fed ->
+              if (not fed) && (not t.bad.(idx)) && t.active.(idx) then
+                mark t (idx + 1) "no proof")
             st.sfed;
           (* deterministic shard merge (ascending shard index), then the
              final small eval: every surviving block was checked identity
@@ -781,7 +834,7 @@ let restore t (s : Wire.server_snapshot) =
     (* re-derive the sampling matrix and check bases from the snapshotted
        s (they are a pure function of s and the directory) *)
     let p = t.setup.Setup.params in
-    let seed = Sampling.seed ~s:t.s_value ~pks:t.directory in
+    let seed = Sampling.seed ~s:t.s_value ~pks:(active_pks t) in
     let matrix =
       Sampling.sample_matrix ~seed ~d:p.Params.d ~k:p.Params.k ~m_factor:p.Params.m_factor
     in
@@ -840,7 +893,7 @@ let finish_aggregate t ~combined_check ~prod ~agg_msgs =
     Parallel.parallel_mapi
       (fun idx msg ->
         let i = idx + 1 in
-        if t.bad.(idx) then None
+        if t.bad.(idx) || not t.active.(idx) then None
         else
           match msg with
           | None -> None

@@ -25,20 +25,42 @@ val malicious : t -> int list
     spoofed link) are ignored. *)
 val mark_decode_failure : t -> int -> unit
 
+(** [convict t i ~reason] — add client [i] to C* for an identity-level
+    offence (a rejected key-rotation proof). Out-of-range ids ignored. *)
+val convict : t -> int -> reason:string -> unit
+
+(** {2 Per-round cohorts}
+
+    An elastic-membership round runs over a cohort ⊆ 1..n. Inactive
+    clients are absent, not guilty: they owe no frames, never join C*
+    for silence, drop out of {!honest}, and the shared seed binds only
+    the active directory entries. The fixed-set path keeps everyone
+    active. *)
+
+(** [set_active t cohort] — install the round's cohort ([None] = all).
+    {!begin_round} does this itself; call it directly only on replay
+    paths that need the cohort installed {e before} [restore]. *)
+val set_active : t -> int array option -> unit
+
+val is_active : t -> int -> bool
+
 (** The server's validated view of this round's commit messages
     (structurally invalid entries are [None]) — what it forwards to
     clients for share verification. *)
 val round_commits : t -> Wire.commit_msg option array
 
-(** [begin_round ?topo t ~round ~commits] — store the round's commit
-    messages. Clients that sent nothing (None) are marked malicious
-    immediately. [topo] selects the round's share topology and changes
-    the accepted commit shape: without it a commit must carry n sealed
-    shares at threshold shamir_t and no digest; with it exactly the
-    sender's neighbor count at the neighborhood threshold, pinned to the
-    round's topology digest. *)
+(** [begin_round ?topo ?cohort t ~round ~commits] — store the round's
+    commit messages. Cohort members that sent nothing (None) are marked
+    malicious immediately; commits from outside the cohort are dropped
+    without conviction. [topo] selects the round's share topology and
+    changes the accepted commit shape: without it a commit must carry
+    one sealed share per cohort member (all n when no cohort) at
+    threshold shamir_t and no digest; with it exactly the sender's
+    neighbor count at the neighborhood threshold, pinned to the round's
+    topology digest. *)
 val begin_round :
   ?topo:Risefl_topology.Topology.t ->
+  ?cohort:int array ->
   t ->
   round:int ->
   commits:Wire.commit_msg option array ->
@@ -91,7 +113,7 @@ val verify_proofs :
   proofs:Wire.proof_msg option array ->
   unit
 
-(** The honest list H = C \ C* (1-based ids). *)
+(** The honest list H = cohort \ C* (1-based ids). *)
 val honest : t -> int list
 
 (** {2 Streaming verification pipeline}

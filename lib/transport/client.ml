@@ -1,5 +1,6 @@
 module Client_sm = Risefl_core.Client
 module Driver = Risefl_core.Driver
+module Membership = Risefl_core.Membership
 module Serial = Risefl_core.Serial
 module Setup = Risefl_core.Setup
 module Params = Risefl_core.Params
@@ -26,11 +27,27 @@ type config = {
   die_at : (int * Netsim.stage) option;
   max_connect_attempts : int;
   topology : Topology.mode;
+  churn : Membership.spec option;
+      (* elastic membership: derive each round's cohort and epoch locally
+         from the seeded churn schedule — must match the server's spec *)
+  rejoin : bool;
+      (* re-enroll into a session already in flight: learn the current
+         round from the server, fast-forward the local epochs, skip the
+         rounds this process missed *)
 }
 
 type st = {
   cfg : config;
   client : Client_sm.t;
+  session : Driver.session;
+  (* the memoized elastic-cohort hook (None = static membership): every
+     epoch is derived locally — the schedule is a pure function of the
+     session seed, so no membership bytes ever cross the wire *)
+  cohort_for : (int -> Membership.epoch option) option;
+  mutable epoch_applied : int;  (* last epoch applied to the session *)
+  mutable skip_until : int;  (* first round this process participates in *)
+  mutable resync : int option;  (* set by Reject_stale: fast-forward here *)
+  mutable server_round : int option;  (* from the last Hello_ok *)
   n : int;
   log : string -> unit;
   backoff : Prng.Drbg.t;
@@ -85,7 +102,50 @@ let send_msg st msg =
       try write_all st fd (Frame.encode (Proto.encode msg))
       with Unix.Unix_error _ -> disconnect st)
 
+(* Apply the membership epochs up to [upto] to the local session: the
+   hook materializes them in round order, [Driver.apply_epoch] rotates
+   the keys and installs each directory. Idempotent per epoch. *)
+let fast_forward st ~upto =
+  match st.cohort_for with
+  | None -> ()
+  | Some f ->
+      for r = st.epoch_applied + 1 to upto do
+        match f r with Some ep -> Driver.apply_epoch st.session ep | None -> ()
+      done;
+      if upto > st.epoch_applied then st.epoch_applied <- upto
+
+(* the round's frozen epoch, applied to the session as a side effect *)
+let epoch_for st ~round =
+  match st.cohort_for with
+  | None -> None
+  | Some f ->
+      fast_forward st ~upto:(round - 1);
+      let ep = f round in
+      (match ep with Some ep -> Driver.apply_epoch st.session ep | None -> ());
+      if round > st.epoch_applied then st.epoch_applied <- round;
+      ep
+
+let full_cohort st = Array.init st.n (fun i -> i + 1)
+
+let cohort_of st ~round =
+  match st.cohort_for with
+  | None -> full_cohort st
+  | Some f -> (
+      match f round with Some ep -> ep.Membership.ep_cohort | None -> full_cohort st)
+
 let rec connect st ~attempt =
+  (* a stale-epoch rejection: fast-forward the locally derivable epochs
+     to where the server says the session is, then re-enroll — under a
+     jittered pause so a herd of stale clients doesn't stampede *)
+  (match st.resync with
+  | Some r ->
+      st.resync <- None;
+      let jitter = 0.02 +. (float_of_int (Prng.Drbg.uniform_int st.backoff 200) /. 2000.0) in
+      Unix.sleepf jitter;
+      fast_forward st ~upto:(r - 1);
+      st.skip_until <- max st.skip_until r;
+      st.cur_round <- max st.cur_round r
+  | None -> ());
   if attempt > st.cfg.max_connect_attempts then
     failwith
       (Printf.sprintf "client %d: server unreachable after %d attempts" st.cfg.id
@@ -113,6 +173,8 @@ let rec connect st ~attempt =
              client_id = st.cfg.id;
              resume_round = st.cur_round;
              version = Proto.proto_version;
+             epoch = st.epoch_applied;
+             rejoin = st.cfg.rejoin;
            });
       (* the write-ahead ack may have been lost with the old connection:
          retransmit the in-flight frame, the server re-acks or collects *)
@@ -130,10 +192,13 @@ let rec connect st ~attempt =
 
 let ensure_connected st = if st.fd = None then connect st ~attempt:0
 
-(* the round's share graph under the adopted mode (None = all-to-all) *)
+(* the round's share graph under the adopted mode (None = all-to-all).
+   [Driver.effective_topology] applies the same shrunken-cohort degree
+   clamp the server applies, so both sides derive the identical graph. *)
 let topo_for st ~round =
-  Topology.plan ~mode:st.topo_mode ~seed:st.cfg.seed ~round
-    ~cohort:(Array.init st.n (fun i -> i + 1))
+  let cohort = cohort_of st ~round in
+  let mode = Driver.effective_topology st.cfg.setup ~cohort st.topo_mode in
+  Topology.plan ~mode ~seed:st.cfg.seed ~round ~cohort
 
 let recovery_answer st ~round ~dropout =
   match Hashtbl.find_opt st.recoveries (round, dropout) with
@@ -169,7 +234,8 @@ let reveal_response st ~requests =
 
 let dispatch st msg =
   match msg with
-  | Proto.Hello_ok { version; degree; _ } ->
+  | Proto.Hello_ok { version; degree; round; _ } ->
+      st.server_round <- Some round;
       if version >= 2 then
         st.topo_mode <- (if degree > 0 then Topology.Kregular degree else Topology.Full)
   | Proto.Ack { round; stage; sender; seq = _ } ->
@@ -203,6 +269,10 @@ let dispatch st msg =
       match recovery_answer st ~round ~dropout with
       | Some (share, mask) -> send_msg st (Proto.Recover_resp { round; dropout; share; mask })
       | None -> ())
+  | Proto.Reject_stale { current_round; reason } ->
+      st.log (Printf.sprintf "stale membership epoch: %s" reason);
+      st.resync <- Some current_round;
+      disconnect st
   | Proto.Reject { reason } -> failwith (Printf.sprintf "client %d rejected: %s" st.cfg.id reason)
   | Proto.Hello _ | Proto.Submit _ | Proto.Reveal_resp _ | Proto.Recover_resp _ | Proto.Bye ->
       (* client-to-server traffic echoed back: ignore *)
@@ -305,7 +375,21 @@ let submit st ~round ~stage payload =
 
 let run_round st ~round =
   let cfg = st.cfg in
+  (* a round this process missed (rejoin/resync): the session already
+     resolved it, nothing to do *)
+  if round < st.skip_until then None
+  else begin
+  (* freeze the round's membership first: the epoch rotates keys and
+     installs the directory before any frame is built *)
+  let ep = epoch_for st ~round in
+  let cohort = match ep with Some ep -> ep.Membership.ep_cohort | None -> full_cohort st in
+  if not (Array.exists (fun id -> id = cfg.id) cohort) then begin
+    st.log (Printf.sprintf "round %d: outside this round's cohort; sitting out" round);
+    None
+  end
+  else begin
   st.cur_round <- round;
+  let cohort_opt = if Array.length cohort = st.n then None else Some cohort in
   let updates =
     Updates.make ~n:st.n ~d:cfg.d ~bound:cfg.bound ~seed:cfg.seed ~attackers:cfg.attackers
       ~round
@@ -315,8 +399,9 @@ let run_round st ~round =
   let topo = topo_for st ~round in
   (* --- commit --- *)
   let commit =
-    if attacker then Client_sm.commit_round_unchecked ?topo st.client ~round ~update
-    else Client_sm.commit_round ?topo st.client ~round ~update
+    if attacker then
+      Client_sm.commit_round_unchecked ?topo ?cohort:cohort_opt st.client ~round ~update
+    else Client_sm.commit_round ?topo ?cohort:cohort_opt st.client ~round ~update
   in
   submit st ~round ~stage:Netsim.Commit (Serial.encode_commit_msg commit);
   (* --- flags (needs the server's validated commit set) --- *)
@@ -325,7 +410,7 @@ let run_round st ~round =
       let msgs =
         Array.map Serial.decode_commit_msg (Hashtbl.find st.commits round)
       in
-      let flag = Client_sm.receive_shares ?topo st.client ~round ~msgs in
+      let flag = Client_sm.receive_shares ?topo ?cohort:cohort_opt st.client ~round ~msgs in
       submit st ~round ~stage:Netsim.Flag (Serial.encode_flag_msg flag)
   | `Resolved | `Timeout -> ());
   (* --- probabilistic check + proof --- *)
@@ -338,7 +423,7 @@ let run_round st ~round =
             failwith ("client: check broadcast undecodable: " ^ Serial.error_to_string e)
       in
       let hs_tables = Parallel.parallel_map Curve25519.Point.Table.make hs in
-      match Client_sm.try_proof_round ~hs_tables st.client ~round ~s ~hs with
+      match Client_sm.try_proof_round ~hs_tables ?cohort:cohort_opt st.client ~round ~s ~hs with
       | Some proof -> submit st ~round ~stage:Netsim.Proof (Serial.encode_proof_msg proof)
       | None ->
           (* the rational-adversary move: the sampled projections would
@@ -365,6 +450,8 @@ let run_round st ~round =
   | `Timeout ->
       st.log (Printf.sprintf "round %d: no result before deadline" round);
       None
+  end
+  end
 
 let run ?(log = fun _ -> ()) cfg =
   (* a dying server mid-write must surface as EPIPE, not kill us *)
@@ -374,10 +461,19 @@ let run ?(log = fun _ -> ()) cfg =
   (* the same session as the server and every sibling: only our own
      client's DRBG fork ever advances in this process *)
   let session = Driver.create_session cfg.setup ~seed:cfg.seed in
+  let cohort_for =
+    Option.map (fun spec -> Driver.churn_cohort_for session ~spec ~rounds:cfg.rounds) cfg.churn
+  in
   let st =
     {
       cfg;
       client = (Driver.session_clients session).(cfg.id - 1);
+      session;
+      cohort_for;
+      epoch_applied = 0;
+      skip_until = 1;
+      resync = None;
+      server_round = None;
       n;
       log;
       backoff = Prng.Drbg.create_string (Printf.sprintf "%s/backoff/%d" cfg.seed cfg.id);
@@ -398,6 +494,24 @@ let run ?(log = fun _ -> ()) cfg =
     }
   in
   connect st ~attempt:0;
+  (* rejoin bootstrap: learn where the session is before doing any round
+     work. Either Hello_ok answers directly, or a stale-epoch rejection
+     routes through the resync path (reconnect fast-forwards and
+     re-enrolls) until one Hello is accepted. *)
+  if cfg.rejoin then begin
+    let deadline = Clock.now_s () +. cfg.deadline_s in
+    while st.server_round = None && Clock.now_s () < deadline do
+      pump st ~until_s:deadline
+    done;
+    match st.server_round with
+    | Some r when r > 1 ->
+        log (Printf.sprintf "re-enrolled: session is at round %d" r);
+        fast_forward st ~upto:(r - 1);
+        st.skip_until <- max st.skip_until r;
+        st.cur_round <- max st.cur_round r
+    | Some _ -> ()
+    | None -> failwith (Printf.sprintf "client %d: rejoin handshake timed out" cfg.id)
+  end;
   let results = ref [] in
   for round = 1 to cfg.rounds do
     match run_round st ~round with

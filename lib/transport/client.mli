@@ -37,6 +37,19 @@ type config = {
           derives one graph. Under a k-regular round the client commits
           wire-v2 (neighbor shares + digest), masks its agg sum pairwise,
           and answers [Recover_req] for its dropped-out neighbors. *)
+  churn : Risefl_core.Membership.spec option;
+      (** elastic membership: derive each round's cohort, key rotations
+          and epoch locally from the seeded churn schedule — must equal
+          the server's spec. Rounds whose cohort excludes this client are
+          sat out; a stale-epoch [Reject_stale] fast-forwards the local
+          epochs and re-enrolls under jittered backoff. *)
+  rejoin : bool;
+      (** enroll into a session already in flight: learn the current
+          round from the server's [Hello_ok] (or the [Reject_stale]
+          resync path), fast-forward the locally derivable epochs, and
+          participate from the current round on — client standing (bans,
+          honest status) carries over because the server's view of this
+          id never left the session. *)
 }
 
 val run : ?log:(string -> unit) -> config -> (int * Proto.result_view) list

@@ -5,9 +5,11 @@ module R = Serial.R
 
 (* The transport protocol revision this build speaks. v0 (unversioned)
    frames carry no version tail; v2 adds the tails below plus the
-   k-regular recovery sub-exchange (tags 14/15). Bumped with any change
-   an old peer cannot safely ignore. *)
-let proto_version = 2
+   k-regular recovery sub-exchange (tags 14/15); v3 adds elastic
+   membership — the Hello epoch/rejoin tail, the Hello_ok epoch tail and
+   the typed stale-epoch rejection (tag 16). Bumped with any change an
+   old peer cannot safely ignore. *)
+let proto_version = 3
 
 type result_view =
   | Rv_completed of { cstar : int list; aggregate : int array option }
@@ -15,11 +17,11 @@ type result_view =
   | Rv_aborted_decode of int list
 
 type msg =
-  | Hello of { client_id : int; resume_round : int; version : int }
+  | Hello of { client_id : int; resume_round : int; version : int; epoch : int; rejoin : bool }
   | Submit of Bytes.t
   | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
   | Bye
-  | Hello_ok of { n : int; round : int; version : int; degree : int }
+  | Hello_ok of { n : int; round : int; version : int; degree : int; epoch : int }
   | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
   | Commits of { round : int; commits : Bytes.t array }
   | Cleared of { round : int; shares : (int * int * Scalar.t) list }
@@ -30,6 +32,9 @@ type msg =
   | Reject of { reason : string }
   | Recover_req of { round : int; dropout : int }
   | Recover_resp of { round : int; dropout : int; share : Scalar.t option; mask : Scalar.t }
+  | Reject_stale of { current_round : int; reason : string }
+      (* typed: the client's membership epoch is behind the session —
+         fast-forward the locally derivable epochs and re-enroll *)
 
 let tag_name = function
   | Hello _ -> "hello"
@@ -47,6 +52,7 @@ let tag_name = function
   | Reject _ -> "reject"
   | Recover_req _ -> "recover-req"
   | Recover_resp _ -> "recover-resp"
+  | Reject_stale _ -> "reject-stale"
 
 (* counts inside an envelope are bounded before any per-element work: a
    hostile count fails fast instead of driving a long read loop *)
@@ -75,12 +81,16 @@ let r_string r = Bytes.to_string (R.bytes r)
 let encode msg =
   let b = W.create () in
   (match msg with
-  | Hello { client_id; resume_round; version } ->
+  | Hello { client_id; resume_round; version; epoch; rejoin } ->
       W.u8 b 1;
       W.u32 b client_id;
       W.u32 b resume_round;
       (* optional tail: a v0 peer stops reading here *)
-      W.u32 b version
+      W.u32 b version;
+      (* v3 tail: last membership epoch the client has applied, plus the
+         enrollment intent (re-enrolling after an absence) *)
+      W.u32 b epoch;
+      W.u8 b (if rejoin then 1 else 0)
   | Submit framed ->
       W.u8 b 2;
       W.bytes b framed
@@ -98,14 +108,16 @@ let encode msg =
               w_scalar b s)
             shares)
   | Bye -> W.u8 b 4
-  | Hello_ok { n; round; version; degree } ->
+  | Hello_ok { n; round; version; degree; epoch } ->
       W.u8 b 5;
       W.u32 b n;
       W.u32 b round;
       (* optional tail: version, then the round topology degree (0 =
          all-to-all) — a v0 peer stops reading before it *)
       W.u32 b version;
-      W.u32 b degree
+      W.u32 b degree;
+      (* v3 tail: the server's current membership epoch (0 = static) *)
+      W.u32 b epoch
   | Ack { round; stage; sender; seq } ->
       W.u8 b 6;
       W.u32 b round;
@@ -177,7 +189,11 @@ let encode msg =
       | Some s ->
           W.u8 b 1;
           w_scalar b s);
-      w_scalar b mask);
+      w_scalar b mask
+  | Reject_stale { current_round; reason } ->
+      W.u8 b 16;
+      W.u32 b current_round;
+      w_string b reason);
   Buffer.to_bytes b
 
 let decode body =
@@ -189,7 +205,10 @@ let decode body =
         let resume_round = R.u32 r in
         (* a 9-byte body is a valid legacy v0 hello *)
         let version = if R.remaining r > 0 then R.u32 r else 0 in
-        Hello { client_id; resume_round; version }
+        (* v3 tail: epoch + rejoin flag; older peers stop before it *)
+        let epoch = if R.remaining r > 0 then R.u32 r else 0 in
+        let rejoin = if R.remaining r > 0 then R.u8 r <> 0 else false in
+        Hello { client_id; resume_round; version; epoch; rejoin }
     | 2 -> Submit (R.bytes r)
     | 3 ->
         let dealer = R.u32 r in
@@ -217,7 +236,8 @@ let decode body =
             (v, d)
           else (0, 0)
         in
-        Hello_ok { n; round; version; degree }
+        let epoch = if R.remaining r > 0 then R.u32 r else 0 in
+        Hello_ok { n; round; version; degree; epoch }
     | 6 ->
         let round = R.u32 r in
         let stage =
@@ -294,6 +314,10 @@ let decode body =
         in
         let mask = r_scalar r in
         Recover_resp { round; dropout; share; mask }
+    | 16 ->
+        let current_round = R.u32 r in
+        let reason = r_string r in
+        Reject_stale { current_round; reason }
     | _ -> failwith "unknown tag"
   in
   R.finish r;

@@ -25,6 +25,15 @@
     tail also announces the session's topology degree (0 = all-to-all)
     so the client derives the identical graph.
 
+    Elastic membership (v3): the [Hello] tail grows the client's last
+    applied membership epoch plus a rejoin flag (re-enrolling after an
+    absence), and the [Hello_ok] tail grows the server's current epoch
+    (0 = static membership). A churn-enabled server requires
+    [version >= 3]; a client whose epoch is stale gets the typed
+    [Reject_stale] — fast-forward the locally derivable epochs (the
+    churn schedule is a pure function of the session seed, so no
+    membership bytes cross the wire) and re-enroll under backoff.
+
     The k-regular recovery sub-exchange: when an agg-stage dropout's
     blind must be re-interpolated, the server sends [Recover_req] to each
     alive graph neighbor, which answers [Recover_resp] with its stored
@@ -44,11 +53,11 @@ type result_view =
   | Rv_aborted_decode of int list
 
 type msg =
-  | Hello of { client_id : int; resume_round : int; version : int }
+  | Hello of { client_id : int; resume_round : int; version : int; epoch : int; rejoin : bool }
   | Submit of Bytes.t
   | Reveal_resp of { dealer : int; shares : (int * Scalar.t) list option }
   | Bye
-  | Hello_ok of { n : int; round : int; version : int; degree : int }
+  | Hello_ok of { n : int; round : int; version : int; degree : int; epoch : int }
   | Ack of { round : int; stage : Netsim.stage; sender : int; seq : int }
   | Commits of { round : int; commits : Bytes.t array }
   | Cleared of { round : int; shares : (int * int * Scalar.t) list }
@@ -59,6 +68,8 @@ type msg =
   | Reject of { reason : string }
   | Recover_req of { round : int; dropout : int }
   | Recover_resp of { round : int; dropout : int; share : Scalar.t option; mask : Scalar.t }
+  | Reject_stale of { current_round : int; reason : string }
+      (** typed stale-epoch rejection: fast-forward and re-enroll *)
 
 val encode : msg -> Bytes.t
 (** The frame body (not yet length-prefixed — pass through

@@ -22,6 +22,9 @@ type config = {
   crash : (int * Netsim.stage * Driver.crash_point) option;
   stream : Risefl_core.Server.stream_cfg option;
   topology : Topology.mode;
+  churn : Risefl_core.Membership.spec option;
+      (* elastic membership: derive each round's cohort from the seeded
+         churn schedule (a pure function of the session seed) *)
 }
 
 type report = {
@@ -29,6 +32,7 @@ type report = {
   resumed_round : int option;
   banned : int list;
   stream_stats : Risefl_core.Server.stream_stats option;
+  cohort_sizes : (int * int) list;
 }
 
 (* Cleared shares are addressed: only the flagger that requested the
@@ -54,6 +58,10 @@ type st = {
   recover_box :
     (int * int * int, Curve25519.Scalar.t option * Curve25519.Scalar.t) Hashtbl.t;
   topo_mode : Topology.mode;
+  churn_enabled : bool;
+  (* the round's frozen membership epoch (None = static membership or
+     between rounds): gates the collector's expected-sender set *)
+  mutable epoch_now : Risefl_core.Membership.epoch option;
   (* protocol violators awaiting conviction by the next collector *)
   mutable pending_convict : int list;
   mutable pos : int * int;  (* last (round, stage index) a collector ran *)
@@ -142,23 +150,48 @@ let handle_event st = function
   | Evloop.Accepted _ -> ()
   | Evloop.Msg (conn, msg) -> (
       match msg with
-      | Proto.Hello { client_id; resume_round; version } ->
+      | Proto.Hello { client_id; resume_round; version; epoch; rejoin } ->
           if client_id < 1 || client_id > st.n then begin
             Evloop.send st.loop conn (Proto.Reject { reason = "unknown client id" });
             Evloop.close_conn st.loop conn
           end
-          else if st.topo_mode <> Topology.Full && version < Proto.proto_version then begin
+          else if
+            (st.topo_mode <> Topology.Full || st.churn_enabled)
+            && version < Proto.proto_version
+          then begin
             (* a k-regular session needs wire-v2 commits and the recovery
-               sub-exchange; an old client cannot follow — turn it away
-               cleanly instead of convicting it mid-round *)
+               sub-exchange; an elastic session additionally needs the v3
+               epoch handshake. An old client cannot follow — turn it
+               away cleanly instead of convicting it mid-round *)
             Evloop.send st.loop conn
               (Proto.Reject
                  {
                    reason =
                      Printf.sprintf
-                       "protocol version %d too old: this session runs a k-regular share \
-                        topology and needs version >= %d"
-                       version Proto.proto_version;
+                       "protocol version %d too old: this session runs %s and needs version >= \
+                        %d"
+                       version
+                       (if st.churn_enabled then "elastic membership"
+                        else "a k-regular share topology")
+                       Proto.proto_version;
+                 });
+            Evloop.close_conn st.loop conn
+          end
+          else if st.churn_enabled && version >= 3 && epoch < st.round_now - 1 then begin
+            (* the client's membership view lags the session: the epochs
+               are locally derivable (the churn schedule is a pure
+               function of the session seed), so a typed rejection
+               telling it where the session is suffices — no membership
+               bytes cross the wire *)
+            Evloop.send st.loop conn
+              (Proto.Reject_stale
+                 {
+                   current_round = st.round_now;
+                   reason =
+                     Printf.sprintf
+                       "membership epoch %d is stale: the session is at round %d — fast-forward \
+                        and re-enroll"
+                       epoch st.round_now;
                  });
             Evloop.close_conn st.loop conn
           end
@@ -167,10 +200,18 @@ let handle_event st = function
             | Some old when old != conn -> Evloop.close_conn st.loop old
             | _ -> ());
             Evloop.set_conn_id conn client_id;
+            if rejoin then
+              st.log (Printf.sprintf "client %d re-enrolling from round %d" client_id resume_round);
             let degree = match st.topo_mode with Topology.Full -> 0 | Topology.Kregular k -> k in
             Evloop.send st.loop conn
               (Proto.Hello_ok
-                 { n = st.n; round = st.round_now; version = Proto.proto_version; degree });
+                 {
+                   n = st.n;
+                   round = st.round_now;
+                   version = Proto.proto_version;
+                   degree;
+                   epoch = (if st.churn_enabled then st.round_now else 0);
+                 });
             (* replay the broadcasts the client may have missed *)
             List.iter
               (fun (round, target, msg) ->
@@ -213,12 +254,20 @@ let collect st ~round ~stage ~already ~push =
   let stage_ix = Netsim.stage_index stage in
   st.round_now <- round;
   let banned = Server_sm.malicious (Driver.session_server st.session) in
+  (* under an elastic epoch only the round's cohort owes frames: absent
+     clients are neither awaited nor timed out *)
+  let expected =
+    match st.epoch_now with
+    | Some ep when ep.Risefl_core.Membership.ep_round = round ->
+        Array.to_list ep.Risefl_core.Membership.ep_cohort
+    | _ -> List.init st.n (fun i -> i + 1)
+  in
   let pending = Hashtbl.create 16 in
   List.iter
     (fun i ->
       if (not (List.mem i already)) && not (List.mem i banned) then
         Hashtbl.replace pending i ())
-    (List.init st.n (fun i -> i + 1));
+    expected;
   let deadline = Clock.now_s () +. st.deadline_s in
   let accept (sender, seq, framed) =
     (* write-ahead ack: push appends to the WAL (or raises, crashing the
@@ -379,10 +428,19 @@ let serve ?(log = fun _ -> ()) cfg =
       reveal_box = Hashtbl.create 4;
       recover_box = Hashtbl.create 4;
       topo_mode = cfg.topology;
+      churn_enabled = Option.is_some cfg.churn;
+      epoch_now = None;
       pending_convict = [];
       pos = (0, -1);
       round_now = 1;
     }
+  in
+  (* the elastic cohort hook: memoized per round, so recovery of a
+     crashed round re-asks and gets the identical epoch back *)
+  let cohort_for =
+    Option.map
+      (fun spec -> Driver.churn_cohort_for session ~spec ~rounds:cfg.rounds)
+      cfg.churn
   in
   (* WAL replay: the log decides where this process picks up *)
   let records, wal =
@@ -423,10 +481,19 @@ let serve ?(log = fun _ -> ()) cfg =
   let behaviours = Driver.honest_all n in
   let remote = remote_of st in
   let outcomes = ref [] in
+  let sizes = ref [] in
   (try
      for round = start_round to cfg.rounds do
        st.round_now <- round;
-       log (Printf.sprintf "round %d: waiting for %d client(s)" round n);
+       let epoch = match cohort_for with Some f -> f round | None -> None in
+       st.epoch_now <- epoch;
+       let waiting =
+         match epoch with
+         | Some ep -> Array.length ep.Risefl_core.Membership.ep_cohort
+         | None -> n
+       in
+       if Option.is_some epoch then sizes := (round, waiting) :: !sizes;
+       log (Printf.sprintf "round %d: waiting for %d client(s)" round waiting);
        let crash_here =
          match cfg.crash with
          | Some (r, stage, at) when r = round -> Some (stage, at)
@@ -435,11 +502,11 @@ let serve ?(log = fun _ -> ()) cfg =
        let outcome =
          try
            if resumed_round = Some round then
-             Driver.recover_round ~remote ?wal ?stream:cfg.stream ~topology:cfg.topology
-               session ~records ~updates ~behaviours ~round
+             Driver.recover_round ~remote ?wal ?stream:cfg.stream ?epoch
+               ~topology:cfg.topology session ~records ~updates ~behaviours ~round
            else
              Driver.run_round_outcome ~remote ?wal ?crash:crash_here ?stream:cfg.stream
-               ~topology:cfg.topology session ~updates ~behaviours ~round
+               ?epoch ~topology:cfg.topology session ~updates ~behaviours ~round
          with Driver.Server_crashed { stage; at } -> die_crashed st wal stage at
        in
        outcomes := (round, outcome) :: !outcomes;
@@ -461,4 +528,5 @@ let serve ?(log = fun _ -> ()) cfg =
     resumed_round;
     banned = Server_sm.banned server;
     stream_stats = Server_sm.stream_stats server;
+    cohort_sizes = List.rev !sizes;
   }

@@ -40,6 +40,13 @@ type config = {
           get a clean [Reject]), announces the degree in [Hello_ok], and
           recovers agg-stage dropouts through the [Recover_req]/
           [Recover_resp] neighborhood sub-exchange. *)
+  churn : Risefl_core.Membership.spec option;
+      (** elastic membership: derive each round's cohort from the seeded
+          churn schedule ({!Driver.churn_cohort_for} over the session
+          seed), collect frames only from the round's cohort, require
+          {!Proto.proto_version} from every client, and answer a
+          stale-epoch [Hello] with the typed [Reject_stale]. [None] runs
+          the static full-universe membership. *)
 }
 
 type report = {
@@ -48,6 +55,9 @@ type report = {
   banned : int list;
   stream_stats : Risefl_core.Server.stream_stats option;
       (** fold/evict/flush counters from the last streamed round, if any *)
+  cohort_sizes : (int * int) list;
+      (** per elastic round, the active cohort size this process ran
+          under (empty when churn is off) *)
 }
 
 val serve : ?log:(string -> unit) -> config -> report

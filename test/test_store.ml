@@ -110,6 +110,46 @@ let test_byte_flip_rejected () =
     | _ -> ()
   done
 
+let test_midlog_corruption () =
+  (* the Epoch-record shape: a large record sandwiched mid-log (the
+     elastic driver writes Epoch before Round_start). Corrupting any
+     byte of it must stop the scan at the good prefix — the records
+     behind it never replay, and the corrupt one never decodes as
+     something else (a wrong cohort, at the Round_log layer). *)
+  with_wal @@ fun path wal ->
+  Store.Wal.append wal ~tag:1 (payload_of_string "round-end");
+  let epoch_body = String.init 600 (fun i -> Char.chr (i mod 251)) in
+  Store.Wal.append wal ~tag:8 (payload_of_string epoch_body);
+  Store.Wal.append wal ~tag:2 (payload_of_string "round-start");
+  Store.Wal.close wal;
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let first_end = 4 + 4 + 1 + String.length "round-end" in
+  let mid_end = first_end + 4 + 4 + 1 + String.length epoch_body in
+  (* byte-flip sweep over the middle record's span *)
+  for i = first_end to mid_end - 1 do
+    let mutated = Bytes.of_string original in
+    Bytes.set mutated i (Char.chr (Char.code original.[i] lxor 0x41));
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc mutated);
+    let got, _status = Store.Wal.replay path in
+    match got with
+    | [ (_, 1, p) ] when Bytes.to_string p = "round-end" -> ()
+    | _ -> fail "flip at %d: exactly the good prefix must survive" i
+  done;
+  (* truncation sweep: any cut inside the middle record keeps record 1
+     (downward, so each truncate only ever shortens the file) *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc original);
+  for cut = mid_end - 1 downto first_end do
+    truncate_file path cut;
+    let got, status = Store.Wal.replay path in
+    (match status with
+    | Store.Wal.Torn _ -> ()
+    | Store.Wal.Complete ->
+        if cut <> first_end then fail "cut at %d must report a torn tail" cut);
+    match got with
+    | [ (_, 1, p) ] when Bytes.to_string p = "round-end" -> ()
+    | _ -> fail "cut at %d: exactly the good prefix must survive" cut
+  done
+
 (* ------------------------------------------------------------------ *)
 (* properties *)
 
@@ -167,6 +207,7 @@ let () =
           Alcotest.test_case "reopen appends" `Quick test_reopen_appends;
           Alcotest.test_case "torn tail" `Quick test_torn_tail;
           Alcotest.test_case "byte flips rejected" `Quick test_byte_flip_rejected;
+          Alcotest.test_case "mid-log corruption keeps the prefix" `Quick test_midlog_corruption;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_truncation_keeps_prefix ] );

@@ -89,13 +89,14 @@ let test_frame_cap_boundary () =
 let test_proto_roundtrip () =
   let msgs =
     [
-      Proto.Hello { client_id = 3; resume_round = 7; version = Proto.proto_version };
+      Proto.Hello
+        { client_id = 3; resume_round = 7; version = Proto.proto_version; epoch = 4; rejoin = true };
       Proto.Submit (Bytes.of_string "framed-bytes");
       Proto.Reveal_resp { dealer = 2; shares = None };
       Proto.Reveal_resp
         { dealer = 2; shares = Some [ (1, Scalar.of_int 42); (4, Scalar.of_int 7) ] };
       Proto.Bye;
-      Proto.Hello_ok { n = 5; round = 2; version = Proto.proto_version; degree = 4 };
+      Proto.Hello_ok { n = 5; round = 2; version = Proto.proto_version; degree = 4; epoch = 2 };
       Proto.Ack { round = 1; stage = Netsim.Proof; sender = 4; seq = 0 };
       Proto.Commits { round = 1; commits = [| Bytes.of_string "c1"; Bytes.of_string "c2" |] };
       Proto.Cleared { round = 2; shares = [ (1, 3, Scalar.of_int 9) ] };
@@ -115,6 +116,7 @@ let test_proto_roundtrip () =
       Proto.Recover_resp { round = 2; dropout = 3; share = None; mask = Scalar.of_int 11 };
       Proto.Recover_resp
         { round = 2; dropout = 3; share = Some (Scalar.of_int 5); mask = Scalar.of_int 11 };
+      Proto.Reject_stale { current_round = 4; reason = "epoch 1 is stale" };
     ]
   in
   List.iter
@@ -127,26 +129,42 @@ let test_proto_roundtrip () =
             (Risefl_core.Serial.error_to_string e))
     msgs;
   (* trailing garbage and truncations must be rejected, not crash —
-     except the one legal truncation: dropping the 4-byte version tail
-     yields a valid legacy v0 hello (the compatibility point) *)
-  let b = Proto.encode (Proto.Hello { client_id = 1; resume_round = 1; version = 2 }) in
+     except the legal truncation points of the optional tails: a 9-byte
+     body is a legacy v0 hello, 13 bytes stop after the v2 version tail,
+     17 bytes stop after the v3 epoch (rejoin defaults to false) *)
+  let b =
+    Proto.encode
+      (Proto.Hello { client_id = 1; resume_round = 1; version = 3; epoch = 2; rejoin = true })
+  in
   (match Proto.decode (Bytes.cat b (Bytes.of_string "x")) with
   | Ok _ -> fail "trailing garbage accepted"
   | Error _ -> ());
-  if Bytes.length b <> 13 then fail "v2 hello should be 13 bytes, got %d" (Bytes.length b);
+  if Bytes.length b <> 18 then fail "v3 hello should be 18 bytes, got %d" (Bytes.length b);
   for cut = 0 to Bytes.length b - 1 do
     match Proto.decode (Bytes.sub b 0 cut) with
-    | Ok (Proto.Hello { client_id = 1; resume_round = 1; version = 0 }) when cut = 9 ->
+    | Ok (Proto.Hello { client_id = 1; resume_round = 1; version = 0; epoch = 0; rejoin = false })
+      when cut = 9 ->
         () (* the legacy v0 frame *)
+    | Ok (Proto.Hello { client_id = 1; resume_round = 1; version = 3; epoch = 0; rejoin = false })
+      when cut = 13 ->
+        () (* a v2 peer's hello: version but no membership tail *)
+    | Ok (Proto.Hello { client_id = 1; resume_round = 1; version = 3; epoch = 2; rejoin = false })
+      when cut = 17 ->
+        () (* epoch without the rejoin byte: rejoin defaults off *)
     | Ok _ -> fail "truncation at %d accepted" cut
     | Error _ -> ()
   done;
-  (* same ladder for Hello_ok: 9-byte legacy body, 17-byte v2 body *)
-  let b = Proto.encode (Proto.Hello_ok { n = 5; round = 2; version = 2; degree = 4 }) in
-  if Bytes.length b <> 17 then fail "v2 hello-ok should be 17 bytes, got %d" (Bytes.length b);
+  (* same ladder for Hello_ok: 9-byte legacy body, 17-byte v2 body,
+     21-byte v3 body *)
+  let b = Proto.encode (Proto.Hello_ok { n = 5; round = 2; version = 3; degree = 4; epoch = 2 }) in
+  if Bytes.length b <> 21 then fail "v3 hello-ok should be 21 bytes, got %d" (Bytes.length b);
   for cut = 0 to Bytes.length b - 1 do
     match Proto.decode (Bytes.sub b 0 cut) with
-    | Ok (Proto.Hello_ok { n = 5; round = 2; version = 0; degree = 0 }) when cut = 9 -> ()
+    | Ok (Proto.Hello_ok { n = 5; round = 2; version = 0; degree = 0; epoch = 0 }) when cut = 9 ->
+        ()
+    | Ok (Proto.Hello_ok { n = 5; round = 2; version = 3; degree = 4; epoch = 0 }) when cut = 17
+      ->
+        ()
     | Ok _ -> fail "hello-ok truncation at %d accepted" cut
     | Error _ -> ()
   done
@@ -211,7 +229,8 @@ let read_child (type a) out : (a, string) result =
   (try Sys.remove out with Sys_error _ -> ());
   v
 
-let client_cfg ?(setup = setup) ~addr ~seed ~id ~rounds ?die_at ?(loris = false) () =
+let client_cfg ?(setup = setup) ~addr ~seed ~id ~rounds ?die_at ?(loris = false) ?churn
+    ?(rejoin = false) () =
   {
     Tclient.addr;
     setup;
@@ -226,9 +245,12 @@ let client_cfg ?(setup = setup) ~addr ~seed ~id ~rounds ?die_at ?(loris = false)
     die_at;
     max_connect_attempts = 200;
     topology = Risefl_topology.Topology.Full;
+    churn;
+    rejoin;
   }
 
-let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?(deadline = 60.0) () =
+let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?churn
+    ?(deadline = 60.0) () =
   {
     Tserver.addr;
     setup;
@@ -239,6 +261,7 @@ let server_cfg ?(setup = setup) ~addr ~seed ~rounds ?wal ?crash ?stream ?(deadli
     crash;
     stream;
     topology = Risefl_topology.Topology.Full;
+    churn;
   }
 
 let wait_pid pid = ignore (Unix.waitpid [] pid)
@@ -373,6 +396,72 @@ let test_serve_kill_restart () =
   (try Sys.remove srv_out with Sys_error _ -> ());
   (try Sys.remove wal with Sys_error _ -> ())
 
+(* elastic deployment: server and all five clients derive the seeded
+   churn schedule locally (no membership bytes on the wire); out-of-cohort
+   clients sit rounds out, one client enrolls with the rejoin bit set, and
+   the whole run must match the in-process elastic session *)
+let test_serve_churn () =
+  let seed = "serve-churn" in
+  let spec =
+    { Risefl_core.Membership.p_leave = 0.4; p_rejoin = 0.6; p_rotate = 0.3; min_cohort = 3 }
+  in
+  let rounds = 3 in
+  let addr = Evloop.Unix_sock (tmp_name ".sock") in
+  let srv_out = tmp_name ".srv" in
+  let srv =
+    fork_child srv_out (fun () ->
+        let report =
+          Tserver.serve (server_cfg ~setup:setup5 ~addr ~seed ~rounds ~churn:spec ())
+        in
+        List.map (fun (r, o) -> (r, view_of o)) report.Tserver.outcomes)
+  in
+  Unix.sleepf 0.2;
+  let cli_outs = List.init n5 (fun i -> tmp_name (Printf.sprintf ".e%d" (i + 1))) in
+  let clis =
+    List.mapi
+      (fun i out ->
+        let id = i + 1 in
+        fork_child out (fun () ->
+            Tclient.run
+              (client_cfg ~setup:setup5 ~addr ~seed ~id ~rounds ~churn:spec
+                 ~rejoin:(id = 4) ())))
+      cli_outs
+  in
+  wait_pid srv;
+  List.iter wait_pid clis;
+  let want =
+    let session = Driver.create_session setup5 ~seed in
+    let report =
+      Driver.run_session session
+        ~cohort_for:(Driver.churn_cohort_for session ~spec ~rounds)
+        ~updates_for:(fun r -> Updates.make ~n:n5 ~d ~bound ~seed ~attackers:[] ~round:r)
+        ~behaviours:(Updates.behaviours ~n:n5 ~attackers:[])
+        ~rounds
+    in
+    (* the schedule must actually churn, or this differential is vacuous *)
+    if not (List.exists (fun (_, size) -> size < n5) report.Driver.cohort_sizes) then
+      fail "seed %S never shrinks the cohort — pick a churnier seed" seed;
+    List.map (fun (r, o) -> (r, view_of o)) report.Driver.round_outcomes
+  in
+  (match (read_child srv_out : ((int * Proto.result_view) list, string) result) with
+  | Ok got when got = want -> ()
+  | Ok _ -> fail "elastic deployment diverged from the in-process elastic session"
+  | Error e -> fail "server process failed: %s" e);
+  (* a client sitting a round out may miss that round's broadcast; every
+     result it does report must agree with the reference *)
+  List.iteri
+    (fun i out ->
+      match (read_child out : ((int * Proto.result_view) list, string) result) with
+      | Ok got ->
+          List.iter
+            (fun (r, v) ->
+              match List.assoc_opt r want with
+              | Some v' when v = v' -> ()
+              | _ -> fail "client %d round %d diverged from the elastic reference" (i + 1) r)
+            got
+      | Error e -> fail "client %d process failed: %s" (i + 1) e)
+    cli_outs
+
 let () =
   (* Unix.fork is illegal once any domain has been spawned (OCaml 5), and
      the in-process reference runs would otherwise warm the Parallel
@@ -392,5 +481,6 @@ let () =
           Alcotest.test_case "loopback round (slow-loris)" `Slow test_serve_loopback_round;
           Alcotest.test_case "mid-stage client death" `Slow test_serve_client_death;
           Alcotest.test_case "kill -9 and WAL restart" `Slow test_serve_kill_restart;
+          Alcotest.test_case "elastic churn deployment" `Slow test_serve_churn;
         ] );
     ]
